@@ -1,0 +1,377 @@
+package energyclarity_test
+
+// One benchmark per table/figure/experiment (DESIGN.md §3): each runs the
+// full experiment pipeline and reports its headline numbers as custom
+// metrics, so `go test -bench=.` regenerates the evaluation. Micro-
+// benchmarks at the bottom measure the framework itself (interface
+// evaluation throughput, EIL interpretation overhead, simulator speed).
+
+import (
+	"testing"
+
+	"energyclarity"
+	"energyclarity/internal/core"
+	"energyclarity/internal/eil"
+	"energyclarity/internal/experiments"
+	"energyclarity/internal/gpusim"
+	"energyclarity/internal/microbench"
+	"energyclarity/internal/nn"
+)
+
+// BenchmarkTable1GPT2PredictionError regenerates Table 1.
+func BenchmarkTable1GPT2PredictionError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Rows[0].AvgErr, "%avgErr4090")
+		b.ReportMetric(100*res.Rows[0].MaxErr, "%maxErr4090")
+		b.ReportMetric(100*res.Rows[1].AvgErr, "%avgErr3070")
+		b.ReportMetric(100*res.Rows[1].MaxErr, "%maxErr3070")
+	}
+}
+
+// BenchmarkFig1WebServiceInterface regenerates the Fig. 1 sweep.
+func BenchmarkFig1WebServiceInterface(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig1WebService()
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 0.0
+		for _, p := range res.Points {
+			if p.RelErr > worst {
+				worst = p.RelErr
+			}
+		}
+		b.ReportMetric(100*worst, "%worstErr")
+	}
+}
+
+// BenchmarkFig2LayerRebinding regenerates the rebinding experiment.
+func BenchmarkFig2LayerRebinding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig2Rebinding()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Rows[0].RelErr, "%err4090")
+		b.ReportMetric(100*res.Rows[1].RelErr, "%errRebound3070")
+	}
+}
+
+// BenchmarkE1ClusterFuzzSizing regenerates the fleet-sizing experiment.
+func BenchmarkE1ClusterFuzzSizing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E1ClusterFuzz()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.InterfaceOptimalN), "optimalN")
+		b.ReportMetric(float64(res.TrialSearchEnergy/res.InterfaceOptimalE), "searchCostX")
+	}
+}
+
+// BenchmarkE2EASBimodal regenerates the scheduler comparison.
+func BenchmarkE2EASBimodal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E2EASBimodal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Baseline.UnmetFraction(), "%backlogBaseline")
+		b.ReportMetric(100*res.Aware.UnmetFraction(), "%backlogAware")
+	}
+}
+
+// BenchmarkE3KubePlacement regenerates the placer comparison.
+func BenchmarkE3KubePlacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E3KubePlacement()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.EnergySavings(), "%savings")
+	}
+}
+
+// BenchmarkE4ContractChecking regenerates the verification workflow.
+func BenchmarkE4ContractChecking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E4Contracts()
+		if err != nil {
+			b.Fatal(err)
+		}
+		flagged := 0.0
+		if res.BugFlagged {
+			flagged = 1
+		}
+		b.ReportMetric(flagged, "bugFlagged")
+	}
+}
+
+// BenchmarkE5Extraction regenerates the extraction experiment.
+func BenchmarkE5Extraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E5Extraction()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MaxDeviation, "maxDeviation")
+	}
+}
+
+// BenchmarkE6ErrorPropagation regenerates the composition-error curve.
+func BenchmarkE6ErrorPropagation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E6ErrorPropagation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.TopErrCorrelated/last.Epsilon, "amplification")
+	}
+}
+
+// BenchmarkE7ProfilingBaseline regenerates the regression comparison.
+func BenchmarkE7ProfilingBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E7Profiling()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(100*last.RegressionErr, "%regOODErr")
+		b.ReportMetric(100*last.InterfaceErr, "%ifaceOODErr")
+	}
+}
+
+// BenchmarkE8PowerProvisioning regenerates the provisioning experiment.
+func BenchmarkE8PowerProvisioning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E8PowerProvisioning()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.UtilizationGain, "%moreServers")
+	}
+}
+
+// BenchmarkE9DVFS regenerates the frequency-selection experiment.
+func BenchmarkE9DVFS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E9DVFS()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range res.Decisions {
+			if d.Workload == "decode-200" {
+				b.ReportMetric(100*d.Savings, "%decodeSavings")
+			}
+		}
+	}
+}
+
+// BenchmarkE10BatchServing regenerates the batch-size sweep.
+func BenchmarkE10BatchServing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E10BatchServing()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.SavingsVsB1, "%perTokenSavings")
+	}
+}
+
+// --- ablation benchmarks ---
+
+// BenchmarkA1ExactEnumeration measures exact ECV-enumeration evaluation.
+func BenchmarkA1ExactEnumeration(b *testing.B) {
+	iface := fig1Bench(b)
+	img := core.Record(map[string]core.Value{"pixels": core.Num(1e6), "zeros": core.Num(2e5)})
+	args := []core.Value{img}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := iface.Eval("handle", args, core.Expected()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA1MonteCarlo measures Monte Carlo evaluation at 1k samples.
+func BenchmarkA1MonteCarlo(b *testing.B) {
+	iface := fig1Bench(b)
+	img := core.Record(map[string]core.Value{"pixels": core.Num(1e6), "zeros": core.Num(2e5)})
+	args := []core.Value{img}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := iface.Eval("handle", args, core.MonteCarlo(1000, int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA2NativeInterface measures Go-native interface evaluation.
+func BenchmarkA2NativeInterface(b *testing.B) {
+	iface := fig1Bench(b)
+	img := core.Record(map[string]core.Value{"pixels": core.Num(1e6), "zeros": core.Num(2e5)})
+	assign := core.FixedAssignment(map[string]core.Value{
+		"request_hit": core.Bool(false), "local_cache_hit": core.Bool(false),
+	})
+	args := []core.Value{img}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := iface.Eval("handle", args, assign); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA2EILInterface measures the same program interpreted from EIL —
+// the interpretation overhead is the price of machine-readable interfaces.
+func BenchmarkA2EILInterface(b *testing.B) {
+	compiled, err := eil.Compile(fig1EILBench, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	iface := compiled["ml_webservice"]
+	img := core.Record(map[string]core.Value{"pixels": core.Num(1e6), "zeros": core.Num(2e5)})
+	assign := core.FixedAssignment(map[string]core.Value{
+		"request_hit": core.Bool(false), "local_cache_hit": core.Bool(false),
+	})
+	args := []core.Value{img}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := iface.Eval("handle", args, assign); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- framework microbenchmarks ---
+
+// BenchmarkGPUKernelLaunch measures simulator throughput (kernels/sec).
+func BenchmarkGPUKernelLaunch(b *testing.B) {
+	g := gpusim.NewGPU(gpusim.RTX4090(), 1)
+	k := gpusim.Kernel{Instructions: 1e6, L1Accesses: 4e5, WorkingSet: 1 << 20, Reuse: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Launch(k)
+	}
+}
+
+// BenchmarkGPT2DecodeStep measures one simulated autoregressive step.
+func BenchmarkGPT2DecodeStep(b *testing.B) {
+	g := gpusim.NewGPU(gpusim.RTX4090(), 1)
+	cfg := nn.GPT2Small()
+	kernels := cfg.DecodeKernels(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range kernels {
+			g.Launch(k)
+		}
+	}
+}
+
+// BenchmarkStackInterfaceEval measures a full 100-token interface
+// prediction (the a-priori question a resource manager asks).
+func BenchmarkStackInterfaceEval(b *testing.B) {
+	spec := gpusim.RTX4090()
+	coef := benchCoef(spec)
+	iface, err := nn.StackInterface(nn.GPT2Small(), coef.DeviceInterface(spec))
+	if err != nil {
+		b.Fatal(err)
+	}
+	args := []core.Value{core.Num(16), core.Num(100)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := iface.Eval("generate", args, core.Expected()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEILCompile measures compiling the Fig. 1 program.
+func BenchmarkEILCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eil.Compile(fig1EILBench, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistConvolution measures distribution arithmetic (the cost of
+// carrying energy as a random variable).
+func BenchmarkDistConvolution(b *testing.B) {
+	d := energyclarity.Categorical([]float64{0, 1, 7}, []float64{0.2, 0.5, 0.3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Repeat(64)
+	}
+}
+
+// --- shared fixtures ---
+
+const fig1EILBench = `
+interface accel_hw {
+  func conv2d(n) { return 0.004mJ * n }
+  func relu(n)   { return 0.001mJ * n }
+  func mlp(n)    { return 0.01mJ * n }
+}
+interface ml_webservice {
+  ecv request_hit: bernoulli(0.3)
+  ecv local_cache_hit: bernoulli(0.8)
+  uses accel: accel_hw
+  func handle(request) {
+    if request_hit {
+      if local_cache_hit { return 5mJ * 1024 }
+      return 100mJ * 1024
+    }
+    return 8 * accel.conv2d(request.pixels - request.zeros)
+         + 8 * accel.relu(256) + 16 * accel.mlp(256)
+  }
+}
+`
+
+func fig1Bench(b *testing.B) *core.Interface {
+	b.Helper()
+	mJ := func(x float64) energyclarity.Joules {
+		return energyclarity.Joules(x) * energyclarity.Millijoule
+	}
+	accel := core.New("accel_hw").
+		MustMethod(core.Method{Name: "conv2d", Params: []string{"n"},
+			Body: func(c *core.Call) energyclarity.Joules { return mJ(0.004 * c.Num(0)) }}).
+		MustMethod(core.Method{Name: "relu", Params: []string{"n"},
+			Body: func(c *core.Call) energyclarity.Joules { return mJ(0.001 * c.Num(0)) }}).
+		MustMethod(core.Method{Name: "mlp", Params: []string{"n"},
+			Body: func(c *core.Call) energyclarity.Joules { return mJ(0.01 * c.Num(0)) }})
+	svc := core.New("ml_webservice").
+		MustECV(core.BoolECV("request_hit", 0.3, "")).
+		MustECV(core.BoolECV("local_cache_hit", 0.8, "")).
+		MustBind("accel", accel).
+		MustMethod(core.Method{Name: "handle", Params: []string{"request"},
+			Body: func(c *core.Call) energyclarity.Joules {
+				if c.ECVBool("request_hit") {
+					if c.ECVBool("local_cache_hit") {
+						return mJ(5 * 1024)
+					}
+					return mJ(100 * 1024)
+				}
+				return 8*c.E("accel", "conv2d", core.Num(c.FieldNum(0, "pixels")-c.FieldNum(0, "zeros"))) +
+					8*c.E("accel", "relu", core.Num(256)) +
+					16*c.E("accel", "mlp", core.Num(256))
+			}})
+	return svc
+}
+
+func benchCoef(spec gpusim.Spec) microbench.Coefficients {
+	return microbench.Coefficients{
+		Device: spec.Name,
+		Instr:  spec.NomInstrEnergy,
+		L1:     spec.NomL1Energy,
+		L2:     spec.NomL2Energy,
+		VRAM:   spec.NomVRAMEnergy,
+		Static: spec.NomStaticPower,
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestRunRequiresSelection(t *testing.T) {
+	if err := run(false, "", false, false); err == nil {
+		t.Fatal("no selection accepted")
+	}
+	if err := run(false, "zz", false, false); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestRunLightExperiments exercises the dispatch paths that do not need a
+// full rig (a2 runs in microseconds); heavier experiments are covered by
+// internal/experiments tests.
+func TestRunLightExperiments(t *testing.T) {
+	if err := run(false, "a2", false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(false, "a2", true, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(false, "e5", false, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(false, "e1", false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(false, "e3", false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOneDispatchTable(t *testing.T) {
+	for _, id := range []string{"a1", "a2", "e1", "e2", "e3", "e5"} {
+		tab, err := runOne(id, false)
+		if err != nil {
+			t.Errorf("%s: %v", id, err)
+			continue
+		}
+		if tab == nil || len(tab.Rows) == 0 {
+			t.Errorf("%s: empty table", id)
+		}
+	}
+	if _, err := runOne("nope", false); err == nil {
+		t.Error("unknown id accepted")
+	}
+}

@@ -1,0 +1,195 @@
+// Command eic is the energy-interface compiler/checker: it parses, checks,
+// formats, and evaluates EIL files.
+//
+// Usage:
+//
+//	eic check file.eil            parse + semantic-check, report errors
+//	eic fmt file.eil              print the canonical formatting
+//	eic describe file.eil         list interfaces, ECVs, methods, bindings
+//	eic eval -i name -m method [-args json] [-mode expected|worst|best] file.eil
+//
+// Arguments are passed as a JSON array, e.g. -args '[1024, true, {"size": 10}]'.
+// JSON objects become records, arrays become lists.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/eil"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "eic:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: eic <check|fmt|describe|eval> [flags] file.eil")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "check":
+		return withFile(rest, func(src string) error {
+			f, err := eil.Parse(src)
+			if err != nil {
+				return err
+			}
+			if err := eil.Check(f, nil); err != nil {
+				return err
+			}
+			fmt.Printf("ok: %d interface(s)\n", len(f.Interfaces))
+			return nil
+		})
+	case "fmt":
+		return withFile(rest, func(src string) error {
+			f, err := eil.Parse(src)
+			if err != nil {
+				return err
+			}
+			fmt.Print(eil.Print(f))
+			return nil
+		})
+	case "describe":
+		return withFile(rest, func(src string) error {
+			m, err := eil.Compile(src, nil)
+			if err != nil {
+				return err
+			}
+			for _, iface := range m {
+				fmt.Print(iface.Describe())
+			}
+			return nil
+		})
+	case "eval":
+		return evalCmd(rest)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func withFile(args []string, fn func(src string) error) error {
+	if len(args) != 1 {
+		return fmt.Errorf("expected exactly one file argument")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	return fn(string(data))
+}
+
+func evalCmd(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
+	ifaceName := fs.String("i", "", "interface name (default: last in file)")
+	method := fs.String("m", "", "method name (required)")
+	argsJSON := fs.String("args", "[]", "method arguments as a JSON array")
+	mode := fs.String("mode", "expected", "expected | worst | best")
+	samples := fs.Int("samples", 0, "Monte Carlo samples (0 = exact enumeration)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *method == "" {
+		return fmt.Errorf("eval: -m method is required")
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("eval: expected one file argument")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	compiled, err := eil.Compile(string(data), nil)
+	if err != nil {
+		return err
+	}
+	var iface *core.Interface
+	if *ifaceName != "" {
+		iface = compiled[*ifaceName]
+		if iface == nil {
+			return fmt.Errorf("eval: no interface %q in file", *ifaceName)
+		}
+	} else {
+		f, _ := eil.Parse(string(data))
+		iface = compiled[f.Interfaces[len(f.Interfaces)-1].Name]
+	}
+
+	var raw []interface{}
+	if err := json.Unmarshal([]byte(*argsJSON), &raw); err != nil {
+		return fmt.Errorf("eval: bad -args: %v", err)
+	}
+	vals := make([]core.Value, len(raw))
+	for i, r := range raw {
+		v, err := jsonToValue(r)
+		if err != nil {
+			return err
+		}
+		vals[i] = v
+	}
+
+	opts := core.Expected()
+	switch *mode {
+	case "expected":
+	case "worst":
+		opts = core.WorstCase()
+	case "best":
+		opts = core.BestCase()
+	default:
+		return fmt.Errorf("eval: unknown mode %q", *mode)
+	}
+	if *samples > 0 {
+		opts.Mode = core.ModeMonteCarlo
+		opts.Samples = *samples
+	}
+	d, err := iface.Eval(*method, vals, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s.%s(%s) [%s]\n", iface.Name(), *method, *argsJSON, opts.Mode)
+	fmt.Printf("  mean:  %.6g J\n", d.Mean())
+	fmt.Printf("  std:   %.6g J\n", d.Std())
+	fmt.Printf("  range: [%.6g, %.6g] J\n", d.Min(), d.Max())
+	fmt.Printf("  dist:  %s\n", d)
+	return nil
+}
+
+func jsonToValue(r interface{}) (core.Value, error) {
+	switch x := r.(type) {
+	case nil:
+		return core.Nil(), nil
+	case bool:
+		return core.Bool(x), nil
+	case float64:
+		return core.Num(x), nil
+	case string:
+		return core.Str(x), nil
+	case []interface{}:
+		items := make([]core.Value, len(x))
+		for i, e := range x {
+			v, err := jsonToValue(e)
+			if err != nil {
+				return core.Value{}, err
+			}
+			items[i] = v
+		}
+		return core.List(items...), nil
+	case map[string]interface{}:
+		fields := make(map[string]core.Value, len(x))
+		for k, e := range x {
+			v, err := jsonToValue(e)
+			if err != nil {
+				return core.Value{}, err
+			}
+			fields[k] = v
+		}
+		return core.Record(fields), nil
+	default:
+		return core.Value{}, fmt.Errorf("unsupported JSON value %T", r)
+	}
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"energyclarity/internal/core"
+)
+
+const validEIL = `
+interface hw {
+  func op(n) { return 2nJ * n }
+}
+interface svc {
+  ecv hit: bernoulli(0.9) "request cached"
+  uses hw: hw
+  func handle(n) {
+    if hit { return 5mJ }
+    return hw.op(n)
+  }
+}
+`
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.eil")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no args accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+}
+
+func TestCheckCommand(t *testing.T) {
+	path := writeTemp(t, validEIL)
+	if err := run([]string{"check", path}); err != nil {
+		t.Fatal(err)
+	}
+	bad := writeTemp(t, `interface x { func f() { return nope } }`)
+	if err := run([]string{"check", bad}); err == nil {
+		t.Fatal("invalid program accepted")
+	}
+	if err := run([]string{"check"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run([]string{"check", filepath.Join(t.TempDir(), "missing.eil")}); err == nil {
+		t.Fatal("missing file path accepted")
+	}
+}
+
+func TestFmtAndDescribeCommands(t *testing.T) {
+	path := writeTemp(t, validEIL)
+	if err := run([]string{"fmt", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"describe", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalCommand(t *testing.T) {
+	path := writeTemp(t, validEIL)
+	cases := [][]string{
+		{"eval", "-m", "handle", "-args", "[100]", path},
+		{"eval", "-i", "svc", "-m", "handle", "-args", "[100]", "-mode", "worst", path},
+		{"eval", "-m", "handle", "-args", "[100]", "-mode", "best", path},
+		{"eval", "-m", "handle", "-args", "[100]", "-samples", "100", path},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+	bad := [][]string{
+		{"eval", path}, // missing -m
+		{"eval", "-m", "handle", "-args", "not-json", path}, // bad args
+		{"eval", "-m", "nope", "-args", "[]", path},         // unknown method
+		{"eval", "-i", "ghost", "-m", "handle", path},       // unknown interface
+		{"eval", "-m", "handle", "-mode", "sideways", path}, // bad mode
+		{"eval", "-m", "handle"},                            // no file
+	}
+	for _, args := range bad {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestJSONToValue(t *testing.T) {
+	v, err := jsonToValue(map[string]interface{}{
+		"n": 3.0, "flag": true, "s": "x",
+		"list": []interface{}{1.0, 2.0},
+		"null": nil,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := v.Field("n"); !f.Equal(core.Num(3)) {
+		t.Fatal("number field wrong")
+	}
+	if f, _ := v.Field("flag"); !f.Equal(core.Bool(true)) {
+		t.Fatal("bool field wrong")
+	}
+	if f, _ := v.Field("list"); f.Len() != 2 {
+		t.Fatal("list field wrong")
+	}
+	if f, _ := v.Field("null"); !f.IsNil() {
+		t.Fatal("null field wrong")
+	}
+	if _, err := jsonToValue(struct{}{}); err == nil {
+		t.Fatal("unsupported type accepted")
+	}
+	if _, err := jsonToValue([]interface{}{struct{}{}}); err == nil {
+		t.Fatal("nested unsupported type accepted")
+	}
+	if _, err := jsonToValue(map[string]interface{}{"x": struct{}{}}); err == nil {
+		t.Fatal("nested unsupported record value accepted")
+	}
+}
+
+func TestEvalDefaultInterfaceIsLast(t *testing.T) {
+	// Without -i, eval targets the last interface in the file (svc).
+	path := writeTemp(t, validEIL)
+	if err := run([]string{"eval", "-m", "handle", "-args", "[10]", path}); err != nil {
+		t.Fatal(err)
+	}
+	// hw.op is not on svc.
+	if err := run([]string{"eval", "-m", "op", "-args", "[10]", path}); err == nil ||
+		!strings.Contains(err.Error(), "op") {
+		t.Fatalf("method of non-default interface resolved: %v", err)
+	}
+}

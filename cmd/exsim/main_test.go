@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunVerbose(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"extracted energy interface:", "ecv pool_warm",
+		"max deviation", "extraction is exact"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunQuiet(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "interface req_handler") {
+		t.Error("quiet mode printed the EIL")
+	}
+}

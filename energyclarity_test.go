@@ -1,0 +1,112 @@
+package energyclarity_test
+
+import (
+	"math"
+	"testing"
+
+	"energyclarity"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the package doc
+// shows: build, evaluate, rebind, and compile EIL.
+func TestFacadeEndToEnd(t *testing.T) {
+	hw := energyclarity.New("accel").MustMethod(energyclarity.Method{
+		Name: "op", Params: []string{"n"},
+		Body: func(c *energyclarity.Call) energyclarity.Joules {
+			return energyclarity.Joules(c.Num(0)) * 2e-9
+		},
+	})
+	svc := energyclarity.New("svc").
+		MustECV(energyclarity.BoolECV("hit", 0.9, "request cached")).
+		MustBind("hw", hw).
+		MustMethod(energyclarity.Method{
+			Name: "handle", Params: []string{"n"},
+			Body: func(c *energyclarity.Call) energyclarity.Joules {
+				if c.ECVBool("hit") {
+					return 5 * energyclarity.Microjoule
+				}
+				return c.E("hw", "op", c.Arg(0))
+			},
+		})
+	dist, err := svc.Eval("handle", []energyclarity.Value{energyclarity.Num(1e6)},
+		energyclarity.Expected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.9*5e-6 + 0.1*(1e6*2e-9)
+	if math.Abs(dist.Mean()-want) > 1e-15 {
+		t.Fatalf("mean %v, want %v", dist.Mean(), want)
+	}
+
+	// Rebind to cheaper hardware.
+	hw2 := energyclarity.New("accel_v2").MustMethod(energyclarity.Method{
+		Name: "op", Params: []string{"n"},
+		Body: func(c *energyclarity.Call) energyclarity.Joules {
+			return energyclarity.Joules(c.Num(0)) * 1e-9
+		},
+	})
+	swapped, err := svc.Rebind("hw", hw2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := swapped.Eval("handle", []energyclarity.Value{energyclarity.Num(1e6)},
+		energyclarity.Expected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Mean() >= dist.Mean() {
+		t.Fatalf("rebind to cheaper hw did not reduce energy: %v vs %v", d2.Mean(), dist.Mean())
+	}
+
+	// Worst case: the miss path.
+	wc, err := svc.WorstCaseJoules("handle", energyclarity.Num(1e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(wc) != 1e6*2e-9 {
+		t.Fatalf("worst case %v", wc)
+	}
+}
+
+func TestFacadeEIL(t *testing.T) {
+	iface, err := energyclarity.CompileOne(`
+	interface blinker {
+	  ecv led_on: bernoulli(0.5)
+	  func tick() {
+	    if led_on { return 20mJ }
+	    return 1mJ
+	  }
+	}`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := iface.Eval("tick", nil, energyclarity.Expected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Mean()-0.0105) > 1e-12 {
+		t.Fatalf("mean %v, want 0.0105", d.Mean())
+	}
+}
+
+func TestFacadeAbstractUnits(t *testing.T) {
+	a := energyclarity.Units(2, "relu")
+	b := energyclarity.Units(4, "relu")
+	r, ok := b.Ratio(a)
+	if !ok || r != 2 {
+		t.Fatalf("ratio %v %v", r, ok)
+	}
+	j, err := b.Concretize(energyclarity.Basis{"relu": energyclarity.Millijoule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != 4*energyclarity.Millijoule {
+		t.Fatalf("concretize %v", j)
+	}
+}
+
+func TestFacadeRelativeError(t *testing.T) {
+	if got := energyclarity.RelativeError(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("RelativeError = %v", got)
+	}
+}

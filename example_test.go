@@ -1,0 +1,126 @@
+package energyclarity_test
+
+import (
+	"fmt"
+	"log"
+
+	"energyclarity"
+)
+
+// Example builds the smallest useful energy interface — one ECV, one
+// binding, one method — and evaluates it in two modes.
+func Example() {
+	hw := energyclarity.New("accel").MustMethod(energyclarity.Method{
+		Name: "op", Params: []string{"n"},
+		Body: func(c *energyclarity.Call) energyclarity.Joules {
+			return energyclarity.Joules(c.Num(0)) * energyclarity.Microjoule
+		},
+	})
+	svc := energyclarity.New("svc").
+		MustECV(energyclarity.BoolECV("hit", 0.75, "request cached")).
+		MustBind("hw", hw).
+		MustMethod(energyclarity.Method{
+			Name: "handle", Params: []string{"n"},
+			Body: func(c *energyclarity.Call) energyclarity.Joules {
+				if c.ECVBool("hit") {
+					return 10 * energyclarity.Microjoule
+				}
+				return c.E("hw", "op", c.Arg(0))
+			},
+		})
+
+	d, err := svc.Eval("handle", []energyclarity.Value{energyclarity.Num(1000)},
+		energyclarity.Expected())
+	if err != nil {
+		log.Fatal(err)
+	}
+	worst, err := svc.WorstCaseJoules("handle", energyclarity.Num(1000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("expected %v, worst case %v\n", energyclarity.Joules(d.Mean()), worst)
+	// Output: expected 258 µJ, worst case 1 mJ
+}
+
+// ExampleCompile shows the same program written in EIL, the Fig. 1-style
+// language, compiled and evaluated through the identical runtime.
+func ExampleCompile() {
+	ifaces, err := energyclarity.Compile(`
+	interface accel {
+	  func op(n) { return 1uJ * n }
+	}
+	interface svc {
+	  ecv hit: bernoulli(0.75) "request cached"
+	  uses hw: accel
+	  func handle(n) {
+	    if hit { return 10uJ }
+	    return hw.op(n)
+	  }
+	}`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := ifaces["svc"].Eval("handle",
+		[]energyclarity.Value{energyclarity.Num(1000)}, energyclarity.Expected())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("expected %v\n", energyclarity.Joules(d.Mean()))
+	// Output: expected 258 µJ
+}
+
+// ExampleInterface_Rebind retargets a software stack to new hardware with
+// one call — the paper's Fig. 2 layered-view advantage.
+func ExampleInterface_Rebind() {
+	gen1 := energyclarity.New("hw_gen1").MustMethod(energyclarity.Method{
+		Name: "op", Params: []string{"n"},
+		Body: func(c *energyclarity.Call) energyclarity.Joules {
+			return energyclarity.Joules(c.Num(0)) * 4 * energyclarity.Nanojoule
+		},
+	})
+	gen2 := energyclarity.New("hw_gen2").MustMethod(energyclarity.Method{
+		Name: "op", Params: []string{"n"},
+		Body: func(c *energyclarity.Call) energyclarity.Joules {
+			return energyclarity.Joules(c.Num(0)) * energyclarity.Nanojoule
+		},
+	})
+	app := energyclarity.New("app").
+		MustBind("hw", gen1).
+		MustMethod(energyclarity.Method{
+			Name: "job",
+			Body: func(c *energyclarity.Call) energyclarity.Joules {
+				return c.E("hw", "op", energyclarity.Num(1e6))
+			},
+		})
+
+	before, _ := app.ExpectedJoules("job")
+	upgraded, err := app.Rebind("hw", gen2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, _ := upgraded.ExpectedJoules("job")
+	fmt.Printf("gen1 %v, gen2 %v\n", before, after)
+	// Output: gen1 4 mJ, gen2 1 mJ
+}
+
+// ExampleAbstract compares energy in abstract units (§3: "2 ReLUs' worth")
+// and concretizes them against a hardware basis.
+func ExampleAbstract() {
+	small := energyclarity.Units(2, "relu").Plus(energyclarity.Units(1, "conv2d"))
+	large := energyclarity.Units(8, "relu").Plus(energyclarity.Units(4, "conv2d"))
+	if r, ok := large.Ratio(small); ok {
+		fmt.Printf("large is %.0fx small\n", r)
+	}
+	basis := energyclarity.Basis{
+		"relu":   energyclarity.Millijoule,
+		"conv2d": 5 * energyclarity.Millijoule,
+	}
+	j, err := large.Concretize(basis)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("large on this hardware: %v\n", j)
+	// Output:
+	// large is 4x small
+	// large on this hardware: 28 mJ
+}

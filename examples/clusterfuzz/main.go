@@ -1,0 +1,72 @@
+// The §1 ClusterFuzz scenario: "What is the optimal number of machines to
+// deploy to minimize energy consumption while achieving 95% testing
+// coverage?" — answered two ways: by evaluating the fleet's energy
+// interface (derived from the IaC config, costing nothing), and by the
+// status-quo trial-and-error loop of deploying, measuring, and redeploying.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"energyclarity/internal/cluster"
+	"energyclarity/internal/core"
+)
+
+func main() {
+	cfg := cluster.DefaultConfig()
+	iface, err := cluster.Interface(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("the campaign's energy interface (derived from IaC):")
+	fmt.Print(iface.Describe())
+
+	const maxN = 48
+
+	// Answer 1: from the interface. No machines deployed.
+	fmt.Println("\nfleet-size sweep from the interface (95% coverage):")
+	fmt.Println("  N    energy       duration")
+	for _, n := range []int{1, 2, 4, 8, 12, 16, 24, 32, 48} {
+		e, err := iface.ExpectedJoules("campaign", core.Num(float64(n)), core.Num(0.95))
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := iface.ExpectedJoules("duration", core.Num(float64(n)), core.Num(0.95))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %2d   %-11v  %.1f h\n", n, e, float64(d)/3600)
+	}
+	bestN, bestE, err := cluster.OptimalFleet(iface, maxN, 0.95)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninterface answer: N = %d machines, campaign energy %v, search energy 0 J\n",
+		bestN, bestE)
+
+	// Answer 2: how much of 90→95% coverage costs, same fleet (§1's second
+	// question).
+	marginal, err := iface.ExpectedJoules("marginal",
+		core.Num(float64(bestN)), core.Num(0.90), core.Num(0.95))
+	if err != nil {
+		log.Fatal(err)
+	}
+	at90, err := iface.ExpectedJoules("campaign", core.Num(float64(bestN)), core.Num(0.90))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("raising coverage 90%%→95%% at N=%d costs %v extra (+%.0f%% on top of %v)\n",
+		bestN, marginal, 100*float64(marginal)/float64(at90), at90)
+
+	// The status quo: deploy every candidate fleet and measure.
+	trueN, trueE, spent, err := cluster.TrialAndError(cfg, maxN, 0.95, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntrial-and-error answer: N = %d (campaign %v), but the search itself burned %v\n",
+		trueN, trueE, spent)
+	fmt.Printf("— %.0fx the optimal campaign's energy, \"this trial-and-error process could\n",
+		float64(spent)/float64(bestE))
+	fmt.Println("consume more energy than it saves\" (§1).")
+}

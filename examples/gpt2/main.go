@@ -1,0 +1,82 @@
+// The Table 1 pipeline on one GPU: calibrate the hardware energy interface
+// with microbenchmarks, compose the GPT-2 interface on top, predict
+// inference energy across generation lengths, and compare against NVML
+// measurements of the actual (simulated) inference.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/energy"
+	"energyclarity/internal/gpusim"
+	"energyclarity/internal/microbench"
+	"energyclarity/internal/nn"
+	"energyclarity/internal/nvml"
+)
+
+func main() {
+	spec := gpusim.RTX4090()
+	gpu := gpusim.NewGPU(spec, 30)
+
+	fmt.Printf("device: %s (%d SMs, %.0f MiB L2)\n",
+		spec.Name, spec.SMCount, spec.L2Bytes/(1<<20))
+
+	// Step 1: derive the hardware energy interface (§5: microbenchmarks +
+	// the on-board sensor; the device's true coefficients stay hidden).
+	coef, err := microbench.Calibrate(gpu, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calibrated coefficients: instr %.3g J, L1 %.3g J, L2 %.3g J, VRAM %.3g J, static %v\n\n",
+		float64(coef.Instr), float64(coef.L1), float64(coef.L2), float64(coef.VRAM), coef.Static)
+
+	// Step 2: the GPT-2 energy interface, composed over the device
+	// interface — "static power, VRAM sector reads/writes, L2 sector
+	// reads/writes, L1 wavefront reads/writes, and instruction executions".
+	iface, err := nn.StackInterface(nn.GPT2Small(), coef.DeviceInterface(spec))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 3: predict and measure across generation lengths.
+	eng, err := nn.NewEngine(nn.GPT2Small(), gpu)
+	if err != nil {
+		log.Fatal(err)
+	}
+	meter := nvml.NewMeter(gpu)
+	fmt.Println("tokens  predicted      measured       error")
+	fmt.Println("--------------------------------------------")
+	var sum, max float64
+	counts := []int{10, 25, 50, 100, 150, 200}
+	for _, tok := range counts {
+		gpu.Idle(1.0)
+		pred, err := iface.ExpectedJoules("generate", core.Num(16), core.Num(float64(tok)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		snap := meter.Snapshot()
+		if _, err := eng.Generate(16, tok); err != nil {
+			log.Fatal(err)
+		}
+		meas := meter.EnergySince(snap)
+		rel := energy.RelativeError(pred, meas)
+		sum += rel
+		if rel > max {
+			max = rel
+		}
+		fmt.Printf("%6d  %-13v  %-13v  %.2f%%\n", tok, pred, meas, 100*rel)
+	}
+	fmt.Printf("\naverage error %.2f%%, max error %.2f%% (paper, RTX4090: 0.70%% / 0.93%%)\n",
+		100*sum/float64(len(counts)), 100*max)
+
+	// Bonus: the interface decomposes the cost, which measurement cannot.
+	prefill, _ := iface.ExpectedJoules("prefill", core.Num(16))
+	first, _ := iface.ExpectedJoules("decode_token", core.Num(16))
+	last, _ := iface.ExpectedJoules("decode_token", core.Num(215))
+	fmt.Printf("\ncost structure (readable from the interface, not from a meter):\n")
+	fmt.Printf("  prefill of 16 tokens:   %v\n", prefill)
+	fmt.Printf("  decode at position 16:  %v\n", first)
+	fmt.Printf("  decode at position 215: %v (KV cache makes later tokens dearer)\n", last)
+}

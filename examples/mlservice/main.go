@@ -1,0 +1,110 @@
+// Fig. 1 end to end: the paper's ML-model web service running on the
+// simulated stack (host + GPU + two-tier cache), its energy interface
+// built by the resource manager from observed cache statistics, and a
+// prediction-vs-measurement comparison over a live request window.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/energy"
+	"energyclarity/internal/gpusim"
+	"energyclarity/internal/microbench"
+	"energyclarity/internal/mlservice"
+	"energyclarity/internal/nn"
+	"energyclarity/internal/nvml"
+	"energyclarity/internal/rapl"
+	"energyclarity/internal/trace"
+)
+
+func main() {
+	// Assemble the Fig. 2 stack: a serving host and a GPU.
+	host := mlservice.NewHost(mlservice.DefaultHostSpec(), 3)
+	gpu := gpusim.NewGPU(gpusim.RTX4090(), 30)
+	svc, err := mlservice.NewService(host, gpu, nn.Fig1CNN(), 128, 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Derive the GPU's hardware energy interface by microbenchmarking
+	// (§5's methodology), then the CNN interface on top of it.
+	coef, err := microbench.Calibrate(gpu, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calibrated %s: instr %.3g J, l1 %.3g J, l2 %.3g J, vram %.3g J, static %v\n",
+		coef.Device, float64(coef.Instr), float64(coef.L1), float64(coef.L2),
+		float64(coef.VRAM), coef.Static)
+	cnnIface, err := nn.CNNEnergyInterface(nn.Fig1CNN(), gpu.Spec(), coef.HardwareInterface())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Drive the service with a Zipf request stream; the resource manager
+	// estimates the interface's ECVs from its own counters.
+	z := trace.NewZipf(2048, 1.25, 9)
+	req := func() mlservice.Request {
+		return mlservice.Request{Key: z.Next(), Pixels: 640 * 480, Zeros: 3e4}
+	}
+	for i := 0; i < 6000; i++ {
+		if _, err := svc.Handle(req()); err != nil {
+			log.Fatal(err)
+		}
+		if i == 3999 {
+			svc.ResetStats() // end of warmup; estimate from steady state
+		}
+	}
+	pHit, pLocal, _ := svc.EstimatedECVs()
+	fmt.Printf("estimated ECVs: P(request_hit)=%.3f  P(local_cache_hit|hit)=%.3f\n", pHit, pLocal)
+
+	iface, err := svc.Interface(pHit, pLocal, cnnIface)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nthe service's energy interface (Fig. 1 as a runnable object):")
+	fmt.Print(iface.Describe())
+
+	// Predict one request's energy distribution.
+	reqVal := core.Record(map[string]core.Value{
+		"pixels": core.Num(640 * 480), "zeros": core.Num(3e4),
+	})
+	d, err := iface.Eval("handle", []core.Value{reqVal}, core.Expected())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npredicted per-request energy: mean %v, worst %v, dist %v\n",
+		energy.Joules(d.Mean()), energy.Joules(d.Max()), d)
+
+	// Measure a live window with RAPL (host) + NVML (GPU) and compare.
+	const window = 3000
+	raplWin := rapl.NewCounter(host, rapl.DefaultESU).NewWindow()
+	meter := nvml.NewMeter(gpu)
+	snap := meter.Snapshot()
+	for i := 0; i < window; i++ {
+		if _, err := svc.Handle(req()); err != nil {
+			log.Fatal(err)
+		}
+		if i%100 == 0 {
+			raplWin.Poll()
+		}
+	}
+	measured := (raplWin.Energy() + meter.EnergySince(snap)) / window
+	predicted := energy.Joules(d.Mean())
+	fmt.Printf("measured per-request energy:  %v over %d requests\n", measured, window)
+	fmt.Printf("prediction error: %.2f%%\n", 100*energy.RelativeError(predicted, measured))
+
+	// What the interface teaches (§3): raising local hits beats optimizing
+	// the model. Compare the two knobs.
+	better, err := svc.Interface(pHit, 1.0, cnnIface) // perfect locality
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := better.Eval("handle", []core.Value{reqVal}, core.Expected())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nif every hit were local:       %v per request (%.1f%% saved)\n",
+		energy.Joules(db.Mean()), 100*(1-db.Mean()/d.Mean()))
+}

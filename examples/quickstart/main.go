@@ -1,0 +1,120 @@
+// Quickstart: build an energy interface with the public Go API, read it,
+// evaluate it in several modes, and rebind its hardware layer — the
+// complete core workflow in one file.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"energyclarity"
+)
+
+func main() {
+	// 1. A hardware-layer interface: what the vendor (or a calibration
+	// pass) provides. Costs are per-operation joules.
+	hw := energyclarity.New("dsp_v1").
+		SetDoc("first-generation DSP").
+		MustMethod(energyclarity.Method{
+			Name: "fft", Params: []string{"points"},
+			Body: func(c *energyclarity.Call) energyclarity.Joules {
+				return energyclarity.Joules(c.Num(0)) * 3 * energyclarity.Nanojoule
+			},
+		}).
+		MustMethod(energyclarity.Method{
+			Name: "dma", Params: []string{"bytes"},
+			Body: func(c *energyclarity.Call) energyclarity.Joules {
+				return energyclarity.Joules(c.Num(0)) * 0.5 * energyclarity.Nanojoule
+			},
+		})
+
+	// 2. An application-layer interface composed on top: an audio pipeline
+	// that sometimes skips work because of a silence detector. Whether a
+	// frame is silent is not part of the input — it is an energy-critical
+	// variable (ECV).
+	pipeline := energyclarity.New("audio_pipeline").
+		MustECV(energyclarity.BoolECV("silent_frame", 0.35, "frame below the silence threshold")).
+		MustBind("dsp", hw).
+		MustMethod(energyclarity.Method{
+			Name: "process_frame", Params: []string{"samples"},
+			Body: func(c *energyclarity.Call) energyclarity.Joules {
+				samples := c.Num(0)
+				// The DMA in always happens.
+				e := c.E("dsp", "dma", energyclarity.Num(samples*2))
+				if c.ECVBool("silent_frame") {
+					return e // silence: skip the FFT entirely
+				}
+				return e + c.E("dsp", "fft", energyclarity.Num(samples))
+			},
+		})
+
+	// 3. Read the interface (developers), then execute it (resource
+	// managers) — §2's two audiences.
+	fmt.Print(pipeline.Describe())
+	frame := []energyclarity.Value{energyclarity.Num(4096)}
+
+	expected, err := pipeline.Eval("process_frame", frame, energyclarity.Expected())
+	if err != nil {
+		log.Fatal(err)
+	}
+	worst, err := pipeline.WorstCaseJoules("process_frame", energyclarity.Num(4096))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nper 4096-sample frame:\n")
+	fmt.Printf("  expected: %v (distribution %v)\n", energyclarity.Joules(expected.Mean()), expected)
+	fmt.Printf("  worst:    %v\n", worst)
+
+	// 4. New hardware generation arrives: rebind the bottom layer; the
+	// pipeline interface is untouched (Fig. 2's layered-view advantage).
+	hw2 := energyclarity.New("dsp_v2").
+		MustMethod(energyclarity.Method{
+			Name: "fft", Params: []string{"points"},
+			Body: func(c *energyclarity.Call) energyclarity.Joules {
+				return energyclarity.Joules(c.Num(0)) * 1 * energyclarity.Nanojoule
+			},
+		}).
+		MustMethod(energyclarity.Method{
+			Name: "dma", Params: []string{"bytes"},
+			Body: func(c *energyclarity.Call) energyclarity.Joules {
+				return energyclarity.Joules(c.Num(0)) * 0.4 * energyclarity.Nanojoule
+			},
+		})
+	upgraded, err := pipeline.Rebind("dsp", hw2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := upgraded.Eval("process_frame", frame, energyclarity.Expected())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter rebinding to dsp_v2:\n")
+	fmt.Printf("  expected: %v (was %v)\n",
+		energyclarity.Joules(after.Mean()), energyclarity.Joules(expected.Mean()))
+	fmt.Printf("  savings:  %.1f%%\n", 100*(1-after.Mean()/expected.Mean()))
+
+	// 5. The same interface in EIL, the paper's Fig. 1 style.
+	eilIface, err := energyclarity.CompileOne(`
+	interface dsp_v1 {
+	  func fft(points) { return 3nJ * points }
+	  func dma(bytes)  { return 0.5nJ * bytes }
+	}
+	interface audio_pipeline {
+	  ecv silent_frame: bernoulli(0.35) "frame below the silence threshold"
+	  uses dsp: dsp_v1
+	  func process_frame(samples) {
+	    let e = dsp.dma(samples * 2)
+	    if silent_frame { return e }
+	    return e + dsp.fft(samples)
+	  }
+	}`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	same, err := eilIface.Eval("process_frame", frame, energyclarity.Expected())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nEIL version agrees: %v vs %v\n",
+		energyclarity.Joules(same.Mean()), energyclarity.Joules(expected.Mean()))
+}

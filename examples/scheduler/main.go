@@ -1,0 +1,66 @@
+// The §1 Linux-EAS scenario: four real-time transcoding tasks with bimodal
+// demand (compute peaks while transcoding, troughs during I/O) on a 4+4
+// big.LITTLE chip. The utilization-proxy scheduler chases phases it cannot
+// predict; the interface-aware scheduler reads each task's energy interface
+// and places work before the phase change.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"energyclarity/internal/cpusim"
+	"energyclarity/internal/sched"
+	"energyclarity/internal/trace"
+)
+
+func tasks() []*sched.Task {
+	out := make([]*sched.Task, 4)
+	for i := range out {
+		b := trace.NewBimodal(
+			55e6,  // peak: 55M cycles per 10ms quantum — needs big@2.4GHz
+			1.5e6, // trough: fits little@0.6GHz
+			8, 8, i*4, 0.05, int64(100+i),
+		)
+		out[i] = &sched.Task{
+			Name:   fmt.Sprintf("transcode-%d", i),
+			Demand: b.Demand,
+			Iface:  sched.TaskInterface(fmt.Sprintf("transcode-%d", i), b.Base),
+		}
+	}
+	return out
+}
+
+func main() {
+	const quanta = 640 // 6.4 seconds of 10ms quanta
+
+	chipA := cpusim.BigLITTLE()
+	baseline, err := sched.Run(chipA, sched.NewEASBaseline(chipA, 4, 0.3), tasks(), quanta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chipB := cpusim.BigLITTLE()
+	aware, err := sched.Run(chipB, sched.NewInterfaceAware(chipB, 0.10), tasks(), quanta)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("scheduler         total energy   backlog (QoS penalty)")
+	fmt.Println("------------------------------------------------------")
+	fmt.Printf("%-16s  %-13v  %.2f%%\n", baseline.Scheduler,
+		baseline.TotalEnergy, 100*baseline.UnmetFraction())
+	fmt.Printf("%-16s  %-13v  %.2f%%\n", aware.Scheduler,
+		aware.TotalEnergy, 100*aware.UnmetFraction())
+
+	fmt.Printf("\nthe utilization proxy predicts the *past*: after each I/O trough it\n")
+	fmt.Printf("parks the task on a little core, the compute peak arrives, work\n")
+	fmt.Printf("backs up, and the task burns catch-up cycles at the worst operating\n")
+	fmt.Printf("point. The task's energy interface states demand as a function of\n")
+	fmt.Printf("the quantum index, so placement leads the phase instead of lagging it.\n")
+	if save := 1 - float64(aware.TotalEnergy)/float64(baseline.TotalEnergy); save > 0 {
+		fmt.Printf("\ninterface-aware scheduling also saved %.1f%% energy.\n", 100*save)
+	} else {
+		fmt.Printf("\ninterface-aware scheduling spent %.1f%% more energy to eliminate the backlog.\n",
+			100*(float64(aware.TotalEnergy)/float64(baseline.TotalEnergy)-1))
+	}
+}

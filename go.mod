@@ -1,0 +1,3 @@
+module energyclarity
+
+go 1.22

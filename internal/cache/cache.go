@@ -1,0 +1,94 @@
+// Package cache implements the request cache of the paper's Fig. 1 ML web
+// service: a bounded LRU used in two tiers (an in-process local cache and a
+// Redis-like remote cache). The hit behaviour of these caches is what the
+// interface's ECVs (request_hit, local_cache_hit) abstract.
+package cache
+
+import "container/list"
+
+// LRU is a fixed-capacity least-recently-used set of uint64 keys.
+// The zero value is not usable; construct with NewLRU.
+type LRU struct {
+	capacity int
+	ll       *list.List
+	items    map[uint64]*list.Element
+
+	hits, misses uint64
+}
+
+// NewLRU returns an LRU holding at most capacity keys. A capacity of 0 is
+// a valid always-miss cache; negative capacities panic.
+func NewLRU(capacity int) *LRU {
+	if capacity < 0 {
+		panic("cache: negative capacity")
+	}
+	return &LRU{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[uint64]*list.Element),
+	}
+}
+
+// Capacity returns the configured capacity.
+func (c *LRU) Capacity() int { return c.capacity }
+
+// Len returns the number of cached keys.
+func (c *LRU) Len() int { return c.ll.Len() }
+
+// Contains reports whether key is cached, updating recency and hit/miss
+// counters.
+func (c *LRU) Contains(key uint64) bool {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return true
+	}
+	c.misses++
+	return false
+}
+
+// Peek reports whether key is cached without touching recency or counters.
+func (c *LRU) Peek(key uint64) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Add inserts key (or refreshes it), evicting the least-recently-used
+// entry if over capacity. It reports whether an eviction happened.
+func (c *LRU) Add(key uint64) (evicted bool) {
+	if c.capacity == 0 {
+		return false
+	}
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return false
+	}
+	el := c.ll.PushFront(key)
+	c.items[key] = el
+	if c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(uint64))
+		return true
+	}
+	return false
+}
+
+// HitRate returns hits/(hits+misses) over the lifetime of the cache, and
+// false if there were no lookups.
+func (c *LRU) HitRate() (float64, bool) {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0, false
+	}
+	return float64(c.hits) / float64(total), true
+}
+
+// ResetStats clears the hit/miss counters (e.g. after a warmup window, so
+// a resource manager can estimate steady-state ECVs).
+func (c *LRU) ResetStats() {
+	c.hits, c.misses = 0, 0
+}
+
+// Stats returns the raw hit/miss counters.
+func (c *LRU) Stats() (hits, misses uint64) { return c.hits, c.misses }

@@ -1,0 +1,153 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"energyclarity/internal/trace"
+)
+
+func TestLRUBasics(t *testing.T) {
+	c := NewLRU(2)
+	if c.Contains(1) {
+		t.Fatal("empty cache hit")
+	}
+	c.Add(1)
+	c.Add(2)
+	if !c.Contains(1) || !c.Contains(2) {
+		t.Fatal("added keys missing")
+	}
+	if c.Len() != 2 || c.Capacity() != 2 {
+		t.Fatalf("len=%d cap=%d", c.Len(), c.Capacity())
+	}
+}
+
+func TestLRUEvictsLeastRecent(t *testing.T) {
+	c := NewLRU(2)
+	c.Add(1)
+	c.Add(2)
+	c.Contains(1) // 1 is now most recent
+	if evicted := c.Add(3); !evicted {
+		t.Fatal("no eviction at capacity")
+	}
+	if c.Peek(2) {
+		t.Fatal("LRU key 2 survived eviction")
+	}
+	if !c.Peek(1) || !c.Peek(3) {
+		t.Fatal("wrong keys evicted")
+	}
+}
+
+func TestLRUAddRefreshesRecency(t *testing.T) {
+	c := NewLRU(2)
+	c.Add(1)
+	c.Add(2)
+	c.Add(1) // refresh, no eviction
+	c.Add(3) // evicts 2
+	if c.Peek(2) || !c.Peek(1) {
+		t.Fatal("Add did not refresh recency")
+	}
+}
+
+func TestZeroCapacityAlwaysMisses(t *testing.T) {
+	c := NewLRU(0)
+	c.Add(1)
+	if c.Contains(1) {
+		t.Fatal("zero-capacity cache hit")
+	}
+	if c.Len() != 0 {
+		t.Fatal("zero-capacity cache stored a key")
+	}
+}
+
+func TestNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative capacity accepted")
+		}
+	}()
+	NewLRU(-1)
+}
+
+func TestHitRateAndStats(t *testing.T) {
+	c := NewLRU(4)
+	if _, ok := c.HitRate(); ok {
+		t.Fatal("hit rate defined with no lookups")
+	}
+	c.Add(1)
+	c.Contains(1)
+	c.Contains(2)
+	hr, ok := c.HitRate()
+	if !ok || hr != 0.5 {
+		t.Fatalf("hit rate %v, %v", hr, ok)
+	}
+	h, m := c.Stats()
+	if h != 1 || m != 1 {
+		t.Fatalf("stats %d/%d", h, m)
+	}
+	c.ResetStats()
+	if _, ok := c.HitRate(); ok {
+		t.Fatal("stats survived reset")
+	}
+}
+
+func TestPeekDoesNotCount(t *testing.T) {
+	c := NewLRU(2)
+	c.Add(1)
+	c.Peek(1)
+	c.Peek(2)
+	if _, ok := c.HitRate(); ok {
+		t.Fatal("Peek affected counters")
+	}
+}
+
+func TestQuickLenNeverExceedsCapacity(t *testing.T) {
+	f := func(keys []uint64) bool {
+		c := NewLRU(8)
+		for _, k := range keys {
+			c.Add(k % 64)
+		}
+		return c.Len() <= 8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMostRecentAlwaysPresent(t *testing.T) {
+	f := func(keys []uint64) bool {
+		c := NewLRU(4)
+		for _, k := range keys {
+			c.Add(k % 1000)
+		}
+		if len(keys) == 0 {
+			return true
+		}
+		return c.Peek(keys[len(keys)-1] % 1000)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHitRateGrowsWithCapacityUnderZipf(t *testing.T) {
+	rate := func(capacity int) float64 {
+		c := NewLRU(capacity)
+		z := trace.NewZipf(4096, 1.2, 11)
+		for i := 0; i < 30000; i++ {
+			k := z.Next()
+			if !c.Contains(k) {
+				c.Add(k)
+			}
+		}
+		hr, _ := c.HitRate()
+		return hr
+	}
+	small, mid, large := rate(16), rate(128), rate(1024)
+	if !(small < mid && mid < large) {
+		t.Fatalf("hit rate not monotone in capacity: %v %v %v", small, mid, large)
+	}
+	if large < 0.5 {
+		t.Fatalf("large cache under Zipf should hit often, got %v", large)
+	}
+}

@@ -1,0 +1,271 @@
+// Package cluster models a ClusterFuzz-style fuzzing fleet, the paper's
+// opening scenario (§1): "What is the optimal number of machines to deploy
+// to minimize energy consumption while achieving 95% testing coverage?"
+// and "How much additional energy is required to increase coverage from
+// 90% to 95% using the same number of machines?"
+//
+// The model has the structure that makes those questions non-trivial:
+//
+//   - coverage saturates with total executions (diminishing returns), so
+//     higher targets cost disproportionately more;
+//   - corpus-synchronization overhead grows with fleet size, so adding
+//     machines wastes marginal work;
+//   - shared infrastructure (coordinator, storage, network) burns power for
+//     the whole campaign duration, so too-small fleets waste energy on
+//     wall-clock time.
+//
+// The trade-off yields an interior energy-optimal fleet size. The package
+// provides both the ground-truth simulator (Deploy — machines have hidden
+// per-unit deviations) and the IaC-derived energy interface (Interface)
+// that answers the questions without deploying anything.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/energy"
+)
+
+// MachineSpec is the datasheet of one fuzzing machine type.
+type MachineSpec struct {
+	Name       string
+	ExecPerSec float64      // fuzz-target executions per second
+	ActiveW    energy.Watts // power while fuzzing
+	// Deviation bounds the hidden per-machine spread of both figures.
+	Deviation float64
+}
+
+// DefaultMachine returns the fleet's standard worker: a 16-core cloud VM.
+func DefaultMachine() MachineSpec {
+	return MachineSpec{
+		Name:       "n2-standard-16",
+		ExecPerSec: 12000,
+		ActiveW:    210,
+		Deviation:  0.04,
+	}
+}
+
+// Config is the campaign configuration — what an IaC file declares.
+type Config struct {
+	Machine MachineSpec
+	// InfraPower is the shared coordinator/storage/network power burned for
+	// the campaign's entire duration regardless of fleet size.
+	InfraPower energy.Watts
+	// SyncCost is the per-extra-machine efficiency loss: with n machines
+	// each contributes ExecPerSec/(1+SyncCost*(n-1)) (corpus merging,
+	// dedup, scheduling friction).
+	SyncCost float64
+	// CoverageScale sets the coverage curve: coverage(execs) =
+	// 1 - exp(-execs/CoverageScale). Reaching 95% costs ln(20)× scale.
+	CoverageScale float64
+}
+
+// DefaultConfig returns the E1 campaign configuration.
+func DefaultConfig() Config {
+	return Config{
+		Machine:       DefaultMachine(),
+		InfraPower:    900,
+		SyncCost:      0.035,
+		CoverageScale: 6e9,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Machine.ExecPerSec <= 0 || c.Machine.ActiveW <= 0:
+		return fmt.Errorf("cluster: malformed machine spec")
+	case c.InfraPower < 0 || c.SyncCost < 0:
+		return fmt.Errorf("cluster: negative overhead parameters")
+	case c.CoverageScale <= 0:
+		return fmt.Errorf("cluster: non-positive coverage scale")
+	}
+	return nil
+}
+
+// ExecsForCoverage returns the total executions required to reach the
+// coverage fraction target in [0, 1).
+func (c Config) ExecsForCoverage(target float64) (float64, error) {
+	if target < 0 || target >= 1 {
+		return 0, fmt.Errorf("cluster: coverage target %v outside [0,1)", target)
+	}
+	return -math.Log(1-target) * c.CoverageScale, nil
+}
+
+// Coverage returns the coverage fraction after the given executions.
+func (c Config) Coverage(execs float64) float64 {
+	if execs <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-execs/c.CoverageScale)
+}
+
+// fleetRate returns the effective aggregate execution rate of n machines
+// whose individual rates are given (sync overhead applied).
+func (c Config) fleetRate(individual []float64) float64 {
+	n := len(individual)
+	penalty := 1 + c.SyncCost*float64(n-1)
+	total := 0.0
+	for _, r := range individual {
+		total += r
+	}
+	return total / penalty
+}
+
+// CampaignResult reports one campaign (simulated or predicted).
+type CampaignResult struct {
+	Machines int
+	Target   float64
+	Execs    float64
+	Duration float64 // seconds
+	Energy   energy.Joules
+}
+
+// Deploy is the ground truth: it "provisions" n machines (hidden per-unit
+// deviations drawn from seed), runs the campaign to the coverage target,
+// and returns what actually happened. This is the expensive step the
+// paper's engineer repeats in the trial-and-error loop.
+func Deploy(cfg Config, n int, target float64, seed int64) (CampaignResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return CampaignResult{}, err
+	}
+	if n < 1 {
+		return CampaignResult{}, fmt.Errorf("cluster: fleet size %d < 1", n)
+	}
+	execs, err := cfg.ExecsForCoverage(target)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rates := make([]float64, n)
+	var fleetPower energy.Watts
+	for i := range rates {
+		d := func() float64 { return (2*rng.Float64() - 1) * cfg.Machine.Deviation }
+		rates[i] = cfg.Machine.ExecPerSec * (1 + d())
+		fleetPower += cfg.Machine.ActiveW * energy.Watts(1+d())
+	}
+	rate := cfg.fleetRate(rates)
+	duration := execs / rate
+	total := (fleetPower + cfg.InfraPower).OverSeconds(duration)
+	return CampaignResult{
+		Machines: n, Target: target, Execs: execs,
+		Duration: duration, Energy: total,
+	}, nil
+}
+
+// Interface builds the campaign's energy interface from the IaC
+// configuration and the machine datasheet — no deployment involved.
+// Methods:
+//
+//	campaign(n, target)        — energy to reach `target` coverage with n machines
+//	duration(n, target)        — campaign wall-clock seconds
+//	marginal(n, from, to)      — extra energy to raise coverage from→to at fixed n
+//
+// The interface is exact over the datasheet model; it misses only the
+// hidden per-machine deviations (a ~Deviation-sized error), which is the
+// point: answers come "directly from the IaC files" (§1) at interface
+// accuracy, for zero deployment energy.
+func Interface(cfg Config) (*core.Interface, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	iface := core.New("clusterfuzz_campaign")
+	iface.SetDoc("energy interface of a fuzzing campaign, derived from IaC config")
+
+	fleetArgs := func(c *core.Call) (n int, target float64) {
+		nf := c.Num(0)
+		if nf < 1 || nf != math.Trunc(nf) {
+			core.Fail(fmt.Errorf("cluster: fleet size must be a positive integer"))
+		}
+		target = c.Num(1)
+		if target < 0 || target >= 1 {
+			core.Fail(fmt.Errorf("cluster: coverage target %v outside [0,1)", target))
+		}
+		return int(nf), target
+	}
+	predict := func(n int, target float64) (durSec float64, e energy.Joules) {
+		execs := -math.Log(1-target) * cfg.CoverageScale
+		rate := float64(n) * cfg.Machine.ExecPerSec / (1 + cfg.SyncCost*float64(n-1))
+		durSec = execs / rate
+		power := energy.Watts(float64(n))*cfg.Machine.ActiveW + cfg.InfraPower
+		return durSec, power.OverSeconds(durSec)
+	}
+
+	iface.MustMethod(core.Method{
+		Name: "campaign", Params: []string{"n", "target"},
+		Doc: "energy to reach `target` coverage with n machines",
+		Body: func(c *core.Call) energy.Joules {
+			n, target := fleetArgs(c)
+			_, e := predict(n, target)
+			return e
+		},
+	})
+	iface.MustMethod(core.Method{
+		Name: "duration", Params: []string{"n", "target"},
+		Doc: "campaign wall-clock seconds (returned in the J channel as abstract units)",
+		Body: func(c *core.Call) energy.Joules {
+			n, target := fleetArgs(c)
+			d, _ := predict(n, target)
+			return energy.Joules(d)
+		},
+	})
+	iface.MustMethod(core.Method{
+		Name: "marginal", Params: []string{"n", "from", "to"},
+		Doc: "extra energy to raise coverage from→to at fixed fleet size",
+		Body: func(c *core.Call) energy.Joules {
+			n := int(c.Num(0))
+			from, to := c.Num(1), c.Num(2)
+			if n < 1 || from < 0 || to < from || to >= 1 {
+				core.Fail(fmt.Errorf("cluster: bad marginal arguments"))
+			}
+			_, eTo := predict(n, to)
+			_, eFrom := predict(n, from)
+			return eTo - eFrom
+		},
+	})
+	return iface, nil
+}
+
+// OptimalFleet evaluates the interface across fleet sizes [1, maxN] and
+// returns the energy-minimizing size and its predicted energy. This is the
+// paper's "get the answer directly from the IaC files" path.
+func OptimalFleet(iface *core.Interface, maxN int, target float64) (int, energy.Joules, error) {
+	if maxN < 1 {
+		return 0, 0, fmt.Errorf("cluster: maxN < 1")
+	}
+	bestN := 0
+	var bestE energy.Joules
+	for n := 1; n <= maxN; n++ {
+		e, err := iface.ExpectedJoules("campaign", core.Num(float64(n)), core.Num(target))
+		if err != nil {
+			return 0, 0, err
+		}
+		if bestN == 0 || e < bestE {
+			bestN, bestE = n, e
+		}
+	}
+	return bestN, bestE, nil
+}
+
+// TrialAndError is the status-quo answer: deploy every candidate fleet
+// size, measure, pick the best. It returns the optimum it found and the
+// total energy burned finding it — the energy the interface path saves.
+func TrialAndError(cfg Config, maxN int, target float64, seed int64) (bestN int, bestE, spent energy.Joules, err error) {
+	if maxN < 1 {
+		return 0, 0, 0, fmt.Errorf("cluster: maxN < 1")
+	}
+	for n := 1; n <= maxN; n++ {
+		res, derr := Deploy(cfg, n, target, seed+int64(n))
+		if derr != nil {
+			return 0, 0, 0, derr
+		}
+		spent += res.Energy
+		if bestN == 0 || res.Energy < bestE {
+			bestN, bestE = n, res.Energy
+		}
+	}
+	return bestN, bestE, spent, nil
+}

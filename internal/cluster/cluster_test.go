@@ -1,0 +1,248 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/energy"
+)
+
+func TestConfigValidation(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Machine.ExecPerSec = 0
+	if bad.Validate() == nil {
+		t.Error("zero exec rate accepted")
+	}
+	bad = good
+	bad.SyncCost = -1
+	if bad.Validate() == nil {
+		t.Error("negative sync cost accepted")
+	}
+	bad = good
+	bad.CoverageScale = 0
+	if bad.Validate() == nil {
+		t.Error("zero coverage scale accepted")
+	}
+}
+
+func TestCoverageRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, target := range []float64{0.5, 0.9, 0.95} {
+		execs, err := cfg.ExecsForCoverage(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := cfg.Coverage(execs); math.Abs(got-target) > 1e-12 {
+			t.Fatalf("coverage round trip %v -> %v", target, got)
+		}
+	}
+	if _, err := cfg.ExecsForCoverage(1.0); err == nil {
+		t.Fatal("coverage 1.0 accepted (requires infinite executions)")
+	}
+	if _, err := cfg.ExecsForCoverage(-0.1); err == nil {
+		t.Fatal("negative coverage accepted")
+	}
+	if cfg.Coverage(0) != 0 || cfg.Coverage(-5) != 0 {
+		t.Fatal("coverage of no work should be 0")
+	}
+}
+
+func TestCoverageDiminishingReturns(t *testing.T) {
+	cfg := DefaultConfig()
+	e90, _ := cfg.ExecsForCoverage(0.90)
+	e95, _ := cfg.ExecsForCoverage(0.95)
+	e99, _ := cfg.ExecsForCoverage(0.99)
+	if !(e95-e90 > 0 && e99-e95 > e95-e90) {
+		t.Fatalf("marginal executions not growing: %v %v %v", e90, e95, e99)
+	}
+}
+
+func TestDeployDeterministicAndValidated(t *testing.T) {
+	cfg := DefaultConfig()
+	a, err := Deploy(cfg, 8, 0.95, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Deploy(cfg, 8, 0.95, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Deploy not deterministic")
+	}
+	if _, err := Deploy(cfg, 0, 0.95, 7); err == nil {
+		t.Fatal("zero machines accepted")
+	}
+	if _, err := Deploy(cfg, 4, 1.5, 7); err == nil {
+		t.Fatal("bad target accepted")
+	}
+}
+
+func TestEnergyHasInteriorOptimum(t *testing.T) {
+	cfg := DefaultConfig()
+	iface, err := Interface(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestN, _, err := OptimalFleet(iface, 64, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestN <= 1 || bestN >= 64 {
+		t.Fatalf("optimum %d is at the boundary; model has no trade-off", bestN)
+	}
+	// Energy at the optimum must beat both extremes clearly.
+	e := func(n int) float64 {
+		j, err := iface.ExpectedJoules("campaign", core.Num(float64(n)), core.Num(0.95))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(j)
+	}
+	if !(e(bestN) < e(1) && e(bestN) < e(64)) {
+		t.Fatalf("optimum %d not better than extremes: %v vs %v / %v",
+			bestN, e(bestN), e(1), e(64))
+	}
+}
+
+func TestInterfaceMatchesDeployment(t *testing.T) {
+	cfg := DefaultConfig()
+	iface, err := Interface(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 8, 32} {
+		pred, err := iface.ExpectedJoules("campaign", core.Num(float64(n)), core.Num(0.9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Deploy(cfg, n, 0.9, 123)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := energy.RelativeError(pred, got.Energy)
+		// Hidden per-machine deviation is ±4%; fleet-level error must stay
+		// within a few percent.
+		if rel > 0.08 {
+			t.Fatalf("n=%d: interface off by %.3f", n, rel)
+		}
+	}
+}
+
+func TestInterfaceAgreesWithGroundTruthOptimum(t *testing.T) {
+	cfg := DefaultConfig()
+	iface, err := Interface(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predictedN, _, err := OptimalFleet(iface, 48, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueN, _, _, err := TrialAndError(cfg, 48, 0.95, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := predictedN - trueN; d < -3 || d > 3 {
+		t.Fatalf("interface optimum %d far from measured optimum %d", predictedN, trueN)
+	}
+}
+
+func TestTrialAndErrorBurnsOrdersOfMagnitudeMore(t *testing.T) {
+	cfg := DefaultConfig()
+	iface, err := Interface(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bestE, err := OptimalFleet(iface, 48, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, spent, err := TrialAndError(cfg, 48, 0.95, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The search spends at least 10 optimal campaigns' worth of energy —
+	// §1's irony: "this trial-and-error process could consume more energy
+	// than it saves".
+	if spent < 10*bestE {
+		t.Fatalf("trial and error spent %v, expected ≫ %v", spent, bestE)
+	}
+}
+
+func TestMarginalCoverageEnergy(t *testing.T) {
+	cfg := DefaultConfig()
+	iface, err := Interface(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marg, err := iface.ExpectedJoules("marginal", core.Num(16), core.Num(0.90), core.Num(0.95))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e90, err := iface.ExpectedJoules("campaign", core.Num(16), core.Num(0.90))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e95, err := iface.ExpectedJoules("campaign", core.Num(16), core.Num(0.95))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(marg-(e95-e90))) > 1e-9*float64(e95) {
+		t.Fatalf("marginal %v != %v", marg, e95-e90)
+	}
+	// 90→95 doubles required executions (ln20/ln10 ≈ 1.3 — actually the
+	// delta is ln2·scale): marginal must be substantial.
+	if marg < e90*0.2 {
+		t.Fatalf("marginal energy %v implausibly small vs %v", marg, e90)
+	}
+	if _, err := iface.ExpectedJoules("marginal", core.Num(16), core.Num(0.95), core.Num(0.90)); err == nil {
+		t.Fatal("decreasing coverage accepted")
+	}
+}
+
+func TestInterfaceArgumentValidation(t *testing.T) {
+	iface, err := Interface(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := iface.ExpectedJoules("campaign", core.Num(0), core.Num(0.9)); err == nil {
+		t.Fatal("zero fleet accepted")
+	}
+	if _, err := iface.ExpectedJoules("campaign", core.Num(2.5), core.Num(0.9)); err == nil {
+		t.Fatal("fractional fleet accepted")
+	}
+	if _, err := iface.ExpectedJoules("campaign", core.Num(4), core.Num(1)); err == nil {
+		t.Fatal("coverage 1.0 accepted")
+	}
+	if _, _, err := OptimalFleet(iface, 0, 0.9); err == nil {
+		t.Fatal("maxN 0 accepted")
+	}
+	if _, _, _, err := TrialAndError(DefaultConfig(), 0, 0.9, 1); err == nil {
+		t.Fatal("trial maxN 0 accepted")
+	}
+}
+
+func TestDurationMethod(t *testing.T) {
+	cfg := DefaultConfig()
+	iface, err := Interface(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d8, err := iface.ExpectedJoules("duration", core.Num(8), core.Num(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d16, err := iface.ExpectedJoules("duration", core.Num(16), core.Num(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d16 >= d8 {
+		t.Fatalf("more machines should finish faster: %v vs %v", d16, d8)
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"energyclarity/internal/energy"
+)
+
+func TestInterfaceAccessors(t *testing.T) {
+	i := New("acc").SetDoc("docs here")
+	if i.Doc() != "docs here" {
+		t.Fatalf("Doc = %q", i.Doc())
+	}
+	i.MustMethod(Method{Name: "m1", Body: func(c *Call) energy.Joules { return 1 }})
+	i.MustMethod(Method{Name: "m2", Body: func(c *Call) energy.Joules { return 2 }})
+	if i.Method("m1") == nil || i.Method("nope") != nil {
+		t.Fatal("Method lookup wrong")
+	}
+	ms := i.Methods()
+	if len(ms) != 2 || ms[0] != "m1" || ms[1] != "m2" {
+		t.Fatalf("Methods = %v (want declaration order)", ms)
+	}
+	sub := New("sub").MustMethod(Method{Name: "x", Body: func(c *Call) energy.Joules { return 0 }})
+	i.MustBind("b1", sub)
+	i.MustBind("b2", New("sub2").MustMethod(Method{Name: "y", Body: func(c *Call) energy.Joules { return 0 }}))
+	bs := i.Bindings()
+	if len(bs) != 2 || bs[0] != "b1" || bs[1] != "b2" {
+		t.Fatalf("Bindings = %v", bs)
+	}
+	if i.Binding("b1") != sub || i.Binding("nope") != nil {
+		t.Fatal("Binding lookup wrong")
+	}
+}
+
+func TestRebindSameNameReplaces(t *testing.T) {
+	i := New("top")
+	a := New("a").MustMethod(Method{Name: "op", Body: func(c *Call) energy.Joules { return 1 }})
+	b := New("b").MustMethod(Method{Name: "op", Body: func(c *Call) energy.Joules { return 2 }})
+	i.MustBind("hw", a)
+	i.MustBind("hw", b) // replace in place
+	if i.Binding("hw") != b {
+		t.Fatal("in-place bind replacement failed")
+	}
+	if len(i.Bindings()) != 1 {
+		t.Fatal("replacement duplicated the binding name")
+	}
+}
+
+func TestCallNArgsAndECVNum(t *testing.T) {
+	i := New("x").
+		MustECV(NumECV("level", []float64{1, 2}, []float64{0.5, 0.5}, "")).
+		MustMethod(Method{Name: "m", Body: func(c *Call) energy.Joules {
+			return energy.Joules(float64(c.NArgs()) + c.ECVNum("level"))
+		}})
+	d, err := i.Eval("m", []Value{Num(1), Num(2), Num(3)}, Expected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 args + E[level]=1.5.
+	if !almost(d.Mean(), 4.5) {
+		t.Fatalf("mean %v", d.Mean())
+	}
+	// ECVNum on a non-numeric ECV fails.
+	j := New("y").
+		MustECV(BoolECV("flag", 0.5, "")).
+		MustMethod(Method{Name: "m", Body: func(c *Call) energy.Joules {
+			return energy.Joules(c.ECVNum("flag"))
+		}})
+	if _, err := j.Eval("m", nil, Expected()); err == nil {
+		t.Fatal("ECVNum on bool accepted")
+	}
+}
+
+func almost(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+func TestWorstCaseJoulesErrorPath(t *testing.T) {
+	i := New("x").MustMethod(Method{Name: "m", Body: func(c *Call) energy.Joules { return 3 }})
+	j, err := i.WorstCaseJoules("m")
+	if err != nil || j != 3 {
+		t.Fatalf("WorstCaseJoules = %v, %v", j, err)
+	}
+	if _, err := i.WorstCaseJoules("nope"); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	if _, err := i.ExpectedJoules("nope"); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestFailHelper(t *testing.T) {
+	sentinel := errors.New("custom failure")
+	i := New("x").MustMethod(Method{Name: "m", Body: func(c *Call) energy.Joules {
+		Fail(sentinel)
+		return 0
+	}})
+	_, err := i.Eval("m", nil, Expected())
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Fail error lost: %v", err)
+	}
+}
+
+func TestMustConstructorsPanicOnError(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"must-ecv": func() {
+			i := New("x").MustECV(BoolECV("a", 0.5, ""))
+			i.MustECV(BoolECV("a", 0.5, "")) // duplicate
+		},
+		"must-method": func() {
+			New("x").MustMethod(Method{Name: ""})
+		},
+		"must-bind": func() {
+			New("x").MustBind("b", nil)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestIsNilAndStringEdges(t *testing.T) {
+	if !Nil().IsNil() || Num(0).IsNil() {
+		t.Fatal("IsNil wrong")
+	}
+	// Large and fractional number formatting.
+	if s := Num(1e16).String(); !strings.Contains(s, "e+16") {
+		t.Fatalf("big num string %q", s)
+	}
+	if s := Num(-2.5).String(); s != "-2.5" {
+		t.Fatalf("fractional string %q", s)
+	}
+	if s := Bool(false).String(); s != "false" {
+		t.Fatalf("bool string %q", s)
+	}
+	if s := List().String(); s != "[]" {
+		t.Fatalf("empty list string %q", s)
+	}
+	if s := Record(nil).String(); s != "{}" {
+		t.Fatalf("empty record string %q", s)
+	}
+}
+
+func TestECVValidateDirect(t *testing.T) {
+	bad := ECV{Name: "", Dist: []Weighted{{Bool(true), 1}}}
+	if err := bad.validate(); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	bad = ECV{Name: "x"}
+	if err := bad.validate(); err == nil {
+		t.Fatal("empty dist accepted")
+	}
+	bad = ECV{Name: "x", Dist: []Weighted{{Bool(true), -0.5}, {Bool(false), 1.5}}}
+	if err := bad.validate(); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+	bad = ECV{Name: "x", Dist: []Weighted{{Bool(true), 0.3}}}
+	if err := bad.validate(); err == nil {
+		t.Fatal("non-normalized dist accepted")
+	}
+	if err := (ECV{Name: "x", Dist: []Weighted{{Bool(true), 1}}}).validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,441 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"energyclarity/internal/energy"
+)
+
+// Mode selects how ECV randomness is resolved during evaluation.
+type Mode int
+
+const (
+	// ModeExpected computes the full distribution over all ECV assignments
+	// by exact enumeration, falling back to Monte Carlo sampling when the
+	// joint assignment space exceeds EvalOptions.EnumLimit.
+	ModeExpected Mode = iota
+	// ModeWorstCase returns a point distribution at the maximum energy over
+	// all ECV assignments — the §4.1 upper-bound semantics.
+	ModeWorstCase
+	// ModeBestCase returns a point distribution at the minimum energy.
+	ModeBestCase
+	// ModeFixed evaluates under the caller-provided ECV assignment only;
+	// every transitive ECV must be assigned (via EvalOptions.Fixed).
+	ModeFixed
+	// ModeMonteCarlo samples EvalOptions.Samples assignments.
+	ModeMonteCarlo
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeExpected:
+		return "expected"
+	case ModeWorstCase:
+		return "worst-case"
+	case ModeBestCase:
+		return "best-case"
+	case ModeFixed:
+		return "fixed"
+	case ModeMonteCarlo:
+		return "monte-carlo"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Default evaluation limits.
+const (
+	DefaultEnumLimit = 4096
+	DefaultSamples   = 2048
+)
+
+// EvalOptions configures Interface.Eval.
+type EvalOptions struct {
+	Mode Mode
+	// Fixed pins ECVs (by qualified name, see QualifiedECV) to concrete
+	// values. In ModeFixed all ECVs must be pinned; in other modes pinned
+	// ECVs are excluded from enumeration/sampling.
+	Fixed map[string]Value
+	// EnumLimit caps the joint assignment space for exact enumeration
+	// (default DefaultEnumLimit). Beyond it, ModeExpected, ModeWorstCase
+	// and ModeBestCase fall back to Monte Carlo estimation.
+	EnumLimit int
+	// Samples is the Monte Carlo sample count (default DefaultSamples).
+	Samples int
+	// Seed seeds Monte Carlo sampling; evaluation is deterministic given
+	// Seed.
+	Seed int64
+}
+
+// Expected returns options for ModeExpected.
+func Expected() EvalOptions { return EvalOptions{Mode: ModeExpected} }
+
+// WorstCase returns options for ModeWorstCase.
+func WorstCase() EvalOptions { return EvalOptions{Mode: ModeWorstCase} }
+
+// BestCase returns options for ModeBestCase.
+func BestCase() EvalOptions { return EvalOptions{Mode: ModeBestCase} }
+
+// FixedAssignment returns options for ModeFixed with the given assignment.
+func FixedAssignment(assign map[string]Value) EvalOptions {
+	return EvalOptions{Mode: ModeFixed, Fixed: assign}
+}
+
+// MonteCarlo returns options for ModeMonteCarlo.
+func MonteCarlo(samples int, seed int64) EvalOptions {
+	return EvalOptions{Mode: ModeMonteCarlo, Samples: samples, Seed: seed}
+}
+
+// evalPanic carries evaluation failures out of Body code; Eval recovers it.
+type evalPanic struct{ err error }
+
+// Fail aborts the current evaluation with err; Interface.Eval returns err.
+// It is for Body implementations built outside this package (e.g. the EIL
+// interpreter); it must only be called from within a Body.
+func Fail(err error) {
+	panic(evalPanic{err})
+}
+
+// Call is the evaluation context passed to a method Body: its arguments,
+// the ECV assignment in effect, and access to bound lower-level interfaces.
+type Call struct {
+	iface  *Interface
+	path   string // qualified binding path of iface within the root
+	method *Method
+	args   []Value
+	assign map[string]Value // qualified ECV name -> value (complete)
+	depth  int
+}
+
+// maxCallDepth bounds composition depth to catch runaway recursion through
+// bindings (bindings are acyclic by construction, but bodies could recurse
+// into their own interface's methods).
+const maxCallDepth = 256
+
+func (c *Call) fail(format string, args ...interface{}) {
+	panic(evalPanic{fmt.Errorf("core: %s.%s: %s", c.iface.name, c.method.Name,
+		fmt.Sprintf(format, args...))})
+}
+
+// NArgs returns the number of arguments.
+func (c *Call) NArgs() int { return len(c.args) }
+
+// Arg returns the i-th argument; it fails the evaluation if out of range.
+func (c *Call) Arg(i int) Value {
+	if i < 0 || i >= len(c.args) {
+		c.fail("argument %d out of range (have %d)", i, len(c.args))
+	}
+	return c.args[i]
+}
+
+// Num returns the i-th argument as a number.
+func (c *Call) Num(i int) float64 {
+	n, ok := c.Arg(i).AsNum()
+	if !ok {
+		c.fail("argument %d is %s, want num", i, c.Arg(i).Kind())
+	}
+	return n
+}
+
+// Bool returns the i-th argument as a bool.
+func (c *Call) Bool(i int) bool {
+	b, ok := c.Arg(i).AsBool()
+	if !ok {
+		c.fail("argument %d is %s, want bool", i, c.Arg(i).Kind())
+	}
+	return b
+}
+
+// Str returns the i-th argument as a string.
+func (c *Call) Str(i int) string {
+	s, ok := c.Arg(i).AsStr()
+	if !ok {
+		c.fail("argument %d is %s, want str", i, c.Arg(i).Kind())
+	}
+	return s
+}
+
+// FieldNum returns the named numeric field of the i-th (record) argument.
+func (c *Call) FieldNum(i int, field string) float64 {
+	f, ok := c.Arg(i).Field(field)
+	if !ok {
+		c.fail("argument %d has no field %q", i, field)
+	}
+	n, ok := f.AsNum()
+	if !ok {
+		c.fail("field %q is %s, want num", field, f.Kind())
+	}
+	return n
+}
+
+// ECV returns the value assigned to this interface's own ECV.
+func (c *Call) ECV(name string) Value {
+	qn := name
+	if c.path != "" {
+		qn = c.path + "." + name
+	}
+	v, ok := c.assign[qn]
+	if !ok {
+		c.fail("ECV %q not assigned", qn)
+	}
+	return v
+}
+
+// ECVBool returns a boolean ECV's assigned value.
+func (c *Call) ECVBool(name string) bool {
+	v := c.ECV(name)
+	b, ok := v.AsBool()
+	if !ok {
+		c.fail("ECV %q is %s, want bool", name, v.Kind())
+	}
+	return b
+}
+
+// ECVNum returns a numeric ECV's assigned value.
+func (c *Call) ECVNum(name string) float64 {
+	v := c.ECV(name)
+	n, ok := v.AsNum()
+	if !ok {
+		c.fail("ECV %q is %s, want num", name, v.Kind())
+	}
+	return n
+}
+
+// E invokes a method of the interface bound under localName and returns its
+// energy under the current ECV assignment. This is the composition
+// primitive: upper-layer interfaces "compute energy usage by calling into
+// the energy interfaces of resources used by this resource" (§2).
+func (c *Call) E(localName, method string, args ...Value) energy.Joules {
+	lower, ok := c.iface.bindings[localName]
+	if !ok {
+		c.fail("no binding %q", localName)
+	}
+	m := lower.methods[method]
+	if m == nil {
+		c.fail("binding %q (interface %s) has no method %q", localName, lower.name, method)
+	}
+	sub := localName
+	if c.path != "" {
+		sub = c.path + "." + localName
+	}
+	return c.run(lower, sub, m, args)
+}
+
+// Self invokes another method of the same interface (e.g. a helper like
+// Fig. 1's E_cnn_forward) under the same ECV assignment.
+func (c *Call) Self(method string, args ...Value) energy.Joules {
+	m := c.iface.methods[method]
+	if m == nil {
+		c.fail("interface %s has no method %q", c.iface.name, method)
+	}
+	return c.run(c.iface, c.path, m, args)
+}
+
+func (c *Call) run(iface *Interface, path string, m *Method, args []Value) energy.Joules {
+	if c.depth+1 > maxCallDepth {
+		c.fail("call depth exceeds %d (recursive interface?)", maxCallDepth)
+	}
+	if len(m.Params) != 0 && len(args) != len(m.Params) {
+		c.fail("call to %s.%s: %d args, want %d", iface.name, m.Name, len(args), len(m.Params))
+	}
+	sub := &Call{
+		iface:  iface,
+		path:   path,
+		method: m,
+		args:   args,
+		assign: c.assign,
+		depth:  c.depth + 1,
+	}
+	return m.Body(sub)
+}
+
+// evalOnce runs one method evaluation under a complete assignment,
+// converting Body panics to errors.
+func (i *Interface) evalOnce(m *Method, args []Value, assign map[string]Value) (j energy.Joules, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ep, ok := r.(evalPanic)
+			if !ok {
+				panic(r) // not ours: propagate
+			}
+			err = ep.err
+		}
+	}()
+	c := &Call{iface: i, path: "", method: m, args: args, assign: assign}
+	if len(m.Params) != 0 && len(args) != len(m.Params) {
+		return 0, fmt.Errorf("core: %s.%s: %d args, want %d", i.name, m.Name, len(args), len(m.Params))
+	}
+	return m.Body(c), nil
+}
+
+// Eval evaluates the named energy method on args and returns the resulting
+// energy distribution according to opts. A resource manager "can execute
+// the interface to know a priori the energy that the resource would consume
+// if run with a particular workload" (§2) — Eval is that execution.
+func (i *Interface) Eval(method string, args []Value, opts EvalOptions) (energy.Dist, error) {
+	m := i.methods[method]
+	if m == nil {
+		return energy.Dist{}, fmt.Errorf("core: interface %s has no method %q", i.name, method)
+	}
+	if opts.EnumLimit <= 0 {
+		opts.EnumLimit = DefaultEnumLimit
+	}
+	if opts.Samples <= 0 {
+		opts.Samples = DefaultSamples
+	}
+
+	all := i.TransitiveECVs()
+	// Split into pinned and free ECVs.
+	var free []QualifiedECV
+	base := map[string]Value{}
+	for _, q := range all {
+		qn := q.QualifiedName()
+		if v, ok := opts.Fixed[qn]; ok {
+			base[qn] = v
+		} else {
+			free = append(free, q)
+		}
+	}
+	for qn := range opts.Fixed {
+		if _, ok := base[qn]; !ok {
+			return energy.Dist{}, fmt.Errorf("core: interface %s: fixed ECV %q does not exist", i.name, qn)
+		}
+	}
+
+	if opts.Mode == ModeFixed {
+		if len(free) > 0 {
+			return energy.Dist{}, fmt.Errorf("core: interface %s: ModeFixed but ECV %q unassigned",
+				i.name, free[0].QualifiedName())
+		}
+		j, err := i.evalOnce(m, args, base)
+		if err != nil {
+			return energy.Dist{}, err
+		}
+		return energy.Point(float64(j)), nil
+	}
+
+	// Joint assignment space size for the free ECVs.
+	space := 1
+	exceeded := false
+	for _, q := range free {
+		space *= len(q.ECV.Dist)
+		if space > opts.EnumLimit {
+			exceeded = true
+			break
+		}
+	}
+
+	useMC := opts.Mode == ModeMonteCarlo || exceeded
+	if useMC {
+		return i.evalMonteCarlo(m, args, base, free, opts)
+	}
+	return i.evalEnumerate(m, args, base, free, opts.Mode)
+}
+
+func (i *Interface) evalEnumerate(m *Method, args []Value, base map[string]Value,
+	free []QualifiedECV, mode Mode) (energy.Dist, error) {
+
+	assign := make(map[string]Value, len(base)+len(free))
+	for k, v := range base {
+		assign[k] = v
+	}
+	var values, probs []float64
+
+	var walk func(idx int, p float64) error
+	walk = func(idx int, p float64) error {
+		if idx == len(free) {
+			j, err := i.evalOnce(m, args, assign)
+			if err != nil {
+				return err
+			}
+			values = append(values, float64(j))
+			probs = append(probs, p)
+			return nil
+		}
+		q := free[idx]
+		qn := q.QualifiedName()
+		for _, w := range q.ECV.Dist {
+			if w.P == 0 {
+				continue
+			}
+			assign[qn] = w.V
+			if err := walk(idx+1, p*w.P); err != nil {
+				return err
+			}
+		}
+		delete(assign, qn)
+		return nil
+	}
+	if err := walk(0, 1); err != nil {
+		return energy.Dist{}, err
+	}
+	full := energy.Categorical(values, probs)
+	switch mode {
+	case ModeWorstCase:
+		return energy.Point(full.Max()), nil
+	case ModeBestCase:
+		return energy.Point(full.Min()), nil
+	default:
+		return full, nil
+	}
+}
+
+func (i *Interface) evalMonteCarlo(m *Method, args []Value, base map[string]Value,
+	free []QualifiedECV, opts EvalOptions) (energy.Dist, error) {
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	assign := make(map[string]Value, len(base)+len(free))
+	for k, v := range base {
+		assign[k] = v
+	}
+	var values, probs []float64
+	p := 1.0 / float64(opts.Samples)
+	worst, best := float64(0), 0.0
+	first := true
+	for s := 0; s < opts.Samples; s++ {
+		for _, q := range free {
+			assign[q.QualifiedName()] = q.ECV.sample(rng)
+		}
+		j, err := i.evalOnce(m, args, assign)
+		if err != nil {
+			return energy.Dist{}, err
+		}
+		v := float64(j)
+		if first || v > worst {
+			worst = v
+		}
+		if first || v < best {
+			best = v
+		}
+		first = false
+		values = append(values, v)
+		probs = append(probs, p)
+	}
+	switch opts.Mode {
+	case ModeWorstCase:
+		return energy.Point(worst), nil
+	case ModeBestCase:
+		return energy.Point(best), nil
+	default:
+		return energy.Categorical(values, probs), nil
+	}
+}
+
+// ExpectedJoules is a convenience: the mean of Eval in ModeExpected.
+func (i *Interface) ExpectedJoules(method string, args ...Value) (energy.Joules, error) {
+	d, err := i.Eval(method, args, Expected())
+	if err != nil {
+		return 0, err
+	}
+	return energy.Joules(d.Mean()), nil
+}
+
+// WorstCaseJoules is a convenience: the value of Eval in ModeWorstCase.
+func (i *Interface) WorstCaseJoules(method string, args ...Value) (energy.Joules, error) {
+	d, err := i.Eval(method, args, WorstCase())
+	if err != nil {
+		return 0, err
+	}
+	return energy.Joules(d.Max()), nil
+}

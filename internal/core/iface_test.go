@@ -1,0 +1,541 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"energyclarity/internal/energy"
+)
+
+// fig1Interface builds the paper's Fig. 1 energy interface for the
+// ML-model web service, as a Go-native interface. Energies are in
+// millijoules as in the figure.
+//
+//	def E_ml_webservice_handle(request):
+//	    # ECV: request_hit - request found in cache
+//	    max_response_len = 1024
+//	    if request_hit: return E_cache_lookup(request.image, max_response_len)
+//	    else:           return E_cnn_forward(request.image)
+//	def E_cache_lookup(key, response_len):
+//	    # ECV: local_cache_hit - cache hit in current node
+//	    return (5 if local_cache_hit else 100) * response_len  # mJ
+//	def E_cnn_forward(image):
+//	    n_embedding = 256
+//	    n_zeros = image.count(0)
+//	    return 8*E_conv2d(image.size - n_zeros) + 8*E_relu(n_embedding)
+//	         + 16*E_mlp(n_embedding)
+func fig1Interface(pRequestHit, pLocalHit float64) *Interface {
+	mJ := func(x float64) energy.Joules { return energy.Joules(x) * energy.Millijoule }
+
+	accel := New("accel_driver").
+		MustMethod(Method{Name: "conv2d", Params: []string{"n"}, Body: func(c *Call) energy.Joules {
+			return mJ(0.004 * c.Num(0))
+		}}).
+		MustMethod(Method{Name: "relu", Params: []string{"n"}, Body: func(c *Call) energy.Joules {
+			return mJ(0.001 * c.Num(0))
+		}}).
+		MustMethod(Method{Name: "mlp", Params: []string{"n"}, Body: func(c *Call) energy.Joules {
+			return mJ(0.01 * c.Num(0))
+		}})
+
+	cache := New("redis_cache").
+		MustECV(BoolECV("local_cache_hit", pLocalHit, "cache hit in current node")).
+		MustMethod(Method{Name: "lookup", Params: []string{"key", "response_len"}, Body: func(c *Call) energy.Joules {
+			per := 100.0
+			if c.ECVBool("local_cache_hit") {
+				per = 5
+			}
+			return mJ(per * c.Num(1))
+		}})
+
+	svc := New("ml_webservice").
+		MustECV(BoolECV("request_hit", pRequestHit, "request found in cache")).
+		MustBind("cache", cache).
+		MustBind("accel", accel).
+		MustMethod(Method{Name: "handle", Params: []string{"request"}, Body: func(c *Call) energy.Joules {
+			const maxResponseLen = 1024
+			if c.ECVBool("request_hit") {
+				return c.E("cache", "lookup", c.Arg(0), Num(maxResponseLen))
+			}
+			return c.Self("cnn_forward", c.Arg(0))
+		}}).
+		MustMethod(Method{Name: "cnn_forward", Params: []string{"image"}, Body: func(c *Call) energy.Joules {
+			const nEmbedding = 256
+			nZeros := c.FieldNum(0, "zeros")
+			size := c.FieldNum(0, "size")
+			return 8*c.E("accel", "conv2d", Num(size-nZeros)) +
+				8*c.E("accel", "relu", Num(nEmbedding)) +
+				16*c.E("accel", "mlp", Num(nEmbedding))
+		}})
+	return svc
+}
+
+func image(size, zeros float64) Value {
+	return Record(map[string]Value{"size": Num(size), "zeros": Num(zeros)})
+}
+
+// fig1Manual computes Fig. 1's expected energy in Joules, independently of
+// the runtime, for validation.
+func fig1Manual(pReqHit, pLocalHit, size, zeros float64) float64 {
+	lookup := (pLocalHit*5 + (1-pLocalHit)*100) * 1024
+	cnn := 8*0.004*(size-zeros) + 8*0.001*256 + 16*0.01*256
+	return (pReqHit*lookup + (1-pReqHit)*cnn) * 1e-3
+}
+
+func TestFig1ExpectedMatchesManual(t *testing.T) {
+	svc := fig1Interface(0.3, 0.8)
+	img := image(1e6, 2e5)
+	d, err := svc.Eval("handle", []Value{img}, Expected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fig1Manual(0.3, 0.8, 1e6, 2e5)
+	if math.Abs(d.Mean()-want) > 1e-9*want {
+		t.Fatalf("expected energy %v, want %v", d.Mean(), want)
+	}
+	// The distribution has 3 distinct outcomes: local hit, remote hit, miss.
+	if d.Len() != 3 {
+		t.Fatalf("support size %d, want 3: %v", d.Len(), d)
+	}
+}
+
+func TestFig1WorstAndBestCase(t *testing.T) {
+	svc := fig1Interface(0.3, 0.8)
+	img := image(1e6, 2e5)
+	wc, err := svc.Eval("handle", []Value{img}, WorstCase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst case: request hit but remote lookup = 100 mJ * 1024 = 102.4 J
+	if math.Abs(wc.Max()-102.4) > 1e-9 {
+		t.Fatalf("worst case %v, want 102.4", wc.Max())
+	}
+	bc, err := svc.Eval("handle", []Value{img}, BestCase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best case: local hit = 5 mJ * 1024 = 5.12 J
+	if math.Abs(bc.Min()-5.12) > 1e-9 {
+		t.Fatalf("best case %v, want 5.12", bc.Min())
+	}
+}
+
+func TestFig1FixedMode(t *testing.T) {
+	svc := fig1Interface(0.3, 0.8)
+	img := image(1e6, 0)
+	d, err := svc.Eval("handle", []Value{img}, FixedAssignment(map[string]Value{
+		"request_hit":           Bool(false),
+		"cache.local_cache_hit": Bool(false),
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Miss path: full CNN on 1e6 nonzeros.
+	want := (8*0.004*1e6 + 8*0.001*256 + 16*0.01*256) * 1e-3
+	if math.Abs(d.Mean()-want) > 1e-9*want {
+		t.Fatalf("fixed-mode energy %v, want %v", d.Mean(), want)
+	}
+}
+
+func TestFixedModeRequiresAllECVs(t *testing.T) {
+	svc := fig1Interface(0.3, 0.8)
+	_, err := svc.Eval("handle", []Value{image(10, 0)}, FixedAssignment(map[string]Value{
+		"request_hit": Bool(true),
+	}))
+	if err == nil || !strings.Contains(err.Error(), "local_cache_hit") {
+		t.Fatalf("want unassigned-ECV error, got %v", err)
+	}
+}
+
+func TestFixedUnknownECVRejected(t *testing.T) {
+	svc := fig1Interface(0.3, 0.8)
+	_, err := svc.Eval("handle", []Value{image(10, 0)}, FixedAssignment(map[string]Value{
+		"request_hit":           Bool(true),
+		"cache.local_cache_hit": Bool(true),
+		"bogus":                 Bool(true),
+	}))
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("want unknown-ECV error, got %v", err)
+	}
+}
+
+func TestPartialFixing(t *testing.T) {
+	svc := fig1Interface(0.3, 0.8)
+	img := image(1e6, 0)
+	// Pin request_hit=true; expectation remains over local_cache_hit only.
+	d, err := svc.Eval("handle", []Value{img}, EvalOptions{
+		Mode:  ModeExpected,
+		Fixed: map[string]Value{"request_hit": Bool(true)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (0.8*5 + 0.2*100) * 1024 * 1e-3
+	if math.Abs(d.Mean()-want) > 1e-9*want {
+		t.Fatalf("partially-fixed mean %v, want %v", d.Mean(), want)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("support %d, want 2", d.Len())
+	}
+}
+
+func TestMonteCarloApproximatesExpected(t *testing.T) {
+	svc := fig1Interface(0.3, 0.8)
+	img := image(1e6, 2e5)
+	exact, err := svc.Eval("handle", []Value{img}, Expected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := svc.Eval("handle", []Value{img}, MonteCarlo(20000, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(mc.Mean()-exact.Mean()) / exact.Mean(); rel > 0.05 {
+		t.Fatalf("MC mean %v vs exact %v (rel %v)", mc.Mean(), exact.Mean(), rel)
+	}
+}
+
+func TestMonteCarloDeterministicGivenSeed(t *testing.T) {
+	svc := fig1Interface(0.3, 0.8)
+	img := image(1e3, 10)
+	a, err := svc.Eval("handle", []Value{img}, MonteCarlo(100, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := svc.Eval("handle", []Value{img}, MonteCarlo(100, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b, 0) {
+		t.Fatal("Monte Carlo not deterministic for fixed seed")
+	}
+}
+
+func TestEnumLimitFallsBackToMC(t *testing.T) {
+	// An interface with 13 boolean ECVs: 8192 assignments > limit 4096.
+	iface := New("many")
+	for i := 0; i < 13; i++ {
+		iface.MustECV(BoolECV(string(rune('a'+i)), 0.5, ""))
+	}
+	iface.MustMethod(Method{Name: "e", Body: func(c *Call) energy.Joules {
+		total := energy.Joules(0)
+		for i := 0; i < 13; i++ {
+			if c.ECVBool(string(rune('a' + i))) {
+				total += 1
+			}
+		}
+		return total
+	}})
+	d, err := iface.Eval("e", nil, EvalOptions{Mode: ModeExpected, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean of Binomial(13, 0.5) = 6.5; MC should be close.
+	if math.Abs(d.Mean()-6.5) > 0.3 {
+		t.Fatalf("MC-fallback mean %v, want ≈6.5", d.Mean())
+	}
+}
+
+func TestWorstCaseUnderMCFallback(t *testing.T) {
+	iface := New("many")
+	for i := 0; i < 13; i++ {
+		iface.MustECV(BoolECV(string(rune('a'+i)), 0.5, ""))
+	}
+	iface.MustMethod(Method{Name: "e", Body: func(c *Call) energy.Joules {
+		if c.ECVBool("a") {
+			return 10
+		}
+		return 1
+	}})
+	d, err := iface.Eval("e", nil, EvalOptions{Mode: ModeWorstCase, Seed: 3, Samples: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Max() != 10 {
+		t.Fatalf("worst case %v, want 10", d.Max())
+	}
+}
+
+func TestBindRejectsCycles(t *testing.T) {
+	a := New("a")
+	b := New("b")
+	if err := a.Bind("b", b); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Bind("a", a); err == nil {
+		t.Fatal("cycle not rejected")
+	}
+	if err := a.Bind("self", a); err == nil {
+		t.Fatal("self-binding not rejected")
+	}
+	if err := a.Bind("nil", nil); err == nil {
+		t.Fatal("nil binding not rejected")
+	}
+}
+
+func TestDuplicateECVAndMethodRejected(t *testing.T) {
+	i := New("x").MustECV(BoolECV("h", 0.5, ""))
+	if err := i.AddECV(BoolECV("h", 0.2, "")); err == nil {
+		t.Fatal("duplicate ECV accepted")
+	}
+	i.MustMethod(Method{Name: "m", Body: func(c *Call) energy.Joules { return 0 }})
+	if err := i.AddMethod(Method{Name: "m", Body: func(c *Call) energy.Joules { return 0 }}); err == nil {
+		t.Fatal("duplicate method accepted")
+	}
+	if err := i.AddMethod(Method{Name: "n"}); err == nil {
+		t.Fatal("nil body accepted")
+	}
+	if err := i.AddMethod(Method{Body: func(c *Call) energy.Joules { return 0 }}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestSetECV(t *testing.T) {
+	i := New("x").MustECV(BoolECV("h", 0.5, "hit"))
+	if err := i.SetECV(BoolECV("h", 0.9, "hit")); err != nil {
+		t.Fatal(err)
+	}
+	if got := i.ECVs()[0].Dist[1].P; math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("SetECV did not replace: p=%v", got)
+	}
+	if err := i.SetECV(BoolECV("missing", 0.5, "")); err == nil {
+		t.Fatal("SetECV on missing ECV accepted")
+	}
+}
+
+func TestTransitiveECVs(t *testing.T) {
+	svc := fig1Interface(0.3, 0.8)
+	qs := svc.TransitiveECVs()
+	var names []string
+	for _, q := range qs {
+		names = append(names, q.QualifiedName())
+	}
+	want := []string{"request_hit", "cache.local_cache_hit"}
+	if len(names) != len(want) {
+		t.Fatalf("TransitiveECVs = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("TransitiveECVs = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestRebindSwapsLeafWithoutMutatingOriginal(t *testing.T) {
+	svc := fig1Interface(0, 0.5) // always miss -> always CNN path
+	img := image(1000, 0)
+
+	cheap := New("accel_driver_v2").
+		MustMethod(Method{Name: "conv2d", Params: []string{"n"}, Body: func(c *Call) energy.Joules {
+			return energy.Joules(0.001*c.Num(0)) * energy.Millijoule
+		}}).
+		MustMethod(Method{Name: "relu", Params: []string{"n"}, Body: func(c *Call) energy.Joules {
+			return energy.Joules(0.0005*c.Num(0)) * energy.Millijoule
+		}}).
+		MustMethod(Method{Name: "mlp", Params: []string{"n"}, Body: func(c *Call) energy.Joules {
+			return energy.Joules(0.002*c.Num(0)) * energy.Millijoule
+		}})
+
+	before, err := svc.ExpectedJoules("handle", img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped, err := svc.Rebind("accel", cheap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := swapped.ExpectedJoules("handle", img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAfter := (8*0.001*1000 + 8*0.0005*256 + 16*0.002*256) * 1e-3
+	if math.Abs(float64(after)-wantAfter) > 1e-12 {
+		t.Fatalf("after rebind %v, want %v", after, wantAfter)
+	}
+	// Original unchanged.
+	again, err := svc.ExpectedJoules("handle", img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != before {
+		t.Fatalf("rebind mutated original: %v -> %v", before, again)
+	}
+	if svc.Binding("accel").Name() != "accel_driver" {
+		t.Fatal("original binding replaced")
+	}
+	if swapped.Binding("accel").Name() != "accel_driver_v2" {
+		t.Fatal("swapped binding wrong")
+	}
+}
+
+func TestRebindNestedPath(t *testing.T) {
+	leaf := New("hw").MustMethod(Method{Name: "op", Body: func(c *Call) energy.Joules { return 1 }})
+	mid := New("mid").MustBind("hw", leaf).
+		MustMethod(Method{Name: "op", Body: func(c *Call) energy.Joules { return c.E("hw", "op") }})
+	top := New("top").MustBind("mid", mid).
+		MustMethod(Method{Name: "op", Body: func(c *Call) energy.Joules { return c.E("mid", "op") }})
+
+	leaf2 := New("hw2").MustMethod(Method{Name: "op", Body: func(c *Call) energy.Joules { return 7 }})
+	swapped, err := top.Rebind("mid.hw", leaf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := swapped.ExpectedJoules("op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != 7 {
+		t.Fatalf("nested rebind result %v, want 7", j)
+	}
+	orig, err := top.ExpectedJoules("op")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig != 1 {
+		t.Fatalf("original changed: %v", orig)
+	}
+}
+
+func TestRebindErrors(t *testing.T) {
+	top := New("top")
+	if _, err := top.Rebind("", New("x")); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	if _, err := top.Rebind("nope", New("x")); err == nil {
+		t.Fatal("missing binding accepted")
+	}
+}
+
+func TestDescribeListsStructure(t *testing.T) {
+	svc := fig1Interface(0.3, 0.8)
+	desc := svc.Describe()
+	for _, want := range []string{"ml_webservice", "request_hit", "E_handle(request)",
+		"cache -> interface redis_cache", "local_cache_hit", "accel -> interface accel_driver"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("Describe missing %q:\n%s", want, desc)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	svc := fig1Interface(0.3, 0.8)
+	if _, err := svc.Eval("nope", nil, Expected()); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	// Wrong arity.
+	if _, err := svc.Eval("handle", nil, Expected()); err == nil {
+		t.Fatal("missing args accepted")
+	}
+	// Wrong arg type: body fails via recovered panic.
+	if _, err := svc.Eval("handle", []Value{Num(3)}, Expected()); err == nil {
+		t.Fatal("non-record arg accepted")
+	}
+}
+
+func TestBodyFailuresBecomeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		body Body
+		args []Value
+	}{
+		{"bad-arg-index", func(c *Call) energy.Joules { c.Arg(5); return 0 }, []Value{Num(1)}},
+		{"bad-binding", func(c *Call) energy.Joules { return c.E("none", "m") }, []Value{Num(1)}},
+		{"bad-self", func(c *Call) energy.Joules { return c.Self("none") }, []Value{Num(1)}},
+		{"bad-ecv", func(c *Call) energy.Joules { c.ECV("none"); return 0 }, []Value{Num(1)}},
+		{"str-as-num", func(c *Call) energy.Joules { c.Num(0); return 0 }, []Value{Str("x")}},
+		{"num-as-bool", func(c *Call) energy.Joules { c.Bool(0); return 0 }, []Value{Num(1)}},
+		{"num-as-str", func(c *Call) energy.Joules { c.Str(0); return 0 }, []Value{Num(1)}},
+	}
+	for _, tc := range cases {
+		i := New("t").MustMethod(Method{Name: "m", Params: []string{"x"}, Body: tc.body})
+		if _, err := i.Eval("m", tc.args, Expected()); err == nil {
+			t.Errorf("%s: error not reported", tc.name)
+		}
+	}
+}
+
+func TestForeignPanicsPropagate(t *testing.T) {
+	i := New("t").MustMethod(Method{Name: "m", Body: func(c *Call) energy.Joules {
+		panic("unrelated bug")
+	}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign panic was swallowed")
+		}
+	}()
+	i.Eval("m", nil, Expected()) //nolint:errcheck // panics
+}
+
+func TestRecursionDepthBounded(t *testing.T) {
+	i := New("rec")
+	i.MustMethod(Method{Name: "loop", Body: func(c *Call) energy.Joules {
+		return c.Self("loop")
+	}})
+	_, err := i.Eval("loop", nil, Expected())
+	if err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Fatalf("unbounded recursion not caught: %v", err)
+	}
+}
+
+func TestBoolAndStrArgsAndFieldHelpers(t *testing.T) {
+	i := New("t").MustMethod(Method{Name: "m", Params: []string{"b", "s", "r"}, Body: func(c *Call) energy.Joules {
+		if c.Bool(0) && c.Str(1) == "go" {
+			return energy.Joules(c.FieldNum(2, "n"))
+		}
+		return 0
+	}})
+	d, err := i.Eval("m", []Value{Bool(true), Str("go"), Record(map[string]Value{"n": Num(9)})}, Expected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mean() != 9 {
+		t.Fatalf("got %v", d.Mean())
+	}
+}
+
+func TestModeString(t *testing.T) {
+	modes := map[Mode]string{
+		ModeExpected: "expected", ModeWorstCase: "worst-case", ModeBestCase: "best-case",
+		ModeFixed: "fixed", ModeMonteCarlo: "monte-carlo", Mode(99): "mode(99)",
+	}
+	for m, want := range modes {
+		if m.String() != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", int(m), m.String(), want)
+		}
+	}
+}
+
+func TestECVConstructors(t *testing.T) {
+	e := NumECV("lat", []float64{1, 2}, []float64{1, 3}, "")
+	if math.Abs(e.Dist[0].P-0.25) > 1e-12 || math.Abs(e.Dist[1].P-0.75) > 1e-12 {
+		t.Fatalf("NumECV not normalized: %v", e.Dist)
+	}
+	f := FixedECV("mode", Str("turbo"), "")
+	if len(f.Dist) != 1 || f.Dist[0].P != 1 {
+		t.Fatalf("FixedECV: %v", f.Dist)
+	}
+	w := BoolECV("b", 0.25, "").WithProb(0.75)
+	if math.Abs(w.Dist[1].P-0.75) > 1e-12 {
+		t.Fatalf("WithProb: %v", w.Dist)
+	}
+}
+
+func TestECVConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bool-oob":    func() { BoolECV("x", 2, "") },
+		"num-empty":   func() { NumECV("x", nil, nil, "") },
+		"num-neg":     func() { NumECV("x", []float64{1}, []float64{-1}, "") },
+		"num-zerosum": func() { NumECV("x", []float64{1}, []float64{0}, "") },
+		"withprob":    func() { FixedECV("x", Num(1), "").WithProb(0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

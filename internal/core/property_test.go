@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"energyclarity/internal/energy"
+)
+
+// Randomized invariants over the evaluation modes and composition.
+
+// randomIface builds an interface with nECV boolean ECVs and a method
+// whose energy is a random (but deterministic per build) function of them.
+func randomIface(rng *rand.Rand, nECV int) *Interface {
+	iface := New("rand")
+	type term struct {
+		name   string
+		weight float64
+	}
+	var terms []term
+	for i := 0; i < nECV; i++ {
+		name := string(rune('a' + i))
+		iface.MustECV(BoolECV(name, rng.Float64(), ""))
+		terms = append(terms, term{name, rng.Float64() * 10})
+	}
+	base := rng.Float64() * 5
+	iface.MustMethod(Method{Name: "f", Body: func(c *Call) energy.Joules {
+		total := base
+		for _, t := range terms {
+			if c.ECVBool(t.name) {
+				total += t.weight
+			}
+		}
+		return energy.Joules(total)
+	}})
+	return iface
+}
+
+func TestPropertyModeOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		iface := randomIface(rng, 1+rng.Intn(5))
+		exp, err := iface.Eval("f", nil, Expected())
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, err := iface.Eval("f", nil, BestCase())
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi, err := iface.Eval("f", nil, WorstCase())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(lo.Min() <= exp.Mean()+1e-12 && exp.Mean() <= hi.Max()+1e-12) {
+			t.Fatalf("trial %d: best %v mean %v worst %v", trial, lo.Min(), exp.Mean(), hi.Max())
+		}
+		if exp.Min() < lo.Min()-1e-12 || exp.Max() > hi.Max()+1e-12 {
+			t.Fatalf("trial %d: expected support escapes [best, worst]", trial)
+		}
+	}
+}
+
+// TestPropertyLawOfTotalExpectation: E[X] must equal the ECV-weighted
+// average of conditional expectations (pin one ECV both ways).
+func TestPropertyLawOfTotalExpectation(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(3)
+		iface := randomIface(rng, n)
+		full, err := iface.Eval("f", nil, Expected())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Probability of ECV "a" being true.
+		var pa float64
+		for _, e := range iface.ECVs() {
+			if e.Name == "a" {
+				for _, w := range e.Dist {
+					if b, _ := w.V.AsBool(); b {
+						pa = w.P
+					}
+				}
+			}
+		}
+		condT, err := iface.Eval("f", nil, EvalOptions{
+			Mode: ModeExpected, Fixed: map[string]Value{"a": Bool(true)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		condF, err := iface.Eval("f", nil, EvalOptions{
+			Mode: ModeExpected, Fixed: map[string]Value{"a": Bool(false)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := pa*condT.Mean() + (1-pa)*condF.Mean()
+		if math.Abs(full.Mean()-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d: total expectation %v != %v", trial, full.Mean(), want)
+		}
+	}
+}
+
+// TestPropertyRebindLocality: rebinding one subtree must not change the
+// prediction of a method that never calls into it.
+func TestPropertyRebindLocality(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 50; trial++ {
+		k1 := rng.Float64() * 10
+		k2 := rng.Float64() * 10
+		mk := func(name string, k float64) *Interface {
+			return New(name).MustMethod(Method{Name: "op", Params: []string{"n"},
+				Body: func(c *Call) energy.Joules { return energy.Joules(k * c.Num(0)) }})
+		}
+		top := New("top").
+			MustBind("left", mk("l", k1)).
+			MustBind("right", mk("r", k2)).
+			MustMethod(Method{Name: "viaLeft", Params: []string{"n"},
+				Body: func(c *Call) energy.Joules { return c.E("left", "op", c.Arg(0)) }}).
+			MustMethod(Method{Name: "viaRight", Params: []string{"n"},
+				Body: func(c *Call) energy.Joules { return c.E("right", "op", c.Arg(0)) }})
+
+		before, err := top.ExpectedJoules("viaLeft", Num(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		swapped, err := top.Rebind("right", mk("r2", k2*3+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := swapped.ExpectedJoules("viaLeft", Num(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if before != after {
+			t.Fatalf("trial %d: rebinding 'right' changed 'viaLeft': %v -> %v",
+				trial, before, after)
+		}
+		// And viaRight must change (unless k2*3+1 == k2, impossible).
+		rBefore, _ := top.ExpectedJoules("viaRight", Num(7))
+		rAfter, _ := swapped.ExpectedJoules("viaRight", Num(7))
+		if rBefore == rAfter {
+			t.Fatalf("trial %d: rebinding 'right' did not change 'viaRight'", trial)
+		}
+	}
+}
+
+// TestPropertyMonteCarloConverges: the MC estimate of the mean must
+// approach the exact mean as samples grow.
+func TestPropertyMonteCarloConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 10; trial++ {
+		iface := randomIface(rng, 3)
+		exact, err := iface.Eval("f", nil, Expected())
+		if err != nil {
+			t.Fatal(err)
+		}
+		errAt := func(samples int) float64 {
+			mc, err := iface.Eval("f", nil, MonteCarlo(samples, 99))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return math.Abs(mc.Mean()-exact.Mean()) / (1 + exact.Mean())
+		}
+		small, big := errAt(50), errAt(20000)
+		if big > 0.05 {
+			t.Fatalf("trial %d: 20k-sample error %v too large", trial, big)
+		}
+		// Not strictly monotone per trial, but large should rarely exceed
+		// small by much; tolerate equality.
+		if big > small+0.05 {
+			t.Fatalf("trial %d: MC got worse with more samples: %v -> %v", trial, small, big)
+		}
+	}
+}
+
+// TestPropertyQualifiedNamesUnique: every transitive ECV of a random
+// binding tree has a unique qualified name.
+func TestPropertyQualifiedNamesUnique(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	var build func(depth int, id *int) *Interface
+	build = func(depth int, id *int) *Interface {
+		*id++
+		iface := New("n")
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			iface.MustECV(BoolECV(string(rune('a'+i)), 0.5, ""))
+		}
+		iface.MustMethod(Method{Name: "f", Body: func(c *Call) energy.Joules { return 1 }})
+		if depth > 0 {
+			for i := 0; i < rng.Intn(3); i++ {
+				iface.MustBind(string(rune('x'+i)), build(depth-1, id))
+			}
+		}
+		return iface
+	}
+	for trial := 0; trial < 50; trial++ {
+		id := 0
+		root := build(3, &id)
+		seen := map[string]bool{}
+		for _, q := range root.TransitiveECVs() {
+			qn := q.QualifiedName()
+			if seen[qn] {
+				t.Fatalf("trial %d: duplicate qualified ECV %q", trial, qn)
+			}
+			seen[qn] = true
+		}
+	}
+}

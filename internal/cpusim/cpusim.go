@@ -1,0 +1,209 @@
+// Package cpusim simulates an asymmetric multicore CPU (big.LITTLE) with
+// per-core DVFS, in quantum-stepped time. It is the substrate for the
+// paper's §1 scheduling scenarios: the Linux Energy-Aware Scheduler example
+// (bimodal transcoding workloads mispredicted by utilization proxies) and
+// the Kubernetes node-selection example.
+//
+// The model is deliberately simple but captures the energy structure that
+// matters: per-core active power grows superlinearly with frequency, little
+// cores are more efficient per cycle at low throughput, idle cores leak,
+// and the package burns uncore power whenever the chip is on. The package
+// energy counter satisfies rapl.Device, so schedulers are evaluated with
+// the same (simulated) measurement infrastructure as everything else.
+package cpusim
+
+import (
+	"fmt"
+
+	"energyclarity/internal/energy"
+)
+
+// FreqLevel is one DVFS operating point.
+type FreqLevel struct {
+	GHz     float64
+	ActiveW energy.Watts // power while executing
+}
+
+// CoreSpec describes one core type.
+type CoreSpec struct {
+	Type  string // "big" or "little"
+	IPC   float64
+	Idle  energy.Watts
+	Freqs []FreqLevel // ascending by GHz
+}
+
+// CapacityCycles returns the cycles the core retires per second at level l.
+func (cs CoreSpec) CapacityCycles(l int) float64 {
+	return cs.Freqs[l].GHz * 1e9 * cs.IPC
+}
+
+// BigCore returns a performance core: fast, power-hungry, superlinear
+// power-frequency curve.
+func BigCore() CoreSpec {
+	return CoreSpec{
+		Type: "big",
+		IPC:  3.0,
+		Idle: 0.15,
+		Freqs: []FreqLevel{
+			{GHz: 0.8, ActiveW: 1.1},
+			{GHz: 1.6, ActiveW: 3.2},
+			{GHz: 2.4, ActiveW: 7.0},
+		},
+	}
+}
+
+// LittleCore returns an efficiency core: slower but far cheaper per cycle.
+func LittleCore() CoreSpec {
+	return CoreSpec{
+		Type: "little",
+		IPC:  1.2,
+		Idle: 0.05,
+		Freqs: []FreqLevel{
+			{GHz: 0.6, ActiveW: 0.22},
+			{GHz: 1.0, ActiveW: 0.55},
+			{GHz: 1.5, ActiveW: 1.35},
+		},
+	}
+}
+
+// EnergyPerCycle returns joules per retired cycle at level l — the quantity
+// an energy-aware placement minimizes.
+func (cs CoreSpec) EnergyPerCycle(l int) energy.Joules {
+	return energy.Joules(float64(cs.Freqs[l].ActiveW) / cs.CapacityCycles(l))
+}
+
+// Chip is a set of cores sharing a package, stepped in fixed quanta.
+type Chip struct {
+	cores   []CoreSpec
+	uncoreW energy.Watts
+	quantum float64 // seconds per scheduling quantum
+
+	now     float64
+	pkg     energy.Joules
+	perCore []energy.Joules
+}
+
+// NewChip builds a chip from core specs. quantum is the scheduling quantum
+// in seconds; uncoreW is package power burned whenever the chip is on.
+func NewChip(cores []CoreSpec, quantum float64, uncoreW energy.Watts) (*Chip, error) {
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("cpusim: chip with no cores")
+	}
+	if quantum <= 0 {
+		return nil, fmt.Errorf("cpusim: non-positive quantum")
+	}
+	for i, c := range cores {
+		if len(c.Freqs) == 0 || c.IPC <= 0 {
+			return nil, fmt.Errorf("cpusim: core %d (%s) malformed", i, c.Type)
+		}
+		for j := 1; j < len(c.Freqs); j++ {
+			if c.Freqs[j].GHz <= c.Freqs[j-1].GHz {
+				return nil, fmt.Errorf("cpusim: core %d frequencies not ascending", i)
+			}
+		}
+	}
+	return &Chip{
+		cores:   cores,
+		uncoreW: uncoreW,
+		quantum: quantum,
+		perCore: make([]energy.Joules, len(cores)),
+	}, nil
+}
+
+// BigLITTLE returns the canonical 4+4 phone/edge chip used by the E2
+// experiment: 4 big + 4 little cores, 10 ms quantum.
+func BigLITTLE() *Chip {
+	cores := make([]CoreSpec, 0, 8)
+	for i := 0; i < 4; i++ {
+		cores = append(cores, BigCore())
+	}
+	for i := 0; i < 4; i++ {
+		cores = append(cores, LittleCore())
+	}
+	chip, err := NewChip(cores, 0.010, 0.25)
+	if err != nil {
+		panic(err) // static configuration; cannot fail
+	}
+	return chip
+}
+
+// NumCores returns the core count.
+func (ch *Chip) NumCores() int { return len(ch.cores) }
+
+// Core returns the spec of core i.
+func (ch *Chip) Core(i int) CoreSpec { return ch.cores[i] }
+
+// Quantum returns the scheduling quantum in seconds.
+func (ch *Chip) Quantum() float64 { return ch.quantum }
+
+// Now returns chip time in seconds.
+func (ch *Chip) Now() float64 { return ch.now }
+
+// PackageEnergy returns cumulative package energy; satisfies rapl.Device.
+func (ch *Chip) PackageEnergy() energy.Joules { return ch.pkg }
+
+// CoreEnergy returns cumulative energy attributed to core i.
+func (ch *Chip) CoreEnergy(i int) energy.Joules { return ch.perCore[i] }
+
+// Assignment is one core's work for a quantum: the DVFS level to run at and
+// the cycles of demand assigned to it. Level -1 parks the core (idle).
+type Assignment struct {
+	Level  int
+	Cycles float64
+}
+
+// QuantumResult reports what one quantum executed.
+type QuantumResult struct {
+	Completed []float64     // cycles actually retired per core
+	Unmet     []float64     // cycles assigned but not completed (overload)
+	Energy    energy.Joules // package energy of this quantum
+}
+
+// Step executes one quantum with the given per-core assignments. A core
+// retires at most capacity×quantum cycles; assigned cycles beyond that are
+// reported unmet (QoS violation). Energy: active power for the busy
+// fraction, idle power for the rest, plus uncore power. It returns an
+// error on malformed assignments.
+func (ch *Chip) Step(assign []Assignment) (QuantumResult, error) {
+	if len(assign) != len(ch.cores) {
+		return QuantumResult{}, fmt.Errorf("cpusim: %d assignments for %d cores",
+			len(assign), len(ch.cores))
+	}
+	res := QuantumResult{
+		Completed: make([]float64, len(ch.cores)),
+		Unmet:     make([]float64, len(ch.cores)),
+	}
+	var total energy.Joules
+	for i, a := range assign {
+		spec := ch.cores[i]
+		if a.Level == -1 || a.Cycles <= 0 {
+			e := spec.Idle.OverSeconds(ch.quantum)
+			ch.perCore[i] += e
+			total += e
+			if a.Cycles > 0 {
+				res.Unmet[i] = a.Cycles // work assigned to a parked core
+			}
+			continue
+		}
+		if a.Level < 0 || a.Level >= len(spec.Freqs) {
+			return QuantumResult{}, fmt.Errorf("cpusim: core %d: bad DVFS level %d", i, a.Level)
+		}
+		capCycles := spec.CapacityCycles(a.Level) * ch.quantum
+		done := a.Cycles
+		if done > capCycles {
+			done = capCycles
+			res.Unmet[i] = a.Cycles - capCycles
+		}
+		busyFrac := done / capCycles
+		e := spec.Freqs[a.Level].ActiveW.OverSeconds(ch.quantum*busyFrac) +
+			spec.Idle.OverSeconds(ch.quantum*(1-busyFrac))
+		ch.perCore[i] += e
+		total += e
+		res.Completed[i] = done
+	}
+	total += ch.uncoreW.OverSeconds(ch.quantum)
+	ch.pkg += total
+	ch.now += ch.quantum
+	res.Energy = total
+	return res, nil
+}

@@ -1,0 +1,212 @@
+package cpusim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"energyclarity/internal/energy"
+	"energyclarity/internal/rapl"
+)
+
+func TestChipConstruction(t *testing.T) {
+	if _, err := NewChip(nil, 0.01, 1); err == nil {
+		t.Error("empty chip accepted")
+	}
+	if _, err := NewChip([]CoreSpec{BigCore()}, 0, 1); err == nil {
+		t.Error("zero quantum accepted")
+	}
+	bad := BigCore()
+	bad.Freqs = nil
+	if _, err := NewChip([]CoreSpec{bad}, 0.01, 1); err == nil {
+		t.Error("core without freqs accepted")
+	}
+	desc := BigCore()
+	desc.Freqs = []FreqLevel{{GHz: 2, ActiveW: 2}, {GHz: 1, ActiveW: 1}}
+	if _, err := NewChip([]CoreSpec{desc}, 0.01, 1); err == nil {
+		t.Error("descending freqs accepted")
+	}
+}
+
+func TestBigLITTLEShape(t *testing.T) {
+	ch := BigLITTLE()
+	if ch.NumCores() != 8 {
+		t.Fatalf("cores = %d", ch.NumCores())
+	}
+	bigs, littles := 0, 0
+	for i := 0; i < ch.NumCores(); i++ {
+		switch ch.Core(i).Type {
+		case "big":
+			bigs++
+		case "little":
+			littles++
+		}
+	}
+	if bigs != 4 || littles != 4 {
+		t.Fatalf("%d big, %d little", bigs, littles)
+	}
+}
+
+func TestLittleMoreEfficientPerCycle(t *testing.T) {
+	big, little := BigCore(), LittleCore()
+	// At their lowest operating points the little core must win on energy
+	// per cycle; at max frequency the big core provides more capacity.
+	if little.EnergyPerCycle(0) >= big.EnergyPerCycle(0) {
+		t.Fatal("little core not more efficient at low frequency")
+	}
+	topBig, topLittle := len(big.Freqs)-1, len(little.Freqs)-1
+	if big.CapacityCycles(topBig) <= little.CapacityCycles(topLittle) {
+		t.Fatal("big core not faster at top frequency")
+	}
+}
+
+func TestRaceToIdleTradeoff(t *testing.T) {
+	// Energy per cycle must increase with frequency on the same core
+	// (superlinear power curve) — the structure DVFS policies exploit.
+	for _, spec := range []CoreSpec{BigCore(), LittleCore()} {
+		for l := 1; l < len(spec.Freqs); l++ {
+			if spec.EnergyPerCycle(l) <= spec.EnergyPerCycle(l-1) {
+				t.Errorf("%s core: energy/cycle not increasing at level %d", spec.Type, l)
+			}
+		}
+	}
+}
+
+func TestStepIdleChip(t *testing.T) {
+	ch := BigLITTLE()
+	assign := make([]Assignment, ch.NumCores())
+	for i := range assign {
+		assign[i] = Assignment{Level: -1}
+	}
+	res, err := ch.Step(assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idle energy: sum of idle powers + uncore, over one quantum.
+	want := energy.Joules(0)
+	for i := 0; i < ch.NumCores(); i++ {
+		want += ch.Core(i).Idle.OverSeconds(ch.Quantum())
+	}
+	want += energy.Watts(0.25).OverSeconds(ch.Quantum())
+	if math.Abs(float64(res.Energy-want)) > 1e-12 {
+		t.Fatalf("idle quantum energy %v, want %v", res.Energy, want)
+	}
+	if ch.Now() != ch.Quantum() {
+		t.Fatalf("clock %v", ch.Now())
+	}
+}
+
+func TestStepExecutesAndMeters(t *testing.T) {
+	ch := BigLITTLE()
+	assign := make([]Assignment, ch.NumCores())
+	for i := range assign {
+		assign[i] = Assignment{Level: -1}
+	}
+	demand := ch.Core(0).CapacityCycles(2) * ch.Quantum() / 2 // half load at top level
+	assign[0] = Assignment{Level: 2, Cycles: demand}
+	res, err := ch.Step(assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed[0] != demand || res.Unmet[0] != 0 {
+		t.Fatalf("completed %v unmet %v", res.Completed[0], res.Unmet[0])
+	}
+	if ch.CoreEnergy(0) <= ch.CoreEnergy(1) {
+		t.Fatal("busy core not charged more than idle core")
+	}
+	if ch.PackageEnergy() != res.Energy {
+		t.Fatal("package accumulator mismatch")
+	}
+}
+
+func TestStepOverloadReportsUnmet(t *testing.T) {
+	ch := BigLITTLE()
+	assign := make([]Assignment, ch.NumCores())
+	for i := range assign {
+		assign[i] = Assignment{Level: -1}
+	}
+	capCycles := ch.Core(0).CapacityCycles(0) * ch.Quantum()
+	assign[0] = Assignment{Level: 0, Cycles: capCycles * 2}
+	res, err := ch.Step(assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Unmet[0]-capCycles) > 1e-6*capCycles {
+		t.Fatalf("unmet = %v, want %v", res.Unmet[0], capCycles)
+	}
+}
+
+func TestStepWorkOnParkedCoreIsUnmet(t *testing.T) {
+	ch := BigLITTLE()
+	assign := make([]Assignment, ch.NumCores())
+	for i := range assign {
+		assign[i] = Assignment{Level: -1}
+	}
+	assign[3] = Assignment{Level: -1, Cycles: 1000}
+	res, err := ch.Step(assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unmet[3] != 1000 {
+		t.Fatalf("unmet = %v", res.Unmet[3])
+	}
+}
+
+func TestStepErrors(t *testing.T) {
+	ch := BigLITTLE()
+	if _, err := ch.Step(nil); err == nil {
+		t.Fatal("wrong-length assignment accepted")
+	}
+	assign := make([]Assignment, ch.NumCores())
+	assign[0] = Assignment{Level: 99, Cycles: 1}
+	if _, err := ch.Step(assign); err == nil {
+		t.Fatal("bad DVFS level accepted")
+	}
+}
+
+func TestChipSatisfiesRAPLDevice(t *testing.T) {
+	ch := BigLITTLE()
+	counter := rapl.NewCounter(ch, rapl.DefaultESU)
+	w := counter.NewWindow()
+	assign := make([]Assignment, ch.NumCores())
+	for i := range assign {
+		assign[i] = Assignment{Level: 0, Cycles: 1e6}
+	}
+	for q := 0; q < 100; q++ {
+		if _, err := ch.Step(assign); err != nil {
+			t.Fatal(err)
+		}
+	}
+	measured := float64(w.Energy())
+	truth := float64(ch.PackageEnergy())
+	if math.Abs(measured-truth) > float64(counter.UnitJoules())*2 {
+		t.Fatalf("RAPL window %v vs truth %v", measured, truth)
+	}
+}
+
+func TestQuickEnergyMonotoneInLoad(t *testing.T) {
+	// More assigned cycles at the same level never consumes less energy.
+	f := func(loadRaw float64) bool {
+		load := math.Abs(math.Mod(loadRaw, 1))
+		mk := func(frac float64) energy.Joules {
+			ch := BigLITTLE()
+			assign := make([]Assignment, ch.NumCores())
+			for i := range assign {
+				assign[i] = Assignment{Level: -1}
+			}
+			capCycles := ch.Core(0).CapacityCycles(1) * ch.Quantum()
+			assign[0] = Assignment{Level: 1, Cycles: capCycles * frac}
+			res, err := ch.Step(assign)
+			if err != nil {
+				return -1
+			}
+			return res.Energy
+		}
+		lo := mk(load / 2)
+		hi := mk(load)
+		return lo >= 0 && hi >= 0 && hi >= lo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

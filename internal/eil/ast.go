@@ -1,0 +1,204 @@
+package eil
+
+// File is a parsed EIL source file: a sequence of interface declarations.
+type File struct {
+	Interfaces []*InterfaceDecl
+}
+
+// InterfaceDecl declares one energy interface.
+type InterfaceDecl struct {
+	Pos   Pos
+	Name  string
+	Doc   string // optional doc string after the name
+	ECVs  []*ECVDecl
+	Uses  []*UsesDecl
+	Funcs []*FuncDecl
+}
+
+// ECVDecl declares an energy-critical variable with its distribution.
+type ECVDecl struct {
+	Pos  Pos
+	Name string
+	Dist *DistExpr
+	Doc  string // optional trailing string literal
+}
+
+// DistKind selects the ECV distribution form.
+type DistKind int
+
+// Distribution kinds.
+const (
+	DistBernoulli DistKind = iota // bernoulli(p)
+	DistChoice                    // choice { v: p, ... }
+	DistFixed                     // fixed(v)
+)
+
+// DistExpr is an ECV distribution. Arguments must be compile-time constant
+// expressions.
+type DistExpr struct {
+	Pos    Pos
+	Kind   DistKind
+	Args   []Expr // Bernoulli: [p]; Fixed: [v]
+	Values []Expr // Choice: support values
+	Probs  []Expr // Choice: probabilities, same length as Values
+}
+
+// UsesDecl binds a lower-level interface under a local name.
+type UsesDecl struct {
+	Pos   Pos
+	Local string // local binding name
+	Iface string // target interface name, resolved at compile time
+}
+
+// FuncDecl declares an energy method.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Params []string
+	Doc    string
+	Body   *Block
+}
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtPos() Pos }
+
+// LetStmt introduces a new variable.
+type LetStmt struct {
+	Pos  Pos
+	Name string
+	Init Expr
+}
+
+// AssignStmt assigns to an existing let-variable.
+type AssignStmt struct {
+	Pos  Pos
+	Name string
+	Expr Expr
+}
+
+// IfStmt is a conditional; Else may be nil, a *Block, or (for else-if
+// chains) a *Block containing a single IfStmt.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *Block
+	Else *Block
+}
+
+// ForStmt is a bounded counting loop over [From, To).
+type ForStmt struct {
+	Pos  Pos
+	Var  string
+	From Expr
+	To   Expr
+	Body *Block
+}
+
+// ReturnStmt returns the energy computed by the method.
+type ReturnStmt struct {
+	Pos  Pos
+	Expr Expr
+}
+
+func (s *LetStmt) stmtPos() Pos    { return s.Pos }
+func (s *AssignStmt) stmtPos() Pos { return s.Pos }
+func (s *IfStmt) stmtPos() Pos     { return s.Pos }
+func (s *ForStmt) stmtPos() Pos    { return s.Pos }
+func (s *ReturnStmt) stmtPos() Pos { return s.Pos }
+
+// Expr is implemented by all expression nodes.
+type Expr interface{ exprPos() Pos }
+
+// NumLit is a numeric literal (unit suffixes already folded to joules).
+type NumLit struct {
+	Pos  Pos
+	Val  float64
+	Text string // original text, for printing
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	Pos Pos
+	Val bool
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	Pos Pos
+	Val string
+}
+
+// Ident references a parameter, let-variable, or ECV.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// FieldExpr accesses a record field: X.Name. (When X is an Ident naming a
+// binding, the parser produces CallExpr instead if followed by '('.)
+type FieldExpr struct {
+	Pos  Pos
+	X    Expr
+	Name string
+}
+
+// CallExpr calls a function: either a builtin or sibling method
+// (Target == ""), or a method of a bound interface (Target == binding name).
+type CallExpr struct {
+	Pos    Pos
+	Target string // "" for builtin/self, else binding local name
+	Name   string
+	Args   []Expr
+}
+
+// UnaryExpr is -X or !X.
+type UnaryExpr struct {
+	Pos Pos
+	Op  TokKind // TokMinus or TokBang
+	X   Expr
+}
+
+// BinaryExpr is X op Y.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   TokKind
+	X, Y Expr
+}
+
+// RecordLit is {name: expr, ...}.
+type RecordLit struct {
+	Pos    Pos
+	Names  []string
+	Values []Expr
+}
+
+// ListLit is [expr, ...].
+type ListLit struct {
+	Pos   Pos
+	Elems []Expr
+}
+
+// IndexExpr is X[I] on a list.
+type IndexExpr struct {
+	Pos Pos
+	X   Expr
+	I   Expr
+}
+
+func (e *NumLit) exprPos() Pos     { return e.Pos }
+func (e *BoolLit) exprPos() Pos    { return e.Pos }
+func (e *StrLit) exprPos() Pos     { return e.Pos }
+func (e *Ident) exprPos() Pos      { return e.Pos }
+func (e *FieldExpr) exprPos() Pos  { return e.Pos }
+func (e *CallExpr) exprPos() Pos   { return e.Pos }
+func (e *UnaryExpr) exprPos() Pos  { return e.Pos }
+func (e *BinaryExpr) exprPos() Pos { return e.Pos }
+func (e *RecordLit) exprPos() Pos  { return e.Pos }
+func (e *ListLit) exprPos() Pos    { return e.Pos }
+func (e *IndexExpr) exprPos() Pos  { return e.Pos }

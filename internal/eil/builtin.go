@@ -1,0 +1,80 @@
+package eil
+
+import (
+	"fmt"
+	"math"
+
+	"energyclarity/internal/core"
+)
+
+// builtin is a pure function callable from EIL expressions.
+type builtin struct {
+	arity int
+	impl  func(args []core.Value) (core.Value, error)
+}
+
+func numArg(name string, args []core.Value, i int) (float64, error) {
+	n, ok := args[i].AsNum()
+	if !ok {
+		return 0, fmt.Errorf("%s: argument %d is %s, want num", name, i+1, args[i].Kind())
+	}
+	return n, nil
+}
+
+func num1(name string, f func(float64) float64) builtin {
+	return builtin{arity: 1, impl: func(args []core.Value) (core.Value, error) {
+		x, err := numArg(name, args, 0)
+		if err != nil {
+			return core.Value{}, err
+		}
+		v := f(x)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return core.Value{}, fmt.Errorf("%s(%g) is not finite", name, x)
+		}
+		return core.Num(v), nil
+	}}
+}
+
+func num2(name string, f func(a, b float64) float64) builtin {
+	return builtin{arity: 2, impl: func(args []core.Value) (core.Value, error) {
+		a, err := numArg(name, args, 0)
+		if err != nil {
+			return core.Value{}, err
+		}
+		b, err := numArg(name, args, 1)
+		if err != nil {
+			return core.Value{}, err
+		}
+		v := f(a, b)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return core.Value{}, fmt.Errorf("%s(%g, %g) is not finite", name, a, b)
+		}
+		return core.Num(v), nil
+	}}
+}
+
+// builtins is the EIL standard library. All functions are total over their
+// documented domains and return errors (not NaN) outside them, so interface
+// evaluations never silently produce garbage energies.
+var builtins = map[string]builtin{
+	"min":   num2("min", math.Min),
+	"max":   num2("max", math.Max),
+	"abs":   num1("abs", math.Abs),
+	"ceil":  num1("ceil", math.Ceil),
+	"floor": num1("floor", math.Floor),
+	"sqrt":  num1("sqrt", math.Sqrt),
+	"pow":   num2("pow", math.Pow),
+	"log2":  num1("log2", math.Log2),
+	"len": {arity: 1, impl: func(args []core.Value) (core.Value, error) {
+		v := args[0]
+		switch v.Kind() {
+		case core.KindList:
+			return core.Num(float64(v.Len())), nil
+		case core.KindStr:
+			s, _ := v.AsStr()
+			return core.Num(float64(len(s))), nil
+		default:
+			return core.Value{}, fmt.Errorf("len: argument is %s, want list or str", v.Kind())
+		}
+	}},
+}

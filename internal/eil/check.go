@@ -1,0 +1,446 @@
+package eil
+
+import (
+	"math"
+
+	"energyclarity/internal/core"
+)
+
+// Check performs semantic analysis on a parsed file:
+//
+//   - no duplicate interface, ECV, uses, or func names
+//   - 'uses' targets resolve to another interface in the file or in registry
+//   - identifiers resolve to a parameter, let-variable, loop variable, or ECV
+//   - assignments target an existing local variable (not an ECV or loop var)
+//   - calls resolve: builtins and sibling methods with exact arity; bound-
+//     interface methods with arity checked where the callee declares params
+//   - every path through a function body returns
+//   - ECV distribution parameters are compile-time constants; bernoulli
+//     probabilities lie in [0,1]; choice probabilities are non-negative and
+//     sum to a positive value (they are normalized at compile time)
+//
+// registry provides externally-defined interfaces (e.g. Go-native hardware
+// interfaces); it may be nil.
+func Check(f *File, registry map[string]*core.Interface) error {
+	c := &checker{registry: registry, local: map[string]*InterfaceDecl{}}
+	for _, id := range f.Interfaces {
+		if _, dup := c.local[id.Name]; dup {
+			return errf(id.Pos, "duplicate interface %q", id.Name)
+		}
+		if _, ext := registry[id.Name]; ext {
+			return errf(id.Pos, "interface %q shadows a registered interface", id.Name)
+		}
+		c.local[id.Name] = id
+	}
+	for _, id := range f.Interfaces {
+		if err := c.checkInterface(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	registry map[string]*core.Interface
+	local    map[string]*InterfaceDecl
+}
+
+type scope struct {
+	parent *scope
+	vars   map[string]bool // name -> assignable
+}
+
+func (s *scope) lookup(name string) (assignable, found bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if a, ok := sc.vars[name]; ok {
+			return a, true
+		}
+	}
+	return false, false
+}
+
+func (c *checker) checkInterface(id *InterfaceDecl) error {
+	ecvs := map[string]bool{}
+	for _, e := range id.ECVs {
+		if ecvs[e.Name] {
+			return errf(e.Pos, "interface %s: duplicate ecv %q", id.Name, e.Name)
+		}
+		ecvs[e.Name] = true
+		if _, err := compileDist(e); err != nil {
+			return err
+		}
+	}
+	uses := map[string]*InterfaceDecl{}     // local name -> EIL decl (nil if external)
+	usesExt := map[string]*core.Interface{} // local name -> external iface
+	for _, u := range id.Uses {
+		if _, dup := uses[u.Local]; dup {
+			return errf(u.Pos, "interface %s: duplicate uses %q", id.Name, u.Local)
+		}
+		if _, dup := usesExt[u.Local]; dup {
+			return errf(u.Pos, "interface %s: duplicate uses %q", id.Name, u.Local)
+		}
+		if ecvs[u.Local] {
+			return errf(u.Pos, "interface %s: uses %q collides with an ecv", id.Name, u.Local)
+		}
+		if tgt, ok := c.local[u.Iface]; ok {
+			uses[u.Local] = tgt
+		} else if ext, ok := c.registry[u.Iface]; ok {
+			usesExt[u.Local] = ext
+		} else {
+			return errf(u.Pos, "interface %s: uses %q: unknown interface %q", id.Name, u.Local, u.Iface)
+		}
+	}
+	funcs := map[string]*FuncDecl{}
+	for _, fn := range id.Funcs {
+		if _, dup := funcs[fn.Name]; dup {
+			return errf(fn.Pos, "interface %s: duplicate func %q", id.Name, fn.Name)
+		}
+		if _, isBuiltin := builtins[fn.Name]; isBuiltin {
+			return errf(fn.Pos, "interface %s: func %q shadows a builtin", id.Name, fn.Name)
+		}
+		funcs[fn.Name] = fn
+	}
+	if len(funcs) == 0 {
+		return errf(id.Pos, "interface %s declares no functions", id.Name)
+	}
+
+	env := &ifaceEnv{decl: id, ecvs: ecvs, uses: uses, usesExt: usesExt, funcs: funcs}
+	for _, fn := range id.Funcs {
+		if err := c.checkFunc(env, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type ifaceEnv struct {
+	decl    *InterfaceDecl
+	ecvs    map[string]bool
+	uses    map[string]*InterfaceDecl
+	usesExt map[string]*core.Interface
+	funcs   map[string]*FuncDecl
+}
+
+func (c *checker) checkFunc(env *ifaceEnv, fn *FuncDecl) error {
+	sc := &scope{vars: map[string]bool{}}
+	seen := map[string]bool{}
+	for _, p := range fn.Params {
+		if seen[p] {
+			return errf(fn.Pos, "func %s: duplicate parameter %q", fn.Name, p)
+		}
+		seen[p] = true
+		sc.vars[p] = true // parameters are assignable locals
+	}
+	returns, err := c.checkBlock(env, fn, sc, fn.Body)
+	if err != nil {
+		return err
+	}
+	if !returns {
+		return errf(fn.Pos, "func %s: missing return on some path", fn.Name)
+	}
+	return nil
+}
+
+// checkBlock checks stmts in a child scope and reports whether the block
+// definitely returns.
+func (c *checker) checkBlock(env *ifaceEnv, fn *FuncDecl, parent *scope, b *Block) (bool, error) {
+	sc := &scope{parent: parent, vars: map[string]bool{}}
+	returns := false
+	for _, st := range b.Stmts {
+		if returns {
+			return false, errf(st.stmtPos(), "func %s: unreachable statement after return", fn.Name)
+		}
+		switch s := st.(type) {
+		case *LetStmt:
+			if err := c.checkExpr(env, fn, sc, s.Init); err != nil {
+				return false, err
+			}
+			if _, shadows := sc.vars[s.Name]; shadows {
+				return false, errf(s.Pos, "func %s: %q already declared in this scope", fn.Name, s.Name)
+			}
+			sc.vars[s.Name] = true
+		case *AssignStmt:
+			assignable, found := sc.lookup(s.Name)
+			if !found {
+				return false, errf(s.Pos, "func %s: assignment to undeclared %q", fn.Name, s.Name)
+			}
+			if !assignable {
+				return false, errf(s.Pos, "func %s: %q is not assignable", fn.Name, s.Name)
+			}
+			if err := c.checkExpr(env, fn, sc, s.Expr); err != nil {
+				return false, err
+			}
+		case *IfStmt:
+			if err := c.checkExpr(env, fn, sc, s.Cond); err != nil {
+				return false, err
+			}
+			thenRet, err := c.checkBlock(env, fn, sc, s.Then)
+			if err != nil {
+				return false, err
+			}
+			elseRet := false
+			if s.Else != nil {
+				elseRet, err = c.checkBlock(env, fn, sc, s.Else)
+				if err != nil {
+					return false, err
+				}
+			}
+			returns = thenRet && elseRet
+		case *ForStmt:
+			if err := c.checkExpr(env, fn, sc, s.From); err != nil {
+				return false, err
+			}
+			if err := c.checkExpr(env, fn, sc, s.To); err != nil {
+				return false, err
+			}
+			loop := &scope{parent: sc, vars: map[string]bool{s.Var: false}} // loop var not assignable
+			if _, err := c.checkBlock(env, fn, loop, s.Body); err != nil {
+				return false, err
+			}
+			// A for body's return does not guarantee the loop runs, so it
+			// does not make the block definitely-return.
+		case *ReturnStmt:
+			if err := c.checkExpr(env, fn, sc, s.Expr); err != nil {
+				return false, err
+			}
+			returns = true
+		default:
+			return false, errf(st.stmtPos(), "func %s: unknown statement", fn.Name)
+		}
+	}
+	return returns, nil
+}
+
+func (c *checker) checkExpr(env *ifaceEnv, fn *FuncDecl, sc *scope, e Expr) error {
+	switch x := e.(type) {
+	case *NumLit, *BoolLit, *StrLit:
+		return nil
+	case *Ident:
+		if _, found := sc.lookup(x.Name); found {
+			return nil
+		}
+		if env.ecvs[x.Name] {
+			return nil
+		}
+		return errf(x.Pos, "func %s: undefined identifier %q", fn.Name, x.Name)
+	case *FieldExpr:
+		return c.checkExpr(env, fn, sc, x.X)
+	case *UnaryExpr:
+		return c.checkExpr(env, fn, sc, x.X)
+	case *BinaryExpr:
+		if err := c.checkExpr(env, fn, sc, x.X); err != nil {
+			return err
+		}
+		return c.checkExpr(env, fn, sc, x.Y)
+	case *RecordLit:
+		seen := map[string]bool{}
+		for i, n := range x.Names {
+			if seen[n] {
+				return errf(x.Pos, "func %s: duplicate record field %q", fn.Name, n)
+			}
+			seen[n] = true
+			if err := c.checkExpr(env, fn, sc, x.Values[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ListLit:
+		for _, el := range x.Elems {
+			if err := c.checkExpr(env, fn, sc, el); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *IndexExpr:
+		if err := c.checkExpr(env, fn, sc, x.X); err != nil {
+			return err
+		}
+		return c.checkExpr(env, fn, sc, x.I)
+	case *CallExpr:
+		for _, a := range x.Args {
+			if err := c.checkExpr(env, fn, sc, a); err != nil {
+				return err
+			}
+		}
+		return c.checkCall(env, fn, x)
+	default:
+		return errf(e.exprPos(), "func %s: unknown expression", fn.Name)
+	}
+}
+
+func (c *checker) checkCall(env *ifaceEnv, fn *FuncDecl, x *CallExpr) error {
+	if x.Target == "" {
+		if b, ok := builtins[x.Name]; ok {
+			if len(x.Args) != b.arity {
+				return errf(x.Pos, "func %s: builtin %s takes %d args, got %d",
+					fn.Name, x.Name, b.arity, len(x.Args))
+			}
+			return nil
+		}
+		callee, ok := env.funcs[x.Name]
+		if !ok {
+			return errf(x.Pos, "func %s: call to undefined function %q", fn.Name, x.Name)
+		}
+		if len(x.Args) != len(callee.Params) {
+			return errf(x.Pos, "func %s: %s takes %d args, got %d",
+				fn.Name, x.Name, len(callee.Params), len(x.Args))
+		}
+		return nil
+	}
+	if tgt, ok := env.uses[x.Target]; ok {
+		for _, f := range tgt.Funcs {
+			if f.Name == x.Name {
+				if len(x.Args) != len(f.Params) {
+					return errf(x.Pos, "func %s: %s.%s takes %d args, got %d",
+						fn.Name, x.Target, x.Name, len(f.Params), len(x.Args))
+				}
+				return nil
+			}
+		}
+		return errf(x.Pos, "func %s: interface %s has no func %q", fn.Name, tgt.Name, x.Name)
+	}
+	if ext, ok := env.usesExt[x.Target]; ok {
+		m := ext.Method(x.Name)
+		if m == nil {
+			return errf(x.Pos, "func %s: interface %s has no method %q", fn.Name, ext.Name(), x.Name)
+		}
+		if len(m.Params) != 0 && len(x.Args) != len(m.Params) {
+			return errf(x.Pos, "func %s: %s.%s takes %d args, got %d",
+				fn.Name, x.Target, x.Name, len(m.Params), len(x.Args))
+		}
+		return nil
+	}
+	return errf(x.Pos, "func %s: unknown binding %q", fn.Name, x.Target)
+}
+
+// compileDist evaluates an ECV declaration's constant distribution into a
+// core.ECV. It is used both by Check (validation) and Compile.
+func compileDist(e *ECVDecl) (core.ECV, error) {
+	switch e.Dist.Kind {
+	case DistBernoulli:
+		p, err := constNum(e.Dist.Args[0])
+		if err != nil {
+			return core.ECV{}, err
+		}
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return core.ECV{}, errf(e.Dist.Pos, "ecv %s: bernoulli probability %g out of [0,1]", e.Name, p)
+		}
+		return core.ECV{Name: e.Name, Doc: e.Doc, Dist: []core.Weighted{
+			{V: core.Bool(false), P: 1 - p}, {V: core.Bool(true), P: p},
+		}}, nil
+	case DistFixed:
+		v, err := constValue(e.Dist.Args[0])
+		if err != nil {
+			return core.ECV{}, err
+		}
+		return core.ECV{Name: e.Name, Doc: e.Doc, Dist: []core.Weighted{{V: v, P: 1}}}, nil
+	case DistChoice:
+		var ws []core.Weighted
+		total := 0.0
+		for i := range e.Dist.Values {
+			v, err := constValue(e.Dist.Values[i])
+			if err != nil {
+				return core.ECV{}, err
+			}
+			p, err := constNum(e.Dist.Probs[i])
+			if err != nil {
+				return core.ECV{}, err
+			}
+			if p < 0 || math.IsNaN(p) {
+				return core.ECV{}, errf(e.Dist.Pos, "ecv %s: negative probability %g", e.Name, p)
+			}
+			total += p
+			ws = append(ws, core.Weighted{V: v, P: p})
+		}
+		if total <= 0 {
+			return core.ECV{}, errf(e.Dist.Pos, "ecv %s: probabilities sum to zero", e.Name)
+		}
+		for i := range ws {
+			ws[i].P /= total
+		}
+		return core.ECV{Name: e.Name, Doc: e.Doc, Dist: ws}, nil
+	default:
+		return core.ECV{}, errf(e.Dist.Pos, "ecv %s: unknown distribution kind", e.Name)
+	}
+}
+
+// constValue evaluates a compile-time constant expression (literals,
+// arithmetic, unary ops, and pure builtins on constants).
+func constValue(e Expr) (core.Value, error) {
+	switch x := e.(type) {
+	case *NumLit:
+		return core.Num(x.Val), nil
+	case *BoolLit:
+		return core.Bool(x.Val), nil
+	case *StrLit:
+		return core.Str(x.Val), nil
+	case *UnaryExpr:
+		v, err := constValue(x.X)
+		if err != nil {
+			return core.Value{}, err
+		}
+		switch x.Op {
+		case TokMinus:
+			n, ok := v.AsNum()
+			if !ok {
+				return core.Value{}, errf(x.Pos, "unary '-' on %s", v.Kind())
+			}
+			return core.Num(-n), nil
+		case TokBang:
+			b, ok := v.AsBool()
+			if !ok {
+				return core.Value{}, errf(x.Pos, "unary '!' on %s", v.Kind())
+			}
+			return core.Bool(!b), nil
+		}
+		return core.Value{}, errf(x.Pos, "bad unary operator in constant")
+	case *BinaryExpr:
+		a, err := constValue(x.X)
+		if err != nil {
+			return core.Value{}, err
+		}
+		b, err := constValue(x.Y)
+		if err != nil {
+			return core.Value{}, err
+		}
+		return applyBinary(x.Pos, x.Op, a, b)
+	case *CallExpr:
+		if x.Target != "" {
+			return core.Value{}, errf(x.Pos, "interface calls are not constant")
+		}
+		bi, ok := builtins[x.Name]
+		if !ok {
+			return core.Value{}, errf(x.Pos, "call to %q is not constant", x.Name)
+		}
+		if len(x.Args) != bi.arity {
+			return core.Value{}, errf(x.Pos, "builtin %s takes %d args, got %d", x.Name, bi.arity, len(x.Args))
+		}
+		args := make([]core.Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := constValue(a)
+			if err != nil {
+				return core.Value{}, err
+			}
+			args[i] = v
+		}
+		v, err := bi.impl(args)
+		if err != nil {
+			return core.Value{}, errf(x.Pos, "%v", err)
+		}
+		return v, nil
+	default:
+		return core.Value{}, errf(e.exprPos(), "expression is not a compile-time constant")
+	}
+}
+
+func constNum(e Expr) (float64, error) {
+	v, err := constValue(e)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := v.AsNum()
+	if !ok {
+		return 0, errf(e.exprPos(), "constant is %s, want num", v.Kind())
+	}
+	return n, nil
+}

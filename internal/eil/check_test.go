@@ -1,0 +1,211 @@
+package eil
+
+import (
+	"strings"
+	"testing"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/energy"
+)
+
+// checkErr compiles src (with optional registry) and asserts the error
+// contains wantSub.
+func checkErr(t *testing.T, name, src, wantSub string, registry map[string]*core.Interface) {
+	t.Helper()
+	_, err := Compile(src, registry)
+	if err == nil {
+		t.Errorf("%s: compile succeeded, want error containing %q", name, wantSub)
+		return
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Errorf("%s: error %q missing %q", name, err, wantSub)
+	}
+}
+
+func TestCheckRejections(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"dup-interface",
+			`interface t { func f() { return 1 } } interface t { func g() { return 1 } }`,
+			"duplicate interface"},
+		{"dup-ecv",
+			`interface t { ecv x: bernoulli(0.5) ecv x: bernoulli(0.5) func f() { return 1 } }`,
+			"duplicate ecv"},
+		{"dup-uses",
+			`interface a { func f() { return 1 } }
+			 interface t { uses u: a uses u: a func f() { return 1 } }`,
+			"duplicate uses"},
+		{"uses-ecv-collision",
+			`interface a { func f() { return 1 } }
+			 interface t { ecv u: bernoulli(0.5) uses u: a func f() { return 1 } }`,
+			"collides"},
+		{"unknown-uses",
+			`interface t { uses u: nothing func f() { return 1 } }`,
+			"unknown interface"},
+		{"dup-func",
+			`interface t { func f() { return 1 } func f() { return 2 } }`,
+			"duplicate func"},
+		{"builtin-shadow",
+			`interface t { func min(a, b) { return a } }`,
+			"shadows a builtin"},
+		{"no-funcs",
+			`interface t { ecv x: bernoulli(0.5) }`,
+			"no functions"},
+		{"dup-param",
+			`interface t { func f(a, a) { return a } }`,
+			"duplicate parameter"},
+		{"missing-return",
+			`interface t { func f(a) { let x = a } }`,
+			"missing return"},
+		{"missing-return-one-branch",
+			`interface t { func f(a) { if a > 0 { return 1 } } }`,
+			"missing return"},
+		{"return-only-in-loop",
+			`interface t { func f(a) { for i in 0 .. a { return 1 } } }`,
+			"missing return"},
+		{"unreachable",
+			`interface t { func f() { return 1 let x = 2 } }`,
+			"unreachable"},
+		{"undefined-ident",
+			`interface t { func f() { return nope } }`,
+			"undefined identifier"},
+		{"assign-undeclared",
+			`interface t { func f() { x = 1 return 1 } }`,
+			"undeclared"},
+		{"assign-loop-var",
+			`interface t { func f() { for i in 0 .. 3 { i = 5 } return 1 } }`,
+			"not assignable"},
+		{"shadow-in-scope",
+			`interface t { func f() { let x = 1 let x = 2 return x } }`,
+			"already declared"},
+		{"undefined-call",
+			`interface t { func f() { return g() } }`,
+			"undefined function"},
+		{"builtin-arity",
+			`interface t { func f() { return min(1) } }`,
+			"takes 2 args"},
+		{"self-arity",
+			`interface t { func g(a, b) { return a + b } func f() { return g(1) } }`,
+			"takes 2 args"},
+		{"unknown-binding",
+			`interface t { func f() { return u.m(1) } }`,
+			"unknown binding"},
+		{"unknown-method-on-binding",
+			`interface a { func f() { return 1 } }
+			 interface t { uses u: a func f() { return u.g() } }`,
+			"no func"},
+		{"binding-arity",
+			`interface a { func m(x, y) { return x } }
+			 interface t { uses u: a func f() { return u.m(1) } }`,
+			"takes 2 args"},
+		{"bernoulli-oob",
+			`interface t { ecv x: bernoulli(1.5) func f() { return 1 } }`,
+			"out of [0,1]"},
+		{"bernoulli-nonconst",
+			`interface t { ecv x: bernoulli(y) func f() { return 1 } }`,
+			"constant"},
+		{"choice-neg-prob",
+			`interface t { ecv x: choice { 1: -1, 2: 2 } func f() { return 1 } }`,
+			"negative probability"},
+		{"choice-zero-sum",
+			`interface t { ecv x: choice { 1: 0, 2: 0 } func f() { return 1 } }`,
+			"sum to zero"},
+		{"dup-record-field",
+			`interface t { func f() { let r = {a: 1, a: 2} return r.a } }`,
+			"duplicate record field"},
+	}
+	for _, c := range cases {
+		checkErr(t, c.name, c.src, c.wantSub, nil)
+	}
+}
+
+func TestCheckRegistryShadowing(t *testing.T) {
+	reg := map[string]*core.Interface{
+		"hw": core.New("hw").MustMethod(core.Method{
+			Name: "op", Body: func(c *core.Call) energy.Joules { return 1 },
+		}),
+	}
+	checkErr(t, "shadow-registered",
+		`interface hw { func f() { return 1 } }`,
+		"shadows a registered interface", reg)
+	checkErr(t, "unknown-ext-method",
+		`interface t { uses u: hw func f() { return u.nope() } }`,
+		"no method", reg)
+}
+
+func TestCheckExternalArity(t *testing.T) {
+	reg := map[string]*core.Interface{
+		"hw": core.New("hw").MustMethod(core.Method{
+			Name: "op", Params: []string{"a", "b"},
+			Body: func(c *core.Call) energy.Joules { return 1 },
+		}),
+	}
+	checkErr(t, "ext-arity",
+		`interface t { uses u: hw func f() { return u.op(1) } }`,
+		"takes 2 args", reg)
+}
+
+func TestCheckAcceptsValidPrograms(t *testing.T) {
+	srcs := []string{
+		// Else-if chains returning on all paths.
+		`interface t { func f(a) {
+		   if a < 1 { return 1 } else if a < 2 { return 2 } else { return 3 }
+		 }}`,
+		// Params are assignable.
+		`interface t { func f(a) { a = a + 1 return a } }`,
+		// ECV used in condition and expression.
+		`interface t { ecv hit: bernoulli(0.5)
+		   func f() { if hit { return 1 } return 2 } }`,
+		// Const-folded ECV parameters.
+		`interface t { ecv x: bernoulli(min(0.5, 0.9))
+		   ecv y: choice { 1 + 1: 0.5, pow(2, 2): 0.5 }
+		   func f() { return y } }`,
+		// Nested scopes and loops.
+		`interface t { func f(n) {
+		   let acc = 0
+		   for i in 0 .. n { let sq = i * i acc = acc + sq }
+		   return acc
+		 }}`,
+	}
+	for i, src := range srcs {
+		if _, err := Compile(src, nil); err != nil {
+			t.Errorf("program %d rejected: %v", i, err)
+		}
+	}
+}
+
+func TestConstEval(t *testing.T) {
+	// Unary and binary constant folding in ECV params.
+	src := `interface t {
+	  ecv a: bernoulli(1 - 0.25)
+	  ecv b: fixed(-2)
+	  ecv c: fixed(!false)
+	  func f() { return 1 }
+	}`
+	m, err := Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecvs := m["t"].ECVs()
+	if p := ecvs[0].Dist[1].P; p != 0.75 {
+		t.Errorf("bernoulli folded to %v", p)
+	}
+	if v := ecvs[1].Dist[0].V; !v.Equal(core.Num(-2)) {
+		t.Errorf("fixed(-2) folded to %v", v)
+	}
+	if v := ecvs[2].Dist[0].V; !v.Equal(core.Bool(true)) {
+		t.Errorf("fixed(!false) folded to %v", v)
+	}
+}
+
+func TestConstEvalRejectsNonConst(t *testing.T) {
+	cases := []string{
+		`interface t { ecv x: fixed(u.m()) func f() { return 1 } }`,
+		`interface t { ecv x: fixed(g()) func f() { return 1 } func g() { return 1 } }`,
+		`interface t { ecv x: bernoulli(0 / 0) func f() { return 1 } }`,
+	}
+	for i, src := range cases {
+		if _, err := Compile(src, nil); err == nil {
+			t.Errorf("case %d: non-constant ECV parameter accepted", i)
+		}
+	}
+}

@@ -1,0 +1,371 @@
+package eil
+
+import (
+	"fmt"
+	"math"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/energy"
+)
+
+// DefaultFuel bounds the number of interpreter steps per method evaluation.
+// EIL is expressive enough to loop, so tools need a termination guarantee;
+// exceeding the budget fails the evaluation with a clear error.
+const DefaultFuel = 1_000_000
+
+// Compile parses, checks, and compiles EIL source into core interfaces,
+// one per interface declaration, keyed by name. 'uses' declarations are
+// resolved against interfaces in the same file and against registry
+// (externally built interfaces, e.g. hardware); bindings are established
+// so the returned interfaces evaluate end to end.
+func Compile(src string, registry map[string]*core.Interface) (map[string]*core.Interface, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileFile(f, registry)
+}
+
+// CompileFile compiles an already-parsed (and not yet checked) file.
+func CompileFile(f *File, registry map[string]*core.Interface) (map[string]*core.Interface, error) {
+	if err := Check(f, registry); err != nil {
+		return nil, err
+	}
+	out := map[string]*core.Interface{}
+	decls := map[string]*InterfaceDecl{}
+	// First pass: create all interfaces with ECVs and methods.
+	for _, id := range f.Interfaces {
+		iface := core.New(id.Name).SetDoc(id.Doc)
+		for _, e := range id.ECVs {
+			ecv, err := compileDist(e)
+			if err != nil {
+				return nil, err
+			}
+			if err := iface.AddECV(ecv); err != nil {
+				return nil, err
+			}
+		}
+		for _, fn := range id.Funcs {
+			fn := fn
+			m := core.Method{
+				Name:   fn.Name,
+				Params: append([]string(nil), fn.Params...),
+				Doc:    fn.Doc,
+				Body:   makeBody(fn),
+			}
+			if err := iface.AddMethod(m); err != nil {
+				return nil, err
+			}
+		}
+		out[id.Name] = iface
+		decls[id.Name] = id
+	}
+	// Second pass: bind 'uses'.
+	for _, id := range f.Interfaces {
+		for _, u := range id.Uses {
+			var tgt *core.Interface
+			if t, ok := out[u.Iface]; ok {
+				tgt = t
+			} else {
+				tgt = registry[u.Iface]
+			}
+			if tgt == nil {
+				return nil, errf(u.Pos, "interface %s: unknown uses target %q", id.Name, u.Iface)
+			}
+			if err := out[id.Name].Bind(u.Local, tgt); err != nil {
+				return nil, errf(u.Pos, "interface %s: %v", id.Name, err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// CompileOne compiles source that declares exactly one interface (plus any
+// helpers it uses from registry) and returns it. If the file declares
+// several, the last one (typically the top of the stack) is returned.
+func CompileOne(src string, registry map[string]*core.Interface) (*core.Interface, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	m, err := CompileFile(f, registry)
+	if err != nil {
+		return nil, err
+	}
+	return m[f.Interfaces[len(f.Interfaces)-1].Name], nil
+}
+
+// interp is the per-evaluation interpreter state.
+type interp struct {
+	call *core.Call
+	fn   *FuncDecl
+	fuel int
+}
+
+// env is a lexically scoped variable environment.
+type env struct {
+	parent *env
+	vars   map[string]core.Value
+}
+
+func (e *env) lookup(name string) (core.Value, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return core.Value{}, false
+}
+
+func (e *env) assign(name string, v core.Value) bool {
+	for s := e; s != nil; s = s.parent {
+		if _, ok := s.vars[name]; ok {
+			s.vars[name] = v
+			return true
+		}
+	}
+	return false
+}
+
+func (in *interp) failf(pos Pos, format string, args ...interface{}) {
+	core.Fail(fmt.Errorf("eil:%s: func %s: %s", pos, in.fn.Name, fmt.Sprintf(format, args...)))
+}
+
+func (in *interp) step(pos Pos) {
+	in.fuel--
+	if in.fuel <= 0 {
+		in.failf(pos, "fuel exhausted (non-terminating interface?)")
+	}
+}
+
+// makeBody compiles a function declaration into a core.Body that interprets
+// the AST. The Body uses core.Call for arguments, ECVs, and composition, so
+// an EIL method is indistinguishable from a Go-native one at runtime.
+func makeBody(fn *FuncDecl) core.Body {
+	return func(c *core.Call) energy.Joules {
+		in := &interp{call: c, fn: fn, fuel: DefaultFuel}
+		scope := &env{vars: map[string]core.Value{}}
+		for i, p := range fn.Params {
+			scope.vars[p] = c.Arg(i)
+		}
+		v, returned := in.execBlock(fn.Body, scope)
+		if !returned {
+			in.failf(fn.Pos, "no return executed") // loops may skip the checker's guarantee
+		}
+		n, ok := v.AsNum()
+		if !ok {
+			in.failf(fn.Pos, "returned %s, want num (joules)", v.Kind())
+		}
+		if math.IsNaN(n) || math.IsInf(n, 0) {
+			in.failf(fn.Pos, "returned non-finite energy")
+		}
+		return energy.Joules(n)
+	}
+}
+
+// execBlock executes a block in a child scope; it returns the returned
+// value and whether a return was executed.
+func (in *interp) execBlock(b *Block, parent *env) (core.Value, bool) {
+	scope := &env{parent: parent, vars: map[string]core.Value{}}
+	for _, st := range b.Stmts {
+		in.step(st.stmtPos())
+		switch s := st.(type) {
+		case *LetStmt:
+			scope.vars[s.Name] = in.eval(s.Init, scope)
+		case *AssignStmt:
+			v := in.eval(s.Expr, scope)
+			if !scope.assign(s.Name, v) {
+				in.failf(s.Pos, "assignment to undeclared %q", s.Name)
+			}
+		case *IfStmt:
+			cond := in.eval(s.Cond, scope)
+			cb, ok := cond.AsBool()
+			if !ok {
+				in.failf(s.Cond.exprPos(), "if condition is %s, want bool", cond.Kind())
+			}
+			if cb {
+				if v, ret := in.execBlock(s.Then, scope); ret {
+					return v, true
+				}
+			} else if s.Else != nil {
+				if v, ret := in.execBlock(s.Else, scope); ret {
+					return v, true
+				}
+			}
+		case *ForStmt:
+			fromV := in.eval(s.From, scope)
+			toV := in.eval(s.To, scope)
+			from, ok1 := fromV.AsNum()
+			to, ok2 := toV.AsNum()
+			if !ok1 || !ok2 {
+				in.failf(s.Pos, "for bounds must be num, got %s..%s", fromV.Kind(), toV.Kind())
+			}
+			for i := math.Ceil(from); i < to; i++ {
+				in.step(s.Pos)
+				iter := &env{parent: scope, vars: map[string]core.Value{s.Var: core.Num(i)}}
+				if v, ret := in.execBlock(s.Body, iter); ret {
+					return v, true
+				}
+			}
+		case *ReturnStmt:
+			return in.eval(s.Expr, scope), true
+		default:
+			in.failf(st.stmtPos(), "unknown statement")
+		}
+	}
+	return core.Value{}, false
+}
+
+func (in *interp) eval(e Expr, scope *env) core.Value {
+	in.step(e.exprPos())
+	switch x := e.(type) {
+	case *NumLit:
+		return core.Num(x.Val)
+	case *BoolLit:
+		return core.Bool(x.Val)
+	case *StrLit:
+		return core.Str(x.Val)
+	case *Ident:
+		if v, ok := scope.lookup(x.Name); ok {
+			return v
+		}
+		// Checker guarantees this is an ECV reference.
+		return in.call.ECV(x.Name)
+	case *FieldExpr:
+		v := in.eval(x.X, scope)
+		f, ok := v.Field(x.Name)
+		if !ok {
+			in.failf(x.Pos, "value %s has no field %q", v.Kind(), x.Name)
+		}
+		return f
+	case *IndexExpr:
+		v := in.eval(x.X, scope)
+		iv := in.eval(x.I, scope)
+		idx, ok := iv.AsNum()
+		if !ok {
+			in.failf(x.Pos, "index is %s, want num", iv.Kind())
+		}
+		el, ok := v.Index(int(idx))
+		if !ok {
+			in.failf(x.Pos, "index %d out of range (len %d)", int(idx), v.Len())
+		}
+		return el
+	case *UnaryExpr:
+		v := in.eval(x.X, scope)
+		switch x.Op {
+		case TokMinus:
+			n, ok := v.AsNum()
+			if !ok {
+				in.failf(x.Pos, "unary '-' on %s", v.Kind())
+			}
+			return core.Num(-n)
+		case TokBang:
+			b, ok := v.AsBool()
+			if !ok {
+				in.failf(x.Pos, "unary '!' on %s", v.Kind())
+			}
+			return core.Bool(!b)
+		}
+		in.failf(x.Pos, "bad unary operator")
+	case *BinaryExpr:
+		// Short-circuit booleans.
+		if x.Op == TokAndAnd || x.Op == TokOrOr {
+			a := in.eval(x.X, scope)
+			ab, ok := a.AsBool()
+			if !ok {
+				in.failf(x.Pos, "left of %s is %s, want bool", x.Op, a.Kind())
+			}
+			if (x.Op == TokAndAnd && !ab) || (x.Op == TokOrOr && ab) {
+				return core.Bool(ab)
+			}
+			b := in.eval(x.Y, scope)
+			bb, ok := b.AsBool()
+			if !ok {
+				in.failf(x.Pos, "right of %s is %s, want bool", x.Op, b.Kind())
+			}
+			return core.Bool(bb)
+		}
+		a := in.eval(x.X, scope)
+		b := in.eval(x.Y, scope)
+		v, err := applyBinary(x.Pos, x.Op, a, b)
+		if err != nil {
+			core.Fail(fmt.Errorf("eil: func %s: %v", in.fn.Name, err))
+		}
+		return v
+	case *RecordLit:
+		fields := make(map[string]core.Value, len(x.Names))
+		for i, n := range x.Names {
+			fields[n] = in.eval(x.Values[i], scope)
+		}
+		return core.Record(fields)
+	case *ListLit:
+		elems := make([]core.Value, len(x.Elems))
+		for i, el := range x.Elems {
+			elems[i] = in.eval(el, scope)
+		}
+		return core.List(elems...)
+	case *CallExpr:
+		args := make([]core.Value, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = in.eval(a, scope)
+		}
+		if x.Target != "" {
+			return core.Num(float64(in.call.E(x.Target, x.Name, args...)))
+		}
+		if b, ok := builtins[x.Name]; ok {
+			v, err := b.impl(args)
+			if err != nil {
+				in.failf(x.Pos, "%v", err)
+			}
+			return v
+		}
+		return core.Num(float64(in.call.Self(x.Name, args...)))
+	}
+	in.failf(e.exprPos(), "unknown expression")
+	return core.Value{} // unreachable
+}
+
+// applyBinary evaluates a (non-short-circuit) binary operator on values.
+// Shared by the interpreter and the constant evaluator.
+func applyBinary(pos Pos, op TokKind, a, b core.Value) (core.Value, error) {
+	switch op {
+	case TokEq:
+		return core.Bool(a.Equal(b)), nil
+	case TokNeq:
+		return core.Bool(!a.Equal(b)), nil
+	}
+	an, aok := a.AsNum()
+	bn, bok := b.AsNum()
+	if !aok || !bok {
+		return core.Value{}, errf(pos, "operator %s needs num operands, got %s and %s",
+			op, a.Kind(), b.Kind())
+	}
+	switch op {
+	case TokPlus:
+		return core.Num(an + bn), nil
+	case TokMinus:
+		return core.Num(an - bn), nil
+	case TokStar:
+		return core.Num(an * bn), nil
+	case TokSlash:
+		if bn == 0 {
+			return core.Value{}, errf(pos, "division by zero")
+		}
+		return core.Num(an / bn), nil
+	case TokPercent:
+		if bn == 0 {
+			return core.Value{}, errf(pos, "modulo by zero")
+		}
+		return core.Num(math.Mod(an, bn)), nil
+	case TokLt:
+		return core.Bool(an < bn), nil
+	case TokLe:
+		return core.Bool(an <= bn), nil
+	case TokGt:
+		return core.Bool(an > bn), nil
+	case TokGe:
+		return core.Bool(an >= bn), nil
+	default:
+		return core.Value{}, errf(pos, "unknown binary operator %s", op)
+	}
+}

@@ -1,0 +1,413 @@
+package eil
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/energy"
+)
+
+func compileFig1(t *testing.T) map[string]*core.Interface {
+	t.Helper()
+	m, err := Compile(fig1EIL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func img(size, zeros float64) core.Value {
+	return core.Record(map[string]core.Value{
+		"size": core.Num(size), "zeros": core.Num(zeros), "image": core.Num(1),
+	})
+}
+
+// manual Fig. 1 expectation in joules (probabilities 0.3 request, 0.8 local).
+func fig1Expected(size, zeros float64) float64 {
+	lookup := (0.8*5 + 0.2*100) * 1024 * 1e-3
+	cnn := (8*0.004*(size-zeros) + 8*0.001*256 + 16*0.01*256) * 1e-3
+	return 0.3*lookup + 0.7*cnn
+}
+
+func TestCompileFig1EndToEnd(t *testing.T) {
+	m := compileFig1(t)
+	svc := m["ml_webservice"]
+	if svc == nil {
+		t.Fatal("ml_webservice not compiled")
+	}
+	d, err := svc.Eval("handle", []core.Value{img(1e6, 2e5)}, core.Expected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fig1Expected(1e6, 2e5)
+	if math.Abs(d.Mean()-want) > 1e-9*want {
+		t.Fatalf("EIL Fig.1 mean = %v, want %v", d.Mean(), want)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("support = %d, want 3", d.Len())
+	}
+}
+
+func TestCompiledECVsAndBindings(t *testing.T) {
+	m := compileFig1(t)
+	svc := m["ml_webservice"]
+	var names []string
+	for _, q := range svc.TransitiveECVs() {
+		names = append(names, q.QualifiedName())
+	}
+	if len(names) != 2 || names[0] != "request_hit" || names[1] != "cache.local_cache_hit" {
+		t.Fatalf("transitive ECVs = %v", names)
+	}
+	if svc.Binding("accel").Name() != "accel_driver" {
+		t.Fatal("accel binding missing")
+	}
+	if svc.Doc() != "" && svc.Doc() != "ml web service" {
+		t.Fatalf("unexpected doc %q", svc.Doc())
+	}
+	if m["accel_driver"].Doc() != "hardware accelerator energy interface" {
+		t.Fatalf("accel doc = %q", m["accel_driver"].Doc())
+	}
+}
+
+func TestCompileWithRegistry(t *testing.T) {
+	hw := core.New("hw").MustMethod(core.Method{
+		Name: "op", Params: []string{"n"},
+		Body: func(c *core.Call) energy.Joules { return energy.Joules(2 * c.Num(0)) },
+	})
+	src := `interface top {
+	  uses hw: hw
+	  func f(n) { return hw.op(n) + 1 }
+	}`
+	m, err := Compile(src, map[string]*core.Interface{"hw": hw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m["top"].ExpectedJoules("f", core.Num(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != 21 {
+		t.Fatalf("got %v, want 21", j)
+	}
+}
+
+func TestCompileOneReturnsLastInterface(t *testing.T) {
+	iface, err := CompileOne(fig1EIL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iface.Name() != "ml_webservice" {
+		t.Fatalf("CompileOne returned %q", iface.Name())
+	}
+}
+
+func TestForLoopAccumulation(t *testing.T) {
+	src := `interface t {
+	  func f(n) {
+	    let total = 0
+	    for i in 0 .. n {
+	      total = total + i * 2
+	    }
+	    return total
+	  }
+	}`
+	m, err := Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m["t"].ExpectedJoules("f", core.Num(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != 20 { // 2*(0+1+2+3+4)
+		t.Fatalf("got %v, want 20", j)
+	}
+}
+
+func TestForLoopEmptyRange(t *testing.T) {
+	src := `interface t {
+	  func f(n) {
+	    let total = 7
+	    for i in n .. 0 { total = total + 1 }
+	    return total
+	  }
+	}`
+	m, err := Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m["t"].ExpectedJoules("f", core.Num(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != 7 {
+		t.Fatalf("got %v, want 7", j)
+	}
+}
+
+func TestReturnInsideLoop(t *testing.T) {
+	src := `interface t {
+	  func f(n) {
+	    for i in 0 .. 100 {
+	      if i >= n { return i }
+	    }
+	    return 0 - 1
+	  }
+	}`
+	m, err := Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m["t"].ExpectedJoules("f", core.Num(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != 3 {
+		t.Fatalf("got %v, want 3", j)
+	}
+}
+
+func TestFuelBoundsLoops(t *testing.T) {
+	src := `interface t {
+	  func f() {
+	    let x = 0
+	    for i in 0 .. 1000000000 { x = x + 1 }
+	    return x
+	  }
+	}`
+	m, err := Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m["t"].ExpectedJoules("f")
+	if err == nil || !strings.Contains(err.Error(), "fuel") {
+		t.Fatalf("runaway loop not stopped: %v", err)
+	}
+}
+
+func TestChoiceECVExpectation(t *testing.T) {
+	src := `interface t {
+	  ecv level: choice { 1: 0.25, 2: 0.5, 4: 0.25 }
+	  func f() { return 10 * level }
+	}`
+	m, err := Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m["t"].Eval("f", nil, core.Expected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 * (1*0.25 + 2*0.5 + 4*0.25)
+	if math.Abs(d.Mean()-want) > 1e-12 {
+		t.Fatalf("mean %v, want %v", d.Mean(), want)
+	}
+	wc, err := m["t"].WorstCaseJoules("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc != 40 {
+		t.Fatalf("worst case %v, want 40", wc)
+	}
+}
+
+func TestFixedECV(t *testing.T) {
+	src := `interface t {
+	  ecv mode: fixed("turbo")
+	  func f() { if mode == "turbo" { return 2 } return 1 }
+	}`
+	m, err := Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m["t"].ExpectedJoules("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != 2 {
+		t.Fatalf("got %v", j)
+	}
+}
+
+func TestUnitLiteralsInEnergy(t *testing.T) {
+	src := `interface t { func f() { return 5mJ + 100uJ + 1J } }`
+	m, err := Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m["t"].ExpectedJoules("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(j)-1.0051) > 1e-12 {
+		t.Fatalf("got %v, want 1.0051", j)
+	}
+}
+
+func TestBuiltinsEvaluate(t *testing.T) {
+	src := `interface t {
+	  func f(a, b) {
+	    return min(a, b) + max(a, b) + abs(0 - 1) + ceil(0.2) + floor(1.8)
+	         + sqrt(16) + pow(2, 3) + log2(8) + len([1, 2]) + len("abc")
+	  }
+	}`
+	m, err := Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m["t"].ExpectedJoules("f", core.Num(3), core.Num(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3.0 + 5 + 1 + 1 + 1 + 4 + 8 + 3 + 2 + 3
+	if math.Abs(float64(j)-want) > 1e-12 {
+		t.Fatalf("got %v, want %v", j, want)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+		args      []core.Value
+		wantSub   string
+	}{
+		{"div-zero", `interface t { func f(a) { return 1 / a } }`,
+			[]core.Value{core.Num(0)}, "division by zero"},
+		{"mod-zero", `interface t { func f(a) { return 1 % a } }`,
+			[]core.Value{core.Num(0)}, "modulo by zero"},
+		{"missing-field", `interface t { func f(r) { return r.size } }`,
+			[]core.Value{core.Record(nil)}, "no field"},
+		{"index-oob", `interface t { func f(l) { return l[5] } }`,
+			[]core.Value{core.List(core.Num(1))}, "out of range"},
+		{"non-num-return", `interface t { func f(a) { return a } }`,
+			[]core.Value{core.Bool(true)}, "want num"},
+		{"non-bool-cond", `interface t { func f(a) { if a { return 1 } return 0 } }`,
+			[]core.Value{core.Num(1)}, "want bool"},
+		{"num-plus-bool", `interface t { func f(a) { return 1 + a } }`,
+			[]core.Value{core.Bool(true)}, "num operands"},
+		{"neg-sqrt", `interface t { func f(a) { return sqrt(a) } }`,
+			[]core.Value{core.Num(-1)}, "not finite"},
+		{"bad-for-bound", `interface t { func f(a) { for i in a .. 3 { return 1 } return 0 } }`,
+			[]core.Value{core.Bool(true)}, "for bounds"},
+		{"unary-minus-bool", `interface t { func f(a) { return -a } }`,
+			[]core.Value{core.Bool(true)}, "unary"},
+		{"unary-not-num", `interface t { func f(a) { if !a { return 1 } return 0 } }`,
+			[]core.Value{core.Num(1)}, "unary"},
+	}
+	for _, c := range cases {
+		m, err := Compile(c.src, nil)
+		if err != nil {
+			t.Errorf("%s: compile failed: %v", c.name, err)
+			continue
+		}
+		_, err = m["t"].Eval("f", c.args, core.Expected())
+		if err == nil {
+			t.Errorf("%s: evaluation succeeded, want error %q", c.name, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q missing %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestShortCircuitEvaluation(t *testing.T) {
+	// Without short-circuit, 1/a would divide by zero.
+	src := `interface t {
+	  func f(a) {
+	    if a != 0 && 1 / a > 0 { return 1 }
+	    if a == 0 || 1 / a > 0 { return 2 }
+	    return 3
+	  }
+	}`
+	m, err := Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m["t"].ExpectedJoules("f", core.Num(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != 2 {
+		t.Fatalf("got %v, want 2", j)
+	}
+}
+
+func TestStringAndBoolECVsInConditions(t *testing.T) {
+	src := `interface t {
+	  ecv tier: choice { "ssd": 0.6, "hdd": 0.4 }
+	  func f(n) {
+	    if tier == "ssd" { return 1 * n }
+	    return 10 * n
+	  }
+	}`
+	m, err := Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m["t"].Eval("f", []core.Value{core.Num(2)}, core.Expected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.6*2 + 0.4*20
+	if math.Abs(d.Mean()-want) > 1e-12 {
+		t.Fatalf("mean %v, want %v", d.Mean(), want)
+	}
+}
+
+func TestRebindCompiledStack(t *testing.T) {
+	m := compileFig1(t)
+	svc := m["ml_webservice"]
+
+	cheaper, err := Compile(`interface accel_v2 {
+	  func conv2d(n) { return 0.001mJ * n }
+	  func relu(n)   { return 0.0005mJ * n }
+	  func mlp(n)    { return 0.002mJ * n }
+	}`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped, err := svc.Rebind("accel", cheaper["accel_v2"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare CNN path energies (pin request_hit=false).
+	fixed := map[string]core.Value{
+		"request_hit":           core.Bool(false),
+		"cache.local_cache_hit": core.Bool(false),
+	}
+	before, err := svc.Eval("handle", []core.Value{img(1000, 0)}, core.FixedAssignment(fixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := swapped.Eval("handle", []core.Value{img(1000, 0)}, core.FixedAssignment(fixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Mean() >= before.Mean() {
+		t.Fatalf("rebound stack not cheaper: %v >= %v", after.Mean(), before.Mean())
+	}
+}
+
+func TestRecordAndListConstruction(t *testing.T) {
+	src := `interface t {
+	  func helper(r) { return r.a + r.items[1] }
+	  func f() {
+	    let r = {a: 10, items: [1, 2, 3]}
+	    return helper(r)
+	  }
+	}`
+	m, err := Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m["t"].ExpectedJoules("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != 12 {
+		t.Fatalf("got %v, want 12", j)
+	}
+}

@@ -1,0 +1,59 @@
+package eil
+
+import "testing"
+
+// Fuzz targets: the lexer, parser, and checker must never panic on
+// arbitrary input — they return positioned errors instead. (Run with
+// `go test -fuzz=FuzzParse ./internal/eil` to explore; the seed corpus
+// below runs on every plain `go test`.)
+
+var fuzzSeeds = []string{
+	"",
+	"interface",
+	"interface t {}",
+	"interface t { func f() { return 1 } }",
+	fig1EIL,
+	`interface x { ecv a: bernoulli(0.5) func f() { if a { return 1 } return 0 } }`,
+	`interface x { func f(n) { for i in 0 .. n { } return 1e999 } }`,
+	`interface x { func f() { return "unterminated`,
+	`interface x { func f() { return 5mJ + 3kJ % 0 } }`,
+	"interface \x00 {",
+	`/* unterminated`,
+	`interface t { uses a: b func f() { return a.b(1,2,3) } }`,
+	`interface t { func f() { let r = {a: [1, {b: 2}]} return r.a[1].b } }`,
+}
+
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Must not panic; errors are fine.
+		file, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Whatever parses must print and re-parse (printer robustness).
+		printed := Print(file)
+		if _, err := Parse(printed); err != nil {
+			t.Fatalf("printed output does not re-parse: %v\n%s", err, printed)
+		}
+		// Checking and compiling must not panic either.
+		_, _ = CompileFile(file, nil)
+	})
+}
+
+func FuzzLex(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Fatal("lexer must terminate with EOF")
+		}
+	})
+}

@@ -1,0 +1,297 @@
+package eil
+
+import (
+	"strconv"
+	"strings"
+)
+
+// unitSuffixes maps energy-unit suffixes on numeric literals to a factor in
+// joules: "5mJ" lexes as the number 0.005. Power suffixes are not literals;
+// power arises from dividing energy by time in interface code.
+var unitSuffixes = []struct {
+	suffix string
+	factor float64
+}{
+	// Longest first so "mJ" wins over "J".
+	{"nJ", 1e-9},
+	{"uJ", 1e-6},
+	{"mJ", 1e-3},
+	{"kJ", 1e3},
+	{"MJ", 1e6},
+	{"J", 1},
+}
+
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// skipTrivia consumes whitespace and comments; it returns an error only for
+// an unterminated block comment.
+func (l *lexer) skipTrivia() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case isSpace(c):
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return errf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// next returns the next token.
+func (l *lexer) next() (Token, error) {
+	if err := l.skipTrivia(); err != nil {
+		return Token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := l.peek()
+
+	switch {
+	case isDigit(c):
+		return l.lexNumber(pos)
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		word := l.src[start:l.off]
+		if kw, ok := keywords[word]; ok {
+			return Token{Kind: kw, Pos: pos, Text: word}, nil
+		}
+		return Token{Kind: TokIdent, Pos: pos, Text: word}, nil
+	case c == '"':
+		return l.lexString(pos)
+	}
+
+	l.advance()
+	two := func(nextC byte, twoKind, oneKind TokKind) (Token, error) {
+		if l.peek() == nextC {
+			l.advance()
+			return Token{Kind: twoKind, Pos: pos}, nil
+		}
+		return Token{Kind: oneKind, Pos: pos}, nil
+	}
+	switch c {
+	case '{':
+		return Token{Kind: TokLBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Pos: pos}, nil
+	case '(':
+		return Token{Kind: TokLParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: pos}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: pos}, nil
+	case ':':
+		return Token{Kind: TokColon, Pos: pos}, nil
+	case '.':
+		return two('.', TokDotDot, TokDot)
+	case '=':
+		return two('=', TokEq, TokAssign)
+	case '!':
+		return two('=', TokNeq, TokBang)
+	case '<':
+		return two('=', TokLe, TokLt)
+	case '>':
+		return two('=', TokGe, TokGt)
+	case '+':
+		return Token{Kind: TokPlus, Pos: pos}, nil
+	case '-':
+		return Token{Kind: TokMinus, Pos: pos}, nil
+	case '*':
+		return Token{Kind: TokStar, Pos: pos}, nil
+	case '/':
+		return Token{Kind: TokSlash, Pos: pos}, nil
+	case '%':
+		return Token{Kind: TokPercent, Pos: pos}, nil
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return Token{Kind: TokAndAnd, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected character '&' (did you mean '&&'?)")
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return Token{Kind: TokOrOr, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected character '|' (did you mean '||'?)")
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+func (l *lexer) lexNumber(pos Pos) (Token, error) {
+	start := l.off
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' && isDigit(l.peek2()) { // "1..5" must not eat the dot
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		save := l.off
+		mark := *l
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if isDigit(l.peek()) {
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			*l = mark // not an exponent; restore (e.g. "3elephants")
+			_ = save
+		}
+	}
+	text := l.src[start:l.off]
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return Token{}, errf(pos, "bad number %q: %v", text, err)
+	}
+	// Optional unit suffix immediately following the digits.
+	rest := l.src[l.off:]
+	for _, u := range unitSuffixes {
+		if strings.HasPrefix(rest, u.suffix) {
+			// The suffix must not continue into a longer identifier
+			// ("5mJx" is an error caught here by not matching).
+			end := len(u.suffix)
+			if end < len(rest) && isIdentPart(rest[end]) {
+				continue
+			}
+			for i := 0; i < end; i++ {
+				l.advance()
+			}
+			return Token{Kind: TokNumber, Pos: pos, Text: text + u.suffix, Val: v * u.factor}, nil
+		}
+	}
+	if l.off < len(l.src) && isIdentStart(l.peek()) {
+		return Token{}, errf(pos, "identifier immediately after number %q", text)
+	}
+	return Token{Kind: TokNumber, Pos: pos, Text: text, Val: v}, nil
+}
+
+func (l *lexer) lexString(pos Pos) (Token, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for l.off < len(l.src) {
+		c := l.advance()
+		switch c {
+		case '"':
+			return Token{Kind: TokString, Pos: pos, Text: b.String()}, nil
+		case '\\':
+			if l.off >= len(l.src) {
+				return Token{}, errf(pos, "unterminated string")
+			}
+			esc := l.advance()
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return Token{}, errf(pos, "unknown escape \\%s", string(esc))
+			}
+		case '\n':
+			return Token{}, errf(pos, "newline in string")
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return Token{}, errf(pos, "unterminated string")
+}
+
+// Lex tokenizes src completely; used by tests and tools.
+func Lex(src string) ([]Token, error) {
+	l := newLexer(src)
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package eil
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []TokKind {
+	out := make([]TokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	src := `interface foo { ecv x: bernoulli(0.5) uses c: cache func f(a) { return a } }`
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{
+		TokInterface, TokIdent, TokLBrace,
+		TokECV, TokIdent, TokColon, TokBernoulli, TokLParen, TokNumber, TokRParen,
+		TokUses, TokIdent, TokColon, TokIdent,
+		TokFunc, TokIdent, TokLParen, TokIdent, TokRParen, TokLBrace,
+		TokReturn, TokIdent, TokRBrace, TokRBrace, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count %d, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := `== != <= >= < > = + - * / % ! && || . .. , : [ ]`
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{
+		TokEq, TokNeq, TokLe, TokGe, TokLt, TokGt, TokAssign, TokPlus, TokMinus,
+		TokStar, TokSlash, TokPercent, TokBang, TokAndAnd, TokOrOr, TokDot,
+		TokDotDot, TokComma, TokColon, TokLBracket, TokRBracket, TokEOF,
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"42", 42},
+		{"3.25", 3.25},
+		{"1e3", 1000},
+		{"2.5e-2", 0.025},
+		{"1E+2", 100},
+		{"5mJ", 0.005},
+		{"100uJ", 1e-4},
+		{"7nJ", 7e-9},
+		{"2J", 2},
+		{"3kJ", 3000},
+		{"4MJ", 4e6},
+	}
+	for _, c := range cases {
+		toks, err := Lex(c.src)
+		if err != nil {
+			t.Errorf("Lex(%q): %v", c.src, err)
+			continue
+		}
+		if toks[0].Kind != TokNumber || math.Abs(toks[0].Val-c.want) > 1e-12*c.want {
+			t.Errorf("Lex(%q) = %v (val %v), want %v", c.src, toks[0].Kind, toks[0].Val, c.want)
+		}
+		if toks[1].Kind != TokEOF {
+			t.Errorf("Lex(%q): trailing token %v", c.src, toks[1].Kind)
+		}
+	}
+}
+
+func TestLexNumberRange(t *testing.T) {
+	// "1..5" must lex as NUMBER DOTDOT NUMBER, not a malformed float.
+	toks, err := Lex("1..5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TokNumber, TokDotDot, TokNumber, TokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexIdentAfterNumberRejected(t *testing.T) {
+	for _, src := range []string{"3elephants", "5mJx", "2Joule"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := Lex(`"hello" "a\nb" "q\"q" "back\\slash" "tab\t"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"hello", "a\nb", `q"q`, `back\slash`, "tab\t"}
+	for i, w := range want {
+		if toks[i].Kind != TokString || toks[i].Text != w {
+			t.Errorf("string %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestLexStringErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, `"bad \q escape"`, "\"newline\n\"", `"trailing\`} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `a // line comment
+	/* block
+	comment */ b`
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Fatalf("comments not skipped: %v", toks)
+	}
+}
+
+func TestLexUnterminatedBlockComment(t *testing.T) {
+	if _, err := Lex("a /* never closed"); err == nil {
+		t.Fatal("unterminated block comment accepted")
+	}
+}
+
+func TestLexBadCharacters(t *testing.T) {
+	for _, src := range []string{"@", "#", "$", "&x", "|x", "~"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	src := "a\n  b"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexErrorMessageHasPosition(t *testing.T) {
+	_, err := Lex("x\n  @")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "2:3") {
+		t.Fatalf("error %q lacks position 2:3", err)
+	}
+}
+
+func TestKeywordsAreNotIdents(t *testing.T) {
+	toks, err := Lex("iface interfacex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokIdent || toks[1].Kind != TokIdent {
+		t.Fatalf("prefix/suffix of keyword lexed as keyword: %v %v", toks[0].Kind, toks[1].Kind)
+	}
+}

@@ -1,0 +1,661 @@
+package eil
+
+// Recursive-descent parser for EIL. Grammar (EBNF, '//' comments elided):
+//
+//	file       = { interface } .
+//	interface  = "interface" IDENT [ STRING ] "{" { ecv | uses | func } "}" .
+//	ecv        = "ecv" IDENT ":" dist [ STRING ] .
+//	dist       = "bernoulli" "(" expr ")"
+//	           | "choice" "{" expr ":" expr { "," expr ":" expr } [","] "}"
+//	           | "fixed" "(" expr ")" .
+//	uses       = "uses" IDENT ":" IDENT .
+//	func       = "func" IDENT "(" [ IDENT { "," IDENT } ] ")" [ STRING ] block .
+//	block      = "{" { stmt } "}" .
+//	stmt       = "let" IDENT "=" expr
+//	           | IDENT "=" expr
+//	           | "if" expr block [ "else" ( block | ifstmt ) ]
+//	           | "for" IDENT "in" expr ".." expr block
+//	           | "return" expr .
+//	expr       = or .
+//	or         = and { "||" and } .
+//	and        = equality { "&&" equality } .
+//	equality   = relational { ("=="|"!=") relational } .
+//	relational = additive { ("<"|"<="|">"|">=") additive } .
+//	additive   = term { ("+"|"-") term } .
+//	term       = unary { ("*"|"/"|"%") unary } .
+//	unary      = ("-"|"!") unary | postfix .
+//	postfix    = primary { "." IDENT [ call-args ] | "[" expr "]" } .
+//	primary    = NUMBER | STRING | "true" | "false" | IDENT [ call-args ]
+//	           | "(" expr ")" | record | list .
+//	record     = "{" [ IDENT ":" expr { "," IDENT ":" expr } [","] ] "}" .
+//	list       = "[" [ expr { "," expr } [","] ] "]" .
+//
+// A postfix ".IDENT(" on a plain identifier is parsed as a bound-interface
+// call (target.method(args)); on any other expression it is a field access
+// (field accesses cannot be called).
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a complete EIL source file.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for !p.at(TokEOF) {
+		id, err := p.parseInterface()
+		if err != nil {
+			return nil, err
+		}
+		f.Interfaces = append(f.Interfaces, id)
+	}
+	if len(f.Interfaces) == 0 {
+		return nil, errf(Pos{1, 1}, "no interface declarations in file")
+	}
+	return f, nil
+}
+
+func (p *parser) cur() Token { return p.toks[p.pos] }
+func (p *parser) at(k TokKind) bool {
+	return p.toks[p.pos].Kind == k
+}
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, errf(p.cur().Pos, "expected %s, found %s", k, p.describe(p.cur()))
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) describe(t Token) string {
+	switch t.Kind {
+	case TokIdent:
+		return "identifier '" + t.Text + "'"
+	case TokNumber:
+		return "number " + t.Text
+	case TokString:
+		return "string"
+	default:
+		return t.Kind.String()
+	}
+}
+
+// optString consumes an optional string literal (used for doc strings).
+func (p *parser) optString() string {
+	if p.at(TokString) {
+		return p.advance().Text
+	}
+	return ""
+}
+
+func (p *parser) parseInterface() (*InterfaceDecl, error) {
+	kw, err := p.expect(TokInterface)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d := &InterfaceDecl{Pos: kw.Pos, Name: name.Text, Doc: p.optString()}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	for !p.at(TokRBrace) {
+		switch p.cur().Kind {
+		case TokECV:
+			e, err := p.parseECV()
+			if err != nil {
+				return nil, err
+			}
+			d.ECVs = append(d.ECVs, e)
+		case TokUses:
+			u, err := p.parseUses()
+			if err != nil {
+				return nil, err
+			}
+			d.Uses = append(d.Uses, u)
+		case TokFunc:
+			f, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			d.Funcs = append(d.Funcs, f)
+		case TokEOF:
+			return nil, errf(p.cur().Pos, "unexpected EOF in interface %s", d.Name)
+		default:
+			return nil, errf(p.cur().Pos, "expected 'ecv', 'uses', or 'func', found %s",
+				p.describe(p.cur()))
+		}
+	}
+	p.advance() // '}'
+	return d, nil
+}
+
+func (p *parser) parseECV() (*ECVDecl, error) {
+	kw := p.advance() // 'ecv'
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	dist, err := p.parseDist()
+	if err != nil {
+		return nil, err
+	}
+	return &ECVDecl{Pos: kw.Pos, Name: name.Text, Dist: dist, Doc: p.optString()}, nil
+}
+
+func (p *parser) parseDist() (*DistExpr, error) {
+	switch p.cur().Kind {
+	case TokBernoulli:
+		kw := p.advance()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return &DistExpr{Pos: kw.Pos, Kind: DistBernoulli, Args: []Expr{arg}}, nil
+	case TokFixed:
+		kw := p.advance()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return &DistExpr{Pos: kw.Pos, Kind: DistFixed, Args: []Expr{arg}}, nil
+	case TokChoice:
+		kw := p.advance()
+		if _, err := p.expect(TokLBrace); err != nil {
+			return nil, err
+		}
+		d := &DistExpr{Pos: kw.Pos, Kind: DistChoice}
+		for !p.at(TokRBrace) {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokColon); err != nil {
+				return nil, err
+			}
+			pr, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.Values = append(d.Values, v)
+			d.Probs = append(d.Probs, pr)
+			if p.at(TokComma) {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(TokRBrace); err != nil {
+			return nil, err
+		}
+		if len(d.Values) == 0 {
+			return nil, errf(kw.Pos, "choice distribution with no entries")
+		}
+		return d, nil
+	default:
+		return nil, errf(p.cur().Pos, "expected distribution ('bernoulli', 'choice', or 'fixed'), found %s",
+			p.describe(p.cur()))
+	}
+}
+
+func (p *parser) parseUses() (*UsesDecl, error) {
+	kw := p.advance() // 'uses'
+	local, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	target, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	return &UsesDecl{Pos: kw.Pos, Local: local.Text, Iface: target.Text}, nil
+}
+
+func (p *parser) parseFunc() (*FuncDecl, error) {
+	kw := p.advance() // 'func'
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	f := &FuncDecl{Pos: kw.Pos, Name: name.Text}
+	for !p.at(TokRParen) {
+		param, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		f.Params = append(f.Params, param.Text)
+		if p.at(TokComma) {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	f.Doc = p.optString()
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *parser) parseBlock() (*Block, error) {
+	lb, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: lb.Pos}
+	for !p.at(TokRBrace) {
+		if p.at(TokEOF) {
+			return nil, errf(p.cur().Pos, "unexpected EOF in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.advance() // '}'
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case TokLet:
+		kw := p.advance()
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokAssign); err != nil {
+			return nil, err
+		}
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &LetStmt{Pos: kw.Pos, Name: name.Text, Init: init}, nil
+	case TokIf:
+		return p.parseIf()
+	case TokFor:
+		kw := p.advance()
+		v, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokIn); err != nil {
+			return nil, err
+		}
+		from, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokDotDot); err != nil {
+			return nil, err
+		}
+		to, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Pos: kw.Pos, Var: v.Text, From: from, To: to, Body: body}, nil
+	case TokReturn:
+		kw := p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Pos: kw.Pos, Expr: e}, nil
+	case TokIdent:
+		// Assignment: IDENT '=' expr.
+		name := p.advance()
+		if _, err := p.expect(TokAssign); err != nil {
+			return nil, errf(name.Pos, "expected statement; bare expressions are not statements (assign or return)")
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos: name.Pos, Name: name.Text, Expr: e}, nil
+	default:
+		return nil, errf(p.cur().Pos, "expected statement, found %s", p.describe(p.cur()))
+	}
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	kw := p.advance() // 'if'
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Pos: kw.Pos, Cond: cond, Then: then}
+	if p.at(TokElse) {
+		p.advance()
+		if p.at(TokIf) {
+			inner, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = &Block{Pos: inner.stmtPos(), Stmts: []Stmt{inner}}
+		} else {
+			blk, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = blk
+		}
+	}
+	return st, nil
+}
+
+// --- expressions ---
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	x, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokOrOr) {
+		op := p.advance()
+		y, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Pos: op.Pos, Op: TokOrOr, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	x, err := p.parseEquality()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokAndAnd) {
+		op := p.advance()
+		y, err := p.parseEquality()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Pos: op.Pos, Op: TokAndAnd, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) parseEquality() (Expr, error) {
+	x, err := p.parseRelational()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokEq) || p.at(TokNeq) {
+		op := p.advance()
+		y, err := p.parseRelational()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Pos: op.Pos, Op: op.Kind, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) parseRelational() (Expr, error) {
+	x, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokLt) || p.at(TokLe) || p.at(TokGt) || p.at(TokGe) {
+		op := p.advance()
+		y, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Pos: op.Pos, Op: op.Kind, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	x, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokPlus) || p.at(TokMinus) {
+		op := p.advance()
+		y, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Pos: op.Pos, Op: op.Kind, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokStar) || p.at(TokSlash) || p.at(TokPercent) {
+		op := p.advance()
+		y, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Pos: op.Pos, Op: op.Kind, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.at(TokMinus) || p.at(TokBang) {
+		op := p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: op.Pos, Op: op.Kind, X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case TokDot:
+			p.advance()
+			name, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			// target.method(args) only when x is a bare identifier.
+			if id, isIdent := x.(*Ident); isIdent && p.at(TokLParen) {
+				args, err := p.parseCallArgs()
+				if err != nil {
+					return nil, err
+				}
+				x = &CallExpr{Pos: id.Pos, Target: id.Name, Name: name.Text, Args: args}
+				continue
+			}
+			if p.at(TokLParen) {
+				return nil, errf(name.Pos, "method call on a non-identifier target")
+			}
+			x = &FieldExpr{Pos: name.Pos, X: x, Name: name.Text}
+		case TokLBracket:
+			lb := p.advance()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{Pos: lb.Pos, X: x, I: idx}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parseCallArgs() ([]Expr, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for !p.at(TokRParen) {
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if p.at(TokComma) {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.advance()
+		return &NumLit{Pos: t.Pos, Val: t.Val, Text: t.Text}, nil
+	case TokString:
+		p.advance()
+		return &StrLit{Pos: t.Pos, Val: t.Text}, nil
+	case TokTrue:
+		p.advance()
+		return &BoolLit{Pos: t.Pos, Val: true}, nil
+	case TokFalse:
+		p.advance()
+		return &BoolLit{Pos: t.Pos, Val: false}, nil
+	case TokIdent:
+		p.advance()
+		if p.at(TokLParen) {
+			args, err := p.parseCallArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &CallExpr{Pos: t.Pos, Name: t.Text, Args: args}, nil
+		}
+		return &Ident{Pos: t.Pos, Name: t.Text}, nil
+	case TokLParen:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokLBrace:
+		return p.parseRecordLit()
+	case TokLBracket:
+		lb := p.advance()
+		l := &ListLit{Pos: lb.Pos}
+		for !p.at(TokRBracket) {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			l.Elems = append(l.Elems, e)
+			if p.at(TokComma) {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		return l, nil
+	default:
+		return nil, errf(t.Pos, "expected expression, found %s", p.describe(t))
+	}
+}
+
+func (p *parser) parseRecordLit() (Expr, error) {
+	lb := p.advance() // '{'
+	r := &RecordLit{Pos: lb.Pos}
+	for !p.at(TokRBrace) {
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		r.Names = append(r.Names, name.Text)
+		r.Values = append(r.Values, v)
+		if p.at(TokComma) {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

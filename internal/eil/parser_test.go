@@ -1,0 +1,258 @@
+package eil
+
+import (
+	"strings"
+	"testing"
+)
+
+// fig1EIL is the paper's Fig. 1 interface written in EIL; used across the
+// parser, checker, compiler, and printer tests.
+const fig1EIL = `
+interface accel_driver "hardware accelerator energy interface" {
+  func conv2d(n) { return 0.004mJ * n }
+  func relu(n)   { return 0.001mJ * n }
+  func mlp(n)    { return 0.01mJ * n }
+}
+
+interface redis_cache {
+  ecv local_cache_hit: bernoulli(0.8) "cache hit in current node"
+  func lookup(key, response_len) {
+    if local_cache_hit {
+      return 5mJ * response_len
+    } else {
+      return 100mJ * response_len
+    }
+  }
+}
+
+interface ml_webservice {
+  ecv request_hit: bernoulli(0.3) "request found in cache"
+  uses cache: redis_cache
+  uses accel: accel_driver
+
+  func handle(request) {
+    let max_response_len = 1024
+    if request_hit {
+      return cache.lookup(request.image, max_response_len)
+    } else {
+      return cnn_forward(request)
+    }
+  }
+
+  func cnn_forward(image) {
+    let n_embedding = 256
+    let n_zeros = image.zeros
+    return 8 * accel.conv2d(image.size - n_zeros)
+         + 8 * accel.relu(n_embedding)
+         + 16 * accel.mlp(n_embedding)
+  }
+}
+`
+
+func TestParseFig1(t *testing.T) {
+	f, err := Parse(fig1EIL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Interfaces) != 3 {
+		t.Fatalf("interfaces = %d, want 3", len(f.Interfaces))
+	}
+	svc := f.Interfaces[2]
+	if svc.Name != "ml_webservice" {
+		t.Fatalf("name = %q", svc.Name)
+	}
+	if len(svc.ECVs) != 1 || svc.ECVs[0].Name != "request_hit" {
+		t.Fatalf("ECVs = %+v", svc.ECVs)
+	}
+	if svc.ECVs[0].Doc != "request found in cache" {
+		t.Fatalf("ECV doc = %q", svc.ECVs[0].Doc)
+	}
+	if len(svc.Uses) != 2 || svc.Uses[0].Local != "cache" || svc.Uses[1].Iface != "accel_driver" {
+		t.Fatalf("Uses = %+v", svc.Uses)
+	}
+	if len(svc.Funcs) != 2 {
+		t.Fatalf("Funcs = %d", len(svc.Funcs))
+	}
+	if f.Interfaces[0].Doc != "hardware accelerator energy interface" {
+		t.Fatalf("interface doc = %q", f.Interfaces[0].Doc)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	src := `interface t { func f(a, b, c) { return a + b * c } }`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := f.Interfaces[0].Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	add, ok := ret.Expr.(*BinaryExpr)
+	if !ok || add.Op != TokPlus {
+		t.Fatalf("top op = %#v, want +", ret.Expr)
+	}
+	mul, ok := add.Y.(*BinaryExpr)
+	if !ok || mul.Op != TokStar {
+		t.Fatalf("rhs = %#v, want *", add.Y)
+	}
+}
+
+func TestParseParenthesesOverridePrecedence(t *testing.T) {
+	src := `interface t { func f(a, b, c) { return (a + b) * c } }`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := f.Interfaces[0].Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	mul, ok := ret.Expr.(*BinaryExpr)
+	if !ok || mul.Op != TokStar {
+		t.Fatalf("top op wrong: %#v", ret.Expr)
+	}
+	if add, ok := mul.X.(*BinaryExpr); !ok || add.Op != TokPlus {
+		t.Fatalf("lhs wrong: %#v", mul.X)
+	}
+}
+
+func TestParseElseIfChain(t *testing.T) {
+	src := `interface t { func f(a) {
+	  if a < 1 { return 1 } else if a < 2 { return 2 } else { return 3 }
+	} }`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := f.Interfaces[0].Funcs[0].Body.Stmts[0].(*IfStmt)
+	if st.Else == nil || len(st.Else.Stmts) != 1 {
+		t.Fatalf("else-if not nested: %#v", st.Else)
+	}
+	inner, ok := st.Else.Stmts[0].(*IfStmt)
+	if !ok || inner.Else == nil {
+		t.Fatalf("inner if missing: %#v", st.Else.Stmts[0])
+	}
+}
+
+func TestParseForLoop(t *testing.T) {
+	src := `interface t { func f(n) {
+	  let total = 0
+	  for i in 0 .. n {
+	    total = total + i
+	  }
+	  return total
+	} }`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := f.Interfaces[0].Funcs[0].Body.Stmts[1].(*ForStmt)
+	if loop.Var != "i" {
+		t.Fatalf("loop var = %q", loop.Var)
+	}
+}
+
+func TestParseChoiceDist(t *testing.T) {
+	src := `interface t {
+	  ecv freq: choice { 1.2: 0.5, 2.4: 0.3, 3.0: 0.2 }
+	  func f() { return freq }
+	}`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := f.Interfaces[0].ECVs[0].Dist
+	if d.Kind != DistChoice || len(d.Values) != 3 {
+		t.Fatalf("choice dist = %+v", d)
+	}
+}
+
+func TestParseFixedDist(t *testing.T) {
+	src := `interface t {
+	  ecv mode: fixed("turbo")
+	  func f() { if mode == "turbo" { return 2 } return 1 }
+	}`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Interfaces[0].ECVs[0].Dist.Kind != DistFixed {
+		t.Fatal("fixed dist not parsed")
+	}
+}
+
+func TestParseRecordAndListLiterals(t *testing.T) {
+	src := `interface t { func f() {
+	  let r = {size: 10, zeros: 2}
+	  let l = [1, 2, 3]
+	  return r.size + l[0] + len(l)
+	} }`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseTrailingCommas(t *testing.T) {
+	src := `interface t {
+	  ecv c: choice { 1: 0.5, 2: 0.5, }
+	  func f(a,) { return a }
+	}`
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("trailing commas rejected: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"empty", "", "no interface"},
+		{"not-interface", "func f() {}", "'interface'"},
+		{"missing-name", "interface { }", "identifier"},
+		{"missing-brace", "interface t func", "'{'"},
+		{"bad-decl", "interface t { let x = 1 }", "'ecv', 'uses', or 'func'"},
+		{"eof-in-interface", "interface t { func f() { return 1 }", "EOF"},
+		{"eof-in-block", "interface t { func f() { return 1", "EOF"},
+		{"bad-dist", "interface t { ecv x: gaussian(1) func f() { return 1 } }", "distribution"},
+		{"empty-choice", "interface t { ecv x: choice { } func f() { return 1 } }", "no entries"},
+		{"bare-expr-stmt", "interface t { func f() { f() return 1 } }", "statement"},
+		{"bad-stmt", "interface t { func f() { 42 } }", "statement"},
+		{"field-call", "interface t { func f(a) { return a.b.c(1) } }", "non-identifier"},
+		{"missing-in", "interface t { func f() { for i 0 .. 2 { } return 1 } }", "'in'"},
+		{"missing-dotdot", "interface t { func f() { for i in 0, 2 { } return 1 } }", "'..'"},
+		{"unclosed-paren", "interface t { func f() { return (1 + 2 } }", "')'"},
+		{"unclosed-index", "interface t { func f(a) { return a[1 } }", "']'"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: parse succeeded, want error containing %q", c.name, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseUnaryChains(t *testing.T) {
+	src := `interface t { func f(a) { return - -a + (0 - 1) } }`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+	src2 := `interface t { func f(a) { if !!a { return 1 } return 0 } }`
+	if _, err := Parse(src2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseLogicalOperators(t *testing.T) {
+	src := `interface t { func f(a, b) {
+	  if a < 1 && b > 2 || a == b { return 1 }
+	  return 0
+	} }`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := f.Interfaces[0].Funcs[0].Body.Stmts[0].(*IfStmt).Cond
+	or, ok := cond.(*BinaryExpr)
+	if !ok || or.Op != TokOrOr {
+		t.Fatalf("|| should bind loosest: %#v", cond)
+	}
+}

@@ -1,0 +1,149 @@
+package eil
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"energyclarity/internal/core"
+)
+
+func TestPrintRoundTripFig1(t *testing.T) {
+	f1, err := Parse(fig1EIL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := Print(f1)
+	f2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("re-parse of printed source failed: %v\n---\n%s", err, printed)
+	}
+	// Printing again must be a fixed point.
+	printed2 := Print(f2)
+	if printed != printed2 {
+		t.Fatalf("Print not idempotent:\n--- first ---\n%s\n--- second ---\n%s", printed, printed2)
+	}
+}
+
+// TestPrintPreservesSemantics checks that the printed program compiles to
+// an interface with identical predictions.
+func TestPrintPreservesSemantics(t *testing.T) {
+	f1, _ := Parse(fig1EIL)
+	m1, err := CompileFile(f1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Parse(Print(f1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := CompileFile(f2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sz := range []float64{10, 1000, 1e6} {
+		a, err := m1["ml_webservice"].ExpectedJoules("handle", img(sz, sz/10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := m2["ml_webservice"].ExpectedJoules("handle", img(sz, sz/10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(float64(a-b)) > 1e-12 {
+			t.Fatalf("size %v: %v != %v", sz, a, b)
+		}
+	}
+}
+
+func TestPrintRoundTripAllForms(t *testing.T) {
+	src := `interface kitchen_sink "doc" {
+	  ecv hit: bernoulli(0.25) "hit doc"
+	  ecv lvl: choice { 1: 0.5, 2: 0.25, 4: 0.25 }
+	  ecv mode: fixed("fast")
+	  uses hw: helper
+	  func f(a, b) "computes stuff" {
+	    let r = {size: a, flags: [true, false]}
+	    let x = 0
+	    if hit && a > 1 || b <= 2 {
+	      x = -a % 3
+	    } else if !hit {
+	      x = a / 2
+	    } else {
+	      x = pow(a, 2)
+	    }
+	    for i in 0 .. b {
+	      x = x + r.size * i + r.flags[0] == true
+	    }
+	    if mode == "fast" { return hw.op(x) }
+	    return x + lvl + 5mJ
+	  }
+	}
+	interface helper {
+	  func op(n) { return n * 2 }
+	}`
+	f1, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := Print(f1)
+	f2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, printed)
+	}
+	if p2 := Print(f2); p2 != printed {
+		t.Fatalf("not a fixed point:\n%s\nvs\n%s", printed, p2)
+	}
+}
+
+func TestPrintParenthesization(t *testing.T) {
+	// (a+b)*c must print with parens; a+(b*c) must not need them.
+	src := `interface t { func f(a, b, c) { return (a + b) * c + a * (b + c) } }`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ExprString(f.Interfaces[0].Funcs[0].Body.Stmts[0].(*ReturnStmt).Expr)
+	if out != "(a + b) * c + a * (b + c)" {
+		t.Fatalf("printed %q", out)
+	}
+}
+
+func TestPrintUnitLiteralPreserved(t *testing.T) {
+	f, err := Parse(`interface t { func f() { return 5mJ } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(Print(f), "5mJ") {
+		t.Fatalf("unit literal lost:\n%s", Print(f))
+	}
+}
+
+func TestPrintSynthesizedAST(t *testing.T) {
+	// ASTs built programmatically (by the extraction tool) have no Text on
+	// NumLits; printing must still produce valid source.
+	fn := &FuncDecl{
+		Name:   "f",
+		Params: []string{"n"},
+		Body: &Block{Stmts: []Stmt{
+			&ReturnStmt{Expr: &BinaryExpr{
+				Op: TokStar,
+				X:  &NumLit{Val: 0.004},
+				Y:  &Ident{Name: "n"},
+			}},
+		}},
+	}
+	decl := &InterfaceDecl{Name: "synth", Funcs: []*FuncDecl{fn}}
+	src := PrintInterface(decl)
+	m, err := Compile(src, nil)
+	if err != nil {
+		t.Fatalf("synthesized source invalid: %v\n%s", err, src)
+	}
+	j, err := m["synth"].ExpectedJoules("f", core.Num(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(j)-4) > 1e-12 {
+		t.Fatalf("got %v, want 4", j)
+	}
+}

@@ -1,0 +1,389 @@
+package eil
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"energyclarity/internal/core"
+)
+
+// Randomized structural tests: generate ASTs, print them, re-parse, and
+// require Print to be a fixed point; generate arithmetic programs and
+// require the interpreter to agree with a direct Go evaluation.
+
+// genExpr builds a random expression of bounded depth over the given
+// identifiers.
+func genExpr(rng *rand.Rand, depth int, idents []string) Expr {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return &NumLit{Val: float64(rng.Intn(100))}
+		case 1:
+			return &Ident{Name: idents[rng.Intn(len(idents))]}
+		default:
+			return &BoolLit{Val: rng.Intn(2) == 0}
+		}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		ops := []TokKind{TokPlus, TokMinus, TokStar, TokSlash, TokPercent,
+			TokLt, TokLe, TokGt, TokGe, TokEq, TokNeq, TokAndAnd, TokOrOr}
+		return &BinaryExpr{
+			Op: ops[rng.Intn(len(ops))],
+			X:  genExpr(rng, depth-1, idents),
+			Y:  genExpr(rng, depth-1, idents),
+		}
+	case 1:
+		op := TokMinus
+		if rng.Intn(2) == 0 {
+			op = TokBang
+		}
+		return &UnaryExpr{Op: op, X: genExpr(rng, depth-1, idents)}
+	case 2:
+		return &CallExpr{Name: "min", Args: []Expr{
+			genExpr(rng, depth-1, idents), genExpr(rng, depth-1, idents),
+		}}
+	case 3:
+		return &FieldExpr{X: &Ident{Name: idents[0]}, Name: "size"}
+	case 4:
+		return &RecordLit{
+			Names:  []string{"a", "b"},
+			Values: []Expr{genExpr(rng, depth-1, idents), genExpr(rng, depth-1, idents)},
+		}
+	default:
+		return &IndexExpr{
+			X: &ListLit{Elems: []Expr{genExpr(rng, depth-1, idents)}},
+			I: &NumLit{Val: 0},
+		}
+	}
+}
+
+// genStmts builds a random statement list ending in a return. nameSeq
+// provides unique, valid variable names across the whole tree.
+func genStmts(rng *rand.Rand, depth int, idents []string, nameSeq *int) []Stmt {
+	var out []Stmt
+	n := rng.Intn(3)
+	fresh := func(prefix string) string {
+		*nameSeq++
+		return fmt.Sprintf("%s%d", prefix, *nameSeq)
+	}
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			out = append(out, &LetStmt{
+				Name: fresh("v"),
+				Init: genExpr(rng, depth, idents),
+			})
+		case 1:
+			st := &IfStmt{
+				Cond: genExpr(rng, depth, idents),
+				Then: &Block{Stmts: genStmts(rng, depth-1, idents, nameSeq)},
+			}
+			if rng.Intn(2) == 0 {
+				st.Else = &Block{Stmts: genStmts(rng, depth-1, idents, nameSeq)}
+			}
+			out = append(out, st)
+		default:
+			out = append(out, &ForStmt{
+				Var:  fresh("i"),
+				From: &NumLit{Val: 0},
+				To:   &NumLit{Val: float64(rng.Intn(4))},
+				Body: &Block{Stmts: genStmts(rng, depth-1, idents, nameSeq)},
+			})
+		}
+		if depth <= 0 {
+			break
+		}
+	}
+	out = append(out, &ReturnStmt{Expr: genExpr(rng, depth, idents)})
+	return out
+}
+
+// TestPrintParsePrintFixedPoint: for random ASTs, Print ∘ Parse ∘ Print
+// must equal Print (printing is canonical).
+func TestPrintParsePrintFixedPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	idents := []string{"a", "b", "c"}
+	for trial := 0; trial < 300; trial++ {
+		nameSeq := 0
+		decl := &InterfaceDecl{
+			Name: "gen",
+			Funcs: []*FuncDecl{{
+				Name:   "f",
+				Params: idents,
+				Body:   &Block{Stmts: genStmts(rng, 3, idents, &nameSeq)},
+			}},
+		}
+		first := PrintInterface(decl)
+		f, err := Parse(first)
+		if err != nil {
+			t.Fatalf("trial %d: printed AST does not parse: %v\n%s", trial, err, first)
+		}
+		second := Print(f)
+		if first != second && first+"\n" != second && first != second+"\n" {
+			t.Fatalf("trial %d: not a fixed point:\n--- first ---\n%s\n--- second ---\n%s",
+				trial, first, second)
+		}
+	}
+}
+
+// refEval evaluates a constants-only arithmetic AST directly in Go,
+// mirroring EIL semantics; sum types are (float64, bool).
+type refVal struct {
+	n     float64
+	b     bool
+	isNum bool
+}
+
+func refEval(e Expr) (refVal, error) {
+	switch x := e.(type) {
+	case *NumLit:
+		return refVal{n: x.Val, isNum: true}, nil
+	case *BoolLit:
+		return refVal{b: x.Val}, nil
+	case *UnaryExpr:
+		v, err := refEval(x.X)
+		if err != nil {
+			return refVal{}, err
+		}
+		if x.Op == TokMinus {
+			if !v.isNum {
+				return refVal{}, fmt.Errorf("minus on bool")
+			}
+			return refVal{n: -v.n, isNum: true}, nil
+		}
+		if v.isNum {
+			return refVal{}, fmt.Errorf("not on num")
+		}
+		return refVal{b: !v.b}, nil
+	case *BinaryExpr:
+		if x.Op == TokAndAnd || x.Op == TokOrOr {
+			a, err := refEval(x.X)
+			if err != nil {
+				return refVal{}, err
+			}
+			if a.isNum {
+				return refVal{}, fmt.Errorf("logic on num")
+			}
+			if (x.Op == TokAndAnd && !a.b) || (x.Op == TokOrOr && a.b) {
+				return a, nil
+			}
+			bv, err := refEval(x.Y)
+			if err != nil {
+				return refVal{}, err
+			}
+			if bv.isNum {
+				return refVal{}, fmt.Errorf("logic on num")
+			}
+			return bv, nil
+		}
+		a, err := refEval(x.X)
+		if err != nil {
+			return refVal{}, err
+		}
+		bv, err := refEval(x.Y)
+		if err != nil {
+			return refVal{}, err
+		}
+		if x.Op == TokEq || x.Op == TokNeq {
+			eq := a.isNum == bv.isNum && ((a.isNum && a.n == bv.n) || (!a.isNum && a.b == bv.b))
+			if x.Op == TokNeq {
+				eq = !eq
+			}
+			return refVal{b: eq}, nil
+		}
+		if !a.isNum || !bv.isNum {
+			return refVal{}, fmt.Errorf("arith on bool")
+		}
+		switch x.Op {
+		case TokPlus:
+			return refVal{n: a.n + bv.n, isNum: true}, nil
+		case TokMinus:
+			return refVal{n: a.n - bv.n, isNum: true}, nil
+		case TokStar:
+			return refVal{n: a.n * bv.n, isNum: true}, nil
+		case TokSlash:
+			if bv.n == 0 {
+				return refVal{}, fmt.Errorf("div by zero")
+			}
+			return refVal{n: a.n / bv.n, isNum: true}, nil
+		case TokPercent:
+			if bv.n == 0 {
+				return refVal{}, fmt.Errorf("mod by zero")
+			}
+			return refVal{n: math.Mod(a.n, bv.n), isNum: true}, nil
+		case TokLt:
+			return refVal{b: a.n < bv.n}, nil
+		case TokLe:
+			return refVal{b: a.n <= bv.n}, nil
+		case TokGt:
+			return refVal{b: a.n > bv.n}, nil
+		case TokGe:
+			return refVal{b: a.n >= bv.n}, nil
+		}
+		return refVal{}, fmt.Errorf("bad op")
+	case *CallExpr:
+		if x.Name != "min" {
+			return refVal{}, fmt.Errorf("unknown call")
+		}
+		a, err := refEval(x.Args[0])
+		if err != nil {
+			return refVal{}, err
+		}
+		bv, err := refEval(x.Args[1])
+		if err != nil {
+			return refVal{}, err
+		}
+		if !a.isNum || !bv.isNum {
+			return refVal{}, fmt.Errorf("min on bool")
+		}
+		return refVal{n: math.Min(a.n, bv.n), isNum: true}, nil
+	default:
+		return refVal{}, fmt.Errorf("unsupported node %T", e)
+	}
+}
+
+// genArith builds a constants-only expression (no idents, fields, records).
+func genArith(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		if rng.Intn(5) == 0 {
+			return &BoolLit{Val: rng.Intn(2) == 0}
+		}
+		return &NumLit{Val: float64(rng.Intn(20)) - 5}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		ops := []TokKind{TokPlus, TokMinus, TokStar, TokSlash, TokPercent,
+			TokLt, TokGe, TokEq, TokNeq, TokAndAnd, TokOrOr}
+		return &BinaryExpr{Op: ops[rng.Intn(len(ops))],
+			X: genArith(rng, depth-1), Y: genArith(rng, depth-1)}
+	case 1:
+		op := TokMinus
+		if rng.Intn(2) == 0 {
+			op = TokBang
+		}
+		return &UnaryExpr{Op: op, X: genArith(rng, depth-1)}
+	default:
+		return &CallExpr{Name: "min", Args: []Expr{
+			genArith(rng, depth-1), genArith(rng, depth-1)}}
+	}
+}
+
+// TestInterpreterAgreesWithReference: for random constants-only programs,
+// the EIL interpreter must produce exactly the reference result (or both
+// must fail). Boolean results are mapped through an if so the function
+// returns a num either way.
+func TestInterpreterAgreesWithReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	agreed, errored := 0, 0
+	for trial := 0; trial < 500; trial++ {
+		e := genArith(rng, 4)
+		ref, refErr := refEval(e)
+
+		var body []Stmt
+		if refErr == nil && !ref.isNum {
+			body = []Stmt{&IfStmt{
+				Cond: e,
+				Then: &Block{Stmts: []Stmt{&ReturnStmt{Expr: &NumLit{Val: 1}}}},
+				Else: &Block{Stmts: []Stmt{&ReturnStmt{Expr: &NumLit{Val: 0}}}},
+			}}
+		} else {
+			body = []Stmt{&ReturnStmt{Expr: e}}
+		}
+		decl := &InterfaceDecl{Name: "gen", Funcs: []*FuncDecl{{
+			Name: "f", Body: &Block{Stmts: body},
+		}}}
+		src := PrintInterface(decl)
+		compiled, err := Compile(src, nil)
+		if err != nil {
+			t.Fatalf("trial %d: generated program does not compile: %v\n%s", trial, err, src)
+		}
+		got, evalErr := compiled["gen"].ExpectedJoules("f")
+
+		switch {
+		case refErr != nil:
+			// Type errors and div-by-zero must fail in EIL too. (A boolean
+			// overall result is handled above, but nested type errors and
+			// non-finite results must propagate.)
+			if evalErr == nil && !ref.isNum {
+				t.Fatalf("trial %d: reference failed (%v) but EIL returned %v\n%s",
+					trial, refErr, got, src)
+			}
+			errored++
+		case !ref.isNum:
+			want := 0.0
+			if ref.b {
+				want = 1
+			}
+			if evalErr != nil || float64(got) != want {
+				t.Fatalf("trial %d: bool result: EIL %v/%v, want %v\n%s",
+					trial, got, evalErr, want, src)
+			}
+			agreed++
+		default:
+			if math.IsNaN(ref.n) || math.IsInf(ref.n, 0) {
+				if evalErr == nil {
+					t.Fatalf("trial %d: non-finite reference but EIL returned %v", trial, got)
+				}
+				errored++
+				break
+			}
+			if evalErr != nil {
+				t.Fatalf("trial %d: EIL failed (%v), reference %v\n%s", trial, evalErr, ref.n, src)
+			}
+			if float64(got) != ref.n {
+				t.Fatalf("trial %d: EIL %v != reference %v\n%s", trial, got, ref.n, src)
+			}
+			agreed++
+		}
+	}
+	if agreed < 100 {
+		t.Fatalf("only %d trials agreed numerically (%d errored); generator too error-prone",
+			agreed, errored)
+	}
+}
+
+// TestCoreEvalOrderingProperty: on interfaces with random ECVs, the three
+// summary modes must be ordered: best <= expected mean <= worst.
+func TestCoreEvalOrderingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		p1 := rng.Float64()
+		p2 := rng.Float64()
+		k1 := float64(rng.Intn(100)) + 1
+		k2 := float64(rng.Intn(100)) + 1
+		src := fmt.Sprintf(`interface t {
+		  ecv a: bernoulli(%g)
+		  ecv b: bernoulli(%g)
+		  func f() {
+		    let e = 1
+		    if a { e = e + %g }
+		    if b { e = e * %g }
+		    return e
+		  }
+		}`, p1, p2, k1, k2)
+		compiled, err := Compile(src, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iface := compiled["t"]
+		exp, err := iface.Eval("f", nil, core.Expected())
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, err := iface.Eval("f", nil, core.BestCase())
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi, err := iface.Eval("f", nil, core.WorstCase())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(lo.Min() <= exp.Mean()+1e-9 && exp.Mean() <= hi.Max()+1e-9) {
+			t.Fatalf("trial %d: ordering violated: best %v mean %v worst %v",
+				trial, lo.Min(), exp.Mean(), hi.Max())
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package eil implements the Energy Interface Language: a small,
+// Python-flavoured language for writing energy interfaces as readable,
+// executable programs (the paper's Fig. 1 style). EIL sources are parsed,
+// checked, and compiled into core.Interface values, so everything the
+// runtime can do (expectation, worst case, composition, rebinding) applies
+// to interfaces written in EIL.
+//
+// The language is deliberately small but expressive enough for real energy
+// behaviours: ECV declarations with distributions, bindings to lower-level
+// interfaces ("uses"), functions with let/if/for/return, records, lists,
+// energy-unit literals (5mJ), and a bounded-fuel interpreter so evaluation
+// in tools always terminates.
+package eil
+
+import "fmt"
+
+// TokKind identifies a lexical token class.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber // numeric literal; Val holds the value (unit suffix folded in)
+	TokString
+
+	// Keywords.
+	TokInterface
+	TokECV
+	TokUses
+	TokFunc
+	TokLet
+	TokIf
+	TokElse
+	TokFor
+	TokIn
+	TokReturn
+	TokTrue
+	TokFalse
+	TokBernoulli
+	TokChoice
+	TokFixed
+
+	// Punctuation and operators.
+	TokLBrace
+	TokRBrace
+	TokLParen
+	TokRParen
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokColon
+	TokDot
+	TokDotDot
+	TokAssign
+	TokEq
+	TokNeq
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokBang
+	TokAndAnd
+	TokOrOr
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokNumber: "number", TokString: "string",
+	TokInterface: "'interface'", TokECV: "'ecv'", TokUses: "'uses'", TokFunc: "'func'",
+	TokLet: "'let'", TokIf: "'if'", TokElse: "'else'", TokFor: "'for'", TokIn: "'in'",
+	TokReturn: "'return'", TokTrue: "'true'", TokFalse: "'false'",
+	TokBernoulli: "'bernoulli'", TokChoice: "'choice'", TokFixed: "'fixed'",
+	TokLBrace: "'{'", TokRBrace: "'}'", TokLParen: "'('", TokRParen: "')'",
+	TokLBracket: "'['", TokRBracket: "']'", TokComma: "','", TokColon: "':'",
+	TokDot: "'.'", TokDotDot: "'..'", TokAssign: "'='", TokEq: "'=='", TokNeq: "'!='",
+	TokLt: "'<'", TokLe: "'<='", TokGt: "'>'", TokGe: "'>='", TokPlus: "'+'",
+	TokMinus: "'-'", TokStar: "'*'", TokSlash: "'/'", TokPercent: "'%'",
+	TokBang: "'!'", TokAndAnd: "'&&'", TokOrOr: "'||'",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", int(k))
+}
+
+var keywords = map[string]TokKind{
+	"interface": TokInterface,
+	"ecv":       TokECV,
+	"uses":      TokUses,
+	"func":      TokFunc,
+	"let":       TokLet,
+	"if":        TokIf,
+	"else":      TokElse,
+	"for":       TokFor,
+	"in":        TokIn,
+	"return":    TokReturn,
+	"true":      TokTrue,
+	"false":     TokFalse,
+	"bernoulli": TokBernoulli,
+	"choice":    TokChoice,
+	"fixed":     TokFixed,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line int // 1-based
+	Col  int // 1-based, in bytes
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Pos  Pos
+	Text string  // raw text for identifiers/strings
+	Val  float64 // numeric value for TokNumber (unit suffix applied)
+}
+
+// Error is a lexing/parsing/checking error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("eil:%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

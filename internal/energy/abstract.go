@@ -1,0 +1,137 @@
+package energy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Abstract is an energy amount expressed as a linear combination of named
+// abstract units — e.g. "8 conv2d + 16 mlp" (§3: "energy for a 2D
+// convolution", "2 ReLUs' worth"). Abstract amounts support exact relative
+// comparison between expressions over the same units without knowing how
+// many joules each unit costs, and can be concretized to Joules with a
+// Basis.
+//
+// The zero value is the zero amount and is ready to use.
+type Abstract struct {
+	units map[string]float64
+}
+
+// Units returns Abstract representing n of the named unit.
+func Units(n float64, unit string) Abstract {
+	a := Abstract{units: map[string]float64{}}
+	if n != 0 {
+		a.units[unit] = n
+	}
+	return a
+}
+
+// Plus returns a + b.
+func (a Abstract) Plus(b Abstract) Abstract {
+	out := Abstract{units: map[string]float64{}}
+	for u, n := range a.units {
+		out.units[u] = n
+	}
+	for u, n := range b.units {
+		out.units[u] += n
+		if out.units[u] == 0 {
+			delete(out.units, u)
+		}
+	}
+	return out
+}
+
+// Times returns k * a.
+func (a Abstract) Times(k float64) Abstract {
+	out := Abstract{units: map[string]float64{}}
+	if k == 0 {
+		return out
+	}
+	for u, n := range a.units {
+		out.units[u] = k * n
+	}
+	return out
+}
+
+// Coefficient returns the coefficient of the named unit (0 if absent).
+func (a Abstract) Coefficient(unit string) float64 { return a.units[unit] }
+
+// UnitNames returns the units with non-zero coefficient, sorted.
+func (a Abstract) UnitNames() []string {
+	names := make([]string, 0, len(a.units))
+	for u := range a.units {
+		names = append(names, u)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Ratio returns the scalar r such that a == r*b, if the two amounts are
+// proportional over the same units ("the latter consumes twice as much as
+// the former, regardless of how many Joules that is"). ok is false if the
+// amounts are not proportional or b is zero.
+func (a Abstract) Ratio(b Abstract) (r float64, ok bool) {
+	if len(b.units) == 0 {
+		return 0, false
+	}
+	if len(a.units) == 0 {
+		return 0, true
+	}
+	if len(a.units) != len(b.units) {
+		return 0, false
+	}
+	first := true
+	for u, bn := range b.units {
+		an, present := a.units[u]
+		if !present || bn == 0 {
+			return 0, false
+		}
+		cur := an / bn
+		if first {
+			r, first = cur, false
+			continue
+		}
+		if math.Abs(cur-r) > 1e-9*math.Max(math.Abs(cur), math.Abs(r)) {
+			return 0, false
+		}
+	}
+	return r, true
+}
+
+// Basis maps abstract unit names to concrete per-unit energies. A hardware
+// energy interface is, at bottom, a Basis: it assigns joule costs to the
+// abstract operations the layers above count.
+type Basis map[string]Joules
+
+// Concretize converts a to Joules using basis b. It returns an error
+// naming the first (alphabetically) unit missing from the basis.
+func (a Abstract) Concretize(b Basis) (Joules, error) {
+	var total Joules
+	for _, u := range a.UnitNames() {
+		cost, present := b[u]
+		if !present {
+			return 0, fmt.Errorf("energy: no basis entry for abstract unit %q", u)
+		}
+		total += Joules(a.units[u]) * cost
+	}
+	return total, nil
+}
+
+// String renders the amount like "8 conv2d + 16 mlp"; the zero amount
+// renders as "0".
+func (a Abstract) String() string {
+	names := a.UnitNames()
+	if len(names) == 0 {
+		return "0"
+	}
+	var b strings.Builder
+	for i, u := range names {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "%.6g %s", a.units[u], u)
+	}
+	return b.String()
+}

@@ -1,0 +1,132 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAbstractZeroValue(t *testing.T) {
+	var a Abstract
+	if a.String() != "0" {
+		t.Fatalf("zero Abstract = %q", a.String())
+	}
+	b := a.Plus(Units(2, "relu"))
+	if b.Coefficient("relu") != 2 {
+		t.Fatalf("zero.Plus failed: %v", b)
+	}
+}
+
+func TestAbstractPlusTimes(t *testing.T) {
+	a := Units(8, "conv2d").Plus(Units(16, "mlp"))
+	b := a.Times(2)
+	if b.Coefficient("conv2d") != 16 || b.Coefficient("mlp") != 32 {
+		t.Fatalf("Times(2): %v", b)
+	}
+	if got := a.Plus(Units(-8, "conv2d")); got.Coefficient("conv2d") != 0 {
+		t.Fatalf("cancellation failed: %v", got)
+	}
+	if got := a.Times(0); len(got.UnitNames()) != 0 {
+		t.Fatalf("Times(0) not zero: %v", got)
+	}
+}
+
+func TestAbstractCancellationDropsUnit(t *testing.T) {
+	a := Units(3, "relu").Plus(Units(-3, "relu"))
+	if names := a.UnitNames(); len(names) != 0 {
+		t.Fatalf("cancelled unit still present: %v", names)
+	}
+}
+
+func TestAbstractRatio(t *testing.T) {
+	two := Units(2, "relu")
+	four := Units(4, "relu")
+	r, ok := four.Ratio(two)
+	if !ok || r != 2 {
+		t.Fatalf("Ratio = %v, %v; want 2, true", r, ok)
+	}
+	// Proportional multi-unit amounts.
+	a := Units(2, "conv").Plus(Units(6, "mlp"))
+	b := Units(1, "conv").Plus(Units(3, "mlp"))
+	if r, ok := a.Ratio(b); !ok || r != 2 {
+		t.Fatalf("multi-unit Ratio = %v, %v", r, ok)
+	}
+	// Non-proportional.
+	c := Units(2, "conv").Plus(Units(5, "mlp"))
+	if _, ok := c.Ratio(b); ok {
+		t.Fatal("non-proportional amounts reported proportional")
+	}
+	// Different units.
+	if _, ok := Units(1, "conv").Ratio(Units(1, "mlp")); ok {
+		t.Fatal("different units reported proportional")
+	}
+	// Zero denominator.
+	var z Abstract
+	if _, ok := a.Ratio(z); ok {
+		t.Fatal("ratio to zero should fail")
+	}
+	// Zero numerator is proportional with r = 0.
+	if r, ok := z.Ratio(b); !ok || r != 0 {
+		t.Fatalf("zero numerator Ratio = %v, %v", r, ok)
+	}
+}
+
+func TestConcretize(t *testing.T) {
+	a := Units(8, "conv2d").Plus(Units(16, "mlp"))
+	basis := Basis{"conv2d": 2 * Millijoule, "mlp": 1 * Millijoule}
+	got, err := a.Concretize(basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 32 * Millijoule; (got - want).Abs() > 1e-12 {
+		t.Fatalf("Concretize = %v, want %v", got, want)
+	}
+}
+
+func TestConcretizeMissingUnit(t *testing.T) {
+	a := Units(1, "relu")
+	if _, err := a.Concretize(Basis{}); err == nil {
+		t.Fatal("Concretize with missing unit should error")
+	}
+}
+
+func TestAbstractString(t *testing.T) {
+	a := Units(8, "conv2d").Plus(Units(16, "mlp"))
+	if got := a.String(); got != "8 conv2d + 16 mlp" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestQuickAbstractPlusCommutative(t *testing.T) {
+	f := func(x, y float64) bool {
+		a := Units(clampVal(x), "a").Plus(Units(clampVal(y), "b"))
+		b := Units(clampVal(y), "a").Plus(Units(clampVal(x), "c"))
+		l := a.Plus(b)
+		r := b.Plus(a)
+		for _, u := range []string{"a", "b", "c"} {
+			if l.Coefficient(u) != r.Coefficient(u) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickConcretizeLinear(t *testing.T) {
+	basis := Basis{"u": 3}
+	f := func(x, y float64) bool {
+		a, b := clampVal(x), clampVal(y)
+		ja, err1 := Units(a, "u").Concretize(basis)
+		jb, err2 := Units(b, "u").Concretize(basis)
+		jsum, err3 := Units(a, "u").Plus(Units(b, "u")).Concretize(basis)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return (jsum - (ja + jb)).Abs() < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

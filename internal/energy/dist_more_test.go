@@ -1,0 +1,99 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSupportCopy(t *testing.T) {
+	d := Categorical([]float64{1, 2, 3}, []float64{1, 1, 1})
+	s := d.Support()
+	if len(s) != 3 || s[0] != 1 || s[2] != 3 {
+		t.Fatalf("Support = %v", s)
+	}
+	s[0] = 99 // mutation must not affect the distribution
+	if d.Min() != 1 {
+		t.Fatal("Support leaked internal storage")
+	}
+}
+
+func TestAddConst(t *testing.T) {
+	d := Bernoulli(0.25).AddConst(10)
+	if d.Min() != 10 || d.Max() != 11 {
+		t.Fatalf("AddConst support [%v, %v]", d.Min(), d.Max())
+	}
+	if !almostEq(d.Mean(), 10.25, 1e-12) {
+		t.Fatalf("AddConst mean %v", d.Mean())
+	}
+	var z Dist
+	if got := z.AddConst(5); !got.Equal(Point(5), 0) {
+		t.Fatalf("zero.AddConst = %v", got)
+	}
+}
+
+func TestZeroDistMoments(t *testing.T) {
+	var z Dist
+	if z.Min() != 0 || z.Max() != 0 || z.Quantile(0.5) != 0 {
+		t.Fatal("zero dist moments should be 0")
+	}
+	if z.Scale(3).Len() != 0 {
+		t.Fatal("scaling zero dist should stay zero")
+	}
+	if z.Map(math.Abs).Len() != 0 {
+		t.Fatal("mapping zero dist should stay zero")
+	}
+}
+
+func TestEqualMismatchCases(t *testing.T) {
+	a := Categorical([]float64{1, 2}, []float64{0.5, 0.5})
+	b := Categorical([]float64{1, 3}, []float64{0.5, 0.5})
+	c := Categorical([]float64{1, 2}, []float64{0.25, 0.75})
+	if a.Equal(b, 1e-9) {
+		t.Fatal("different supports equal")
+	}
+	if a.Equal(c, 1e-9) {
+		t.Fatal("different probabilities equal")
+	}
+	if a.Equal(Point(1), 1e-9) {
+		t.Fatal("different lengths equal")
+	}
+}
+
+func TestCompactPreservesTotalProbAndWeightedMean(t *testing.T) {
+	// Force heavy compaction: sum of 200 3-point dists.
+	d := Categorical([]float64{0, 3, 11}, []float64{0.3, 0.4, 0.3})
+	sum := Point(0)
+	for i := 0; i < 200; i++ {
+		sum = sum.Add(d)
+	}
+	if sum.Len() > MaxSupport {
+		t.Fatalf("support %d over cap", sum.Len())
+	}
+	if !almostEq(sum.TotalProb(), 1, 1e-9) {
+		t.Fatalf("total prob %v", sum.TotalProb())
+	}
+	want := 200 * d.Mean()
+	if !almostEq(sum.Mean(), want, 1e-6*want) {
+		t.Fatalf("mean %v, want %v", sum.Mean(), want)
+	}
+	// Variance should also be close (merging nearest points perturbs it
+	// only slightly).
+	wantVar := 200 * d.Variance()
+	if math.Abs(sum.Variance()-wantVar)/wantVar > 0.05 {
+		t.Fatalf("variance %v, want ≈%v", sum.Variance(), wantVar)
+	}
+}
+
+func TestQuantileMedianOfSymmetric(t *testing.T) {
+	d := UniformOver(1, 2, 3, 4, 5)
+	if q := d.Quantile(0.5); q != 3 {
+		t.Fatalf("median %v, want 3", q)
+	}
+}
+
+func TestBernoulli2(t *testing.T) {
+	d := Bernoulli2(0.25, 7, 2)
+	if d.Prob(7) != 0.25 || d.Prob(2) != 0.75 {
+		t.Fatalf("Bernoulli2 masses: %v", d)
+	}
+}

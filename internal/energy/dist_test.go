@@ -1,0 +1,379 @@
+package energy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPoint(t *testing.T) {
+	d := Point(3.5)
+	if d.Mean() != 3.5 || d.Min() != 3.5 || d.Max() != 3.5 {
+		t.Fatalf("Point(3.5) moments wrong: %v", d)
+	}
+	if d.Variance() != 0 {
+		t.Fatalf("Point variance = %v, want 0", d.Variance())
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Point support size = %d", d.Len())
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	d := Bernoulli(0.3)
+	if !almostEq(d.Mean(), 0.3, 1e-12) {
+		t.Fatalf("Bernoulli(0.3) mean = %v", d.Mean())
+	}
+	if !almostEq(d.Variance(), 0.21, 1e-12) {
+		t.Fatalf("Bernoulli(0.3) var = %v, want 0.21", d.Variance())
+	}
+	if d.Prob(1) != 0.3 || d.Prob(0) != 0.7 {
+		t.Fatalf("Bernoulli(0.3) masses wrong: %v", d)
+	}
+}
+
+func TestBernoulliDegenerate(t *testing.T) {
+	if d := Bernoulli(0); d.Len() != 1 || d.Max() != 0 {
+		t.Fatalf("Bernoulli(0) = %v", d)
+	}
+	if d := Bernoulli(1); d.Len() != 1 || d.Min() != 1 {
+		t.Fatalf("Bernoulli(1) = %v", d)
+	}
+}
+
+func TestBernoulliPanicsOutOfRange(t *testing.T) {
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Bernoulli(%v) did not panic", p)
+				}
+			}()
+			Bernoulli(p)
+		}()
+	}
+}
+
+func TestCategoricalNormalizesAndMerges(t *testing.T) {
+	d := Categorical([]float64{2, 1, 2}, []float64{1, 2, 1})
+	if d.Len() != 2 {
+		t.Fatalf("support = %d, want 2 (duplicates merged)", d.Len())
+	}
+	if !almostEq(d.Prob(1), 0.5, 1e-12) || !almostEq(d.Prob(2), 0.5, 1e-12) {
+		t.Fatalf("masses wrong: %v", d)
+	}
+	if !almostEq(d.TotalProb(), 1, 1e-12) {
+		t.Fatalf("total prob = %v", d.TotalProb())
+	}
+}
+
+func TestCategoricalDropsZeroMass(t *testing.T) {
+	d := Categorical([]float64{1, 2, 3}, []float64{0.5, 0, 0.5})
+	if d.Len() != 2 || d.Prob(2) != 0 {
+		t.Fatalf("zero-mass point not dropped: %v", d)
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	cases := []struct {
+		name   string
+		values []float64
+		probs  []float64
+	}{
+		{"mismatch", []float64{1}, []float64{1, 2}},
+		{"empty", nil, nil},
+		{"negative", []float64{1}, []float64{-1}},
+		{"zero-sum", []float64{1, 2}, []float64{0, 0}},
+		{"nan-value", []float64{math.NaN()}, []float64{1}},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Categorical %s did not panic", c.name)
+				}
+			}()
+			Categorical(c.values, c.probs)
+		}()
+	}
+}
+
+func TestAddConvolution(t *testing.T) {
+	a := Bernoulli(0.5)
+	b := Bernoulli(0.5)
+	s := a.Add(b) // Binomial(2, 0.5)
+	want := Categorical([]float64{0, 1, 2}, []float64{0.25, 0.5, 0.25})
+	if !s.Equal(want, 1e-12) {
+		t.Fatalf("Bernoulli+Bernoulli = %v, want %v", s, want)
+	}
+}
+
+func TestAddWithZeroDist(t *testing.T) {
+	var z Dist
+	d := Point(4)
+	if got := z.Add(d); !got.Equal(d, 0) {
+		t.Fatalf("zero.Add(d) = %v", got)
+	}
+	if got := d.Add(z); !got.Equal(d, 0) {
+		t.Fatalf("d.Add(zero) = %v", got)
+	}
+}
+
+func TestScaleNegativeReordersSupport(t *testing.T) {
+	d := Categorical([]float64{1, 2}, []float64{0.25, 0.75}).Scale(-1)
+	if d.Min() != -2 || d.Max() != -1 {
+		t.Fatalf("Scale(-1) support wrong: %v", d)
+	}
+	if !almostEq(d.Prob(-2), 0.75, 1e-12) {
+		t.Fatalf("Scale(-1) masses wrong: %v", d)
+	}
+}
+
+func TestMapMergesEqualOutputs(t *testing.T) {
+	d := Categorical([]float64{-1, 1}, []float64{0.5, 0.5}).Map(math.Abs)
+	if d.Len() != 1 || d.Prob(1) != 1 {
+		t.Fatalf("Map(abs) = %v, want point at 1", d)
+	}
+}
+
+func TestMix(t *testing.T) {
+	d := Mix([]float64{1, 3}, []Dist{Point(0), Point(4)})
+	if !almostEq(d.Mean(), 3, 1e-12) {
+		t.Fatalf("Mix mean = %v, want 3", d.Mean())
+	}
+	if !almostEq(d.Prob(0), 0.25, 1e-12) || !almostEq(d.Prob(4), 0.75, 1e-12) {
+		t.Fatalf("Mix masses: %v", d)
+	}
+}
+
+func TestMixZeroDistActsAsPointZero(t *testing.T) {
+	var z Dist
+	d := Mix([]float64{1, 1}, []Dist{z, Point(2)})
+	if !almostEq(d.Prob(0), 0.5, 1e-12) || !almostEq(d.Prob(2), 0.5, 1e-12) {
+		t.Fatalf("Mix with zero dist: %v", d)
+	}
+}
+
+func TestMixPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Mix length mismatch did not panic")
+			}
+		}()
+		Mix([]float64{1}, nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Mix zero weights did not panic")
+			}
+		}()
+		Mix([]float64{0, 0}, []Dist{Point(1), Point(2)})
+	}()
+}
+
+func TestRepeatMatchesIteratedAdd(t *testing.T) {
+	d := Bernoulli(0.3)
+	byRepeat := d.Repeat(5)
+	byAdd := Point(0)
+	for i := 0; i < 5; i++ {
+		byAdd = byAdd.Add(d)
+	}
+	if !byRepeat.Equal(byAdd, 1e-9) {
+		t.Fatalf("Repeat(5)=%v iterated=%v", byRepeat, byAdd)
+	}
+	if !byRepeat.Equal(Point(0).Add(byRepeat), 1e-12) {
+		t.Fatal("Repeat not stable under adding Point(0)")
+	}
+}
+
+func TestRepeatZeroAndPanic(t *testing.T) {
+	if d := Point(3).Repeat(0); !d.Equal(Point(0), 0) {
+		t.Fatalf("Repeat(0) = %v", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Repeat(-1) did not panic")
+		}
+	}()
+	Point(1).Repeat(-1)
+}
+
+func TestCompactPreservesMeanAndBounds(t *testing.T) {
+	// Sum of 40 3-point distributions would have a huge support; verify it
+	// is capped and that the mean is preserved exactly (merging is
+	// probability-weighted) and bounds are preserved approximately.
+	d := Categorical([]float64{0, 1, 7}, []float64{0.2, 0.5, 0.3})
+	sum := Point(0)
+	for i := 0; i < 40; i++ {
+		sum = sum.Add(d)
+	}
+	if sum.Len() > MaxSupport {
+		t.Fatalf("support %d exceeds MaxSupport %d", sum.Len(), MaxSupport)
+	}
+	wantMean := 40 * d.Mean()
+	if !almostEq(sum.Mean(), wantMean, 1e-6*wantMean) {
+		t.Fatalf("mean after compaction = %v, want %v", sum.Mean(), wantMean)
+	}
+	if sum.Min() < 0 || sum.Max() > 7*40 {
+		t.Fatalf("bounds escaped range: [%v, %v]", sum.Min(), sum.Max())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	d := Categorical([]float64{1, 2, 3}, []float64{0.25, 0.5, 0.25})
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 1}, {0.3, 2}, {0.75, 2}, {0.9, 3}, {1, 3},
+		{-1, 1}, {2, 3}, // clamped
+	}
+	for _, c := range cases {
+		if got := d.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestSampleDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := Categorical([]float64{0, 10}, []float64{0.25, 0.75})
+	n := 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += d.Sample(rng)
+	}
+	got := sum / float64(n)
+	if !almostEq(got, 7.5, 0.2) {
+		t.Fatalf("sample mean = %v, want ≈7.5", got)
+	}
+}
+
+func TestSampleZeroDist(t *testing.T) {
+	var z Dist
+	rng := rand.New(rand.NewSource(1))
+	if got := z.Sample(rng); got != 0 {
+		t.Fatalf("zero dist sample = %v", got)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	var z Dist
+	if z.String() != "{}" {
+		t.Fatalf("zero dist string = %q", z.String())
+	}
+	small := Bernoulli(0.5)
+	if small.String() == "" || small.String()[0] != '{' {
+		t.Fatalf("small dist string = %q", small.String())
+	}
+	vals := make([]float64, 20)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	big := UniformOver(vals...)
+	if s := big.String(); s == "" || s[1] != 'n' {
+		t.Fatalf("big dist should summarize, got %q", s)
+	}
+}
+
+// --- property-based tests ---
+
+// clampProb maps an arbitrary float64 into [0,1].
+func clampProb(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	x = math.Abs(x)
+	return x - math.Floor(x)
+}
+
+func clampVal(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 1
+	}
+	return math.Mod(x, 1e6)
+}
+
+func TestQuickAddMeanLinear(t *testing.T) {
+	f := func(p1, p2, a, b float64) bool {
+		d1 := Bernoulli2(clampProb(p1), clampVal(a), 0)
+		d2 := Bernoulli2(clampProb(p2), clampVal(b), 0)
+		sum := d1.Add(d2)
+		want := d1.Mean() + d2.Mean()
+		tol := 1e-9 * (1 + math.Abs(want))
+		return almostEq(sum.Mean(), want, tol)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAddVarianceAdds(t *testing.T) {
+	f := func(p1, p2 float64) bool {
+		d1 := Bernoulli(clampProb(p1))
+		d2 := Bernoulli(clampProb(p2))
+		sum := d1.Add(d2)
+		want := d1.Variance() + d2.Variance()
+		return almostEq(sum.Variance(), want, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickScaleMoments(t *testing.T) {
+	f := func(p, kRaw float64) bool {
+		k := clampVal(kRaw)
+		if k == 0 {
+			k = 2
+		}
+		d := Bernoulli(clampProb(p))
+		s := d.Scale(k)
+		tolM := 1e-9 * (1 + math.Abs(k))
+		tolV := 1e-9 * (1 + k*k)
+		return almostEq(s.Mean(), k*d.Mean(), tolM) &&
+			almostEq(s.Variance(), k*k*d.Variance(), tolV)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickProbabilitiesAlwaysNormalized(t *testing.T) {
+	f := func(p1, p2, p3 float64) bool {
+		d := Mix(
+			[]float64{clampProb(p1) + 0.01, clampProb(p2) + 0.01},
+			[]Dist{Bernoulli(clampProb(p3)), Point(2)},
+		)
+		return almostEq(d.TotalProb(), 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAddCommutative(t *testing.T) {
+	f := func(p1, p2, a, b float64) bool {
+		d1 := Bernoulli2(clampProb(p1), clampVal(a), 0)
+		d2 := Bernoulli2(clampProb(p2), clampVal(b), 0)
+		return d1.Add(d2).Equal(d2.Add(d1), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMinMaxOrdered(t *testing.T) {
+	f := func(p, a, b, c float64) bool {
+		d := Categorical(
+			[]float64{clampVal(a), clampVal(b), clampVal(c)},
+			[]float64{clampProb(p) + 0.01, 0.5, 0.5},
+		)
+		return d.Min() <= d.Mean()+1e-9 && d.Mean() <= d.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

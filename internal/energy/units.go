@@ -1,0 +1,118 @@
+// Package energy provides the foundation types for the energy-clarity
+// framework: physical units (Joules, Watts), discrete probability
+// distributions over energy values, and abstract energy units.
+//
+// Energy interfaces ("The Case for Energy Clarity", HotOS'25, §3) return
+// energy either in physical units or in abstract units ("2 ReLUs' worth"),
+// and — because energy-critical variables (ECVs) are random variables —
+// the return value of an interface is in general a probability
+// distribution. This package provides all three notions.
+package energy
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Joules is an amount of energy in joules. Negative values are permitted
+// in intermediate arithmetic (e.g. when computing deltas) but a module's
+// energy consumption is always reported as a non-negative value.
+type Joules float64
+
+// Watts is power: energy per unit of time.
+type Watts float64
+
+// Common multiples, for readable literals and output.
+const (
+	Nanojoule  Joules = 1e-9
+	Microjoule Joules = 1e-6
+	Millijoule Joules = 1e-3
+	Joule      Joules = 1
+	Kilojoule  Joules = 1e3
+	Megajoule  Joules = 1e6
+
+	Microwatt Watts = 1e-6
+	Milliwatt Watts = 1e-3
+	Watt      Watts = 1
+	Kilowatt  Watts = 1e3
+)
+
+// Energy returns the energy consumed by drawing power p for duration d.
+func (p Watts) Energy(d time.Duration) Joules {
+	return Joules(float64(p) * d.Seconds())
+}
+
+// OverSeconds returns the energy consumed by drawing power p for s seconds.
+// It is a convenience for simulator code that tracks time as float seconds.
+func (p Watts) OverSeconds(s float64) Joules {
+	return Joules(float64(p) * s)
+}
+
+// Power returns the average power of consuming e over duration d.
+// It returns 0 if d is not positive.
+func (e Joules) Power(d time.Duration) Watts {
+	sec := d.Seconds()
+	if sec <= 0 {
+		return 0
+	}
+	return Watts(float64(e) / sec)
+}
+
+// Abs returns the absolute value of e.
+func (e Joules) Abs() Joules {
+	return Joules(math.Abs(float64(e)))
+}
+
+// String formats the energy with an SI prefix chosen by magnitude.
+func (e Joules) String() string {
+	v := float64(e)
+	a := math.Abs(v)
+	switch {
+	case a == 0:
+		return "0 J"
+	case a < 1e-6:
+		return fmt.Sprintf("%.3g nJ", v*1e9)
+	case a < 1e-3:
+		return fmt.Sprintf("%.3g µJ", v*1e6)
+	case a < 1:
+		return fmt.Sprintf("%.3g mJ", v*1e3)
+	case a < 1e3:
+		return fmt.Sprintf("%.3g J", v)
+	case a < 1e6:
+		return fmt.Sprintf("%.3g kJ", v*1e-3)
+	default:
+		return fmt.Sprintf("%.3g MJ", v*1e-6)
+	}
+}
+
+// String formats the power with an SI prefix chosen by magnitude.
+func (p Watts) String() string {
+	v := float64(p)
+	a := math.Abs(v)
+	switch {
+	case a == 0:
+		return "0 W"
+	case a < 1e-3:
+		return fmt.Sprintf("%.3g µW", v*1e6)
+	case a < 1:
+		return fmt.Sprintf("%.3g mW", v*1e3)
+	case a < 1e3:
+		return fmt.Sprintf("%.3g W", v)
+	default:
+		return fmt.Sprintf("%.3g kW", v*1e-3)
+	}
+}
+
+// RelativeError returns |predicted-actual| / |actual|. It reports the
+// metric used throughout the paper's evaluation (Table 1). If actual is
+// zero, it returns 0 when predicted is also zero and +Inf otherwise.
+func RelativeError(predicted, actual Joules) float64 {
+	if actual == 0 {
+		if predicted == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(float64(predicted-actual)) / math.Abs(float64(actual))
+}

@@ -1,0 +1,103 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPowerEnergyRoundTrip(t *testing.T) {
+	e := Watts(250).Energy(2 * time.Second)
+	if e != 500 {
+		t.Fatalf("250W for 2s = %v J, want 500", float64(e))
+	}
+	p := e.Power(2 * time.Second)
+	if p != 250 {
+		t.Fatalf("500J over 2s = %v W, want 250", float64(p))
+	}
+}
+
+func TestPowerOverSeconds(t *testing.T) {
+	if got := Watts(10).OverSeconds(0.5); got != 5 {
+		t.Fatalf("10W over 0.5s = %v, want 5", float64(got))
+	}
+	if got := Watts(10).OverSeconds(0); got != 0 {
+		t.Fatalf("10W over 0s = %v, want 0", float64(got))
+	}
+}
+
+func TestPowerOfZeroDuration(t *testing.T) {
+	if got := Joules(5).Power(0); got != 0 {
+		t.Fatalf("Power over zero duration = %v, want 0", float64(got))
+	}
+	if got := Joules(5).Power(-time.Second); got != 0 {
+		t.Fatalf("Power over negative duration = %v, want 0", float64(got))
+	}
+}
+
+func TestJoulesString(t *testing.T) {
+	cases := []struct {
+		in   Joules
+		want string
+	}{
+		{0, "0 J"},
+		{3 * Nanojoule, "3 nJ"},
+		{42 * Microjoule, "42 µJ"},
+		{5 * Millijoule, "5 mJ"},
+		{7, "7 J"},
+		{2 * Kilojoule, "2 kJ"},
+		{3 * Megajoule, "3 MJ"},
+		{-5 * Millijoule, "-5 mJ"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Joules(%g).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestWattsString(t *testing.T) {
+	cases := []struct {
+		in   Watts
+		want string
+	}{
+		{0, "0 W"},
+		{12 * Microwatt, "12 µW"},
+		{250 * Milliwatt, "250 mW"},
+		{450, "450 W"},
+		{1.2 * Kilowatt, "1.2 kW"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Watts(%g).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestJoulesAbs(t *testing.T) {
+	if got := Joules(-3).Abs(); got != 3 {
+		t.Fatalf("Abs(-3) = %v", float64(got))
+	}
+	if got := Joules(3).Abs(); got != 3 {
+		t.Fatalf("Abs(3) = %v", float64(got))
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("RelativeError(110,100) = %v, want 0.1", got)
+	}
+	if got := RelativeError(90, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("RelativeError(90,100) = %v, want 0.1", got)
+	}
+	if got := RelativeError(0, 0); got != 0 {
+		t.Fatalf("RelativeError(0,0) = %v, want 0", got)
+	}
+	if got := RelativeError(1, 0); !math.IsInf(got, 1) {
+		t.Fatalf("RelativeError(1,0) = %v, want +Inf", got)
+	}
+	// Symmetric in sign of actual.
+	if got := RelativeError(-110, -100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("RelativeError(-110,-100) = %v, want 0.1", got)
+	}
+}

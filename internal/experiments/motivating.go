@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"energyclarity/internal/cluster"
+	"energyclarity/internal/core"
+	"energyclarity/internal/cpusim"
+	"energyclarity/internal/energy"
+	"energyclarity/internal/sched"
+	"energyclarity/internal/trace"
+)
+
+func numVal(n int) core.Value      { return core.Num(float64(n)) }
+func numVal2(x float64) core.Value { return core.Num(x) }
+
+// --- E1: ClusterFuzz fleet sizing (§1) ---
+
+// E1Result answers the paper's two ClusterFuzz questions two ways.
+type E1Result struct {
+	// Question 1: optimal fleet size for 95% coverage.
+	InterfaceOptimalN int
+	InterfaceOptimalE energy.Joules
+	MeasuredOptimalN  int
+	MeasuredOptimalE  energy.Joules
+	// Energy spent *finding* the answer.
+	TrialSearchEnergy     energy.Joules
+	InterfaceSearchEnergy energy.Joules // zero: evaluation deploys nothing
+	// Question 2: marginal energy 90% -> 95% at the optimal fleet size.
+	Marginal90to95 energy.Joules
+	EnergyAt90     energy.Joules
+}
+
+// E1 sweep bound.
+const e1MaxFleet = 48
+
+// Table renders E1.
+func (r *E1Result) Table() *Table {
+	return &Table{
+		ID:     "E1",
+		Title:  "ClusterFuzz: optimal fleet size for 95% coverage (§1)",
+		Header: []string{"method", "optimal N", "campaign energy", "energy to find answer"},
+		Rows: [][]string{
+			{"energy interface (from IaC)", cell(r.InterfaceOptimalN),
+				r.InterfaceOptimalE.String(), r.InterfaceSearchEnergy.String()},
+			{"trial-and-error deployment", cell(r.MeasuredOptimalN),
+				r.MeasuredOptimalE.String(), r.TrialSearchEnergy.String()},
+		},
+		Notes: []string{
+			"marginal energy to raise coverage 90%→95% at the interface optimum: " +
+				r.Marginal90to95.String() + " (campaign at 90%: " + r.EnergyAt90.String() + ")",
+		},
+	}
+}
+
+// E1ClusterFuzz runs the fleet-sizing experiment.
+func E1ClusterFuzz() (*E1Result, error) {
+	cfg := cluster.DefaultConfig()
+	iface, err := cluster.Interface(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &E1Result{}
+	res.InterfaceOptimalN, res.InterfaceOptimalE, err = cluster.OptimalFleet(iface, e1MaxFleet, 0.95)
+	if err != nil {
+		return nil, err
+	}
+	res.MeasuredOptimalN, res.MeasuredOptimalE, res.TrialSearchEnergy, err =
+		cluster.TrialAndError(cfg, e1MaxFleet, 0.95, 99)
+	if err != nil {
+		return nil, err
+	}
+	res.Marginal90to95, err = iface.ExpectedJoules("marginal",
+		numVal(res.InterfaceOptimalN), numVal2(0.90), numVal2(0.95))
+	if err != nil {
+		return nil, err
+	}
+	res.EnergyAt90, err = iface.ExpectedJoules("campaign",
+		numVal(res.InterfaceOptimalN), numVal2(0.90))
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// --- E2: Linux EAS with bimodal transcoding tasks (§1) ---
+
+// E2Result compares the utilization-proxy scheduler to the interface-aware
+// one on identical bimodal workloads.
+type E2Result struct {
+	Baseline sched.RunResult
+	Aware    sched.RunResult
+}
+
+// EnergySavings returns the relative energy reduction of the interface-
+// aware scheduler.
+func (r *E2Result) EnergySavings() float64 {
+	if r.Baseline.TotalEnergy == 0 {
+		return 0
+	}
+	return 1 - float64(r.Aware.TotalEnergy)/float64(r.Baseline.TotalEnergy)
+}
+
+// Table renders E2.
+func (r *E2Result) Table() *Table {
+	return &Table{
+		ID:     "E2",
+		Title:  "Linux-EAS scenario: bimodal transcoding on big.LITTLE (§1)",
+		Header: []string{"scheduler", "total energy", "backlog (QoS penalty)"},
+		Rows: [][]string{
+			{r.Baseline.Scheduler, r.Baseline.TotalEnergy.String(), pct(r.Baseline.UnmetFraction())},
+			{r.Aware.Scheduler, r.Aware.TotalEnergy.String(), pct(r.Aware.UnmetFraction())},
+		},
+		Notes: []string{
+			"interface-aware energy savings: " + pct(r.EnergySavings()),
+			"4 bimodal transcoding tasks (80ms compute peaks / 80ms I/O troughs), 640 quanta",
+		},
+	}
+}
+
+// E2 workload parameters.
+const (
+	e2Tasks  = 4
+	e2Quanta = 640
+	e2Jitter = 0.05
+)
+
+func e2TaskSet() []*sched.Task {
+	tasks := make([]*sched.Task, e2Tasks)
+	for i := 0; i < e2Tasks; i++ {
+		b := trace.NewBimodal(55e6, 1.5e6, 8, 8, i*4, e2Jitter, int64(100+i))
+		tasks[i] = &sched.Task{
+			Name:   "transcode",
+			Demand: b.Demand,
+			Iface:  sched.TaskInterface("transcode", b.Base),
+		}
+	}
+	return tasks
+}
+
+// E2EASBimodal runs both schedulers on identical chips and workloads.
+func E2EASBimodal() (*E2Result, error) {
+	chipA := cpusim.BigLITTLE()
+	base, err := sched.Run(chipA, sched.NewEASBaseline(chipA, e2Tasks, 0.3), e2TaskSet(), e2Quanta)
+	if err != nil {
+		return nil, err
+	}
+	chipB := cpusim.BigLITTLE()
+	aware, err := sched.Run(chipB, sched.NewInterfaceAware(chipB, 0.10), e2TaskSet(), e2Quanta)
+	if err != nil {
+		return nil, err
+	}
+	return &E2Result{Baseline: base, Aware: aware}, nil
+}
+
+// --- E3: Kubernetes-style node selection (§1) ---
+
+// E3Result compares request-based and interface-aware placement.
+type E3Result struct {
+	ByRequest   sched.PlacementResult
+	ByInterface sched.PlacementResult
+	Apps        []sched.App
+}
+
+// EnergySavings returns the interface placer's relative reduction.
+func (r *E3Result) EnergySavings() float64 {
+	if r.ByRequest.Energy == 0 {
+		return 0
+	}
+	return 1 - float64(r.ByInterface.Energy)/float64(r.ByRequest.Energy)
+}
+
+// Table renders E3.
+func (r *E3Result) Table() *Table {
+	t := &Table{
+		ID:     "E3",
+		Title:  "Kubernetes scenario: node selection for mixed workloads (§1)",
+		Header: []string{"placer", "total energy", "placements"},
+		Notes: []string{
+			"interface-aware energy savings: " + pct(r.EnergySavings()),
+		},
+	}
+	placements := func(p sched.PlacementResult) string {
+		s := ""
+		for i, n := range p.Nodes {
+			if i > 0 {
+				s += ", "
+			}
+			s += r.Apps[i].Name + "→" + n
+		}
+		return s
+	}
+	t.Rows = [][]string{
+		{r.ByRequest.Placer, r.ByRequest.Energy.String(), placements(r.ByRequest)},
+		{r.ByInterface.Placer, r.ByInterface.Energy.String(), placements(r.ByInterface)},
+	}
+	return t
+}
+
+// E3Apps returns the workload mix: a balanced analytics job, a memory-
+// intensive KV store (the paper's example app), and a compute-bound batch
+// job.
+func E3Apps() []sched.App {
+	return []sched.App{
+		{Name: "analytics", CPURequest: 0.6, CPUCyclesPerSec: 3e10, MemAccPerSec: 1.8e9, Seconds: 600},
+		{Name: "kvstore", CPURequest: 0.55, CPUCyclesPerSec: 1.2e10, MemAccPerSec: 6e9, Seconds: 600},
+		{Name: "batch", CPURequest: 0.9, CPUCyclesPerSec: 8e10, MemAccPerSec: 0.6e9, Seconds: 600},
+	}
+}
+
+// E3KubePlacement runs both placers on the same cluster and apps.
+func E3KubePlacement() (*E3Result, error) {
+	nodes := []sched.NodeSpec{sched.ComputeNode(), sched.BigMemoryNode()}
+	apps := E3Apps()
+	byReq := sched.PlaceByRequest(apps, nodes)
+	byIface, err := sched.PlaceByInterface(apps, nodes)
+	if err != nil {
+		return nil, err
+	}
+	return &E3Result{ByRequest: byReq, ByInterface: byIface, Apps: apps}, nil
+}

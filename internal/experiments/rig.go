@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/gpusim"
+	"energyclarity/internal/microbench"
+)
+
+// Canonical device seeds: "the two cards in the lab". All experiments use
+// these fixed devices, like the paper's fixed testbed. The seeds were
+// chosen once so the simulated devices' deviation draws are representative
+// of their model's spread (see DESIGN.md §3 expected shapes).
+const (
+	Seed4090 = 30
+	Seed3070 = 4
+)
+
+// CalibrationRepeats is the microbenchmark repeat count used everywhere.
+const CalibrationRepeats = 3
+
+// Rig is one calibrated GPU testbed: the device, its fitted coefficients,
+// and its bottom-layer energy interface.
+type Rig struct {
+	Spec   gpusim.Spec
+	GPU    *gpusim.GPU
+	Coef   microbench.Coefficients
+	Device *core.Interface // microbench.DeviceInterface: coefficients + datasheet model
+}
+
+// NewRig instantiates and calibrates a device.
+func NewRig(spec gpusim.Spec, seed int64) (*Rig, error) {
+	g := gpusim.NewGPU(spec, seed)
+	coef, err := microbench.Calibrate(g, CalibrationRepeats)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: rig %s: %w", spec.Name, err)
+	}
+	return &Rig{
+		Spec:   spec,
+		GPU:    g,
+		Coef:   coef,
+		Device: coef.DeviceInterface(spec),
+	}, nil
+}
+
+// Rig4090 returns the canonical RTX 4090 testbed.
+func Rig4090() (*Rig, error) { return NewRig(gpusim.RTX4090(), Seed4090) }
+
+// Rig3070 returns the canonical RTX 3070 testbed.
+func Rig3070() (*Rig, error) { return NewRig(gpusim.RTX3070(), Seed3070) }

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/energy"
+	"energyclarity/internal/nn"
+	"energyclarity/internal/nvml"
+)
+
+// Table1TokenCounts are the generation lengths probed for Table 1
+// ("generating up to 200 tokens", §5).
+var Table1TokenCounts = []int{10, 25, 50, 75, 100, 125, 150, 175, 200}
+
+// Table1PromptLen is the prompt length for every Table 1 run.
+const Table1PromptLen = 16
+
+// Table1Row is one device's result.
+type Table1Row struct {
+	Device string
+	AvgErr float64
+	MaxErr float64
+	PerRun []Table1Run
+}
+
+// Table1Run is one generation length's prediction-vs-measurement pair.
+type Table1Run struct {
+	Tokens    int
+	Predicted energy.Joules
+	Measured  energy.Joules
+	RelErr    float64
+}
+
+// Table1Result holds both devices' rows.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table renders the paper-style two-row table.
+func (r *Table1Result) Table() *Table {
+	t := &Table{
+		ID:     "T1",
+		Title:  "Relative energy prediction error, single GPT-2 inference (≤200 tokens)",
+		Header: []string{"GPU", "Average error", "Max error"},
+		Notes: []string{
+			"paper reports RTX4090 0.70%/0.93%, RTX3070 6.06%/8.11%",
+			fmt.Sprintf("prompt %d tokens; generation lengths %v", Table1PromptLen, Table1TokenCounts),
+		},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{row.Device, pct(row.AvgErr), pct(row.MaxErr)})
+	}
+	return t
+}
+
+// Table1 reproduces the paper's Table 1: derive each GPU's hardware energy
+// interface via microbenchmark calibration, compose the GPT-2 interface on
+// top, predict single-inference energy for each generation length, measure
+// the actual inference with the (simulated) NVML meter, and report the
+// average and maximum relative error per device.
+func Table1() (*Table1Result, error) {
+	res := &Table1Result{}
+	for _, mk := range []func() (*Rig, error){Rig4090, Rig3070} {
+		rig, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		row, err := table1Device(rig)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func table1Device(rig *Rig) (Table1Row, error) {
+	iface, err := nn.StackInterface(nn.GPT2Small(), rig.Device)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	eng, err := nn.NewEngine(nn.GPT2Small(), rig.GPU)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	meter := nvml.NewMeter(rig.GPU)
+	row := Table1Row{Device: rig.Spec.Name}
+	for _, tok := range Table1TokenCounts {
+		// Let the device return to idle temperature between runs, as a lab
+		// methodology would.
+		rig.GPU.Idle(1.0)
+		predicted, err := iface.ExpectedJoules("generate",
+			core.Num(Table1PromptLen), core.Num(float64(tok)))
+		if err != nil {
+			return Table1Row{}, err
+		}
+		snap := meter.Snapshot()
+		if _, err := eng.Generate(Table1PromptLen, tok); err != nil {
+			return Table1Row{}, err
+		}
+		measured := meter.EnergySince(snap)
+		rel := energy.RelativeError(predicted, measured)
+		row.PerRun = append(row.PerRun, Table1Run{
+			Tokens: tok, Predicted: predicted, Measured: measured, RelErr: rel,
+		})
+		row.AvgErr += rel
+		if rel > row.MaxErr {
+			row.MaxErr = rel
+		}
+	}
+	row.AvgErr /= float64(len(Table1TokenCounts))
+	return row, nil
+}

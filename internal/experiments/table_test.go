@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableFprintAlignment(t *testing.T) {
+	tab := &Table{
+		ID:     "X1",
+		Title:  "test table",
+		Header: []string{"col", "value"},
+		Rows:   [][]string{{"a", "1"}, {"longer-cell", "2"}},
+		Notes:  []string{"a note"},
+	}
+	var buf bytes.Buffer
+	if err := tab.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "== X1: test table ==") {
+		t.Fatalf("title line %q", lines[0])
+	}
+	// Columns must align: "value" entries start at the same offset.
+	idx1 := strings.Index(lines[3], "1")
+	idx2 := strings.Index(lines[4], "2")
+	if idx1 != idx2 {
+		t.Fatalf("columns misaligned: %d vs %d\n%s", idx1, idx2, out)
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Fatalf("note missing:\n%s", out)
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tab := &Table{
+		Header: []string{"plain", "with,comma", `with"quote`},
+		Rows:   [][]string{{"a", "b,c", `d"e`}, {"multi\nline", "x", "y"}},
+	}
+	var buf bytes.Buffer
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"with,comma"`, `"with""quote"`, `"b,c"`, `"d""e"`, "\"multi\nline\""} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CSV missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `"plain"`) {
+		t.Fatal("plain cell needlessly quoted")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if pct(0.1234) != "12.34%" {
+		t.Fatalf("pct = %q", pct(0.1234))
+	}
+	if f3(1234.5) != "1.23e+03" {
+		t.Fatalf("f3 = %q", f3(1234.5))
+	}
+	if cell(42) != "42" {
+		t.Fatalf("cell = %q", cell(42))
+	}
+}

@@ -1,0 +1,232 @@
+package extract
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"energyclarity/internal/core"
+)
+
+// This file implements the side-effects half of §4.2's analysis: "The
+// latter is important: for example, if an app causes a smartphone's WiFi
+// radio to turn on, subsequent apps using WiFi will consume less energy
+// than if it had been them turning the radio on — this is a side effect."
+//
+// In the IR, side effects are SetState instructions: the module flips a
+// hidden state variable that StateIf branches (its own, or other modules')
+// read. A single-call energy interface cannot express cross-call effects
+// directly — they are exactly the "past inputs and actions" §3 folds into
+// ECVs — so the analyzer (i) reports each module's state transitions as
+// part of its interface, and (ii) lets a resource manager compose
+// sequence-level predictions by threading the declared transitions through
+// per-call evaluations (see SequenceEnergy).
+
+// SetState flips a hidden state variable; subsequent StateIf branches (in
+// this call or later calls) observe the new value.
+type SetState struct {
+	State string
+	Value bool
+}
+
+func (SetState) isInstr() {}
+
+// Effect describes one state transition a module performs.
+type Effect struct {
+	State string
+	Value bool
+	// Conditional is true when the transition happens only on some paths.
+	Conditional bool
+}
+
+func (e Effect) String() string {
+	s := fmt.Sprintf("sets %s=%v", e.State, e.Value)
+	if e.Conditional {
+		s += " (conditionally)"
+	}
+	return s
+}
+
+// Analysis is the full §4.2 result for one module: the derived interface
+// source plus the module's side effects on hidden state.
+type Analysis struct {
+	EIL     string
+	Effects []Effect
+	// Reads lists the hidden state variables the module's energy depends
+	// on (they appear as ECVs in the emitted interface).
+	Reads []string
+}
+
+// Analyze derives the module's energy interface and its side-effect
+// summary. The emitted interface's doc string carries the effects, so a
+// human reading the EIL sees them too.
+func Analyze(m *Module, usesTargets map[string]string) (*Analysis, error) {
+	effects, reads, err := collectEffects(m)
+	if err != nil {
+		return nil, err
+	}
+	src, err := Extract(m, usesTargets)
+	if err != nil {
+		return nil, err
+	}
+	if len(effects) > 0 {
+		// Surface the effects in the interface doc string so a human
+		// reading the emitted EIL sees them (Extract emits a fixed doc;
+		// extend it).
+		var notes []string
+		for _, e := range effects {
+			notes = append(notes, e.String())
+		}
+		doc := "extracted from implementation; side effects: " + strings.Join(notes, "; ")
+		src = strings.Replace(src,
+			fmt.Sprintf("interface %s %q {", m.Name, "extracted from implementation"),
+			fmt.Sprintf("interface %s %q {", m.Name, doc), 1)
+	}
+	return &Analysis{EIL: src, Effects: effects, Reads: reads}, nil
+}
+
+// collectEffects walks the IR gathering state writes (with path
+// conditionality) and state reads.
+func collectEffects(m *Module) ([]Effect, []string, error) {
+	if m == nil {
+		return nil, nil, fmt.Errorf("extract: nil module")
+	}
+	writes := map[string]*Effect{}
+	reads := map[string]bool{}
+	var walk func(body []Instr, conditional bool) error
+	walk = func(body []Instr, conditional bool) error {
+		for _, in := range body {
+			switch i := in.(type) {
+			case SetState:
+				if prev, ok := writes[i.State]; ok {
+					if prev.Value != i.Value {
+						prev.Conditional = true // flips both ways: net effect path-dependent
+					}
+					prev.Conditional = prev.Conditional || conditional
+					prev.Value = i.Value
+					continue
+				}
+				writes[i.State] = &Effect{State: i.State, Value: i.Value, Conditional: conditional}
+			case If:
+				if err := walk(i.Then, true); err != nil {
+					return err
+				}
+				if err := walk(i.Else, true); err != nil {
+					return err
+				}
+			case Loop:
+				if err := walk(i.Body, true); err != nil {
+					return err
+				}
+			case StateIf:
+				reads[i.State] = true
+				if err := walk(i.Then, true); err != nil {
+					return err
+				}
+				if err := walk(i.Else, true); err != nil {
+					return err
+				}
+			case Charge, Let:
+				// no state interaction
+			default:
+				return fmt.Errorf("extract: unknown instruction %T", in)
+			}
+		}
+		return nil
+	}
+	if err := walk(m.Body, false); err != nil {
+		return nil, nil, err
+	}
+	var effects []Effect
+	for _, e := range writes {
+		effects = append(effects, *e)
+	}
+	sort.Slice(effects, func(i, j int) bool { return effects[i].State < effects[j].State })
+	var readList []string
+	for s := range reads {
+		readList = append(readList, s)
+	}
+	sort.Strings(readList)
+	return effects, readList, nil
+}
+
+// PredictSequence is the resource-manager composition for side effects: it
+// predicts a call sequence's total energy by evaluating each call's
+// *extracted interface* with the hidden state pinned to its current value,
+// then applying the call's declared Effects to the threaded state. This is
+// how "subsequent apps using WiFi consume less energy" becomes predictable
+// a priori: the first call's declared effect changes the ECV assignment
+// used for the next call. Conditional effects cannot be threaded exactly
+// and return an error (the caller must fall back to distribution-level
+// reasoning).
+//
+// The prediction must match RunSequence exactly for unconditional effects;
+// the tests and the E5 experiment verify this.
+func PredictSequence(steps []SequenceStep, initial map[string]bool) (float64, map[string]bool, error) {
+	state := map[string]bool{}
+	for k, v := range initial {
+		state[k] = v
+	}
+	total := 0.0
+	for i, st := range steps {
+		if st.Analysis == nil || st.Interface == nil {
+			return 0, nil, fmt.Errorf("extract: sequence step %d incomplete", i)
+		}
+		assign := map[string]core.Value{}
+		for _, name := range st.Analysis.Reads {
+			v, ok := state[name]
+			if !ok {
+				return 0, nil, fmt.Errorf("extract: step %d reads unset state %q", i, name)
+			}
+			assign[name] = core.Bool(v)
+		}
+		d, err := st.Interface.Eval("run", st.Args, core.FixedAssignment(assign))
+		if err != nil {
+			return 0, nil, fmt.Errorf("extract: step %d: %w", i, err)
+		}
+		total += d.Mean()
+		for _, e := range st.Analysis.Effects {
+			if e.Conditional {
+				return 0, nil, fmt.Errorf("extract: step %d: conditional effect on %q cannot be threaded exactly",
+					i, e.State)
+			}
+			state[e.State] = e.Value
+		}
+	}
+	return total, state, nil
+}
+
+// SequenceStep is one call in a predicted sequence: the compiled extracted
+// interface, its analysis (for reads/effects), and the call arguments.
+type SequenceStep struct {
+	Interface *core.Interface
+	Analysis  *Analysis
+	Args      []core.Value
+}
+
+// RunSequence executes a sequence of module calls against the IR
+// implementation, threading hidden state through SetState instructions.
+// It is the ground truth PredictSequence is verified against.
+func RunSequence(steps []RunStep, bindings map[string]*core.Interface,
+	initial map[string]bool) (float64, map[string]bool, error) {
+
+	state := map[string]bool{}
+	for k, v := range initial {
+		state[k] = v
+	}
+	total := 0.0
+	for i, st := range steps {
+		e, err := runWithState(st.Module, bindings, st.Args, state)
+		if err != nil {
+			return 0, nil, fmt.Errorf("extract: sequence step %d: %w", i, err)
+		}
+		total += e
+	}
+	return total, state, nil
+}
+
+// RunStep is one call in an executed sequence.
+type RunStep struct {
+	Module *Module
+	Args   []core.Value
+}

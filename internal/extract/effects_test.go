@@ -1,0 +1,275 @@
+package extract
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/eil"
+	"energyclarity/internal/energy"
+)
+
+// wifiModule is the paper's §4.2 side-effect example as an IR module: an
+// app that uses WiFi. If the radio is off it pays the turn-on cost and —
+// the side effect — leaves the radio on for whoever sends next.
+func wifiModule() *Module {
+	return &Module{
+		Name:   "wifi_send",
+		Params: []string{"bytes"},
+		Body: []Instr{
+			StateIf{
+				State: "radio_on", PTrue: 0.5, Doc: "WiFi radio powered",
+				Then: nil, // radio already on: nothing extra
+				Else: []Instr{
+					Charge{Binding: "radio", Method: "power_up", Args: nil},
+				},
+			},
+			SetState{State: "radio_on", Value: true},
+			Charge{Binding: "radio", Method: "tx", Args: []*Expr{Arg("bytes")}},
+		},
+	}
+}
+
+func radioIface() *core.Interface {
+	return core.New("wifi_radio").
+		MustMethod(core.Method{Name: "power_up",
+			Body: func(c *core.Call) energy.Joules { return 800 * energy.Millijoule }}).
+		MustMethod(core.Method{Name: "tx", Params: []string{"bytes"},
+			Body: func(c *core.Call) energy.Joules {
+				return energy.Joules(c.Num(0)) * 2 * energy.Microjoule
+			}})
+}
+
+func TestAnalyzeReportsEffects(t *testing.T) {
+	a, err := Analyze(wifiModule(), map[string]string{"radio": "wifi_radio"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Effects) != 1 {
+		t.Fatalf("effects = %+v", a.Effects)
+	}
+	e := a.Effects[0]
+	if e.State != "radio_on" || !e.Value || e.Conditional {
+		t.Fatalf("effect = %+v, want unconditional radio_on=true", e)
+	}
+	if len(a.Reads) != 1 || a.Reads[0] != "radio_on" {
+		t.Fatalf("reads = %v", a.Reads)
+	}
+	// The emitted EIL carries the effect in its doc string and still
+	// compiles.
+	if !strings.Contains(a.EIL, "side effects: sets radio_on=true") {
+		t.Fatalf("EIL missing side-effect note:\n%s", a.EIL)
+	}
+	if _, err := eil.Compile(a.EIL, map[string]*core.Interface{"wifi_radio": radioIface()}); err != nil {
+		t.Fatalf("emitted EIL does not compile: %v\n%s", err, a.EIL)
+	}
+}
+
+func TestRunSequenceThreadsState(t *testing.T) {
+	bindings := map[string]*core.Interface{"radio": radioIface()}
+	steps := []RunStep{
+		{Module: wifiModule(), Args: []core.Value{core.Num(1000)}},
+		{Module: wifiModule(), Args: []core.Value{core.Num(1000)}},
+		{Module: wifiModule(), Args: []core.Value{core.Num(1000)}},
+	}
+	total, final, err := RunSequence(steps, bindings, map[string]bool{"radio_on": false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One power-up (first call only) + 3 transmissions.
+	want := 0.8 + 3*1000*2e-6
+	if math.Abs(total-want) > 1e-9 {
+		t.Fatalf("sequence energy %v, want %v", total, want)
+	}
+	if !final["radio_on"] {
+		t.Fatal("radio not left on")
+	}
+}
+
+func TestRunDoesNotMutateCallerState(t *testing.T) {
+	bindings := map[string]*core.Interface{"radio": radioIface()}
+	state := map[string]bool{"radio_on": false}
+	if _, err := Run(wifiModule(), bindings, []core.Value{core.Num(10)}, state); err != nil {
+		t.Fatal(err)
+	}
+	if state["radio_on"] {
+		t.Fatal("Run mutated the caller's state map")
+	}
+}
+
+// TestPredictSequenceMatchesImplementation is the side-effect headline: the
+// resource manager predicts a call sequence from extracted interfaces +
+// declared effects, and the prediction matches the implementation exactly —
+// including the first-call-pays-power-up structure.
+func TestPredictSequenceMatchesImplementation(t *testing.T) {
+	bindings := map[string]*core.Interface{"radio": radioIface()}
+	m := wifiModule()
+	a, err := Analyze(m, map[string]string{"radio": "wifi_radio"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := eil.Compile(a.EIL, map[string]*core.Interface{"wifi_radio": radioIface()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface := compiled["wifi_send"]
+
+	for _, initial := range []bool{false, true} {
+		var predSteps []SequenceStep
+		var runSteps []RunStep
+		for i := 0; i < 4; i++ {
+			args := []core.Value{core.Num(float64(500 * (i + 1)))}
+			predSteps = append(predSteps, SequenceStep{Interface: iface, Analysis: a, Args: args})
+			runSteps = append(runSteps, RunStep{Module: m, Args: args})
+		}
+		predicted, predFinal, err := PredictSequence(predSteps, map[string]bool{"radio_on": initial})
+		if err != nil {
+			t.Fatal(err)
+		}
+		actual, runFinal, err := RunSequence(runSteps, bindings, map[string]bool{"radio_on": initial})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(predicted-actual) > 1e-12*(1+actual) {
+			t.Fatalf("initial=%v: predicted %v != actual %v", initial, predicted, actual)
+		}
+		if predFinal["radio_on"] != runFinal["radio_on"] {
+			t.Fatalf("final states disagree: %v vs %v", predFinal, runFinal)
+		}
+	}
+}
+
+func TestSecondCallerCheaperBecauseOfSideEffect(t *testing.T) {
+	// The paper's point verbatim: the app that runs after a WiFi user
+	// consumes less energy than if it had been first.
+	bindings := map[string]*core.Interface{"radio": radioIface()}
+	first, _, err := RunSequence([]RunStep{
+		{Module: wifiModule(), Args: []core.Value{core.Num(1000)}},
+	}, bindings, map[string]bool{"radio_on": false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, _, err := RunSequence([]RunStep{
+		{Module: wifiModule(), Args: []core.Value{core.Num(1000)}},
+		{Module: wifiModule(), Args: []core.Value{core.Num(1000)}},
+	}, bindings, map[string]bool{"radio_on": false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := both - first
+	if second >= first {
+		t.Fatalf("second caller (%v) should be cheaper than first (%v)", second, first)
+	}
+}
+
+func TestWithinCallStateResolution(t *testing.T) {
+	// A module that sets state unconditionally and then reads it in the
+	// same call: the read resolves statically, no ECV is emitted.
+	m := &Module{
+		Name: "warmup_then_use",
+		Body: []Instr{
+			SetState{State: "warm", Value: true},
+			StateIf{State: "warm", PTrue: 0.1,
+				Then: []Instr{Charge{Binding: "hw", Method: "op", Args: []*Expr{Num(1)}}},
+				Else: []Instr{Charge{Binding: "hw", Method: "op", Args: []*Expr{Num(100)}}},
+			},
+		},
+	}
+	src, err := Extract(m, map[string]string{"hw": "hw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(src, "ecv warm") {
+		t.Fatalf("statically-resolved state still produced an ECV:\n%s", src)
+	}
+	compiled, err := eil.Compile(src, map[string]*core.Interface{"hw": hwIface()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := compiled["warmup_then_use"].ExpectedJoules("run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(j) != 2 { // hw.op(1) with the test hwIface (2*n)
+		t.Fatalf("resolved branch energy %v, want 2", j)
+	}
+	// Ground truth agrees regardless of the initial state.
+	truth, err := Run(m, map[string]*core.Interface{"hw": hwIface()}, nil,
+		map[string]bool{"warm": false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth != 2 {
+		t.Fatalf("implementation %v, want 2", truth)
+	}
+}
+
+func TestTaintedStateRejected(t *testing.T) {
+	m := &Module{
+		Name:   "flaky",
+		Params: []string{"n"},
+		Body: []Instr{
+			If{Cond: Cond{Op: ">", A: Arg("n"), B: Num(0)},
+				Then: []Instr{SetState{State: "s", Value: true}}},
+			StateIf{State: "s", PTrue: 0.5,
+				Then: []Instr{Charge{Binding: "hw", Method: "op", Args: []*Expr{Num(1)}}}},
+		},
+	}
+	if _, err := Extract(m, map[string]string{"hw": "hw"}); err == nil ||
+		!strings.Contains(err.Error(), "path-sensitive") {
+		t.Fatalf("tainted state read accepted: %v", err)
+	}
+}
+
+func TestConditionalEffectReported(t *testing.T) {
+	m := &Module{
+		Name:   "maybe_on",
+		Params: []string{"n"},
+		Body: []Instr{
+			If{Cond: Cond{Op: ">", A: Arg("n"), B: Num(0)},
+				Then: []Instr{SetState{State: "s", Value: true}}},
+			Charge{Binding: "hw", Method: "op", Args: []*Expr{Num(1)}},
+		},
+	}
+	a, err := Analyze(m, map[string]string{"hw": "hw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Effects) != 1 || !a.Effects[0].Conditional {
+		t.Fatalf("effects = %+v, want one conditional", a.Effects)
+	}
+	// PredictSequence must refuse to thread conditional effects.
+	compiled, err := eil.Compile(a.EIL, map[string]*core.Interface{"hw": hwIface()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = PredictSequence([]SequenceStep{{
+		Interface: compiled["maybe_on"], Analysis: a, Args: []core.Value{core.Num(1)},
+	}}, nil)
+	if err == nil || !strings.Contains(err.Error(), "conditional") {
+		t.Fatalf("conditional effect threaded: %v", err)
+	}
+}
+
+func TestPredictSequenceValidation(t *testing.T) {
+	if _, _, err := PredictSequence([]SequenceStep{{}}, nil); err == nil {
+		t.Fatal("incomplete step accepted")
+	}
+	// Unset state read.
+	m := wifiModule()
+	a, err := Analyze(m, map[string]string{"radio": "wifi_radio"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := eil.Compile(a.EIL, map[string]*core.Interface{"wifi_radio": radioIface()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = PredictSequence([]SequenceStep{{
+		Interface: compiled["wifi_send"], Analysis: a, Args: []core.Value{core.Num(1)},
+	}}, nil)
+	if err == nil || !strings.Contains(err.Error(), "unset state") {
+		t.Fatalf("unset state accepted: %v", err)
+	}
+}

@@ -1,0 +1,313 @@
+package extract
+
+import (
+	"fmt"
+	"sort"
+
+	"energyclarity/internal/eil"
+)
+
+// Extract derives the module's energy interface as EIL source (§4.2). The
+// analysis is structural and per-path: every resource call becomes a call
+// into the bound interface, input branches stay input branches, bounded
+// loops stay loops, and branches on hidden state become ECVs with the
+// probabilities recorded in the IR. usesTargets maps each binding's local
+// name to the interface name to import (as registered when compiling).
+//
+// The emitted interface is *accurate*, not worst-case: for every input and
+// every hidden-state assignment it computes exactly the energy Run would
+// consume (verified property in tests and in the E5 experiment).
+func Extract(m *Module, usesTargets map[string]string) (string, error) {
+	if m == nil || m.Name == "" {
+		return "", fmt.Errorf("extract: nil or unnamed module")
+	}
+	st := &extractor{
+		usesTargets: usesTargets,
+		ecvs:        map[string]*eil.ECVDecl{},
+		bindings:    map[string]bool{},
+		known:       map[string]bool{},
+		tainted:     map[string]bool{},
+	}
+	body, err := st.block(m.Body)
+	if err != nil {
+		return "", fmt.Errorf("extract: %s: %w", m.Name, err)
+	}
+
+	// Accumulator pattern: let _e = 0; ...; return _e.
+	stmts := []eil.Stmt{&eil.LetStmt{Name: "_e", Init: &eil.NumLit{Val: 0}}}
+	stmts = append(stmts, body...)
+	stmts = append(stmts, &eil.ReturnStmt{Expr: &eil.Ident{Name: "_e"}})
+
+	decl := &eil.InterfaceDecl{
+		Name: m.Name,
+		Doc:  "extracted from implementation",
+		Funcs: []*eil.FuncDecl{{
+			Name:   "run",
+			Params: append([]string(nil), m.Params...),
+			Body:   &eil.Block{Stmts: stmts},
+		}},
+	}
+	// Deterministic declaration order.
+	var ecvNames []string
+	for name := range st.ecvs {
+		ecvNames = append(ecvNames, name)
+	}
+	sort.Strings(ecvNames)
+	for _, name := range ecvNames {
+		decl.ECVs = append(decl.ECVs, st.ecvs[name])
+	}
+	var bindNames []string
+	for name := range st.bindings {
+		bindNames = append(bindNames, name)
+	}
+	sort.Strings(bindNames)
+	for _, name := range bindNames {
+		target, ok := usesTargets[name]
+		if !ok {
+			return "", fmt.Errorf("extract: %s: no uses target for binding %q", m.Name, name)
+		}
+		decl.Uses = append(decl.Uses, &eil.UsesDecl{Local: name, Iface: target})
+	}
+	return eil.PrintInterface(decl), nil
+}
+
+type extractor struct {
+	usesTargets map[string]string
+	ecvs        map[string]*eil.ECVDecl
+	bindings    map[string]bool
+	// Within-call state tracking: known holds states written
+	// unconditionally earlier in the call (their reads resolve statically);
+	// tainted holds states written on some-but-not-all paths (later reads
+	// would need path-sensitive analysis and are rejected).
+	known   map[string]bool
+	tainted map[string]bool
+}
+
+// block translates IR instructions into statements that accumulate into _e.
+// conditional marks whether this block executes on only some paths.
+func (st *extractor) block(body []Instr) ([]eil.Stmt, error) {
+	return st.blockCond(body, false)
+}
+
+func (st *extractor) blockCond(body []Instr, conditional bool) ([]eil.Stmt, error) {
+	var out []eil.Stmt
+	for _, in := range body {
+		switch i := in.(type) {
+		case SetState:
+			// A state write consumes no energy itself; it changes which
+			// branch later reads take. Unconditional writes are tracked
+			// exactly; conditional ones taint the state.
+			if conditional {
+				st.tainted[i.State] = true
+				delete(st.known, i.State)
+			} else {
+				st.known[i.State] = i.Value
+				delete(st.tainted, i.State)
+			}
+			continue
+		}
+		stmt, err := st.instr(in, conditional)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, stmt...)
+	}
+	return out, nil
+}
+
+func (st *extractor) instr(in Instr, conditional bool) ([]eil.Stmt, error) {
+	var out []eil.Stmt
+	{
+		switch i := in.(type) {
+		case Charge:
+			st.bindings[i.Binding] = true
+			args := make([]eil.Expr, len(i.Args))
+			for k, a := range i.Args {
+				e, err := exprToEIL(a)
+				if err != nil {
+					return nil, err
+				}
+				args[k] = e
+			}
+			out = append(out, accumulate(&eil.CallExpr{
+				Target: i.Binding, Name: i.Method, Args: args,
+			}))
+		case Let:
+			v, err := exprToEIL(i.Val)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &eil.LetStmt{Name: i.Name, Init: v})
+		case If:
+			cond, err := condToEIL(i.Cond)
+			if err != nil {
+				return nil, err
+			}
+			thenB, err := st.blockCond(i.Then, true)
+			if err != nil {
+				return nil, err
+			}
+			elseB, err := st.blockCond(i.Else, true)
+			if err != nil {
+				return nil, err
+			}
+			stmt := &eil.IfStmt{Cond: cond, Then: &eil.Block{Stmts: thenB}}
+			if len(elseB) > 0 {
+				stmt.Else = &eil.Block{Stmts: elseB}
+			}
+			out = append(out, stmt)
+		case Loop:
+			from, err := exprToEIL(i.From)
+			if err != nil {
+				return nil, err
+			}
+			to, err := exprToEIL(i.To)
+			if err != nil {
+				return nil, err
+			}
+			bodyB, err := st.blockCond(i.Body, true)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &eil.ForStmt{
+				Var: i.Var, From: from, To: to, Body: &eil.Block{Stmts: bodyB},
+			})
+		case StateIf:
+			if i.PTrue < 0 || i.PTrue > 1 {
+				return nil, fmt.Errorf("state %q probability %v out of [0,1]", i.State, i.PTrue)
+			}
+			if st.tainted[i.State] {
+				return nil, fmt.Errorf("state %q is written conditionally before this read; "+
+					"path-sensitive analysis required", i.State)
+			}
+			if v, fixed := st.known[i.State]; fixed {
+				// The state was set unconditionally earlier in this call:
+				// the branch is statically resolved — no ECV needed.
+				branch := i.Else
+				if v {
+					branch = i.Then
+				}
+				resolved, err := st.blockCond(branch, conditional)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, resolved...)
+				break
+			}
+			if prev, dup := st.ecvs[i.State]; dup {
+				// Same state may gate several branches; probabilities must
+				// agree or the module is inconsistent.
+				if prevP := prev.Dist.Args[0].(*eil.NumLit).Val; prevP != i.PTrue {
+					return nil, fmt.Errorf("state %q declared with conflicting probabilities", i.State)
+				}
+			} else {
+				st.ecvs[i.State] = &eil.ECVDecl{
+					Name: i.State,
+					Doc:  i.Doc,
+					Dist: &eil.DistExpr{
+						Kind: eil.DistBernoulli,
+						Args: []eil.Expr{&eil.NumLit{Val: i.PTrue}},
+					},
+				}
+			}
+			thenB, err := st.blockCond(i.Then, true)
+			if err != nil {
+				return nil, err
+			}
+			elseB, err := st.blockCond(i.Else, true)
+			if err != nil {
+				return nil, err
+			}
+			stmt := &eil.IfStmt{
+				Cond: &eil.Ident{Name: i.State},
+				Then: &eil.Block{Stmts: thenB},
+			}
+			if len(elseB) > 0 {
+				stmt.Else = &eil.Block{Stmts: elseB}
+			}
+			out = append(out, stmt)
+		default:
+			return nil, fmt.Errorf("unknown instruction %T", in)
+		}
+	}
+	return out, nil
+}
+
+// accumulate produces `_e = _e + <expr>`.
+func accumulate(e eil.Expr) eil.Stmt {
+	return &eil.AssignStmt{
+		Name: "_e",
+		Expr: &eil.BinaryExpr{Op: eil.TokPlus, X: &eil.Ident{Name: "_e"}, Y: e},
+	}
+}
+
+func exprToEIL(e *Expr) (eil.Expr, error) {
+	if e == nil {
+		return nil, fmt.Errorf("nil expression")
+	}
+	switch e.kind {
+	case eNum:
+		return &eil.NumLit{Val: e.num}, nil
+	case eArg:
+		return &eil.Ident{Name: e.name}, nil
+	case eField:
+		base, err := exprToEIL(e.a)
+		if err != nil {
+			return nil, err
+		}
+		return &eil.FieldExpr{X: base, Name: e.name}, nil
+	case eBin:
+		a, err := exprToEIL(e.a)
+		if err != nil {
+			return nil, err
+		}
+		b, err := exprToEIL(e.b)
+		if err != nil {
+			return nil, err
+		}
+		var op eil.TokKind
+		switch e.binop {
+		case '+':
+			op = eil.TokPlus
+		case '-':
+			op = eil.TokMinus
+		case '*':
+			op = eil.TokStar
+		case '/':
+			op = eil.TokSlash
+		default:
+			return nil, fmt.Errorf("bad operator %q", string(e.binop))
+		}
+		return &eil.BinaryExpr{Op: op, X: a, Y: b}, nil
+	}
+	return nil, fmt.Errorf("bad expression kind")
+}
+
+func condToEIL(c Cond) (eil.Expr, error) {
+	a, err := exprToEIL(c.A)
+	if err != nil {
+		return nil, err
+	}
+	b, err := exprToEIL(c.B)
+	if err != nil {
+		return nil, err
+	}
+	var op eil.TokKind
+	switch c.Op {
+	case "<":
+		op = eil.TokLt
+	case "<=":
+		op = eil.TokLe
+	case ">":
+		op = eil.TokGt
+	case ">=":
+		op = eil.TokGe
+	case "==":
+		op = eil.TokEq
+	case "!=":
+		op = eil.TokNeq
+	default:
+		return nil, fmt.Errorf("bad comparison %q", c.Op)
+	}
+	return &eil.BinaryExpr{Op: op, X: a, Y: b}, nil
+}

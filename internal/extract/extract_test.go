@@ -1,0 +1,261 @@
+package extract
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/eil"
+	"energyclarity/internal/energy"
+)
+
+// hwIface is a leaf interface with simple linear costs, used as the bound
+// resource in extraction tests.
+func hwIface() *core.Interface {
+	return core.New("hw").
+		MustMethod(core.Method{Name: "op", Params: []string{"n"},
+			Body: func(c *core.Call) energy.Joules { return energy.Joules(2 * c.Num(0)) }}).
+		MustMethod(core.Method{Name: "io", Params: []string{"bytes"},
+			Body: func(c *core.Call) energy.Joules { return energy.Joules(0.5 * c.Num(0)) }})
+}
+
+// serviceModule is a representative IR module with all constructs: lets,
+// input branches, a bounded loop, a hidden-state branch, and field access.
+func serviceModule() *Module {
+	return &Module{
+		Name:   "svc",
+		Params: []string{"req"},
+		Body: []Instr{
+			Let{Name: "n", Val: Field(Arg("req"), "size")},
+			StateIf{
+				State: "warm_cache", PTrue: 0.25, Doc: "connection pool warm",
+				Then: []Instr{
+					Charge{Binding: "hw", Method: "io", Args: []*Expr{Num(64)}},
+				},
+				Else: []Instr{
+					Charge{Binding: "hw", Method: "io", Args: []*Expr{Num(4096)}},
+				},
+			},
+			If{
+				Cond: Cond{Op: ">", A: Arg("n"), B: Num(1000)},
+				Then: []Instr{
+					Loop{Var: "i", From: Num(0), To: Div(Arg("n"), Num(1000)), Body: []Instr{
+						Charge{Binding: "hw", Method: "op", Args: []*Expr{Num(1000)}},
+					}},
+				},
+				Else: []Instr{
+					Charge{Binding: "hw", Method: "op", Args: []*Expr{Arg("n")}},
+				},
+			},
+		},
+	}
+}
+
+func reqVal(size float64) core.Value {
+	return core.Record(map[string]core.Value{"size": core.Num(size)})
+}
+
+func TestRunExecutesModule(t *testing.T) {
+	m := serviceModule()
+	b := map[string]*core.Interface{"hw": hwIface()}
+	got, err := Run(m, b, []core.Value{reqVal(500)}, map[string]bool{"warm_cache": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// warm: io(64)=32; n=500 <= 1000: op(500)=1000.
+	if want := 32 + 1000.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Run = %v, want %v", got, want)
+	}
+	got, err = Run(m, b, []core.Value{reqVal(3500)}, map[string]bool{"warm_cache": false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cold: io(4096)=2048; loop 3 iterations (3500/1000=3.5 → i=0,1,2? ceil(from)=0; i<3.5 → 0,1,2,3: 4 iterations) op(1000)=2000 each.
+	if want := 2048 + 4*2000.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Run = %v, want %v", got, want)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	m := serviceModule()
+	b := map[string]*core.Interface{"hw": hwIface()}
+	if _, err := Run(m, b, nil, nil); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if _, err := Run(m, map[string]*core.Interface{}, []core.Value{reqVal(1)},
+		map[string]bool{"warm_cache": true}); err == nil {
+		t.Fatal("missing binding accepted")
+	}
+	if _, err := Run(m, b, []core.Value{reqVal(1)}, map[string]bool{}); err == nil {
+		t.Fatal("unassigned state accepted")
+	}
+	// Unbounded loop hits the budget.
+	runaway := &Module{Name: "r", Params: nil, Body: []Instr{
+		Loop{Var: "i", From: Num(0), To: Num(1e12), Body: []Instr{
+			Charge{Binding: "hw", Method: "op", Args: []*Expr{Num(1)}},
+		}},
+	}}
+	if _, err := Run(runaway, b, nil, nil); err == nil ||
+		!strings.Contains(err.Error(), "budget") {
+		t.Fatalf("runaway loop not stopped: %v", err)
+	}
+}
+
+func TestExtractEmitsValidEIL(t *testing.T) {
+	src, err := Extract(serviceModule(), map[string]string{"hw": "hw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"interface svc", "ecv warm_cache: bernoulli(0.25)",
+		"uses hw: hw", "func run(req)", "let _e = 0", "return _e"} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("extracted source missing %q:\n%s", want, src)
+		}
+	}
+	if _, err := eil.Compile(src, map[string]*core.Interface{"hw": hwIface()}); err != nil {
+		t.Fatalf("extracted source does not compile: %v\n%s", err, src)
+	}
+}
+
+// TestExtractedMatchesImplementationEverywhere is the E5 property: for
+// every input and every hidden-state assignment, the compiled extracted
+// interface computes exactly what the implementation consumes.
+func TestExtractedMatchesImplementationEverywhere(t *testing.T) {
+	m := serviceModule()
+	bindings := map[string]*core.Interface{"hw": hwIface()}
+	src, err := Extract(m, map[string]string{"hw": "hw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := eil.Compile(src, bindings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface := compiled["svc"]
+	for _, size := range []float64{0, 1, 999, 1000, 1001, 2500, 10000, 123456} {
+		for _, warm := range []bool{true, false} {
+			truth, err := Run(m, bindings, []core.Value{reqVal(size)},
+				map[string]bool{"warm_cache": warm})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := iface.Eval("run", []core.Value{reqVal(size)},
+				core.FixedAssignment(map[string]core.Value{"warm_cache": core.Bool(warm)}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(d.Mean()-truth) > 1e-9*(1+truth) {
+				t.Fatalf("size=%v warm=%v: interface %v != implementation %v",
+					size, warm, d.Mean(), truth)
+			}
+		}
+	}
+}
+
+func TestExtractedExpectationWeighsECVs(t *testing.T) {
+	m := serviceModule()
+	bindings := map[string]*core.Interface{"hw": hwIface()}
+	src, err := Extract(m, map[string]string{"hw": "hw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := eil.Compile(src, bindings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := compiled["svc"].Eval("run", []core.Value{reqVal(500)}, core.Expected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, _ := Run(m, bindings, []core.Value{reqVal(500)}, map[string]bool{"warm_cache": true})
+	cold, _ := Run(m, bindings, []core.Value{reqVal(500)}, map[string]bool{"warm_cache": false})
+	want := 0.25*warm + 0.75*cold
+	if math.Abs(d.Mean()-want) > 1e-9 {
+		t.Fatalf("expectation %v, want %v", d.Mean(), want)
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	if _, err := Extract(nil, nil); err == nil {
+		t.Fatal("nil module accepted")
+	}
+	if _, err := Extract(&Module{}, nil); err == nil {
+		t.Fatal("unnamed module accepted")
+	}
+	// Missing uses target.
+	m := &Module{Name: "x", Body: []Instr{
+		Charge{Binding: "hw", Method: "op", Args: []*Expr{Num(1)}},
+	}}
+	if _, err := Extract(m, map[string]string{}); err == nil {
+		t.Fatal("missing uses target accepted")
+	}
+	// Bad state probability.
+	m2 := &Module{Name: "x", Body: []Instr{
+		StateIf{State: "s", PTrue: 1.5},
+	}}
+	if _, err := Extract(m2, nil); err == nil {
+		t.Fatal("bad probability accepted")
+	}
+	// Conflicting probabilities for the same state.
+	m3 := &Module{Name: "x", Body: []Instr{
+		StateIf{State: "s", PTrue: 0.5},
+		StateIf{State: "s", PTrue: 0.6},
+	}}
+	if _, err := Extract(m3, nil); err == nil {
+		t.Fatal("conflicting state probabilities accepted")
+	}
+}
+
+func TestExtractSharedStateECVOnce(t *testing.T) {
+	m := &Module{Name: "x", Body: []Instr{
+		StateIf{State: "s", PTrue: 0.5, Then: []Instr{
+			Charge{Binding: "hw", Method: "op", Args: []*Expr{Num(1)}},
+		}},
+		StateIf{State: "s", PTrue: 0.5, Then: []Instr{
+			Charge{Binding: "hw", Method: "op", Args: []*Expr{Num(2)}},
+		}},
+	}}
+	src, err := Extract(m, map[string]string{"hw": "hw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(src, "ecv s:") != 1 {
+		t.Fatalf("state ECV not deduplicated:\n%s", src)
+	}
+	// Both branches must be correlated through the single ECV: expected
+	// energy = 0.5*(op(1)+op(2)) = 0.5*6 = 3.
+	compiled, err := eil.Compile(src, map[string]*core.Interface{"hw": hwIface()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := compiled["x"].Eval("run", nil, core.Expected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Mean()-3) > 1e-12 {
+		t.Fatalf("correlated ECV expectation %v, want 3", d.Mean())
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	b := map[string]*core.Interface{"hw": hwIface()}
+	divZero := &Module{Name: "x", Params: []string{"n"}, Body: []Instr{
+		Charge{Binding: "hw", Method: "op", Args: []*Expr{Div(Num(1), Sub(Arg("n"), Arg("n")))}},
+	}}
+	if _, err := Run(divZero, b, []core.Value{core.Num(1)}, nil); err == nil {
+		t.Fatal("division by zero accepted")
+	}
+	missingField := &Module{Name: "x", Params: []string{"r"}, Body: []Instr{
+		Charge{Binding: "hw", Method: "op", Args: []*Expr{Field(Arg("r"), "nope")}},
+	}}
+	if _, err := Run(missingField, b, []core.Value{core.Record(nil)}, nil); err == nil {
+		t.Fatal("missing field accepted")
+	}
+	undefined := &Module{Name: "x", Body: []Instr{
+		Charge{Binding: "hw", Method: "op", Args: []*Expr{Arg("ghost")}},
+	}}
+	if _, err := Run(undefined, b, nil, nil); err == nil {
+		t.Fatal("undefined variable accepted")
+	}
+}

@@ -1,0 +1,344 @@
+// Package extract implements the paper's §4.2 workflow: deriving a
+// module's energy interface from its implementation. Implementations are
+// expressed in a small instruction IR — "a combination of calls to lower-
+// level resources and the actual instructions that the module executes" —
+// over which the extractor performs a per-path structural analysis and
+// emits an EIL interface, introducing ECVs for branches on hidden state.
+//
+// The package has two independent halves, which is what makes extraction
+// testable: Run executes an IR module directly against bound interfaces
+// (the "implementation"), and Extract emits EIL whose compiled evaluation
+// must agree with Run on every input and state assignment.
+package extract
+
+import (
+	"fmt"
+	"math"
+
+	"energyclarity/internal/core"
+)
+
+// Expr is an arithmetic expression over module parameters.
+type Expr struct {
+	kind  exprKind
+	num   float64
+	name  string // Arg: parameter; Fieldv: field name
+	binop byte   // '+', '-', '*', '/'
+	a, b  *Expr
+}
+
+type exprKind int
+
+const (
+	eNum exprKind = iota
+	eArg
+	eField
+	eBin
+)
+
+// Num returns a numeric literal.
+func Num(v float64) *Expr { return &Expr{kind: eNum, num: v} }
+
+// Arg references a module parameter or loop/let variable.
+func Arg(name string) *Expr { return &Expr{kind: eArg, name: name} }
+
+// Field accesses a record field of an expression.
+func Field(x *Expr, name string) *Expr { return &Expr{kind: eField, a: x, name: name} }
+
+// Add returns a+b.
+func Add(a, b *Expr) *Expr { return &Expr{kind: eBin, binop: '+', a: a, b: b} }
+
+// Sub returns a-b.
+func Sub(a, b *Expr) *Expr { return &Expr{kind: eBin, binop: '-', a: a, b: b} }
+
+// Mul returns a*b.
+func Mul(a, b *Expr) *Expr { return &Expr{kind: eBin, binop: '*', a: a, b: b} }
+
+// Div returns a/b.
+func Div(a, b *Expr) *Expr { return &Expr{kind: eBin, binop: '/', a: a, b: b} }
+
+// Cond is a comparison between two expressions.
+type Cond struct {
+	Op   string // "<", "<=", ">", ">=", "==", "!="
+	A, B *Expr
+}
+
+// Instr is one IR instruction.
+type Instr interface{ isInstr() }
+
+// Charge consumes energy from a bound resource: binding.method(args).
+type Charge struct {
+	Binding string
+	Method  string
+	Args    []*Expr
+}
+
+// Let introduces a local variable.
+type Let struct {
+	Name string
+	Val  *Expr
+}
+
+// If branches on a predicate over the input.
+type If struct {
+	Cond Cond
+	Then []Instr
+	Else []Instr
+}
+
+// Loop runs Body for Var in [From, To).
+type Loop struct {
+	Var  string
+	From *Expr
+	To   *Expr
+	Body []Instr
+}
+
+// StateIf branches on hidden module state — the construct that becomes an
+// ECV in the extracted interface (§3: state "not directly related to the
+// input of the interface").
+type StateIf struct {
+	State string  // state variable name (becomes the ECV name)
+	PTrue float64 // probability the state is true (from profiling/config)
+	Doc   string
+	Then  []Instr
+	Else  []Instr
+}
+
+func (Charge) isInstr()  {}
+func (Let) isInstr()     {}
+func (If) isInstr()      {}
+func (Loop) isInstr()    {}
+func (StateIf) isInstr() {}
+
+// Module is an implementation in the IR.
+type Module struct {
+	Name   string
+	Params []string
+	Body   []Instr
+}
+
+// maxLoopIterations bounds IR execution, mirroring EIL's fuel.
+const maxLoopIterations = 1_000_000
+
+// Run executes the module against concrete bindings, arguments, and a
+// hidden-state assignment, returning the true energy consumed. It is the
+// reference semantics extraction is tested against. The caller's state map
+// is not mutated (SetState effects are applied to a copy); use RunSequence
+// to thread state across calls.
+func Run(m *Module, bindings map[string]*core.Interface, args []core.Value,
+	state map[string]bool) (float64, error) {
+
+	local := map[string]bool{}
+	for k, v := range state {
+		local[k] = v
+	}
+	return runWithState(m, bindings, args, local)
+}
+
+// runWithState executes the module, mutating state in place on SetState.
+func runWithState(m *Module, bindings map[string]*core.Interface, args []core.Value,
+	state map[string]bool) (float64, error) {
+
+	if len(args) != len(m.Params) {
+		return 0, fmt.Errorf("extract: %s: %d args, want %d", m.Name, len(args), len(m.Params))
+	}
+	env := map[string]core.Value{}
+	for i, p := range m.Params {
+		env[p] = args[i]
+	}
+	ex := &executor{bindings: bindings, state: state, budget: maxLoopIterations}
+	total, err := ex.run(m.Body, env)
+	if err != nil {
+		return 0, fmt.Errorf("extract: %s: %w", m.Name, err)
+	}
+	return total, nil
+}
+
+type executor struct {
+	bindings map[string]*core.Interface
+	state    map[string]bool
+	budget   int
+}
+
+func (ex *executor) run(body []Instr, env map[string]core.Value) (float64, error) {
+	total := 0.0
+	for _, in := range body {
+		ex.budget--
+		if ex.budget <= 0 {
+			return 0, fmt.Errorf("instruction budget exhausted")
+		}
+		switch i := in.(type) {
+		case Charge:
+			iface, ok := ex.bindings[i.Binding]
+			if !ok {
+				return 0, fmt.Errorf("unknown binding %q", i.Binding)
+			}
+			vals := make([]core.Value, len(i.Args))
+			for k, a := range i.Args {
+				v, err := evalExpr(a, env)
+				if err != nil {
+					return 0, err
+				}
+				vals[k] = v
+			}
+			j, err := iface.ExpectedJoules(i.Method, vals...)
+			if err != nil {
+				return 0, err
+			}
+			total += float64(j)
+		case Let:
+			v, err := evalExpr(i.Val, env)
+			if err != nil {
+				return 0, err
+			}
+			env[i.Name] = v
+		case If:
+			take, err := evalCond(i.Cond, env)
+			if err != nil {
+				return 0, err
+			}
+			branch := i.Else
+			if take {
+				branch = i.Then
+			}
+			e, err := ex.run(branch, env)
+			if err != nil {
+				return 0, err
+			}
+			total += e
+		case Loop:
+			fromV, err := evalNum(i.From, env)
+			if err != nil {
+				return 0, err
+			}
+			toV, err := evalNum(i.To, env)
+			if err != nil {
+				return 0, err
+			}
+			// Integer steps from ceil(from), matching EIL's for-loop
+			// semantics exactly (extraction equivalence depends on it).
+			for v := math.Ceil(fromV); v < toV; v++ {
+				ex.budget--
+				if ex.budget <= 0 {
+					return 0, fmt.Errorf("instruction budget exhausted in loop")
+				}
+				env[i.Var] = core.Num(v)
+				e, err := ex.run(i.Body, env)
+				if err != nil {
+					return 0, err
+				}
+				total += e
+			}
+			delete(env, i.Var)
+		case SetState:
+			ex.state[i.State] = i.Value
+		case StateIf:
+			on, ok := ex.state[i.State]
+			if !ok {
+				return 0, fmt.Errorf("hidden state %q not assigned", i.State)
+			}
+			branch := i.Else
+			if on {
+				branch = i.Then
+			}
+			e, err := ex.run(branch, env)
+			if err != nil {
+				return 0, err
+			}
+			total += e
+		default:
+			return 0, fmt.Errorf("unknown instruction %T", in)
+		}
+	}
+	return total, nil
+}
+
+func evalExpr(e *Expr, env map[string]core.Value) (core.Value, error) {
+	switch e.kind {
+	case eNum:
+		return core.Num(e.num), nil
+	case eArg:
+		v, ok := env[e.name]
+		if !ok {
+			return core.Value{}, fmt.Errorf("undefined %q", e.name)
+		}
+		return v, nil
+	case eField:
+		base, err := evalExpr(e.a, env)
+		if err != nil {
+			return core.Value{}, err
+		}
+		f, ok := base.Field(e.name)
+		if !ok {
+			return core.Value{}, fmt.Errorf("no field %q", e.name)
+		}
+		return f, nil
+	case eBin:
+		a, err := evalNumV(e.a, env)
+		if err != nil {
+			return core.Value{}, err
+		}
+		b, err := evalNumV(e.b, env)
+		if err != nil {
+			return core.Value{}, err
+		}
+		switch e.binop {
+		case '+':
+			return core.Num(a + b), nil
+		case '-':
+			return core.Num(a - b), nil
+		case '*':
+			return core.Num(a * b), nil
+		case '/':
+			if b == 0 {
+				return core.Value{}, fmt.Errorf("division by zero")
+			}
+			return core.Num(a / b), nil
+		}
+	}
+	return core.Value{}, fmt.Errorf("bad expression")
+}
+
+func evalNumV(e *Expr, env map[string]core.Value) (float64, error) {
+	v, err := evalExpr(e, env)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := v.AsNum()
+	if !ok {
+		return 0, fmt.Errorf("expected num, got %s", v.Kind())
+	}
+	return n, nil
+}
+
+func evalNum(e *Expr, env map[string]core.Value) (float64, error) {
+	return evalNumV(e, env)
+}
+
+func evalCond(c Cond, env map[string]core.Value) (bool, error) {
+	a, err := evalNumV(c.A, env)
+	if err != nil {
+		return false, err
+	}
+	b, err := evalNumV(c.B, env)
+	if err != nil {
+		return false, err
+	}
+	switch c.Op {
+	case "<":
+		return a < b, nil
+	case "<=":
+		return a <= b, nil
+	case ">":
+		return a > b, nil
+	case ">=":
+		return a >= b, nil
+	case "==":
+		return a == b, nil
+	case "!=":
+		return a != b, nil
+	default:
+		return false, fmt.Errorf("bad comparison %q", c.Op)
+	}
+}

@@ -1,0 +1,199 @@
+package extract
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/eil"
+)
+
+func TestExprConstructorsEvaluate(t *testing.T) {
+	b := map[string]*core.Interface{"hw": hwIface()}
+	// op(((n+2)*3-4)/2) with n=10 → op(16) → 32.
+	m := &Module{
+		Name:   "arith",
+		Params: []string{"n"},
+		Body: []Instr{
+			Charge{Binding: "hw", Method: "op", Args: []*Expr{
+				Div(Sub(Mul(Add(Arg("n"), Num(2)), Num(3)), Num(4)), Num(2)),
+			}},
+		},
+	}
+	got, err := Run(m, b, []core.Value{core.Num(10)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-32) > 1e-12 {
+		t.Fatalf("arith run = %v, want 32", got)
+	}
+	// Extraction preserves the same arithmetic.
+	src, err := Extract(m, map[string]string{"hw": "hw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := eil.Compile(src, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := compiled["arith"].ExpectedJoules("run", core.Num(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(j)-32) > 1e-12 {
+		t.Fatalf("extracted arith = %v, want 32", j)
+	}
+}
+
+func TestAllComparisonOps(t *testing.T) {
+	b := map[string]*core.Interface{"hw": hwIface()}
+	for _, op := range []string{"<", "<=", ">", ">=", "==", "!="} {
+		m := &Module{
+			Name:   "cmp",
+			Params: []string{"n"},
+			Body: []Instr{
+				If{Cond: Cond{Op: op, A: Arg("n"), B: Num(5)},
+					Then: []Instr{Charge{Binding: "hw", Method: "op", Args: []*Expr{Num(1)}}},
+					Else: []Instr{Charge{Binding: "hw", Method: "op", Args: []*Expr{Num(10)}}},
+				},
+			},
+		}
+		for _, n := range []float64{4, 5, 6} {
+			truth, err := Run(m, b, []core.Value{core.Num(n)}, nil)
+			if err != nil {
+				t.Fatalf("%s(%v): %v", op, n, err)
+			}
+			src, err := Extract(m, map[string]string{"hw": "hw"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			compiled, err := eil.Compile(src, b)
+			if err != nil {
+				t.Fatalf("%s: %v\n%s", op, err, src)
+			}
+			j, err := compiled["cmp"].ExpectedJoules("run", core.Num(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if float64(j) != truth {
+				t.Fatalf("%s(%v): extracted %v != run %v", op, n, j, truth)
+			}
+		}
+	}
+	// Unknown comparison op.
+	bad := &Module{Name: "x", Params: []string{"n"}, Body: []Instr{
+		If{Cond: Cond{Op: "~", A: Arg("n"), B: Num(1)}},
+	}}
+	if _, err := Run(bad, b, []core.Value{core.Num(1)}, nil); err == nil {
+		t.Fatal("bad comparison op accepted by Run")
+	}
+	if _, err := Extract(bad, nil); err == nil {
+		t.Fatal("bad comparison op accepted by Extract")
+	}
+}
+
+func TestCondOnNonNumFails(t *testing.T) {
+	b := map[string]*core.Interface{"hw": hwIface()}
+	m := &Module{Name: "x", Params: []string{"n"}, Body: []Instr{
+		If{Cond: Cond{Op: "<", A: Arg("n"), B: Num(1)}},
+	}}
+	if _, err := Run(m, b, []core.Value{core.Bool(true)}, nil); err == nil {
+		t.Fatal("bool in comparison accepted")
+	}
+}
+
+func TestNilExprRejected(t *testing.T) {
+	m := &Module{Name: "x", Body: []Instr{
+		Charge{Binding: "hw", Method: "op", Args: []*Expr{nil}},
+	}}
+	if _, err := Extract(m, map[string]string{"hw": "hw"}); err == nil {
+		t.Fatal("nil expression accepted by Extract")
+	}
+}
+
+func TestCollectEffectsNilModule(t *testing.T) {
+	if _, _, err := collectEffects(nil); err == nil {
+		t.Fatal("nil module accepted")
+	}
+	if _, err := Analyze(nil, nil); err == nil {
+		t.Fatal("Analyze(nil) accepted")
+	}
+}
+
+func TestEffectStringForms(t *testing.T) {
+	e := Effect{State: "s", Value: true}
+	if e.String() != "sets s=true" {
+		t.Fatalf("Effect string %q", e.String())
+	}
+	e.Conditional = true
+	if !strings.Contains(e.String(), "conditionally") {
+		t.Fatalf("conditional marker missing: %q", e.String())
+	}
+}
+
+func TestLoopVariableScoping(t *testing.T) {
+	// The loop variable must not leak past the loop in the executor.
+	b := map[string]*core.Interface{"hw": hwIface()}
+	m := &Module{Name: "scope", Body: []Instr{
+		Loop{Var: "i", From: Num(0), To: Num(3), Body: []Instr{
+			Charge{Binding: "hw", Method: "op", Args: []*Expr{Arg("i")}},
+		}},
+		Charge{Binding: "hw", Method: "op", Args: []*Expr{Arg("i")}},
+	}}
+	if _, err := Run(m, b, nil, nil); err == nil {
+		t.Fatal("loop variable leaked out of scope")
+	}
+}
+
+func TestStateFlipBothWaysIsConditional(t *testing.T) {
+	m := &Module{Name: "flip", Body: []Instr{
+		SetState{State: "s", Value: true},
+		SetState{State: "s", Value: false},
+	}}
+	effects, _, err := collectEffects(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(effects) != 1 || !effects[0].Conditional {
+		t.Fatalf("flip-flop should report a conditional net effect: %+v", effects)
+	}
+}
+
+func TestFractionalLoopBoundsMatchEIL(t *testing.T) {
+	// Loops with fractional bounds must execute identically in the IR
+	// executor and in the extracted EIL (integer steps from ceil(from)).
+	b := map[string]*core.Interface{"hw": hwIface()}
+	m := &Module{
+		Name:   "frac",
+		Params: []string{"a", "b"},
+		Body: []Instr{
+			Loop{Var: "i", From: Div(Arg("a"), Num(4)), To: Div(Arg("b"), Num(4)),
+				Body: []Instr{
+					Charge{Binding: "hw", Method: "op", Args: []*Expr{Num(1)}},
+				}},
+		},
+	}
+	src, err := Extract(m, map[string]string{"hw": "hw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := eil.Compile(src, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bounds := range [][2]float64{{2, 14}, {3, 15}, {0, 1}, {5, 5}, {7, 3}} {
+		args := []core.Value{core.Num(bounds[0]), core.Num(bounds[1])}
+		truth, err := Run(m, b, args, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := compiled["frac"].ExpectedJoules("run", args...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(j) != truth {
+			t.Fatalf("bounds %v: extracted %v != run %v", bounds, j, truth)
+		}
+	}
+}

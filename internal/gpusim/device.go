@@ -1,0 +1,222 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"energyclarity/internal/energy"
+)
+
+func mathPow(x, g float64) float64 { return math.Pow(x, g) }
+
+// GPU is one concrete device: a Spec plus hidden, seed-derived deviations
+// (its "silicon") and operating state (time, temperature, energy counters).
+// A GPU is deterministic given its seed. It is not safe for concurrent use.
+type GPU struct {
+	spec Spec
+
+	// Hidden truth: per-event energies and behaviour deviations. Never
+	// exposed outside test hooks; predictors must work from Spec + sensor.
+	instrE  energy.Joules
+	l1E     energy.Joules
+	l2E     energy.Joules
+	vramE   energy.Joules
+	staticP energy.Watts
+	missDev float64 // relative shift of miss curves
+	gamma   float64 // thrash exponent
+	timeDev float64 // relative shift of kernel durations
+	ovhSec  float64 // true per-launch overhead
+
+	// Operating state.
+	now        float64 // device time, seconds
+	tempC      float64
+	trueEnergy energy.Joules
+	dvfsScale  float64 // current core-clock scale (1 = base)
+
+	// Sensor state.
+	sensorRng   *rand.Rand
+	sensorNoise float64
+	sensorAccum energy.Joules // true joules not yet shown by the counter
+	sensorCount energy.Joules // quantized cumulative counter value
+
+	kernels int
+}
+
+// NewGPU instantiates a device of the given model. The seed determines the
+// device's hidden manufacturing deviations and its sensor noise stream;
+// two GPUs with the same spec and seed behave identically.
+func NewGPU(spec Spec, seed int64) *GPU {
+	rng := rand.New(rand.NewSource(seed))
+	dev := func(scale float64) float64 {
+		// Bounded deviation: uniform in [-scale, +scale]. Uniform rather
+		// than normal so worst-case device error is bounded by design.
+		return (2*rng.Float64() - 1) * scale
+	}
+	g := &GPU{
+		spec:        spec,
+		instrE:      spec.NomInstrEnergy * energy.Joules(1+dev(spec.CoefDeviation)),
+		l1E:         spec.NomL1Energy * energy.Joules(1+dev(spec.CoefDeviation)),
+		l2E:         spec.NomL2Energy * energy.Joules(1+dev(spec.CoefDeviation)),
+		vramE:       spec.NomVRAMEnergy * energy.Joules(1+dev(spec.CoefDeviation)),
+		staticP:     spec.NomStaticPower * energy.Watts(1+dev(spec.CoefDeviation)),
+		missDev:     dev(spec.MissDeviation),
+		gamma:       1 + dev(0.25*spec.MissDeviation),
+		timeDev:     dev(spec.TimeDeviation),
+		ovhSec:      spec.LaunchOverheadSec * (1 + dev(spec.OverheadDeviation)),
+		tempC:       spec.AmbientC,
+		dvfsScale:   1,
+		sensorRng:   rand.New(rand.NewSource(seed ^ 0x5eed)),
+		sensorNoise: spec.SensorNoise,
+	}
+	return g
+}
+
+// SetDVFSScale moves the device to the operating point at the given clock
+// scale (it must be one of the spec's DVFSScales; 1 is always allowed).
+// Hidden deviations carry over: the device's truth at a scale is the
+// scaled datasheet times the same per-unit deviations.
+func (g *GPU) SetDVFSScale(scale float64) error {
+	if scale == 1 {
+		g.dvfsScale = 1
+		return nil
+	}
+	for _, s := range g.spec.DVFSScales {
+		if s == scale {
+			g.dvfsScale = scale
+			return nil
+		}
+	}
+	return fmt.Errorf("gpusim: %s: unsupported DVFS scale %v", g.spec.Name, scale)
+}
+
+// DVFSScale returns the current core-clock scale.
+func (g *GPU) DVFSScale() float64 { return g.dvfsScale }
+
+// Spec returns the device's public datasheet.
+func (g *GPU) Spec() Spec { return g.spec }
+
+// Now returns the device-time clock in seconds.
+func (g *GPU) Now() float64 { return g.now }
+
+// TemperatureC returns the current board temperature.
+func (g *GPU) TemperatureC() float64 { return g.tempC }
+
+// KernelCount returns the number of kernels launched so far.
+func (g *GPU) KernelCount() int { return g.kernels }
+
+// KernelStats reports one kernel's ground-truth execution on the device.
+type KernelStats struct {
+	Duration      float64 // seconds
+	Traffic       Traffic
+	DynamicEnergy energy.Joules
+	StaticEnergy  energy.Joules
+}
+
+// Energy returns the kernel's total true energy.
+func (ks KernelStats) Energy() energy.Joules {
+	return ks.DynamicEnergy + ks.StaticEnergy
+}
+
+// Launch executes a kernel: it computes the device's true traffic, timing,
+// and energy, advances the clock, heats the board, and feeds the sensor.
+// It panics on malformed kernels (negative counts), which indicate bugs in
+// the caller, not runtime conditions.
+func (g *GPU) Launch(k Kernel) KernelStats {
+	if k.Instructions < 0 || k.L1Accesses < 0 || k.WorkingSet < 0 {
+		panic(fmt.Sprintf("gpusim: kernel %q has negative counts", k.Name))
+	}
+	opSpec := g.spec.AtScale(g.dvfsScale)
+	tr := opSpec.traffic(k, g.missDev, g.gamma)
+	// True duration: roofline time with the device's timing deviation, plus
+	// the device's true launch overhead (SpecDuration already contains the
+	// datasheet overhead; swap it for the true one).
+	dur := (opSpec.SpecDuration(k, tr)-opSpec.LaunchOverheadSec)*(1+g.timeDev) + g.ovhSec
+	if dur <= 0 {
+		dur = 1e-9 // degenerate empty kernel still takes a clock tick
+	}
+
+	// Dynamic energy: hidden per-unit deviations on top of the operating
+	// point's nominal coefficients (core-domain events scale with v²).
+	es := energy.Joules(EnergyScale(g.dvfsScale))
+	dyn := energy.Joules(k.Instructions)*g.instrE*es +
+		energy.Joules(tr.L1Wavefronts)*g.l1E*es +
+		energy.Joules(tr.L2Sectors)*g.l2E*es +
+		energy.Joules(tr.VRAMSectors)*g.vramE
+	static := g.staticPowerAt(g.tempC).OverSeconds(dur)
+
+	g.advance(dur, dyn+static)
+	g.kernels++
+	return KernelStats{Duration: dur, Traffic: tr, DynamicEnergy: dyn, StaticEnergy: static}
+}
+
+// Idle advances device time with no work: only static power burns.
+func (g *GPU) Idle(seconds float64) energy.Joules {
+	if seconds <= 0 {
+		return 0
+	}
+	e := g.staticPowerAt(g.tempC).OverSeconds(seconds)
+	g.advance(seconds, e)
+	return e
+}
+
+// staticPowerAt is the true leakage at board temperature t: leakage grows
+// with temperature, which is one of the drift effects a static energy
+// interface misses unless it models temperature.
+func (g *GPU) staticPowerAt(t float64) energy.Watts {
+	excess := t - g.spec.AmbientC
+	if excess < 0 {
+		excess = 0
+	}
+	base := g.staticP * energy.Watts(StaticScale(g.dvfsScale))
+	return base * energy.Watts(1+g.spec.TempCoeffPerC*excess)
+}
+
+// advance moves the clock by dt during which the board consumed e, updates
+// the first-order thermal model, and feeds the energy sensor.
+func (g *GPU) advance(dt float64, e energy.Joules) {
+	g.now += dt
+	g.trueEnergy += e
+
+	// Thermal RC: dT/dt = (P*R - (T - Tamb)) / (R*C).
+	p := float64(e) / dt
+	r, c := g.spec.ThermalResistance, g.spec.ThermalCapacity
+	if r > 0 && c > 0 {
+		tau := r * c
+		target := g.spec.AmbientC + p*r
+		alpha := 1 - math.Exp(-dt/tau)
+		g.tempC += (target - g.tempC) * alpha
+	}
+
+	// Sensor: noisy observation of the energy delta, accumulated into a
+	// quantized counter (NVML-style millijoule counter).
+	obs := float64(e) * (1 + g.sensorNoise*(2*g.sensorRng.Float64()-1))
+	g.sensorAccum += energy.Joules(obs)
+	q := g.spec.SensorQuantum
+	if q <= 0 {
+		g.sensorCount += g.sensorAccum
+		g.sensorAccum = 0
+		return
+	}
+	steps := math.Floor(float64(g.sensorAccum / q))
+	if steps > 0 {
+		g.sensorCount += energy.Joules(steps) * q
+		g.sensorAccum -= energy.Joules(steps) * q
+	}
+}
+
+// SensorEnergy returns the device's cumulative energy counter as software
+// (e.g. the nvml package) can read it: quantized and noisy. Monotone
+// non-decreasing.
+func (g *GPU) SensorEnergy() energy.Joules { return g.sensorCount }
+
+// TrueEnergyForTest returns the ground-truth cumulative energy. It exists
+// for tests and for computing simulator-internal baselines; predictors
+// must not use it (that would be reading the answer key).
+func (g *GPU) TrueEnergyForTest() energy.Joules { return g.trueEnergy }
+
+// TrueCoefficientsForTest exposes the hidden per-event energies for
+// white-box tests.
+func (g *GPU) TrueCoefficientsForTest() (instr, l1, l2, vram energy.Joules, static energy.Watts) {
+	return g.instrE, g.l1E, g.l2E, g.vramE, g.staticP
+}

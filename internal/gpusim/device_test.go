@@ -1,0 +1,193 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeviceDeterministicGivenSeed(t *testing.T) {
+	a := NewGPU(RTX4090(), 11)
+	b := NewGPU(RTX4090(), 11)
+	k := smallKernel()
+	for i := 0; i < 5; i++ {
+		sa := a.Launch(k)
+		sb := b.Launch(k)
+		if sa != sb {
+			t.Fatalf("run %d diverged: %+v vs %+v", i, sa, sb)
+		}
+	}
+	if a.SensorEnergy() != b.SensorEnergy() {
+		t.Fatal("sensor counters diverged")
+	}
+}
+
+func TestDeviceSeedsDiffer(t *testing.T) {
+	a := NewGPU(RTX3070(), 1)
+	b := NewGPU(RTX3070(), 2)
+	sa := a.Launch(smallKernel())
+	sb := b.Launch(smallKernel())
+	if sa.DynamicEnergy == sb.DynamicEnergy {
+		t.Fatal("different seeds produced identical hidden coefficients")
+	}
+}
+
+func TestHiddenCoefficientsNearNominal(t *testing.T) {
+	s := RTX4090()
+	for seed := int64(0); seed < 20; seed++ {
+		g := NewGPU(s, seed)
+		instr, l1, l2, vram, static := g.TrueCoefficientsForTest()
+		check := func(name string, got, nom float64) {
+			rel := math.Abs(got-nom) / nom
+			if rel > s.CoefDeviation+1e-12 {
+				t.Errorf("seed %d: %s deviates %.4f > %.4f", seed, name, rel, s.CoefDeviation)
+			}
+		}
+		check("instr", float64(instr), float64(s.NomInstrEnergy))
+		check("l1", float64(l1), float64(s.NomL1Energy))
+		check("l2", float64(l2), float64(s.NomL2Energy))
+		check("vram", float64(vram), float64(s.NomVRAMEnergy))
+		check("static", float64(static), float64(s.NomStaticPower))
+	}
+}
+
+func TestLaunchAccumulatesTimeAndEnergy(t *testing.T) {
+	g := NewGPU(RTX4090(), 3)
+	k := smallKernel()
+	st := g.Launch(k)
+	if st.Duration <= 0 {
+		t.Fatal("non-positive duration")
+	}
+	if g.Now() != st.Duration {
+		t.Fatalf("clock %v != duration %v", g.Now(), st.Duration)
+	}
+	if g.TrueEnergyForTest() != st.Energy() {
+		t.Fatalf("energy accumulator %v != kernel energy %v",
+			g.TrueEnergyForTest(), st.Energy())
+	}
+	if g.KernelCount() != 1 {
+		t.Fatalf("kernel count %d", g.KernelCount())
+	}
+}
+
+func TestIdleBurnsOnlyStatic(t *testing.T) {
+	g := NewGPU(RTX4090(), 3)
+	e := g.Idle(10)
+	_, _, _, _, static := g.TrueCoefficientsForTest()
+	want := static.OverSeconds(10)
+	if math.Abs(float64(e-want)) > 1e-9*float64(want) {
+		t.Fatalf("idle energy %v, want %v", e, want)
+	}
+	if g.Idle(0) != 0 || g.Idle(-1) != 0 {
+		t.Fatal("non-positive idle should burn nothing")
+	}
+}
+
+func TestTemperatureRisesUnderLoadAndRaisesLeakage(t *testing.T) {
+	g := NewGPU(RTX3070(), 5)
+	t0 := g.TemperatureC()
+	big := Kernel{Instructions: 1e12, L1Accesses: 1e10, WorkingSet: 1e9, Reuse: 2}
+	for i := 0; i < 50; i++ {
+		g.Launch(big)
+	}
+	t1 := g.TemperatureC()
+	if t1 <= t0 {
+		t.Fatalf("temperature did not rise: %v -> %v", t0, t1)
+	}
+	// Hot leakage must exceed cold leakage: compare static energy of an
+	// identical idle period before/after heating on a fresh device.
+	cold := NewGPU(RTX3070(), 5)
+	coldE := cold.Idle(1)
+	hotE := g.Idle(1)
+	if hotE <= coldE {
+		t.Fatalf("hot leakage %v not above cold %v", hotE, coldE)
+	}
+}
+
+func TestSensorTracksTrueEnergyWithinNoise(t *testing.T) {
+	for _, spec := range []Spec{RTX4090(), RTX3070()} {
+		g := NewGPU(spec, 9)
+		for i := 0; i < 200; i++ {
+			g.Launch(smallKernel())
+		}
+		truth := float64(g.TrueEnergyForTest())
+		meas := float64(g.SensorEnergy())
+		rel := math.Abs(meas-truth) / truth
+		// Averaged over many readings the sensor must stay within a few
+		// noise standard deviations plus one quantum.
+		bound := spec.SensorNoise + float64(spec.SensorQuantum)/truth + 0.01
+		if rel > bound {
+			t.Errorf("%s: sensor off by %.4f (bound %.4f)", spec.Name, rel, bound)
+		}
+	}
+}
+
+func TestSensorMonotone(t *testing.T) {
+	g := NewGPU(RTX3070(), 13)
+	prev := g.SensorEnergy()
+	for i := 0; i < 100; i++ {
+		g.Launch(smallKernel())
+		cur := g.SensorEnergy()
+		if cur < prev {
+			t.Fatalf("sensor went backwards: %v -> %v", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestSensorQuantization(t *testing.T) {
+	g := NewGPU(RTX3070(), 13)
+	g.Launch(smallKernel())
+	q := float64(RTX3070().SensorQuantum)
+	count := float64(g.SensorEnergy())
+	steps := count / q
+	if math.Abs(steps-math.Round(steps)) > 1e-6 {
+		t.Fatalf("sensor count %v not a multiple of quantum %v", count, q)
+	}
+}
+
+func TestLaunchPanicsOnNegativeCounts(t *testing.T) {
+	g := NewGPU(RTX4090(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative kernel accepted")
+		}
+	}()
+	g.Launch(Kernel{Instructions: -1})
+}
+
+func TestEmptyKernelStillTicks(t *testing.T) {
+	g := NewGPU(RTX4090(), 1)
+	st := g.Launch(Kernel{Name: "empty"})
+	if st.Duration <= 0 {
+		t.Fatal("empty kernel must still consume a tick")
+	}
+}
+
+func TestDeviceTrafficNearSpecWithinDeviation(t *testing.T) {
+	spec := RTX3070()
+	k := Kernel{Instructions: 1e8, L1Accesses: 1e8, WorkingSet: 64 << 20, Reuse: 8}
+	specTr := spec.SpecTraffic(k)
+	for seed := int64(0); seed < 10; seed++ {
+		g := NewGPU(spec, seed)
+		st := g.Launch(k)
+		relL2 := math.Abs(st.Traffic.L2Sectors-specTr.L2Sectors) / specTr.L2Sectors
+		// Device curves are perturbed but bounded: deviation scale plus the
+		// gamma effect; generous factor 4 bound.
+		if relL2 > 4*spec.MissDeviation {
+			t.Errorf("seed %d: L2 traffic deviates %.3f", seed, relL2)
+		}
+	}
+}
+
+func TestSpecAccessorAndDuration(t *testing.T) {
+	g := NewGPU(RTX4090(), 2)
+	if g.Spec().Name != "RTX4090" {
+		t.Fatalf("spec accessor wrong: %s", g.Spec().Name)
+	}
+	k := smallKernel()
+	st := g.Launch(k)
+	specDur := g.Spec().SpecDuration(k, g.Spec().SpecTraffic(k))
+	if math.Abs(st.Duration-specDur)/specDur > 3*g.Spec().TimeDeviation+3*g.Spec().MissDeviation {
+		t.Fatalf("duration %v too far from spec %v", st.Duration, specDur)
+	}
+}

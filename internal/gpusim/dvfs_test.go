@@ -1,0 +1,156 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAtScaleIdentity(t *testing.T) {
+	s := RTX4090()
+	if got := s.AtScale(1); got.Name != s.Name || got.InstrPerSec != s.InstrPerSec {
+		t.Fatal("AtScale(1) not identity")
+	}
+}
+
+func TestAtScalePanicsOnBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive scale accepted")
+		}
+	}()
+	RTX4090().AtScale(0)
+}
+
+func TestAtScaleRelations(t *testing.T) {
+	s := RTX4090()
+	lo := s.AtScale(0.55)
+	if lo.InstrPerSec != s.InstrPerSec*0.55 || lo.L1PerSec != s.L1PerSec*0.55 {
+		t.Fatal("core-domain rates must scale linearly")
+	}
+	if lo.VRAMPerSec != s.VRAMPerSec {
+		t.Fatal("VRAM domain must be unaffected")
+	}
+	if lo.NomVRAMEnergy != s.NomVRAMEnergy {
+		t.Fatal("VRAM energy must be unaffected")
+	}
+	// Core-domain energy scales with v² < 1 for scale < 1.
+	if lo.NomInstrEnergy >= s.NomInstrEnergy {
+		t.Fatal("instr energy must drop at lower voltage")
+	}
+	ratio := float64(lo.NomInstrEnergy / s.NomInstrEnergy)
+	if math.Abs(ratio-EnergyScale(0.55)) > 1e-12 {
+		t.Fatalf("instr energy ratio %v, want %v", ratio, EnergyScale(0.55))
+	}
+	if lo.NomStaticPower >= s.NomStaticPower {
+		t.Fatal("static power must drop at lower voltage")
+	}
+	if lo.Name == s.Name {
+		t.Fatal("scaled spec must be distinguishable by name")
+	}
+}
+
+func TestEnergyScaleMonotone(t *testing.T) {
+	prev := 0.0
+	for _, s := range []float64{0.4, 0.55, 0.7, 0.85, 1.0} {
+		es := EnergyScale(s)
+		if es <= prev {
+			t.Fatalf("EnergyScale not increasing at %v", s)
+		}
+		prev = es
+	}
+	if EnergyScale(1) != 1 || StaticScale(1) != 1 {
+		t.Fatal("scale 1 must be the identity point")
+	}
+}
+
+func TestSetDVFSScaleValidation(t *testing.T) {
+	g := NewGPU(RTX4090(), 1)
+	if g.DVFSScale() != 1 {
+		t.Fatal("initial scale must be 1")
+	}
+	if err := g.SetDVFSScale(0.55); err != nil {
+		t.Fatal(err)
+	}
+	if g.DVFSScale() != 0.55 {
+		t.Fatal("scale not applied")
+	}
+	if err := g.SetDVFSScale(0.42); err == nil {
+		t.Fatal("unsupported scale accepted")
+	}
+	if err := g.SetDVFSScale(1); err != nil {
+		t.Fatal("scale 1 must always be allowed")
+	}
+}
+
+func TestDVFSComputeBoundTradeoff(t *testing.T) {
+	// A compute-bound kernel at a lower clock: slower, but cheaper dynamic
+	// energy per instruction.
+	k := Kernel{Instructions: 1e10}
+	fast := NewGPU(RTX4090(), 3)
+	slow := NewGPU(RTX4090(), 3)
+	if err := slow.SetDVFSScale(0.55); err != nil {
+		t.Fatal(err)
+	}
+	sf := fast.Launch(k)
+	ss := slow.Launch(k)
+	if ss.Duration <= sf.Duration {
+		t.Fatalf("lower clock not slower: %v vs %v", ss.Duration, sf.Duration)
+	}
+	if ss.DynamicEnergy >= sf.DynamicEnergy {
+		t.Fatalf("lower voltage not cheaper dynamically: %v vs %v",
+			ss.DynamicEnergy, sf.DynamicEnergy)
+	}
+}
+
+func TestDVFSMemoryBoundWinsAtLowClock(t *testing.T) {
+	// A VRAM-streaming kernel's duration is set by the memory clock, so a
+	// lower core clock must cut total energy nearly for free.
+	k := Kernel{Instructions: 1e7, L1Accesses: 1e9, WorkingSet: 32e9, Reuse: 1}
+	fast := NewGPU(RTX4090(), 3)
+	slow := NewGPU(RTX4090(), 3)
+	if err := slow.SetDVFSScale(0.55); err != nil {
+		t.Fatal(err)
+	}
+	sf := fast.Launch(k)
+	ss := slow.Launch(k)
+	if rel := (ss.Duration - sf.Duration) / sf.Duration; rel > 0.02 {
+		t.Fatalf("memory-bound duration grew %v at low clock", rel)
+	}
+	if ss.Energy() >= sf.Energy() {
+		t.Fatalf("memory-bound kernel not cheaper at low clock: %v vs %v",
+			ss.Energy(), sf.Energy())
+	}
+}
+
+func TestDVFSScaledSpecPredictsScaledDevice(t *testing.T) {
+	// The datasheet at an operating point must describe a device at that
+	// point as well as the base datasheet describes the base point.
+	spec := RTX4090()
+	k := Kernel{Instructions: 2e9, L1Accesses: 1e9, WorkingSet: 64 << 20, Reuse: 4}
+	g := NewGPU(spec, 7)
+	if err := g.SetDVFSScale(0.7); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Launch(k)
+	op := spec.AtScale(0.7)
+	tr := op.SpecTraffic(k)
+	wantDur := op.SpecDuration(k, tr)
+	if rel := math.Abs(st.Duration-wantDur) / wantDur; rel > 0.05 {
+		t.Fatalf("scaled duration off by %v", rel)
+	}
+	wantDyn := op.SpecDynamicEnergy(k, tr)
+	if rel := math.Abs(float64(st.DynamicEnergy-wantDyn)) / float64(wantDyn); rel > 0.05 {
+		t.Fatalf("scaled dynamic energy off by %v", rel)
+	}
+}
+
+func TestDVFSIdlePowerDrops(t *testing.T) {
+	fast := NewGPU(RTX4090(), 5)
+	slow := NewGPU(RTX4090(), 5)
+	if err := slow.SetDVFSScale(0.55); err != nil {
+		t.Fatal(err)
+	}
+	if slow.Idle(1) >= fast.Idle(1) {
+		t.Fatal("idle energy must drop at the lower operating point")
+	}
+}

@@ -1,0 +1,342 @@
+// Package gpusim simulates a GPU at the energy-event level: instruction
+// executions, L1 wavefront accesses, L2 sector accesses, VRAM sector
+// accesses, and static (leakage) power — exactly the five quantities the
+// paper's hand-derived GPT-2 energy interface is written in terms of (§5).
+//
+// The paper evaluated on real RTX 4090 / RTX 3070 GPUs measured with NVML.
+// We have neither, so this package is the substitution (see DESIGN.md §1):
+// a simulated device whose *true* energy behaviour deviates from its public
+// datasheet in hidden, device-specific ways (manufacturing variation,
+// cache-behaviour quirks, thermal drift) and whose on-board energy sensor
+// is quantized and noisy. Predictors only ever see the datasheet (Spec) and
+// sensor readings; ground truth stays inside the device. Prediction error
+// is therefore a meaningful, non-zero quantity with the same error sources
+// a real setup has.
+package gpusim
+
+import (
+	"fmt"
+
+	"energyclarity/internal/energy"
+)
+
+// Spec is the public "datasheet" of a GPU model: nominal energy
+// coefficients, cache geometry, throughputs, and published variability
+// figures. Interface authors and the microbenchmark calibrator work from
+// Spec (and from sensor measurements); they never see a device's hidden
+// parameters.
+type Spec struct {
+	Name string
+
+	// Geometry.
+	SMCount      int
+	L1PerSMBytes float64
+	L2Bytes      float64
+	VRAMBytes    float64
+
+	// Nominal per-event energies (datasheet values; true silicon deviates).
+	NomInstrEnergy energy.Joules // per executed warp instruction
+	NomL1Energy    energy.Joules // per L1 wavefront read/write
+	NomL2Energy    energy.Joules // per L2 sector read/write
+	NomVRAMEnergy  energy.Joules // per VRAM sector read/write
+	NomStaticPower energy.Watts  // board static power at reference temp
+
+	// Throughputs for the timing (roofline) model.
+	InstrPerSec float64 // aggregate warp-instruction rate
+	L1PerSec    float64 // aggregate L1 wavefront rate
+	L2PerSec    float64 // aggregate L2 sector rate
+	VRAMPerSec  float64 // aggregate VRAM sector rate
+
+	// Device-variability magnitudes. These parameterize how far a concrete
+	// device's hidden truth may sit from the datasheet; NewGPU draws the
+	// actual deviations from its seed.
+	CoefDeviation float64 // relative spread of per-event energy coefficients
+	MissDeviation float64 // relative spread of cache-miss behaviour
+	TimeDeviation float64 // relative spread of kernel duration
+
+	// DVFSScales lists the supported core-clock operating points as
+	// fractions of the base clock; AtScale derives the datasheet at each.
+	DVFSScales []float64
+
+	// Kernel-launch overhead: fixed per-launch time (driver, scheduling,
+	// clock ramp) during which the board burns static power. Datasheet
+	// value; a device's true overhead deviates by up to OverheadDeviation.
+	// Large kernels amortize it; a decode workload of thousands of sub-ms
+	// kernels does not — which is exactly where interface predictions built
+	// from datasheet values pick up error on the worse-behaved part.
+	LaunchOverheadSec float64
+	OverheadDeviation float64
+
+	// Sensor characteristics (NVML-style energy counter).
+	SensorNoise   float64       // relative per-reading noise
+	SensorQuantum energy.Joules // counter quantization step
+
+	// Thermal model: first-order RC from board power to temperature, and
+	// leakage growth with temperature.
+	AmbientC          float64 // ambient/idle-equilibrium temperature, °C
+	ThermalResistance float64 // °C per Watt
+	ThermalCapacity   float64 // Joules per °C
+	TempCoeffPerC     float64 // relative static-power growth per °C above ambient
+}
+
+// Sector and wavefront granularity in bytes, as on real NVIDIA parts.
+const (
+	SectorBytes    = 32
+	WavefrontBytes = 32
+)
+
+// RTX4090 returns the datasheet for the simulated flagship part: large L2,
+// precise power sensor, tight manufacturing spread. Coefficients are of
+// realistic magnitude (tens of pJ per event, hundreds of watts board
+// power) but are not calibrated to any real device.
+func RTX4090() Spec {
+	return Spec{
+		Name:         "RTX4090",
+		SMCount:      128,
+		L1PerSMBytes: 128 << 10,
+		L2Bytes:      72 << 20,
+		VRAMBytes:    24 << 30,
+
+		NomInstrEnergy: 35e-12,
+		NomL1Energy:    220e-12,
+		NomL2Energy:    800e-12,
+		NomVRAMEnergy:  4200e-12,
+		NomStaticPower: 58,
+
+		InstrPerSec: 5.2e12,
+		L1PerSec:    2.6e12,
+		L2PerSec:    1.6e11,
+		VRAMPerSec:  3.15e10,
+
+		CoefDeviation: 0.004,
+		MissDeviation: 0.01,
+		TimeDeviation: 0.003,
+
+		DVFSScales: []float64{0.55, 0.7, 0.85, 1.0},
+
+		LaunchOverheadSec: 1.5e-6,
+		OverheadDeviation: 0.10,
+
+		SensorNoise:   0.0015,
+		SensorQuantum: 0.5 * energy.Millijoule,
+
+		AmbientC:          27,
+		ThermalResistance: 0.11,
+		ThermalCapacity:   900,
+		TempCoeffPerC:     0.0048,
+	}
+}
+
+// RTX3070 returns the datasheet for the simulated mid-range previous-gen
+// part: small L2 (so cache-model mismatch bites), a coarser and noisier
+// power sensor, wider manufacturing spread, and stronger leakage growth —
+// the mechanisms behind the paper's larger 3070 prediction error.
+func RTX3070() Spec {
+	return Spec{
+		Name:         "RTX3070",
+		SMCount:      46,
+		L1PerSMBytes: 128 << 10,
+		L2Bytes:      4 << 20,
+		VRAMBytes:    8 << 30,
+
+		NomInstrEnergy: 45e-12,
+		NomL1Energy:    300e-12,
+		NomL2Energy:    1100e-12,
+		NomVRAMEnergy:  5500e-12,
+		NomStaticPower: 34,
+
+		InstrPerSec: 1.6e12,
+		L1PerSec:    0.8e12,
+		L2PerSec:    6.0e10,
+		VRAMPerSec:  1.4e10,
+
+		CoefDeviation: 0.06,
+		MissDeviation: 0.20,
+		TimeDeviation: 0.02,
+
+		DVFSScales: []float64{0.55, 0.7, 0.85, 1.0},
+
+		LaunchOverheadSec: 4e-6,
+		OverheadDeviation: 0.45,
+
+		SensorNoise:   0.02,
+		SensorQuantum: 8 * energy.Millijoule,
+
+		AmbientC:          27,
+		ThermalResistance: 0.26,
+		ThermalCapacity:   600,
+		TempCoeffPerC:     0.016,
+	}
+}
+
+// Kernel describes one launched kernel by its logical, shape-derived
+// properties. These are exactly what an interface author can compute from
+// tensor shapes — both the simulator's true traffic model and a predictor's
+// datasheet traffic model start from the same Kernel.
+type Kernel struct {
+	Name         string
+	Instructions float64 // warp instructions executed
+	L1Accesses   float64 // wavefront-level accesses issued to L1 (reads+writes)
+	WorkingSet   float64 // unique bytes touched
+	Reuse        float64 // mean accesses per byte (>= 1)
+}
+
+// Traffic is memory-hierarchy event counts for one kernel.
+type Traffic struct {
+	L1Wavefronts float64
+	L2Sectors    float64
+	VRAMSectors  float64
+}
+
+// SpecTraffic predicts a kernel's memory traffic from the datasheet cache
+// model. This is the model an interface author derives "manually" (§5):
+// cold misses flow through each level; working sets beyond a level's
+// capacity thrash it. Concrete devices perturb this curve (hidden).
+func (s Spec) SpecTraffic(k Kernel) Traffic {
+	return s.traffic(k, 0, 1)
+}
+
+// traffic computes the shared cache model with a device's hidden miss
+// perturbation (missDev) and thrash exponent (gamma); the datasheet values
+// are missDev=0, gamma=1.
+func (s Spec) traffic(k Kernel, missDev, gamma float64) Traffic {
+	reuse := k.Reuse
+	if reuse < 1 {
+		reuse = 1
+	}
+	l1 := k.L1Accesses
+	if l1 <= 0 {
+		return Traffic{}
+	}
+	cold := 1 / reuse
+
+	// L1: per-SM capacity; excess working set degrades hit rate linearly
+	// toward all-miss.
+	l1Cap := float64(s.SMCount) * s.L1PerSMBytes
+	missL1 := missCurve(cold, k.WorkingSet, l1Cap, gamma)
+	missL1 = clamp01(missL1 * (1 + missDev))
+	if missL1 < cold {
+		missL1 = cold // unique traffic always flows through
+	}
+	l2 := l1 * missL1
+
+	// L2: device-wide capacity. The stream arriving at L2 has reuse
+	// reduced by the L1 filtering.
+	uniqueSectors := k.WorkingSet / SectorBytes
+	coldL2 := 1.0
+	if l2 > 0 && uniqueSectors < l2 {
+		coldL2 = uniqueSectors / l2
+	}
+	missL2 := missCurve(coldL2, k.WorkingSet, s.L2Bytes, gamma)
+	missL2 = clamp01(missL2 * (1 + missDev))
+	if missL2 < coldL2 {
+		missL2 = coldL2
+	}
+	vram := l2 * missL2
+
+	return Traffic{L1Wavefronts: l1, L2Sectors: l2, VRAMSectors: vram}
+}
+
+// missCurve blends cold misses with capacity thrashing: at working sets
+// below capacity only cold misses occur; above it, the hit fraction decays
+// as (capacity/ws)^gamma.
+func missCurve(cold, ws, capacity, gamma float64) float64 {
+	if ws <= capacity || capacity <= 0 {
+		return cold
+	}
+	surv := pow(capacity/ws, gamma)
+	return cold + (1-cold)*(1-surv)
+}
+
+func pow(x, g float64) float64 {
+	if g == 1 {
+		return x
+	}
+	// x in (0,1], g near 1; use exp/log via math is fine but avoid import
+	// churn: small helper in device.go uses math.Pow.
+	return mathPow(x, g)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// SpecDuration predicts a kernel's duration (seconds) with the datasheet
+// roofline model — the kernel takes as long as its most saturated resource —
+// plus the datasheet per-launch overhead.
+func (s Spec) SpecDuration(k Kernel, t Traffic) float64 {
+	d := k.Instructions / s.InstrPerSec
+	if m := t.L1Wavefronts / s.L1PerSec; m > d {
+		d = m
+	}
+	if m := t.L2Sectors / s.L2PerSec; m > d {
+		d = m
+	}
+	if m := t.VRAMSectors / s.VRAMPerSec; m > d {
+		d = m
+	}
+	return d + s.LaunchOverheadSec
+}
+
+// SpecDynamicEnergy predicts a kernel's dynamic energy from datasheet
+// coefficients and the given traffic.
+func (s Spec) SpecDynamicEnergy(k Kernel, t Traffic) energy.Joules {
+	return energy.Joules(k.Instructions)*s.NomInstrEnergy +
+		energy.Joules(t.L1Wavefronts)*s.NomL1Energy +
+		energy.Joules(t.L2Sectors)*s.NomL2Energy +
+		energy.Joules(t.VRAMSectors)*s.NomVRAMEnergy
+}
+
+// DVFS model: the core-clock domains (SMs, L1, L2) run at scale×base
+// frequency with voltage v(scale) = 0.6 + 0.4·scale; dynamic energy per
+// core-domain event scales with v², and static power partially (leakage
+// tracks voltage, the fixed board overhead does not). The VRAM domain is
+// on its own clock and is unaffected. These are the standard first-order
+// DVFS relations; the datasheet at an operating point is AtScale's result,
+// and devices apply their hidden deviations on top of it.
+
+// dvfsVoltage returns the relative supply voltage at a clock scale.
+func dvfsVoltage(scale float64) float64 { return 0.6 + 0.4*scale }
+
+// EnergyScale returns the relative dynamic energy per core-domain event at
+// a clock scale (v² scaling, normalized to scale 1).
+func EnergyScale(scale float64) float64 {
+	v := dvfsVoltage(scale) / dvfsVoltage(1)
+	return v * v
+}
+
+// StaticScale returns the relative static power at a clock scale.
+func StaticScale(scale float64) float64 {
+	return 0.35 + 0.65*EnergyScale(scale)
+}
+
+// AtScale derives the datasheet for the operating point at the given clock
+// scale. It panics on non-positive scales (a programming error). AtScale(1)
+// is the identity.
+func (s Spec) AtScale(scale float64) Spec {
+	if scale <= 0 {
+		panic("gpusim: non-positive DVFS scale")
+	}
+	if scale == 1 {
+		return s
+	}
+	out := s
+	out.Name = fmt.Sprintf("%s@%.2f", s.Name, scale)
+	out.InstrPerSec = s.InstrPerSec * scale
+	out.L1PerSec = s.L1PerSec * scale
+	out.L2PerSec = s.L2PerSec * scale
+	// VRAMPerSec unchanged: separate clock domain.
+	es := energy.Joules(EnergyScale(scale))
+	out.NomInstrEnergy = s.NomInstrEnergy * es
+	out.NomL1Energy = s.NomL1Energy * es
+	out.NomL2Energy = s.NomL2Energy * es
+	// NomVRAMEnergy unchanged.
+	out.NomStaticPower = s.NomStaticPower * energy.Watts(StaticScale(scale))
+	return out
+}

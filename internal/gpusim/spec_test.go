@@ -1,0 +1,189 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"energyclarity/internal/energy"
+)
+
+func smallKernel() Kernel {
+	return Kernel{
+		Name:         "k",
+		Instructions: 1e6,
+		L1Accesses:   4e5,
+		WorkingSet:   1 << 20, // 1 MiB, fits everywhere
+		Reuse:        8,
+	}
+}
+
+func TestSpecTrafficColdMissesOnly(t *testing.T) {
+	s := RTX4090()
+	k := smallKernel()
+	tr := s.SpecTraffic(k)
+	if tr.L1Wavefronts != k.L1Accesses {
+		t.Fatalf("L1 wavefronts %v, want %v", tr.L1Wavefronts, k.L1Accesses)
+	}
+	// Working set fits in L1 aggregate: only cold misses (1/reuse) go to L2.
+	wantL2 := k.L1Accesses / k.Reuse
+	if math.Abs(tr.L2Sectors-wantL2) > 1e-9*wantL2 {
+		t.Fatalf("L2 sectors %v, want %v", tr.L2Sectors, wantL2)
+	}
+	// All unique sectors must come from VRAM once (cold).
+	wantVRAM := k.WorkingSet / SectorBytes
+	if math.Abs(tr.VRAMSectors-wantVRAM) > 1e-6*wantVRAM {
+		t.Fatalf("VRAM sectors %v, want %v", tr.VRAMSectors, wantVRAM)
+	}
+}
+
+func TestSpecTrafficThrashingGrowsMisses(t *testing.T) {
+	s := RTX3070() // 4 MiB L2
+	mk := func(ws float64) Traffic {
+		return s.SpecTraffic(Kernel{
+			Instructions: 1e6, L1Accesses: ws, WorkingSet: ws, Reuse: 16,
+		})
+	}
+	small := mk(1 << 20)   // fits in L2
+	big := mk(64 << 20)    // 16x the L2
+	huge := mk(1024 << 20) // 256x the L2
+	smallRatio := small.VRAMSectors / small.L2Sectors
+	bigRatio := big.VRAMSectors / big.L2Sectors
+	hugeRatio := huge.VRAMSectors / huge.L2Sectors
+	if !(smallRatio < bigRatio && bigRatio < hugeRatio) {
+		t.Fatalf("miss ratio not monotone in working set: %v %v %v",
+			smallRatio, bigRatio, hugeRatio)
+	}
+	if hugeRatio < 0.9 {
+		t.Fatalf("huge working set should approach all-miss, got %v", hugeRatio)
+	}
+}
+
+func TestSpecTrafficEmptyKernel(t *testing.T) {
+	s := RTX4090()
+	tr := s.SpecTraffic(Kernel{})
+	if tr.L1Wavefronts != 0 || tr.L2Sectors != 0 || tr.VRAMSectors != 0 {
+		t.Fatalf("empty kernel has traffic: %+v", tr)
+	}
+}
+
+func TestSpecTrafficReuseBelowOneClamped(t *testing.T) {
+	s := RTX4090()
+	k := smallKernel()
+	k.Reuse = 0.25
+	tr := s.SpecTraffic(k)
+	if tr.L2Sectors > tr.L1Wavefronts+1e-9 {
+		t.Fatalf("more L2 traffic than L1 accesses: %+v", tr)
+	}
+}
+
+func TestSpecDurationRoofline(t *testing.T) {
+	s := RTX4090()
+	// Compute-bound kernel: many instructions, little traffic.
+	k1 := Kernel{Instructions: 1e12, L1Accesses: 1e3, WorkingSet: 1e4, Reuse: 1}
+	tr1 := s.SpecTraffic(k1)
+	d1 := s.SpecDuration(k1, tr1)
+	if want := 1e12/s.InstrPerSec + s.LaunchOverheadSec; math.Abs(d1-want) > 1e-12 {
+		t.Fatalf("compute-bound duration %v, want %v", d1, want)
+	}
+	// Memory-bound kernel: streaming working set far beyond L2.
+	k2 := Kernel{Instructions: 1e3, L1Accesses: 1e9, WorkingSet: 32e9, Reuse: 1}
+	tr2 := s.SpecTraffic(k2)
+	d2 := s.SpecDuration(k2, tr2)
+	if want := tr2.VRAMSectors/s.VRAMPerSec + s.LaunchOverheadSec; math.Abs(d2-want) > 1e-9*want {
+		t.Fatalf("memory-bound duration %v, want %v", d2, want)
+	}
+	// Overhead is part of the datasheet duration.
+	empty := Kernel{}
+	if d := s.SpecDuration(empty, s.SpecTraffic(empty)); d != s.LaunchOverheadSec {
+		t.Fatalf("empty kernel duration %v, want overhead %v", d, s.LaunchOverheadSec)
+	}
+}
+
+func TestSpecDynamicEnergyLinear(t *testing.T) {
+	s := RTX4090()
+	k := smallKernel()
+	tr := s.SpecTraffic(k)
+	e1 := s.SpecDynamicEnergy(k, tr)
+	k2 := k
+	k2.Instructions *= 2
+	k2.L1Accesses *= 2
+	k2.WorkingSet *= 2
+	tr2 := s.SpecTraffic(k2)
+	e2 := s.SpecDynamicEnergy(k2, tr2)
+	ratio := float64(e2 / e1)
+	if ratio < 1.9 || ratio > 2.2 {
+		t.Fatalf("doubling kernel scaled energy by %v, want ≈2", ratio)
+	}
+}
+
+func TestQuickTrafficConservation(t *testing.T) {
+	// Invariants for arbitrary kernels: traffic is non-negative and each
+	// level filters (L2 <= L1 within epsilon*deviation; VRAM <= L2).
+	s := RTX3070()
+	f := func(instr, acc, ws, reuse float64) bool {
+		k := Kernel{
+			Instructions: math.Abs(math.Mod(instr, 1e9)),
+			L1Accesses:   math.Abs(math.Mod(acc, 1e9)),
+			WorkingSet:   math.Abs(math.Mod(ws, 1e10)),
+			Reuse:        1 + math.Abs(math.Mod(reuse, 64)),
+		}
+		tr := s.SpecTraffic(k)
+		const eps = 1e-9
+		return tr.L1Wavefronts >= 0 && tr.L2Sectors >= 0 && tr.VRAMSectors >= 0 &&
+			tr.L2Sectors <= tr.L1Wavefronts*(1+eps)+eps &&
+			tr.VRAMSectors <= tr.L2Sectors*(1+eps)+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMissCurveMonotoneInWorkingSet(t *testing.T) {
+	s := RTX4090()
+	f := func(wsRaw float64) bool {
+		ws := 1e6 + math.Abs(math.Mod(wsRaw, 1e10))
+		k1 := Kernel{Instructions: 1, L1Accesses: 1e6, WorkingSet: ws, Reuse: 8}
+		k2 := k1
+		k2.WorkingSet = ws * 2
+		t1 := s.SpecTraffic(k1)
+		t2 := s.SpecTraffic(k2)
+		return t2.VRAMSectors/t2.L2Sectors >= t1.VRAMSectors/t1.L2Sectors-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpecsAreSane(t *testing.T) {
+	for _, s := range []Spec{RTX4090(), RTX3070()} {
+		if s.SMCount <= 0 || s.L2Bytes <= 0 || s.InstrPerSec <= 0 {
+			t.Errorf("%s: degenerate geometry", s.Name)
+		}
+		if s.NomInstrEnergy <= 0 || s.NomVRAMEnergy <= s.NomL2Energy ||
+			s.NomL2Energy <= s.NomL1Energy {
+			t.Errorf("%s: energy hierarchy should grow with distance", s.Name)
+		}
+		if s.SensorNoise < 0 || s.CoefDeviation < 0 {
+			t.Errorf("%s: negative variability", s.Name)
+		}
+	}
+	// The 3070 must be the "worse-behaved" device for T1's asymmetry.
+	a, b := RTX4090(), RTX3070()
+	if b.CoefDeviation <= a.CoefDeviation || b.SensorNoise <= a.SensorNoise ||
+		b.MissDeviation <= a.MissDeviation || b.L2Bytes >= a.L2Bytes {
+		t.Error("RTX3070 should have wider deviations and smaller L2 than RTX4090")
+	}
+}
+
+func TestEnergyHierarchyMagnitudes(t *testing.T) {
+	// One VRAM access must dominate one instruction by >10x on both parts.
+	for _, s := range []Spec{RTX4090(), RTX3070()} {
+		if s.NomVRAMEnergy < 10*s.NomInstrEnergy {
+			t.Errorf("%s: VRAM/instr ratio too small", s.Name)
+		}
+		if got := s.NomStaticPower; got < 10*energy.Watt || got > 200*energy.Watt {
+			t.Errorf("%s: implausible static power %v", s.Name, got)
+		}
+	}
+}

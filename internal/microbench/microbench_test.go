@@ -1,0 +1,218 @@
+package microbench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/gpusim"
+)
+
+func TestCalibrateRecoversCoefficients4090(t *testing.T) {
+	g := gpusim.NewGPU(gpusim.RTX4090(), 42)
+	c, err := Calibrate(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr, l1, l2, vram, static := g.TrueCoefficientsForTest()
+	check := func(name string, got, truth, tol float64) {
+		rel := math.Abs(got-truth) / truth
+		if rel > tol {
+			t.Errorf("%s: estimated %.4g vs true %.4g (rel %.4f > %.4f)",
+				name, got, truth, rel, tol)
+		}
+	}
+	// On the precise device, calibration should land within ~2%.
+	check("instr", float64(c.Instr), float64(instr), 0.02)
+	check("l1", float64(c.L1), float64(l1), 0.02)
+	check("l2", float64(c.L2), float64(l2), 0.05)
+	check("vram", float64(c.VRAM), float64(vram), 0.05)
+	check("static", float64(c.Static), float64(static), 0.10)
+}
+
+func TestCalibrate3070WorseThan4090(t *testing.T) {
+	relErr := func(spec gpusim.Spec, seed int64) float64 {
+		g := gpusim.NewGPU(spec, seed)
+		c, err := Calibrate(g, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		instr, _, _, vram, _ := g.TrueCoefficientsForTest()
+		e1 := math.Abs(float64(c.Instr-instr)) / float64(instr)
+		e2 := math.Abs(float64(c.VRAM-vram)) / float64(vram)
+		return (e1 + e2) / 2
+	}
+	var sum4090, sum3070 float64
+	const n = 5
+	for seed := int64(0); seed < n; seed++ {
+		sum4090 += relErr(gpusim.RTX4090(), seed)
+		sum3070 += relErr(gpusim.RTX3070(), seed)
+	}
+	if sum3070 <= sum4090 {
+		t.Fatalf("3070 calibration (%.4f) should be worse than 4090 (%.4f)",
+			sum3070/n, sum4090/n)
+	}
+}
+
+func TestCalibrateDeterministic(t *testing.T) {
+	a, err := Calibrate(gpusim.NewGPU(gpusim.RTX4090(), 7), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Calibrate(gpusim.NewGPU(gpusim.RTX4090(), 7), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("calibration not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSuiteCoversAllRegimes(t *testing.T) {
+	for _, spec := range []gpusim.Spec{gpusim.RTX4090(), gpusim.RTX3070()} {
+		names := map[string]bool{}
+		for _, k := range Suite(spec) {
+			names[k.Name] = true
+		}
+		for _, want := range []string{"instr", "l1", "l2", "vram", "mix1"} {
+			if !names[want] {
+				t.Errorf("%s suite missing %q kernels", spec.Name, want)
+			}
+		}
+	}
+}
+
+func TestHardwareInterfaceEvaluates(t *testing.T) {
+	c := Coefficients{Device: "X", Instr: 1e-12, L1: 2e-12, L2: 3e-12, VRAM: 4e-12, Static: 50}
+	hw := c.HardwareInterface()
+	if hw.Name() != "gpu_X" {
+		t.Fatalf("name = %q", hw.Name())
+	}
+	j, err := hw.ExpectedJoules("kernel",
+		core.Num(1e9), core.Num(1e8), core.Num(1e7), core.Num(1e6), core.Num(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1e9*1e-12 + 1e8*2e-12 + 1e7*3e-12 + 1e6*4e-12 + 50*0.5
+	if math.Abs(float64(j)-want) > 1e-9*want {
+		t.Fatalf("kernel energy %v, want %v", j, want)
+	}
+	// Per-metric methods.
+	j, err = hw.ExpectedJoules("vram", core.Num(2e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(j)-8e-6) > 1e-18 {
+		t.Fatalf("vram energy %v", j)
+	}
+}
+
+func TestLeastSquaresExactSystem(t *testing.T) {
+	// Synthetic exact data must be recovered to machine precision.
+	truth := []float64{2, 3, 5, 7, 11}
+	var xs [][]float64
+	var ys []float64
+	rows := [][]float64{
+		{1, 0, 0, 0, 0}, {0, 1, 0, 0, 0}, {0, 0, 1, 0, 0}, {0, 0, 0, 1, 0},
+		{0, 0, 0, 0, 1}, {1, 1, 1, 1, 1}, {2, 1, 0, 1, 3}, {5, 4, 3, 2, 1},
+	}
+	for _, r := range rows {
+		y := 0.0
+		for i := 0; i < 5; i++ {
+			y += r[i] * truth[i]
+		}
+		xs = append(xs, r)
+		ys = append(ys, y)
+	}
+	got, err := leastSquares(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if math.Abs(got[i]-truth[i]) > 1e-9 {
+			t.Fatalf("coef %d = %v, want %v", i, got[i], truth[i])
+		}
+	}
+}
+
+func TestLeastSquaresBadlyScaledColumns(t *testing.T) {
+	// Columns differing by 12 orders of magnitude must still solve exactly
+	// (this is the real calibration regime: event counts vs durations).
+	truth := []float64{1e-12, 5}
+	var xs [][]float64
+	var ys []float64
+	for i := 1; i <= 6; i++ {
+		x := []float64{float64(i) * 1e9, float64(i*i) * 1e-3}
+		xs = append(xs, x)
+		ys = append(ys, x[0]*truth[0]+x[1]*truth[1])
+	}
+	got, err := leastSquares(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		if math.Abs(got[i]-truth[i]) > 1e-6*math.Abs(truth[i]) {
+			t.Fatalf("coef %d = %v, want %v", i, got[i], truth[i])
+		}
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := leastSquares([][]float64{{1, 0, 0, 0, 0}}, []float64{1}); err == nil ||
+		!strings.Contains(err.Error(), "at least 5") {
+		t.Errorf("underdetermined system accepted: %v", err)
+	}
+	if _, err := leastSquares([][]float64{{1, 0, 0, 0, 0}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := leastSquares(nil, nil); err == nil {
+		t.Error("empty system accepted")
+	}
+	if _, err := leastSquares([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	// Singular: a column never excited.
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 6; i++ {
+		xs = append(xs, []float64{float64(i + 1), float64(i), 0, float64(i % 2), 1})
+		ys = append(ys, float64(i))
+	}
+	if _, err := leastSquares(xs, ys); err == nil ||
+		!strings.Contains(err.Error(), "singular") {
+		t.Errorf("singular system accepted: %v", err)
+	}
+	// Perfectly collinear columns.
+	xs = nil
+	ys = nil
+	for i := 1; i <= 6; i++ {
+		xs = append(xs, []float64{float64(i), 2 * float64(i), 0, 0, 0})
+		ys = append(ys, float64(i))
+	}
+	if _, err := leastSquares(xs, ys); err == nil {
+		t.Error("collinear system accepted")
+	}
+}
+
+func TestCalibrateRepeatsReduceNoise(t *testing.T) {
+	// More repeats should not make the estimate worse on average across
+	// devices (noise averaging). Allow slack; just require not-dramatically-
+	// worse to keep the test robust.
+	spread := func(repeats int) float64 {
+		total := 0.0
+		for seed := int64(1); seed <= 4; seed++ {
+			g := gpusim.NewGPU(gpusim.RTX3070(), seed)
+			c, err := Calibrate(g, repeats)
+			if err != nil {
+				t.Fatal(err)
+			}
+			instr, _, _, _, _ := g.TrueCoefficientsForTest()
+			total += math.Abs(float64(c.Instr-instr)) / float64(instr)
+		}
+		return total
+	}
+	if s5, s1 := spread(5), spread(1); s5 > s1*1.5 {
+		t.Fatalf("5 repeats (%.4f) much worse than 1 (%.4f)", s5, s1)
+	}
+}

@@ -1,0 +1,281 @@
+package mlservice
+
+import (
+	"math"
+	"testing"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/eil"
+	"energyclarity/internal/energy"
+	"energyclarity/internal/gpusim"
+	"energyclarity/internal/microbench"
+	"energyclarity/internal/nn"
+	"energyclarity/internal/nvml"
+	"energyclarity/internal/rapl"
+	"energyclarity/internal/trace"
+)
+
+func newStack(t *testing.T, localCap, remoteCap int) (*Host, *gpusim.GPU, *Service) {
+	t.Helper()
+	host := NewHost(DefaultHostSpec(), 3)
+	gpu := gpusim.NewGPU(gpusim.RTX4090(), 30)
+	svc, err := NewService(host, gpu, nn.Fig1CNN(), localCap, remoteCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return host, gpu, svc
+}
+
+func req(key uint64) Request {
+	// VGA-sized image: the CNN miss path dominates both cache paths.
+	return Request{Key: key, Pixels: 640 * 480, Zeros: 3e4}
+}
+
+func TestServiceOutcomes(t *testing.T) {
+	_, _, svc := newStack(t, 4, 16)
+	out, err := svc.Handle(req(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != Miss {
+		t.Fatalf("first request outcome %v, want Miss", out)
+	}
+	out, _ = svc.Handle(req(1))
+	if out != LocalHit {
+		t.Fatalf("second request outcome %v, want LocalHit", out)
+	}
+	// Push key 1 out of the local cache only.
+	for k := uint64(2); k <= 6; k++ {
+		if _, err := svc.Handle(req(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, _ = svc.Handle(req(1))
+	if out != RemoteHit {
+		t.Fatalf("outcome %v, want RemoteHit (evicted locally, kept remotely)", out)
+	}
+}
+
+func TestEnergyOrdering(t *testing.T) {
+	// LocalHit < RemoteHit < Miss in true energy.
+	cost := func(prime func(s *Service)) energy.Joules {
+		_, _, svc := newStack(t, 4, 16)
+		prime(svc)
+		before := svc.TotalEnergy()
+		if _, err := svc.Handle(req(1)); err != nil {
+			t.Fatal(err)
+		}
+		return svc.TotalEnergy() - before
+	}
+	local := cost(func(s *Service) { s.Handle(req(1)); s.Handle(req(1)) }) //nolint:errcheck
+	remote := cost(func(s *Service) {
+		s.Handle(req(1)) //nolint:errcheck
+		for k := uint64(2); k <= 6; k++ {
+			s.Handle(req(k)) //nolint:errcheck
+		}
+	})
+	miss := cost(func(s *Service) {})
+	if !(local < remote && remote < miss) {
+		t.Fatalf("energy ordering violated: local %v remote %v miss %v", local, remote, miss)
+	}
+}
+
+func TestEstimatedECVs(t *testing.T) {
+	_, _, svc := newStack(t, 8, 64)
+	if _, _, ok := svc.EstimatedECVs(); ok {
+		t.Fatal("ECVs defined with no traffic")
+	}
+	z := trace.NewZipf(256, 1.3, 5)
+	for i := 0; i < 2000; i++ {
+		if _, err := svc.Handle(req(z.Next())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pHit, pLocal, ok := svc.EstimatedECVs()
+	if !ok {
+		t.Fatal("ECVs unavailable")
+	}
+	if pHit <= 0 || pHit >= 1 || pLocal <= 0 || pLocal > 1 {
+		t.Fatalf("implausible ECV estimates: %v %v", pHit, pLocal)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	_, _, svc := newStack(t, 4, 16)
+	svc.Handle(req(1)) //nolint:errcheck
+	svc.ResetStats()
+	if r, _, _ := svc.Stats(); r != 0 {
+		t.Fatal("stats survived reset")
+	}
+}
+
+func TestServiceConstructionErrors(t *testing.T) {
+	host := NewHost(DefaultHostSpec(), 1)
+	gpu := gpusim.NewGPU(gpusim.RTX4090(), 1)
+	if _, err := NewService(nil, gpu, nn.Fig1CNN(), 1, 1); err == nil {
+		t.Fatal("nil host accepted")
+	}
+	if _, err := NewService(host, nil, nn.Fig1CNN(), 1, 1); err == nil {
+		t.Fatal("nil gpu accepted")
+	}
+	if _, err := NewService(host, gpu, nn.CNNConfig{Name: "bad"}, 1, 1); err == nil {
+		t.Fatal("bad CNN config accepted")
+	}
+}
+
+func TestHostDeviationBounded(t *testing.T) {
+	spec := DefaultHostSpec()
+	for seed := int64(0); seed < 10; seed++ {
+		h := NewHost(spec, seed)
+		if rel := math.Abs(float64(h.localPB-spec.LocalPerByte)) / float64(spec.LocalPerByte); rel > spec.Deviation+1e-9 {
+			t.Fatalf("seed %d: local deviation %v", seed, rel)
+		}
+	}
+}
+
+// TestFig1PredictionVsMeasurement is the F1 experiment in miniature:
+// estimate ECVs from a warmup window, predict the evaluation window's
+// energy with the interface, measure it with RAPL+NVML, compare.
+func TestFig1PredictionVsMeasurement(t *testing.T) {
+	host, gpu, svc := newStack(t, 64, 512)
+
+	// Calibrate the GPU's hardware interface and build the CNN interface.
+	coef, err := microbench.Calibrate(gpu, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnnIface, err := nn.CNNEnergyInterface(nn.Fig1CNN(), gpu.Spec(), coef.HardwareInterface())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	z := trace.NewZipf(2048, 1.25, 9)
+	// Warmup: fill caches, estimate ECVs.
+	for i := 0; i < 4000; i++ {
+		if _, err := svc.Handle(req(z.Next())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc.ResetStats()
+	for i := 0; i < 2000; i++ {
+		if _, err := svc.Handle(req(z.Next())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pHit, pLocal, ok := svc.EstimatedECVs()
+	if !ok {
+		t.Fatal("no ECV estimates")
+	}
+	iface, err := svc.Interface(pHit, pLocal, cnnIface)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Predict the per-request expected energy, then measure a fresh window.
+	reqVal := core.Record(map[string]core.Value{"pixels": core.Num(640 * 480), "zeros": core.Num(3e4)})
+	d, err := iface.Eval("handle", []core.Value{reqVal}, core.Expected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window = 3000
+	predicted := energy.Joules(d.Mean()) * window
+
+	raplWin := rapl.NewCounter(host, rapl.DefaultESU).NewWindow()
+	meter := nvml.NewMeter(gpu)
+	snap := meter.Snapshot()
+	for i := 0; i < window; i++ {
+		if _, err := svc.Handle(req(z.Next())); err != nil {
+			t.Fatal(err)
+		}
+		if i%100 == 0 {
+			raplWin.Poll()
+		}
+	}
+	measured := raplWin.Energy() + meter.EnergySince(snap)
+
+	rel := energy.RelativeError(predicted, measured)
+	if rel > 0.10 {
+		t.Fatalf("Fig.1 prediction error %.4f (pred %v, meas %v)", rel, predicted, measured)
+	}
+}
+
+func TestInterfaceECVValidation(t *testing.T) {
+	_, gpu, svc := newStack(t, 4, 16)
+	coef := microbench.Coefficients{Device: gpu.Spec().Name, Instr: 1e-12, L1: 1e-12, L2: 1e-12, VRAM: 1e-12, Static: 1}
+	cnnIface, err := nn.CNNEnergyInterface(nn.Fig1CNN(), gpu.Spec(), coef.HardwareInterface())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Interface(0.5, 0.5, nil); err == nil {
+		t.Fatal("nil cnn interface accepted")
+	}
+	iface, err := svc.Interface(0.5, 0.5, cnnIface)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst case is the dearest of the three paths: remote lookup or miss.
+	reqVal := core.Record(map[string]core.Value{"pixels": core.Num(1e6), "zeros": core.Num(0)})
+	wc, err := iface.Eval("handle", []core.Value{reqVal}, core.WorstCase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	missE, err := cnnIface.ExpectedJoules("forward", core.Num(1e6), core.Num(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := DefaultHostSpec()
+	remoteE := spec.PerRequest + spec.RemotePerByte*MaxResponseLen
+	want := float64(missE)
+	if float64(remoteE) > want {
+		want = float64(remoteE)
+	}
+	if math.Abs(wc.Max()-want) > 1e-9*want {
+		t.Fatalf("worst case %v, want %v", wc.Max(), want)
+	}
+}
+
+// TestFig1EILCompiles ensures the paper-verbatim EIL source compiles
+// against a CNN hardware interface and produces the expected branch
+// structure.
+func TestFig1EILCompiles(t *testing.T) {
+	cnn := core.New("cnn_forward").MustMethod(core.Method{
+		Name: "forward", Params: []string{"pixels", "zeros"},
+		Body: func(c *core.Call) energy.Joules {
+			return energy.Joules(c.Num(0)-c.Num(1)) * energy.Microjoule
+		},
+	})
+	m, err := eil.Compile(Fig1EIL, map[string]*core.Interface{"cnn_forward": cnn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface := m["ml_webservice"]
+	reqVal := core.Record(map[string]core.Value{
+		"image": core.Num(1), "pixels": core.Num(1000), "zeros": core.Num(100),
+	})
+	d, err := iface.Eval("handle", []core.Value{reqVal}, core.Expected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.3*(0.8*5.12mJ + 0.2*102.4mJ) + 0.7*(900 µJ)
+	want := 0.3*(0.8*0.005e-3*1024+0.2*0.1e-3*1024) + 0.7*900e-6
+	if math.Abs(d.Mean()-want) > 1e-9 {
+		t.Fatalf("EIL Fig.1 mean %v, want %v", d.Mean(), want)
+	}
+}
+
+func TestHostDeviationBoundedForHostileSeeds(t *testing.T) {
+	spec := DefaultHostSpec()
+	for _, seed := range []int64{-1, -999, 1 << 40, -(1 << 50), 0} {
+		h := NewHost(spec, seed)
+		for name, got := range map[string]float64{
+			"local":  float64(h.localPB) / float64(spec.LocalPerByte),
+			"remote": float64(h.remotePB) / float64(spec.RemotePerByte),
+			"perReq": float64(h.perReq) / float64(spec.PerRequest),
+		} {
+			if got < 1-spec.Deviation-1e-9 || got > 1+spec.Deviation+1e-9 {
+				t.Errorf("seed %d: %s deviation ratio %v escapes ±%v",
+					seed, name, got, spec.Deviation)
+			}
+		}
+	}
+}

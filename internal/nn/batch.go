@@ -1,0 +1,181 @@
+package nn
+
+import (
+	"fmt"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/energy"
+	"energyclarity/internal/gpusim"
+)
+
+// Batched inference: serving batch size is the single biggest energy knob
+// for LLM decode, because the model weights are streamed from VRAM once
+// per *step*, not once per sequence — batching amortizes that traffic over
+// B tokens. The kernel model makes this emergent rather than assumed: a
+// batched matmul's reuse factor grows with B, so the cache model routes
+// less traffic to VRAM per token. The energy interface exposes the knob,
+// so a serving resource manager can pick a batch size against an energy or
+// latency budget before running anything (E10).
+
+// PrefillKernelsBatch returns the kernels to prefill `batch` sequences of
+// promptLen tokens each. Weight-bearing matmuls share weights across the
+// batch (M = batch·promptLen); attention is per-sequence and scales with
+// batch.
+func (c TransformerConfig) PrefillKernelsBatch(promptLen, batch int) []gpusim.Kernel {
+	p := float64(promptLen)
+	b := float64(batch)
+	d := float64(c.DModel)
+	ff := float64(c.FFMult) * d
+	bpp := float64(c.BytesPerParam)
+	var ks []gpusim.Kernel
+	ks = append(ks, elemKernel("embed", b*p*d, bpp))
+	for l := 0; l < c.Layers; l++ {
+		pre := fmt.Sprintf("L%02d.", l)
+		ks = append(ks,
+			elemKernel(pre+"ln1", b*p*d, bpp),
+			matKernel(pre+"qkv", b*p, d, 3*d, bpp),
+			scaleKernel(matKernel(pre+"attn.qk", p, d, p/2+1, bpp), b),
+			scaleKernel(matKernel(pre+"attn.av", p, p/2+1, d, bpp), b),
+			matKernel(pre+"attn.proj", b*p, d, d, bpp),
+			elemKernel(pre+"ln2", b*p*d, bpp),
+			matKernel(pre+"mlp.fc", b*p, d, ff, bpp),
+			matKernel(pre+"mlp.proj", b*p, ff, d, bpp),
+		)
+	}
+	return ks
+}
+
+// DecodeKernelsBatch returns the kernels for one decode step of `batch`
+// concurrent sequences, each with pos tokens of KV cache.
+func (c TransformerConfig) DecodeKernelsBatch(pos, batch int) []gpusim.Kernel {
+	ctx := float64(pos + 1)
+	b := float64(batch)
+	d := float64(c.DModel)
+	ff := float64(c.FFMult) * d
+	bpp := float64(c.BytesPerParam)
+	var ks []gpusim.Kernel
+	ks = append(ks, elemKernel("embed", b*d, bpp))
+	for l := 0; l < c.Layers; l++ {
+		pre := fmt.Sprintf("L%02d.", l)
+		ks = append(ks,
+			elemKernel(pre+"ln1", b*d, bpp),
+			// Weight matmuls: M = batch, weights shared.
+			matKernel(pre+"qkv", b, d, 3*d, bpp),
+			// Attention: each sequence streams its own KV cache.
+			scaleKernel(matKernel(pre+"attn.qk", 1, d, ctx, bpp), b),
+			scaleKernel(matKernel(pre+"attn.av", 1, ctx, d, bpp), b),
+			matKernel(pre+"attn.proj", b, d, d, bpp),
+			elemKernel(pre+"ln2", b*d, bpp),
+			matKernel(pre+"mlp.fc", b, d, ff, bpp),
+			matKernel(pre+"mlp.proj", b, ff, d, bpp),
+		)
+	}
+	ks = append(ks,
+		elemKernel("lnf", b*d, bpp),
+		matKernel("lm_head", b, d, float64(c.Vocab), bpp),
+	)
+	return ks
+}
+
+// scaleKernel multiplies all of a kernel's counts by n: n independent
+// instances with disjoint working sets fused into one launch.
+func scaleKernel(k gpusim.Kernel, n float64) gpusim.Kernel {
+	k.Instructions *= n
+	k.L1Accesses *= n
+	k.WorkingSet *= n
+	return k
+}
+
+// GenerateBatch runs batched prefill plus newTokens batched decode steps on
+// the engine's GPU, returning ground-truth stats (all sequences share the
+// prompt length and generation length — a homogeneous serving batch).
+func (e *Engine) GenerateBatch(batch, promptLen, newTokens int) (GenStats, error) {
+	if batch < 1 {
+		return GenStats{}, fmt.Errorf("nn: batch %d < 1", batch)
+	}
+	if promptLen < 1 || newTokens < 0 || promptLen+newTokens > e.cfg.MaxSeq {
+		return GenStats{}, fmt.Errorf("nn: bad sequence shape %d+%d", promptLen, newTokens)
+	}
+	st := GenStats{PromptLen: promptLen, NewTokens: newTokens * batch}
+	launch := func(ks []gpusim.Kernel) {
+		for _, k := range ks {
+			s := e.gpu.Launch(k)
+			st.Kernels++
+			st.Duration += s.Duration
+			st.TrueEnergy += s.Energy()
+		}
+	}
+	launch(e.cfg.PrefillKernelsBatch(promptLen, batch))
+	for t := 0; t < newTokens; t++ {
+		launch(e.cfg.DecodeKernelsBatch(promptLen+t, batch))
+	}
+	return st, nil
+}
+
+// AddBatchMethods extends a stack interface built by StackInterface with
+// batched prediction methods:
+//
+//	prefill_batch(prompt_len, batch)
+//	decode_batch(pos, batch)
+//	generate_batch(batch, prompt_len, new_tokens)
+//
+// They compose through the same bound device interface ("hw"), so they
+// survive rebinding like everything else.
+func AddBatchMethods(iface *core.Interface, cfg TransformerConfig) error {
+	if iface == nil || iface.Binding("hw") == nil {
+		return fmt.Errorf("nn: interface missing 'hw' binding")
+	}
+	if iface.Binding("hw").Method("kernel_logical") == nil {
+		return fmt.Errorf("nn: device interface lacks 'kernel_logical'")
+	}
+	kernelsEnergy := func(c *core.Call, ks []gpusim.Kernel) energy.Joules {
+		var total energy.Joules
+		for _, k := range ks {
+			total += c.E("hw", "kernel_logical",
+				core.Num(k.Instructions), core.Num(k.L1Accesses),
+				core.Num(k.WorkingSet), core.Num(k.Reuse))
+		}
+		return total
+	}
+	intArg := func(c *core.Call, i int, name string, min int) int {
+		n := c.Num(i)
+		if n < float64(min) || n != float64(int(n)) {
+			core.Fail(fmt.Errorf("nn: %s must be an integer >= %d, got %v", name, min, n))
+		}
+		return int(n)
+	}
+	if err := iface.AddMethod(core.Method{
+		Name: "prefill_batch", Params: []string{"prompt_len", "batch"},
+		Doc: "energy to prefill a homogeneous batch of prompts",
+		Body: func(c *core.Call) energy.Joules {
+			return kernelsEnergy(c, cfg.PrefillKernelsBatch(
+				intArg(c, 0, "prompt_len", 1), intArg(c, 1, "batch", 1)))
+		},
+	}); err != nil {
+		return err
+	}
+	if err := iface.AddMethod(core.Method{
+		Name: "decode_batch", Params: []string{"pos", "batch"},
+		Doc: "energy of one batched decode step",
+		Body: func(c *core.Call) energy.Joules {
+			return kernelsEnergy(c, cfg.DecodeKernelsBatch(
+				intArg(c, 0, "pos", 0), intArg(c, 1, "batch", 1)))
+		},
+	}); err != nil {
+		return err
+	}
+	return iface.AddMethod(core.Method{
+		Name: "generate_batch", Params: []string{"batch", "prompt_len", "new_tokens"},
+		Doc: "energy of a full batched inference",
+		Body: func(c *core.Call) energy.Joules {
+			batch := intArg(c, 0, "batch", 1)
+			promptLen := intArg(c, 1, "prompt_len", 1)
+			newTokens := intArg(c, 2, "new_tokens", 0)
+			total := c.Self("prefill_batch", core.Num(float64(promptLen)), core.Num(float64(batch)))
+			for t := 0; t < newTokens; t++ {
+				total += c.Self("decode_batch", core.Num(float64(promptLen+t)), core.Num(float64(batch)))
+			}
+			return total
+		},
+	})
+}

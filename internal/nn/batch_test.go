@@ -1,0 +1,199 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/energy"
+	"energyclarity/internal/gpusim"
+	"energyclarity/internal/microbench"
+	"energyclarity/internal/nvml"
+)
+
+func TestBatchOneMatchesUnbatched(t *testing.T) {
+	cfg := GPT2Small()
+	a := cfg.DecodeKernels(32)
+	b := cfg.DecodeKernelsBatch(32, 1)
+	if len(a) != len(b) {
+		t.Fatalf("kernel counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("kernel %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	p1 := cfg.PrefillKernels(16)
+	p2 := cfg.PrefillKernelsBatch(16, 1)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("prefill kernel %d differs", i)
+		}
+	}
+}
+
+func TestBatchingAmortizesWeightTraffic(t *testing.T) {
+	cfg := GPT2Small()
+	spec := gpusim.RTX4090()
+	vramPerToken := func(batch int) float64 {
+		total := 0.0
+		for _, k := range cfg.DecodeKernelsBatch(64, batch) {
+			total += spec.SpecTraffic(k).VRAMSectors
+		}
+		return total / float64(batch)
+	}
+	b1, b8, b32 := vramPerToken(1), vramPerToken(8), vramPerToken(32)
+	if !(b8 < b1 && b32 < b8) {
+		t.Fatalf("VRAM/token not amortizing: %g %g %g", b1, b8, b32)
+	}
+	if b1/b8 < 2 {
+		t.Fatalf("batch 8 should cut VRAM/token by >2x, got %.2fx", b1/b8)
+	}
+}
+
+func TestGenerateBatchValidation(t *testing.T) {
+	g := gpusim.NewGPU(gpusim.RTX4090(), 1)
+	e, err := NewEngine(GPT2Small(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.GenerateBatch(0, 16, 10); err == nil {
+		t.Fatal("batch 0 accepted")
+	}
+	if _, err := e.GenerateBatch(2, 0, 10); err == nil {
+		t.Fatal("zero prompt accepted")
+	}
+	if _, err := e.GenerateBatch(2, 1000, 100); err == nil {
+		t.Fatal("over-MaxSeq accepted")
+	}
+	st, err := e.GenerateBatch(4, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NewTokens != 20 {
+		t.Fatalf("NewTokens = %d, want 20", st.NewTokens)
+	}
+}
+
+func TestBatchInterfacePredictsMeasurement(t *testing.T) {
+	spec := gpusim.RTX4090()
+	g := gpusim.NewGPU(spec, 30)
+	coef, err := microbench.Calibrate(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface, err := StackInterface(GPT2Small(), coef.DeviceInterface(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AddBatchMethods(iface, GPT2Small()); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(GPT2Small(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := nvml.NewMeter(g)
+	for _, batch := range []int{1, 8} {
+		pred, err := iface.ExpectedJoules("generate_batch",
+			core.Num(float64(batch)), core.Num(16), core.Num(30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Idle(1.0)
+		snap := meter.Snapshot()
+		if _, err := eng.GenerateBatch(batch, 16, 30); err != nil {
+			t.Fatal(err)
+		}
+		meas := meter.EnergySince(snap)
+		if rel := energy.RelativeError(pred, meas); rel > 0.02 {
+			t.Fatalf("batch %d: prediction error %.4f", batch, rel)
+		}
+	}
+}
+
+func TestEnergyPerTokenDropsWithBatch(t *testing.T) {
+	spec := gpusim.RTX4090()
+	coef := microbench.Coefficients{Device: spec.Name, Instr: spec.NomInstrEnergy,
+		L1: spec.NomL1Energy, L2: spec.NomL2Energy, VRAM: spec.NomVRAMEnergy,
+		Static: spec.NomStaticPower}
+	iface, err := StackInterface(GPT2Small(), coef.DeviceInterface(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AddBatchMethods(iface, GPT2Small()); err != nil {
+		t.Fatal(err)
+	}
+	perToken := func(batch int) float64 {
+		j, err := iface.ExpectedJoules("generate_batch",
+			core.Num(float64(batch)), core.Num(16), core.Num(50))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(j) / float64(batch*50)
+	}
+	e1, e8 := perToken(1), perToken(8)
+	if e8 >= e1 {
+		t.Fatalf("batching did not reduce J/token: %v -> %v", e1, e8)
+	}
+	if e1/e8 < 2 {
+		t.Fatalf("batch 8 should cut J/token by >2x, got %.2fx", e1/e8)
+	}
+	// Diminishing returns: 8→32 improves less than 1→8 (relatively).
+	e32 := perToken(32)
+	if !(e32 < e8) {
+		t.Fatalf("J/token not monotone: %v -> %v", e8, e32)
+	}
+	if (e8 / e32) >= (e1 / e8) {
+		t.Fatalf("no diminishing returns: 1→8 %.2fx, 8→32 %.2fx", e1/e8, e8/e32)
+	}
+}
+
+func TestAddBatchMethodsValidation(t *testing.T) {
+	if err := AddBatchMethods(nil, GPT2Small()); err == nil {
+		t.Fatal("nil interface accepted")
+	}
+	// Interface without hw binding.
+	if err := AddBatchMethods(core.New("x"), GPT2Small()); err == nil {
+		t.Fatal("missing hw binding accepted")
+	}
+	// hw without kernel_logical.
+	plain := core.New("x")
+	plain.MustBind("hw", core.New("hw").MustMethod(core.Method{
+		Name: "kernel", Body: func(c *core.Call) energy.Joules { return 0 }}))
+	if err := AddBatchMethods(plain, GPT2Small()); err == nil {
+		t.Fatal("hw without kernel_logical accepted")
+	}
+	// Argument validation at evaluation time.
+	spec := gpusim.RTX4090()
+	coef := microbench.Coefficients{Device: "X", Instr: 1, L1: 1, L2: 1, VRAM: 1, Static: 1}
+	iface, err := StackInterface(GPT2Small(), coef.DeviceInterface(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := AddBatchMethods(iface, GPT2Small()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := iface.ExpectedJoules("generate_batch",
+		core.Num(0), core.Num(16), core.Num(5)); err == nil {
+		t.Fatal("batch 0 accepted at eval")
+	}
+	if _, err := iface.ExpectedJoules("generate_batch",
+		core.Num(1.5), core.Num(16), core.Num(5)); err == nil {
+		t.Fatal("fractional batch accepted at eval")
+	}
+}
+
+func TestScaleKernel(t *testing.T) {
+	k := gpusim.Kernel{Instructions: 2, L1Accesses: 4, WorkingSet: 8, Reuse: 3}
+	s := scaleKernel(k, 5)
+	if s.Instructions != 10 || s.L1Accesses != 20 || s.WorkingSet != 40 {
+		t.Fatalf("scaleKernel wrong: %+v", s)
+	}
+	if s.Reuse != 3 {
+		t.Fatal("scaleKernel must not change reuse (disjoint working sets)")
+	}
+	if math.IsNaN(s.Reuse) {
+		t.Fatal("NaN reuse")
+	}
+}

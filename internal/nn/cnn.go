@@ -1,0 +1,151 @@
+package nn
+
+import (
+	"fmt"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/energy"
+	"energyclarity/internal/gpusim"
+)
+
+// CNNConfig describes the Fig. 1 object-recognition CNN: a stack of
+// convolutions over the image followed by an MLP head over an embedding.
+// Convolution work scales with the number of non-zero input elements — the
+// zeros-skipping optimization the paper cites ([33, 63]) and Fig. 1's
+// interface makes visible (image.count(0)).
+type CNNConfig struct {
+	Name          string
+	ConvLayers    int // Fig. 1: 8
+	Channels      int // feature channels per conv layer
+	KernelSize    int // conv kernel side
+	Embedding     int // Fig. 1: 256
+	MLPLayers     int // Fig. 1: 16
+	BytesPerParam int
+}
+
+// Fig1CNN returns the CNN with Fig. 1's structure: 8 convolutions, 8 ReLUs,
+// a 256-wide embedding, and 16 MLP layers.
+func Fig1CNN() CNNConfig {
+	return CNNConfig{
+		Name:          "fig1_cnn",
+		ConvLayers:    8,
+		Channels:      32,
+		KernelSize:    3,
+		Embedding:     256,
+		MLPLayers:     16,
+		BytesPerParam: 2,
+	}
+}
+
+// Validate reports configuration errors.
+func (c CNNConfig) Validate() error {
+	if c.ConvLayers <= 0 || c.Channels <= 0 || c.KernelSize <= 0 ||
+		c.Embedding <= 0 || c.MLPLayers <= 0 || c.BytesPerParam <= 0 {
+		return fmt.Errorf("nn: %s: non-positive dimensions", c.Name)
+	}
+	return nil
+}
+
+// ForwardKernels returns the kernel sequence for one forward pass over an
+// image with `pixels` elements of which `zeros` are zero (skipped by the
+// sparse convolution kernels).
+func (c CNNConfig) ForwardKernels(pixels, zeros float64) []gpusim.Kernel {
+	if zeros < 0 {
+		zeros = 0
+	}
+	if zeros > pixels {
+		zeros = pixels
+	}
+	eff := pixels - zeros
+	ch := float64(c.Channels)
+	kk := float64(c.KernelSize * c.KernelSize)
+	emb := float64(c.Embedding)
+	bpp := float64(c.BytesPerParam)
+
+	var ks []gpusim.Kernel
+	for l := 0; l < c.ConvLayers; l++ {
+		pre := fmt.Sprintf("conv%02d", l)
+		// im2col matmul over the non-zero positions: M=eff, K=ch*k², N=ch.
+		ks = append(ks,
+			matKernel(pre, eff, ch*kk, ch, bpp),
+			elemKernel(pre+".relu", eff*ch, bpp),
+		)
+	}
+	// Global pooling into the embedding, then the MLP head.
+	ks = append(ks, elemKernel("pool", eff*ch, bpp))
+	for l := 0; l < c.MLPLayers; l++ {
+		ks = append(ks, matKernel(fmt.Sprintf("mlp%02d", l), 1, emb, emb, bpp))
+	}
+	return ks
+}
+
+// CNNEngine runs the CNN on a GPU.
+type CNNEngine struct {
+	cfg CNNConfig
+	gpu *gpusim.GPU
+}
+
+// NewCNNEngine returns an engine for cfg on gpu.
+func NewCNNEngine(cfg CNNConfig, gpu *gpusim.GPU) (*CNNEngine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if gpu == nil {
+		return nil, fmt.Errorf("nn: nil GPU")
+	}
+	return &CNNEngine{cfg: cfg, gpu: gpu}, nil
+}
+
+// Forward runs one forward pass and returns its ground-truth energy and
+// duration.
+func (e *CNNEngine) Forward(pixels, zeros float64) (energy.Joules, float64, error) {
+	if pixels < 0 {
+		return 0, 0, fmt.Errorf("nn: negative pixel count")
+	}
+	var total energy.Joules
+	var dur float64
+	for _, k := range e.cfg.ForwardKernels(pixels, zeros) {
+		st := e.gpu.Launch(k)
+		total += st.Energy()
+		dur += st.Duration
+	}
+	return total, dur, nil
+}
+
+// CNNEnergyInterface builds the CNN's energy interface on a device: method
+// forward(pixels, zeros) composed through the calibrated hardware interface
+// hw (bound as "hw"). It is the E_cnn_forward of Fig. 1, priced through the
+// Fig. 2 stack.
+func CNNEnergyInterface(cfg CNNConfig, spec gpusim.Spec, hw *core.Interface) (*core.Interface, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if hw == nil || hw.Method("kernel") == nil {
+		return nil, fmt.Errorf("nn: hardware interface missing or lacks 'kernel'")
+	}
+	iface := core.New(cfg.Name + "_on_" + spec.Name)
+	iface.SetDoc(fmt.Sprintf("energy interface for %s forward pass on %s", cfg.Name, spec.Name))
+	if err := iface.Bind("hw", hw); err != nil {
+		return nil, err
+	}
+	iface.MustMethod(core.Method{
+		Name: "forward", Params: []string{"pixels", "zeros"},
+		Doc: "energy of one forward pass; zero-valued inputs are skipped",
+		Body: func(c *core.Call) energy.Joules {
+			pixels, zeros := c.Num(0), c.Num(1)
+			if pixels < 0 {
+				core.Fail(fmt.Errorf("nn: negative pixel count"))
+			}
+			var total energy.Joules
+			for _, k := range cfg.ForwardKernels(pixels, zeros) {
+				tr := spec.SpecTraffic(k)
+				dur := spec.SpecDuration(k, tr)
+				total += c.E("hw", "kernel",
+					core.Num(k.Instructions), core.Num(tr.L1Wavefronts),
+					core.Num(tr.L2Sectors), core.Num(tr.VRAMSectors), core.Num(dur))
+			}
+			return total
+		},
+	})
+	return iface, nil
+}

@@ -1,0 +1,182 @@
+// Package nn implements neural-network inference on top of the simulated
+// GPU: a GPT-2-class decoder-only transformer (the paper's §5 workload) and
+// a small CNN (the paper's Fig. 1 workload). Models execute kernel by
+// kernel on a gpusim.GPU, so their energy is ground truth measured through
+// the device's sensor; their energy *interfaces* are built from the same
+// architectural kernel decomposition plus calibrated hardware coefficients.
+//
+// Weights are deterministic pseudo-random: the kernels' energy depends on
+// tensor shapes and memory traffic, never on weight values, so this
+// exercises the identical code path as real weights would (DESIGN.md §1).
+package nn
+
+import (
+	"fmt"
+
+	"energyclarity/internal/gpusim"
+)
+
+// TransformerConfig describes a decoder-only transformer.
+type TransformerConfig struct {
+	Name          string
+	Layers        int
+	DModel        int
+	Heads         int
+	FFMult        int // feed-forward width multiplier (4 for GPT-2)
+	Vocab         int
+	MaxSeq        int
+	BytesPerParam int // 2 for fp16
+}
+
+// GPT2Small returns the 124M-parameter GPT-2 configuration the paper's
+// evaluation uses.
+func GPT2Small() TransformerConfig {
+	return TransformerConfig{
+		Name:          "gpt2",
+		Layers:        12,
+		DModel:        768,
+		Heads:         12,
+		FFMult:        4,
+		Vocab:         50257,
+		MaxSeq:        1024,
+		BytesPerParam: 2,
+	}
+}
+
+// Validate reports configuration errors.
+func (c TransformerConfig) Validate() error {
+	switch {
+	case c.Layers <= 0 || c.DModel <= 0 || c.Heads <= 0 || c.FFMult <= 0:
+		return fmt.Errorf("nn: %s: non-positive dimensions", c.Name)
+	case c.DModel%c.Heads != 0:
+		return fmt.Errorf("nn: %s: DModel %d not divisible by Heads %d", c.Name, c.DModel, c.Heads)
+	case c.Vocab <= 0 || c.MaxSeq <= 0:
+		return fmt.Errorf("nn: %s: non-positive vocab/maxseq", c.Name)
+	case c.BytesPerParam <= 0:
+		return fmt.Errorf("nn: %s: non-positive bytes per param", c.Name)
+	}
+	return nil
+}
+
+// Params returns the total parameter count (weights only, tied embedding).
+func (c TransformerConfig) Params() float64 {
+	d := float64(c.DModel)
+	perLayer := 3*d*d + d*d + 2*float64(c.FFMult)*d*d // qkv + proj + mlp
+	return float64(c.Layers)*perLayer + float64(c.Vocab)*d
+}
+
+// GPU execution constants: a warp instruction performs one FMA across 32
+// lanes (64 flops); register tiling amortizes operand fetches so roughly
+// one wavefront-sized L1 access is issued per two warp instructions.
+const (
+	flopsPerInstr  = 64
+	operandsFactor = 0.5
+)
+
+// matKernel builds the kernel for a (M×K)·(K×N) matmul: instruction count
+// from flops, L1 traffic from operand fetches floored at one pass over the
+// operands, working set from the tensors touched.
+func matKernel(name string, m, k, n, bpp float64) gpusim.Kernel {
+	flops := 2 * m * k * n
+	instr := flops / flopsPerInstr
+	ws := bpp * (k*n + m*k + m*n)
+	acc := instr * operandsFactor
+	if minAcc := ws / gpusim.WavefrontBytes; acc < minAcc {
+		acc = minAcc // every byte must be fetched at least once
+	}
+	reuse := acc * gpusim.WavefrontBytes / ws
+	if reuse < 1 {
+		reuse = 1
+	}
+	return gpusim.Kernel{
+		Name:         name,
+		Instructions: instr,
+		L1Accesses:   acc,
+		WorkingSet:   ws,
+		Reuse:        reuse,
+	}
+}
+
+// elemKernel builds an elementwise kernel over n activations (layernorm,
+// residual add, GELU): ~4 instructions per element, streaming traffic.
+func elemKernel(name string, n, bpp float64) gpusim.Kernel {
+	instr := 4 * n / 32 // 4 ops per element, 32 lanes per warp instruction
+	ws := 2 * n * bpp   // read + write
+	acc := ws / gpusim.WavefrontBytes
+	return gpusim.Kernel{
+		Name:         name,
+		Instructions: instr,
+		L1Accesses:   acc,
+		WorkingSet:   ws,
+		Reuse:        1,
+	}
+}
+
+// PrefillKernels returns the kernel sequence that processes a prompt of
+// promptLen tokens (building the KV cache).
+func (c TransformerConfig) PrefillKernels(promptLen int) []gpusim.Kernel {
+	p := float64(promptLen)
+	d := float64(c.DModel)
+	ff := float64(c.FFMult) * d
+	bpp := float64(c.BytesPerParam)
+	var ks []gpusim.Kernel
+	ks = append(ks, elemKernel("embed", p*d, bpp))
+	for l := 0; l < c.Layers; l++ {
+		pre := fmt.Sprintf("L%02d.", l)
+		ks = append(ks,
+			elemKernel(pre+"ln1", p*d, bpp),
+			matKernel(pre+"qkv", p, d, 3*d, bpp),
+			// Self-attention over the prompt: QK^T and AV, causally masked
+			// (half the square), per head folded into the shapes.
+			matKernel(pre+"attn.qk", p, d, p/2+1, bpp),
+			matKernel(pre+"attn.av", p, p/2+1, d, bpp),
+			matKernel(pre+"attn.proj", p, d, d, bpp),
+			elemKernel(pre+"ln2", p*d, bpp),
+			matKernel(pre+"mlp.fc", p, d, ff, bpp),
+			matKernel(pre+"mlp.proj", p, ff, d, bpp),
+		)
+	}
+	return ks
+}
+
+// DecodeKernels returns the kernel sequence for one autoregressive step
+// with pos tokens already in the KV cache (the new token attends to pos+1
+// positions).
+func (c TransformerConfig) DecodeKernels(pos int) []gpusim.Kernel {
+	ctx := float64(pos + 1)
+	d := float64(c.DModel)
+	ff := float64(c.FFMult) * d
+	bpp := float64(c.BytesPerParam)
+	var ks []gpusim.Kernel
+	ks = append(ks, elemKernel("embed", d, bpp))
+	for l := 0; l < c.Layers; l++ {
+		pre := fmt.Sprintf("L%02d.", l)
+		ks = append(ks,
+			elemKernel(pre+"ln1", d, bpp),
+			matKernel(pre+"qkv", 1, d, 3*d, bpp),
+			// Attention against the KV cache: streams ctx keys and values.
+			matKernel(pre+"attn.qk", 1, d, ctx, bpp),
+			matKernel(pre+"attn.av", 1, ctx, d, bpp),
+			matKernel(pre+"attn.proj", 1, d, d, bpp),
+			elemKernel(pre+"ln2", d, bpp),
+			matKernel(pre+"mlp.fc", 1, d, ff, bpp),
+			matKernel(pre+"mlp.proj", 1, ff, d, bpp),
+		)
+	}
+	// Final layernorm and LM head over the vocabulary.
+	ks = append(ks,
+		elemKernel("lnf", d, bpp),
+		matKernel("lm_head", 1, d, float64(c.Vocab), bpp),
+	)
+	return ks
+}
+
+// GenerateKernels returns the full kernel sequence for prefill plus
+// newTokens autoregressive steps.
+func (c TransformerConfig) GenerateKernels(promptLen, newTokens int) []gpusim.Kernel {
+	ks := c.PrefillKernels(promptLen)
+	for t := 0; t < newTokens; t++ {
+		ks = append(ks, c.DecodeKernels(promptLen+t)...)
+	}
+	return ks
+}

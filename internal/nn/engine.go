@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"fmt"
+
+	"energyclarity/internal/energy"
+	"energyclarity/internal/gpusim"
+)
+
+// Engine executes a transformer on a GPU. It is "the implementation" whose
+// energy the interface abstracts: launching its kernels consumes real
+// (simulated) energy observable only through the device's sensor.
+type Engine struct {
+	cfg TransformerConfig
+	gpu *gpusim.GPU
+}
+
+// NewEngine returns an engine for cfg on gpu. It returns an error for
+// invalid configurations.
+func NewEngine(cfg TransformerConfig, gpu *gpusim.GPU) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if gpu == nil {
+		return nil, fmt.Errorf("nn: nil GPU")
+	}
+	return &Engine{cfg: cfg, gpu: gpu}, nil
+}
+
+// Config returns the engine's model configuration.
+func (e *Engine) Config() TransformerConfig { return e.cfg }
+
+// GenStats summarizes one generation run as ground truth (from the
+// simulator, not the sensor).
+type GenStats struct {
+	PromptLen  int
+	NewTokens  int
+	Kernels    int
+	Duration   float64 // seconds of device time
+	TrueEnergy energy.Joules
+}
+
+// Generate runs prefill over promptLen tokens then newTokens autoregressive
+// decode steps. It returns ground-truth stats; callers wanting *measured*
+// energy wrap the call with an nvml meter window, as the paper's evaluation
+// does.
+func (e *Engine) Generate(promptLen, newTokens int) (GenStats, error) {
+	if promptLen < 1 {
+		return GenStats{}, fmt.Errorf("nn: promptLen %d < 1", promptLen)
+	}
+	if newTokens < 0 {
+		return GenStats{}, fmt.Errorf("nn: newTokens %d < 0", newTokens)
+	}
+	if promptLen+newTokens > e.cfg.MaxSeq {
+		return GenStats{}, fmt.Errorf("nn: sequence %d exceeds MaxSeq %d",
+			promptLen+newTokens, e.cfg.MaxSeq)
+	}
+	st := GenStats{PromptLen: promptLen, NewTokens: newTokens}
+	for _, k := range e.cfg.GenerateKernels(promptLen, newTokens) {
+		ks := e.gpu.Launch(k)
+		st.Kernels++
+		st.Duration += ks.Duration
+		st.TrueEnergy += ks.Energy()
+	}
+	return st, nil
+}

@@ -1,0 +1,436 @@
+package nn
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/energy"
+	"energyclarity/internal/gpusim"
+	"energyclarity/internal/microbench"
+	"energyclarity/internal/nvml"
+)
+
+func TestGPT2ConfigSane(t *testing.T) {
+	cfg := GPT2Small()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// GPT-2 small is ~124M parameters; the architectural formula should be
+	// within 10% (we ignore biases and layernorm gains).
+	if p := cfg.Params(); p < 110e6 || p > 140e6 {
+		t.Fatalf("GPT-2 params = %g, want ≈124M", p)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []TransformerConfig{
+		{Name: "a", Layers: 0, DModel: 8, Heads: 2, FFMult: 4, Vocab: 10, MaxSeq: 8, BytesPerParam: 2},
+		{Name: "b", Layers: 1, DModel: 7, Heads: 2, FFMult: 4, Vocab: 10, MaxSeq: 8, BytesPerParam: 2},
+		{Name: "c", Layers: 1, DModel: 8, Heads: 2, FFMult: 4, Vocab: 0, MaxSeq: 8, BytesPerParam: 2},
+		{Name: "d", Layers: 1, DModel: 8, Heads: 2, FFMult: 4, Vocab: 10, MaxSeq: 8, BytesPerParam: 0},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %s accepted", c.Name)
+		}
+	}
+}
+
+func TestKernelSequences(t *testing.T) {
+	cfg := GPT2Small()
+	pre := cfg.PrefillKernels(16)
+	// embed + 12 layers × 8 kernels.
+	if want := 1 + cfg.Layers*8; len(pre) != want {
+		t.Fatalf("prefill kernels = %d, want %d", len(pre), want)
+	}
+	dec := cfg.DecodeKernels(16)
+	// embed + 12×8 + lnf + lm_head.
+	if want := 1 + cfg.Layers*8 + 2; len(dec) != want {
+		t.Fatalf("decode kernels = %d, want %d", len(dec), want)
+	}
+	gen := cfg.GenerateKernels(16, 10)
+	if want := len(pre) + 10*len(dec); len(gen) != want {
+		t.Fatalf("generate kernels = %d, want %d", len(gen), want)
+	}
+	for _, k := range gen {
+		if k.Instructions < 0 || k.L1Accesses < 0 || k.WorkingSet < 0 || k.Reuse < 1 {
+			t.Fatalf("malformed kernel %+v", k)
+		}
+	}
+}
+
+func TestDecodeCostGrowsWithContext(t *testing.T) {
+	cfg := GPT2Small()
+	sum := func(pos int) (instr, ws float64) {
+		for _, k := range cfg.DecodeKernels(pos) {
+			instr += k.Instructions
+			ws += k.WorkingSet
+		}
+		return
+	}
+	i10, w10 := sum(10)
+	i500, w500 := sum(500)
+	if i500 <= i10 || w500 <= w10 {
+		t.Fatalf("decode cost not growing with KV length: instr %g->%g ws %g->%g",
+			i10, i500, w10, w500)
+	}
+}
+
+func TestMatKernelOperandFloor(t *testing.T) {
+	// A matvec is memory-bound: accesses must cover at least the operands.
+	k := matKernel("mv", 1, 768, 50257, 2)
+	if k.L1Accesses*gpusim.WavefrontBytes < k.WorkingSet {
+		t.Fatalf("matvec accesses (%g B) below working set (%g B)",
+			k.L1Accesses*gpusim.WavefrontBytes, k.WorkingSet)
+	}
+	// A large square matmul is compute-bound: accesses dominated by the
+	// operand-factor term.
+	k2 := matKernel("mm", 2048, 2048, 2048, 2)
+	if k2.L1Accesses <= k2.WorkingSet/gpusim.WavefrontBytes {
+		t.Fatal("large matmul should exceed the one-pass floor")
+	}
+	if k2.Reuse <= 1 {
+		t.Fatal("large matmul must have reuse > 1")
+	}
+}
+
+func TestEngineGenerate(t *testing.T) {
+	g := gpusim.NewGPU(gpusim.RTX4090(), 5)
+	e, err := NewEngine(GPT2Small(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.Generate(16, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kernels != len(GPT2Small().GenerateKernels(16, 10)) {
+		t.Fatalf("kernel count %d", st.Kernels)
+	}
+	if st.TrueEnergy <= 0 || st.Duration <= 0 {
+		t.Fatalf("degenerate stats %+v", st)
+	}
+	if g.TrueEnergyForTest() != st.TrueEnergy {
+		t.Fatal("engine stats disagree with device accumulator")
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	g := gpusim.NewGPU(gpusim.RTX4090(), 5)
+	if _, err := NewEngine(TransformerConfig{Name: "bad"}, g); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := NewEngine(GPT2Small(), nil); err == nil {
+		t.Fatal("nil GPU accepted")
+	}
+	e, _ := NewEngine(GPT2Small(), g)
+	if _, err := e.Generate(0, 5); err == nil {
+		t.Fatal("zero prompt accepted")
+	}
+	if _, err := e.Generate(5, -1); err == nil {
+		t.Fatal("negative tokens accepted")
+	}
+	if _, err := e.Generate(1000, 100); err == nil {
+		t.Fatal("over-MaxSeq accepted")
+	}
+}
+
+func TestEngineConfigAccessor(t *testing.T) {
+	g := gpusim.NewGPU(gpusim.RTX4090(), 5)
+	e, _ := NewEngine(GPT2Small(), g)
+	if e.Config().Name != "gpt2" {
+		t.Fatal("config accessor wrong")
+	}
+}
+
+// table1Pipeline runs the full §5 methodology on one device and returns the
+// relative prediction error for a 16-token prompt and the given generation
+// length.
+func table1Pipeline(t *testing.T, spec gpusim.Spec, seed int64, newTokens int) float64 {
+	t.Helper()
+	g := gpusim.NewGPU(spec, seed)
+	coef, err := microbench.Calibrate(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface, err := EnergyInterface(GPT2Small(), spec, coef.HardwareInterface())
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted, err := iface.ExpectedJoules("generate", core.Num(16), core.Num(float64(newTokens)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(GPT2Small(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := nvml.NewMeter(g)
+	measured := meter.Measure(func() {
+		if _, err := eng.Generate(16, newTokens); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return energy.RelativeError(predicted, measured)
+}
+
+func TestTable1PipelineAccuracy(t *testing.T) {
+	err4090 := table1Pipeline(t, gpusim.RTX4090(), 42, 100)
+	if err4090 > 0.03 {
+		t.Errorf("RTX4090 prediction error %.4f, want < 3%%", err4090)
+	}
+	err3070 := table1Pipeline(t, gpusim.RTX3070(), 42, 100)
+	if err3070 > 0.20 {
+		t.Errorf("RTX3070 prediction error %.4f, want < 20%%", err3070)
+	}
+	if err3070 <= err4090 {
+		t.Errorf("3070 error (%.4f) should exceed 4090 error (%.4f)", err3070, err4090)
+	}
+}
+
+func TestInterfacePredictionScalesWithTokens(t *testing.T) {
+	spec := gpusim.RTX4090()
+	g := gpusim.NewGPU(spec, 1)
+	coef, err := microbench.Calibrate(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iface, err := EnergyInterface(GPT2Small(), spec, coef.HardwareInterface())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev energy.Joules
+	for _, n := range []float64{10, 50, 200} {
+		j, err := iface.ExpectedJoules("generate", core.Num(16), core.Num(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j <= prev {
+			t.Fatalf("energy not increasing with tokens: %v after %v", j, prev)
+		}
+		prev = j
+	}
+}
+
+func TestInterfaceMethodErrors(t *testing.T) {
+	spec := gpusim.RTX4090()
+	coef := microbench.Coefficients{Device: spec.Name, Instr: 1e-12, L1: 1e-12, L2: 1e-12, VRAM: 1e-12, Static: 10}
+	iface, err := EnergyInterface(GPT2Small(), spec, coef.HardwareInterface())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := iface.ExpectedJoules("generate", core.Num(0), core.Num(5)); err == nil {
+		t.Fatal("prompt_len 0 accepted")
+	}
+	if _, err := iface.ExpectedJoules("generate", core.Num(1.5), core.Num(5)); err == nil {
+		t.Fatal("fractional prompt_len accepted")
+	}
+	if _, err := iface.ExpectedJoules("decode_token", core.Num(-1)); err == nil {
+		t.Fatal("negative pos accepted")
+	}
+}
+
+func TestEnergyInterfaceConstructionErrors(t *testing.T) {
+	spec := gpusim.RTX4090()
+	if _, err := EnergyInterface(TransformerConfig{Name: "bad"}, spec, core.New("hw")); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if _, err := EnergyInterface(GPT2Small(), spec, nil); err == nil {
+		t.Fatal("nil hw accepted")
+	}
+	if _, err := EnergyInterface(GPT2Small(), spec, core.New("hw")); err == nil ||
+		!strings.Contains(err.Error(), "kernel") {
+		t.Fatalf("hw without kernel method accepted: %v", err)
+	}
+}
+
+func TestGenerateDecomposesIntoPrefillPlusDecodes(t *testing.T) {
+	spec := gpusim.RTX4090()
+	coef := microbench.Coefficients{Device: spec.Name, Instr: 14e-12, L1: 28e-12, L2: 95e-12, VRAM: 480e-12, Static: 58}
+	iface, err := EnergyInterface(GPT2Small(), spec, coef.HardwareInterface())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := iface.ExpectedJoules("generate", core.Num(16), core.Num(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := iface.ExpectedJoules("prefill", core.Num(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 16; pos < 19; pos++ {
+		d, err := iface.ExpectedJoules("decode_token", core.Num(float64(pos)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += d
+	}
+	if math.Abs(float64(gen-sum)) > 1e-9*float64(gen) {
+		t.Fatalf("generate %v != prefill+decodes %v", gen, sum)
+	}
+}
+
+// --- CNN ---
+
+func TestCNNForwardAndInterfaceAgree(t *testing.T) {
+	spec := gpusim.RTX4090()
+	g := gpusim.NewGPU(spec, 8)
+	coef, err := microbench.Calibrate(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Fig1CNN()
+	iface, err := CNNEnergyInterface(cfg, spec, coef.HardwareInterface())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewCNNEngine(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := nvml.NewMeter(g)
+	pred, err := iface.ExpectedJoules("forward", core.Num(640*480), core.Num(64000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := meter.Measure(func() {
+		if _, _, err := eng.Forward(640*480, 64000); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if rel := energy.RelativeError(pred, measured); rel > 0.05 {
+		t.Fatalf("CNN prediction error %.4f", rel)
+	}
+}
+
+func TestCNNZerosReduceEnergy(t *testing.T) {
+	g := gpusim.NewGPU(gpusim.RTX4090(), 8)
+	eng, err := NewCNNEngine(Fig1CNN(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, _, err := eng.Forward(1e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, _, err := eng.Forward(1e6, 9e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse >= dense {
+		t.Fatalf("sparse forward (%v) not cheaper than dense (%v)", sparse, dense)
+	}
+}
+
+func TestCNNZeroClamping(t *testing.T) {
+	cfg := Fig1CNN()
+	// zeros > pixels and negative zeros must clamp, not blow up.
+	ks1 := cfg.ForwardKernels(100, 200)
+	ks2 := cfg.ForwardKernels(100, -5)
+	for _, ks := range [][]gpusim.Kernel{ks1, ks2} {
+		for _, k := range ks {
+			if k.Instructions < 0 || k.WorkingSet < 0 {
+				t.Fatalf("negative kernel fields: %+v", k)
+			}
+		}
+	}
+}
+
+func TestCNNErrors(t *testing.T) {
+	if _, err := NewCNNEngine(CNNConfig{Name: "bad"}, gpusim.NewGPU(gpusim.RTX4090(), 1)); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if _, err := NewCNNEngine(Fig1CNN(), nil); err == nil {
+		t.Fatal("nil GPU accepted")
+	}
+	eng, _ := NewCNNEngine(Fig1CNN(), gpusim.NewGPU(gpusim.RTX4090(), 1))
+	if _, _, err := eng.Forward(-1, 0); err == nil {
+		t.Fatal("negative pixels accepted")
+	}
+	if _, err := CNNEnergyInterface(CNNConfig{Name: "bad"}, gpusim.RTX4090(), nil); err == nil {
+		t.Fatal("bad CNN interface config accepted")
+	}
+	if _, err := CNNEnergyInterface(Fig1CNN(), gpusim.RTX4090(), core.New("hw")); err == nil {
+		t.Fatal("hw without kernel accepted")
+	}
+}
+
+func TestStackInterfaceEqualsDeviceSpecificInterface(t *testing.T) {
+	spec := gpusim.RTX4090()
+	coef := microbench.Coefficients{Device: spec.Name, Instr: 14e-12, L1: 28e-12, L2: 95e-12, VRAM: 480e-12, Static: 58}
+	specific, err := EnergyInterface(GPT2Small(), spec, coef.HardwareInterface())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack, err := StackInterface(GPT2Small(), coef.DeviceInterface(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tok := range []float64{5, 60, 150} {
+		a, err := specific.ExpectedJoules("generate", core.Num(16), core.Num(tok))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := stack.ExpectedJoules("generate", core.Num(16), core.Num(tok))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(float64(a-b)) > 1e-9*float64(a) {
+			t.Fatalf("tok=%v: specific %v != stack %v", tok, a, b)
+		}
+	}
+}
+
+func TestStackInterfaceRebindRetargetsDevice(t *testing.T) {
+	c4090 := microbench.Coefficients{Device: "RTX4090", Instr: 35e-12, L1: 220e-12, L2: 800e-12, VRAM: 4200e-12, Static: 58}
+	c3070 := microbench.Coefficients{Device: "RTX3070", Instr: 45e-12, L1: 300e-12, L2: 1100e-12, VRAM: 5500e-12, Static: 34}
+	stack, err := StackInterface(GPT2Small(), c4090.DeviceInterface(gpusim.RTX4090()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	on4090, err := stack.ExpectedJoules("generate", core.Num(16), core.Num(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped, err := stack.Rebind("hw", c3070.DeviceInterface(gpusim.RTX3070()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	on3070, err := swapped.ExpectedJoules("generate", core.Num(16), core.Num(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on3070 == on4090 {
+		t.Fatal("rebinding did not change the prediction")
+	}
+	// Direct construction against the 3070 must agree exactly with the
+	// rebind path.
+	direct, err := StackInterface(GPT2Small(), c3070.DeviceInterface(gpusim.RTX3070()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.ExpectedJoules("generate", core.Num(16), core.Num(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(on3070-want)) > 1e-12*float64(want) {
+		t.Fatalf("rebind %v != direct %v", on3070, want)
+	}
+}
+
+func TestStackInterfaceValidation(t *testing.T) {
+	coef := microbench.Coefficients{Device: "X", Instr: 1, L1: 1, L2: 1, VRAM: 1, Static: 1}
+	if _, err := StackInterface(TransformerConfig{Name: "bad"}, coef.DeviceInterface(gpusim.RTX4090())); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if _, err := StackInterface(GPT2Small(), nil); err == nil {
+		t.Fatal("nil hw accepted")
+	}
+	// HardwareInterface (without kernel_logical) must be rejected.
+	if _, err := StackInterface(GPT2Small(), coef.HardwareInterface()); err == nil {
+		t.Fatal("device interface without kernel_logical accepted")
+	}
+}

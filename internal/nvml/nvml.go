@@ -1,0 +1,78 @@
+// Package nvml simulates NVML-style energy measurement: the reading side
+// of a GPU's on-board energy counter. The paper measures ground truth with
+// NVML (§5); this package plays that role against internal/gpusim devices.
+//
+// Like the real library, readings are only as good as the device's sensor:
+// quantized, noisy, and windowed — "still too coarse-grained for detailed
+// and meaningful energy measurements" (§6). Those imperfections live in the
+// device; this package adds the windowing/accounting layer tools use.
+package nvml
+
+import (
+	"fmt"
+
+	"energyclarity/internal/energy"
+)
+
+// Device is the sensor surface nvml reads: a cumulative energy counter and
+// a device clock. *gpusim.GPU satisfies it.
+type Device interface {
+	SensorEnergy() energy.Joules
+	Now() float64
+}
+
+// Meter reads a device's energy counter over measurement windows.
+type Meter struct {
+	dev Device
+}
+
+// NewMeter returns a meter for the device.
+func NewMeter(dev Device) *Meter {
+	if dev == nil {
+		panic("nvml: nil device")
+	}
+	return &Meter{dev: dev}
+}
+
+// Sample is a snapshot of the device's counter and clock.
+type Sample struct {
+	Energy energy.Joules
+	Time   float64
+}
+
+// Snapshot reads the current counter and clock.
+func (m *Meter) Snapshot() Sample {
+	return Sample{Energy: m.dev.SensorEnergy(), Time: m.dev.Now()}
+}
+
+// EnergySince returns the measured energy between the snapshot and now.
+func (m *Meter) EnergySince(s Sample) energy.Joules {
+	return m.dev.SensorEnergy() - s.Energy
+}
+
+// WindowSince returns the measured energy and elapsed device time since
+// the snapshot.
+func (m *Meter) WindowSince(s Sample) (energy.Joules, float64) {
+	cur := m.Snapshot()
+	return cur.Energy - s.Energy, cur.Time - s.Time
+}
+
+// AveragePowerSince returns the mean measured power over the window; it
+// returns an error when the window has zero duration (a real NVML client
+// polling faster than the device clock advances sees the same problem).
+func (m *Meter) AveragePowerSince(s Sample) (energy.Watts, error) {
+	e, dt := m.WindowSince(s)
+	if dt <= 0 {
+		return 0, fmt.Errorf("nvml: measurement window has no duration")
+	}
+	return energy.Watts(float64(e) / dt), nil
+}
+
+// Measure runs fn and returns the measured energy it consumed on the
+// device. This is the idiom the paper's evaluation uses: measure a single
+// inference end to end.
+func (m *Meter) Measure(fn func()) energy.Joules {
+	s := m.Snapshot()
+	fn()
+	return m.EnergySince(s)
+}

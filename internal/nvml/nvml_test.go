@@ -1,0 +1,98 @@
+package nvml
+
+import (
+	"math"
+	"testing"
+
+	"energyclarity/internal/energy"
+	"energyclarity/internal/gpusim"
+)
+
+// fakeDev is a deterministic device for unit tests.
+type fakeDev struct {
+	e energy.Joules
+	t float64
+}
+
+func (f *fakeDev) SensorEnergy() energy.Joules { return f.e }
+func (f *fakeDev) Now() float64                { return f.t }
+
+func TestNewMeterNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil device accepted")
+		}
+	}()
+	NewMeter(nil)
+}
+
+func TestEnergySince(t *testing.T) {
+	d := &fakeDev{}
+	m := NewMeter(d)
+	s := m.Snapshot()
+	d.e = 5
+	d.t = 2
+	if got := m.EnergySince(s); got != 5 {
+		t.Fatalf("EnergySince = %v, want 5", got)
+	}
+	e, dt := m.WindowSince(s)
+	if e != 5 || dt != 2 {
+		t.Fatalf("WindowSince = %v, %v", e, dt)
+	}
+}
+
+func TestAveragePower(t *testing.T) {
+	d := &fakeDev{}
+	m := NewMeter(d)
+	s := m.Snapshot()
+	d.e = 100
+	d.t = 4
+	p, err := m.AveragePowerSince(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 25 {
+		t.Fatalf("power = %v, want 25", p)
+	}
+}
+
+func TestAveragePowerZeroWindow(t *testing.T) {
+	d := &fakeDev{}
+	m := NewMeter(d)
+	s := m.Snapshot()
+	if _, err := m.AveragePowerSince(s); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestMeasureAgainstRealDevice(t *testing.T) {
+	g := gpusim.NewGPU(gpusim.RTX4090(), 7)
+	m := NewMeter(g)
+	k := gpusim.Kernel{Instructions: 1e8, L1Accesses: 1e7, WorkingSet: 8 << 20, Reuse: 4}
+	var truth energy.Joules
+	meas := m.Measure(func() {
+		for i := 0; i < 50; i++ {
+			truth += g.Launch(k).Energy()
+		}
+	})
+	rel := math.Abs(float64(meas-truth)) / float64(truth)
+	if rel > 0.01 {
+		t.Fatalf("measured %v vs true %v (rel %v)", meas, truth, rel)
+	}
+}
+
+func TestMeasureIsWindowed(t *testing.T) {
+	g := gpusim.NewGPU(gpusim.RTX4090(), 7)
+	m := NewMeter(g)
+	k := gpusim.Kernel{Instructions: 1e8, L1Accesses: 1e7, WorkingSet: 8 << 20, Reuse: 4}
+	g.Launch(k) // energy before the window must not count
+	first := m.Measure(func() { g.Launch(k) })
+	second := m.Measure(func() { g.Launch(k) })
+	if first <= 0 || second <= 0 {
+		t.Fatal("windows measured nothing")
+	}
+	// Windows measure one kernel each, so they must be close in magnitude.
+	if r := float64(first) / float64(second); r < 0.8 || r > 1.25 {
+		t.Fatalf("window ratio %v implausible", r)
+	}
+}

@@ -1,0 +1,89 @@
+// Package rapl simulates an Intel RAPL-style energy counter: an MSR whose
+// value counts fixed-size energy units in a 32-bit register that wraps
+// around. The paper names RAPL as the CPU-side measurement mechanism for
+// energy-bug testing (§4.2) and as an example of today's too-coarse
+// measurement interfaces (§6).
+//
+// The counter reads from any Device exposing cumulative true energy; the
+// RAPL-specific artifacts — unit quantization and 32-bit wraparound — are
+// added here, so verification code exercises the same accounting pitfalls
+// real RAPL clients face.
+package rapl
+
+import (
+	"fmt"
+	"math"
+
+	"energyclarity/internal/energy"
+)
+
+// Device is an energy source with a cumulative counter (e.g. a simulated
+// CPU package).
+type Device interface {
+	PackageEnergy() energy.Joules
+}
+
+// DefaultESU is the default energy-status-unit exponent: units of 2^-14 J
+// (~61 µJ), matching common hardware.
+const DefaultESU = 14
+
+// Counter models MSR_PKG_ENERGY_STATUS for one package.
+type Counter struct {
+	dev Device
+	esu uint // unit = 2^-esu joules
+}
+
+// NewCounter returns a counter over dev with the given energy-status-unit
+// exponent (use DefaultESU if unsure). It panics on nil device or esu
+// outside [1, 31].
+func NewCounter(dev Device, esu uint) *Counter {
+	if dev == nil {
+		panic("rapl: nil device")
+	}
+	if esu < 1 || esu > 31 {
+		panic(fmt.Sprintf("rapl: bad energy status unit exponent %d", esu))
+	}
+	return &Counter{dev: dev, esu: esu}
+}
+
+// UnitJoules returns the energy represented by one counter unit.
+func (c *Counter) UnitJoules() energy.Joules {
+	return energy.Joules(math.Ldexp(1, -int(c.esu)))
+}
+
+// ReadMSR returns the current raw 32-bit register value: total energy in
+// units, truncated, modulo 2^32 — exactly how the hardware register
+// behaves (it wraps in under an hour at high power on real parts).
+func (c *Counter) ReadMSR() uint32 {
+	units := float64(c.dev.PackageEnergy()) / float64(c.UnitJoules())
+	return uint32(uint64(units)) // truncate then wrap
+}
+
+// Window accumulates energy across reads, handling wraparound, the way a
+// correct RAPL client must.
+type Window struct {
+	counter *Counter
+	last    uint32
+	total   uint64 // units
+}
+
+// NewWindow starts a measurement window at the current counter value.
+func (c *Counter) NewWindow() *Window {
+	return &Window{counter: c, last: c.ReadMSR()}
+}
+
+// Poll reads the register and accumulates the delta. Callers must poll at
+// least once per wrap period or energy is silently lost — the same
+// constraint real RAPL imposes; this simulation faithfully loses it too.
+func (w *Window) Poll() {
+	cur := w.counter.ReadMSR()
+	delta := cur - w.last // wraparound-correct in uint32 arithmetic
+	w.total += uint64(delta)
+	w.last = cur
+}
+
+// Energy polls once more and returns the energy accumulated in the window.
+func (w *Window) Energy() energy.Joules {
+	w.Poll()
+	return energy.Joules(float64(w.total)) * w.counter.UnitJoules()
+}

@@ -1,0 +1,109 @@
+package rapl
+
+import (
+	"math"
+	"testing"
+
+	"energyclarity/internal/energy"
+)
+
+type fakePkg struct{ e energy.Joules }
+
+func (f *fakePkg) PackageEnergy() energy.Joules { return f.e }
+
+func TestUnitJoules(t *testing.T) {
+	c := NewCounter(&fakePkg{}, 14)
+	want := math.Ldexp(1, -14)
+	if got := float64(c.UnitJoules()); got != want {
+		t.Fatalf("unit = %v, want %v", got, want)
+	}
+}
+
+func TestNewCounterValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"nil-device": func() { NewCounter(nil, 14) },
+		"esu-zero":   func() { NewCounter(&fakePkg{}, 0) },
+		"esu-huge":   func() { NewCounter(&fakePkg{}, 32) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestReadMSRQuantizes(t *testing.T) {
+	p := &fakePkg{}
+	c := NewCounter(p, DefaultESU)
+	unit := float64(c.UnitJoules())
+	p.e = energy.Joules(10.5 * unit)
+	if got := c.ReadMSR(); got != 10 {
+		t.Fatalf("ReadMSR = %d, want 10 (truncation)", got)
+	}
+}
+
+func TestWindowAccumulates(t *testing.T) {
+	p := &fakePkg{}
+	c := NewCounter(p, DefaultESU)
+	w := c.NewWindow()
+	p.e = 5
+	got := float64(w.Energy())
+	if math.Abs(got-5) > float64(c.UnitJoules()) {
+		t.Fatalf("window energy %v, want ≈5", got)
+	}
+}
+
+func TestWindowHandlesWraparound(t *testing.T) {
+	p := &fakePkg{}
+	c := NewCounter(p, DefaultESU)
+	unit := float64(c.UnitJoules())
+
+	// Start near the top of the 32-bit register.
+	start := (math.Pow(2, 32) - 100) * unit
+	p.e = energy.Joules(start)
+	w := c.NewWindow()
+
+	// Cross the wrap in two polls.
+	p.e = energy.Joules(start + 50*unit)
+	w.Poll()
+	p.e = energy.Joules(start + 300*unit)
+	got := float64(w.Energy())
+	want := 300 * unit
+	if math.Abs(got-want) > 2*unit {
+		t.Fatalf("wraparound window = %v, want ≈%v", got, want)
+	}
+}
+
+func TestWindowLosesEnergyWithoutPolling(t *testing.T) {
+	// Skipping polls across a full wrap loses one wrap of energy — the
+	// documented (and real-hardware) failure mode.
+	p := &fakePkg{}
+	c := NewCounter(p, DefaultESU)
+	unit := float64(c.UnitJoules())
+	w := c.NewWindow()
+	full := math.Pow(2, 32) * unit
+	p.e = energy.Joules(full + 10*unit) // a full wrap plus a little
+	got := float64(w.Energy())
+	if math.Abs(got-10*unit) > 2*unit {
+		t.Fatalf("expected wrap loss, got %v (want ≈%v)", got, 10*unit)
+	}
+}
+
+func TestMultipleWindowsIndependent(t *testing.T) {
+	p := &fakePkg{}
+	c := NewCounter(p, DefaultESU)
+	w1 := c.NewWindow()
+	p.e = 3
+	w2 := c.NewWindow()
+	p.e = 7
+	e1 := float64(w1.Energy())
+	e2 := float64(w2.Energy())
+	unit := float64(c.UnitJoules())
+	if math.Abs(e1-7) > 2*unit || math.Abs(e2-4) > 2*unit {
+		t.Fatalf("windows = %v, %v; want ≈7, ≈4", e1, e2)
+	}
+}

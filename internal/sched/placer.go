@@ -1,0 +1,211 @@
+package sched
+
+import (
+	"fmt"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/energy"
+)
+
+// This file implements the paper's §1 Kubernetes scenario: "a memory-
+// intensive application might consume less energy on a big-memory node
+// than on a compute node, but Kubernetes wouldn't know ahead of time what
+// the application will do."
+//
+// Two placers share the same cluster: RequestPlacer bin-packs on declared
+// CPU requests (today's Kubernetes), InterfacePlacer evaluates each app's
+// energy interface against each node's energy interface and picks the
+// cheapest feasible node.
+
+// NodeSpec describes one node type's capacity and energy character.
+type NodeSpec struct {
+	Name string
+	// Capacities.
+	CPUCyclesPerSec float64
+	MemAccPerSec    float64
+	// Energy character.
+	CPUEnergyPerCycle energy.Joules
+	MemEnergyPerAcc   energy.Joules
+	StaticPower       energy.Watts
+}
+
+// ComputeNode returns a CPU-optimized node: cheap cycles, narrow and
+// expensive memory path.
+func ComputeNode() NodeSpec {
+	return NodeSpec{
+		Name:              "compute",
+		CPUCyclesPerSec:   9.6e10, // 32 cores × 3 GHz
+		MemAccPerSec:      2.0e9,
+		CPUEnergyPerCycle: 0.9e-9,
+		MemEnergyPerAcc:   42e-9,
+		StaticPower:       95,
+	}
+}
+
+// BigMemoryNode returns a memory-optimized node: many channels make
+// accesses cheap and fast; cycles cost more (lower-bin CPUs, more DIMM
+// background power amortized per access).
+func BigMemoryNode() NodeSpec {
+	return NodeSpec{
+		Name:              "bigmem",
+		CPUCyclesPerSec:   4.8e10, // 24 cores × 2 GHz
+		MemAccPerSec:      8.0e9,
+		CPUEnergyPerCycle: 1.5e-9,
+		MemEnergyPerAcc:   14e-9,
+		StaticPower:       120,
+	}
+}
+
+// NodeInterface builds a node's energy interface: method
+// run(cpu_cycles_per_sec, mem_acc_per_sec, seconds) — the energy to host a
+// workload of that intensity for a duration, including the node's static
+// share.
+func NodeInterface(spec NodeSpec) *core.Interface {
+	iface := core.New("node_" + spec.Name)
+	iface.SetDoc(fmt.Sprintf("energy interface of a %s node", spec.Name))
+	iface.MustMethod(core.Method{
+		Name: "run", Params: []string{"cpu_cycles_per_sec", "mem_acc_per_sec", "seconds"},
+		Doc: "energy to host a workload of the given intensity for a duration",
+		Body: func(c *core.Call) energy.Joules {
+			cps, aps, sec := c.Num(0), c.Num(1), c.Num(2)
+			if sec < 0 || cps < 0 || aps < 0 {
+				core.Fail(fmt.Errorf("sched: negative workload intensity"))
+			}
+			dynamic := energy.Joules(cps*sec)*spec.CPUEnergyPerCycle +
+				energy.Joules(aps*sec)*spec.MemEnergyPerAcc
+			return dynamic + spec.StaticPower.OverSeconds(sec)
+		},
+	})
+	return iface
+}
+
+// App is a workload to place: declared resource requests (what today's
+// placers see) and its actual behaviour (what the energy interface states).
+type App struct {
+	Name string
+	// Declared request, in fraction of a node's CPU (what Kubernetes sees).
+	CPURequest float64
+	// Actual behaviour.
+	CPUCyclesPerSec float64
+	MemAccPerSec    float64
+	Seconds         float64
+}
+
+// AppInterface builds the app's energy interface: run() composed over the
+// bound node interface ("node"). Rebinding "node" re-targets the app to a
+// different node type — placement is literally interface rebinding.
+func AppInterface(app App, node *core.Interface) (*core.Interface, error) {
+	iface := core.New("app_" + app.Name)
+	iface.SetDoc("energy interface of application " + app.Name)
+	if err := iface.Bind("node", node); err != nil {
+		return nil, err
+	}
+	iface.MustMethod(core.Method{
+		Name: "run",
+		Doc:  "energy for this app's full run on the bound node",
+		Body: func(c *core.Call) energy.Joules {
+			return c.E("node", "run",
+				core.Num(app.CPUCyclesPerSec),
+				core.Num(app.MemAccPerSec),
+				core.Num(app.Seconds))
+		},
+	})
+	return iface, nil
+}
+
+// trueRunEnergy is the simulator's ground truth for one app on one node.
+// If the app's demand exceeds the node's throughput, the run stretches
+// (and burns static power) proportionally.
+func trueRunEnergy(app App, node NodeSpec) energy.Joules {
+	stretch := 1.0
+	if r := app.CPUCyclesPerSec / node.CPUCyclesPerSec; r > stretch {
+		stretch = r
+	}
+	if r := app.MemAccPerSec / node.MemAccPerSec; r > stretch {
+		stretch = r
+	}
+	sec := app.Seconds * stretch
+	cycles := app.CPUCyclesPerSec * app.Seconds
+	accs := app.MemAccPerSec * app.Seconds
+	return energy.Joules(cycles)*node.CPUEnergyPerCycle +
+		energy.Joules(accs)*node.MemEnergyPerAcc +
+		node.StaticPower.OverSeconds(sec)
+}
+
+// PlacementResult reports where each app went and what it truly cost.
+type PlacementResult struct {
+	Placer string
+	Nodes  []string // node name per app
+	Energy energy.Joules
+}
+
+// PlaceByRequest mimics a request-based placer: apps with large CPU
+// requests go to the compute node, others to whichever node has the most
+// spare declared capacity — the app's actual memory behaviour is invisible
+// to it.
+func PlaceByRequest(apps []App, nodes []NodeSpec) PlacementResult {
+	res := PlacementResult{Placer: "request-based"}
+	for _, app := range apps {
+		// Request-based heuristic: CPU-heavy requests get the node with
+		// the highest CPU capacity; everything else round-robins to the
+		// first node that "fits" (they all fit — requests say nothing
+		// about memory).
+		best := 0
+		if app.CPURequest >= 0.5 {
+			for i, n := range nodes {
+				if n.CPUCyclesPerSec > nodes[best].CPUCyclesPerSec {
+					best = i
+				}
+			}
+		}
+		res.Nodes = append(res.Nodes, nodes[best].Name)
+		res.Energy += trueRunEnergy(app, nodes[best])
+	}
+	return res
+}
+
+// PlaceByInterface evaluates each app's energy interface rebound to each
+// node's interface and picks the cheapest node whose throughput fits the
+// app's declared intensity.
+func PlaceByInterface(apps []App, nodes []NodeSpec) (PlacementResult, error) {
+	res := PlacementResult{Placer: "interface-aware"}
+	nodeIfaces := make([]*core.Interface, len(nodes))
+	for i, n := range nodes {
+		nodeIfaces[i] = NodeInterface(n)
+	}
+	for _, app := range apps {
+		appIface, err := AppInterface(app, nodeIfaces[0])
+		if err != nil {
+			return PlacementResult{}, err
+		}
+		best := -1
+		var bestE energy.Joules
+		for i := range nodes {
+			candidate := appIface
+			if i > 0 {
+				candidate, err = appIface.Rebind("node", nodeIfaces[i])
+				if err != nil {
+					return PlacementResult{}, err
+				}
+			}
+			// Feasibility from declared intensity vs node throughput.
+			if app.CPUCyclesPerSec > nodes[i].CPUCyclesPerSec ||
+				app.MemAccPerSec > nodes[i].MemAccPerSec {
+				continue
+			}
+			e, err := candidate.ExpectedJoules("run")
+			if err != nil {
+				return PlacementResult{}, err
+			}
+			if best == -1 || e < bestE {
+				best, bestE = i, e
+			}
+		}
+		if best == -1 {
+			best = 0 // nothing fits: overload the first node
+		}
+		res.Nodes = append(res.Nodes, nodes[best].Name)
+		res.Energy += trueRunEnergy(app, nodes[best])
+	}
+	return res, nil
+}

@@ -1,0 +1,338 @@
+// Package sched implements the CPU schedulers of the paper's §1 Linux EAS
+// scenario and the Kubernetes-style placer of the node-selection scenario.
+//
+// Two schedulers share one placement optimizer and differ only in how they
+// predict each task's next-quantum demand:
+//
+//   - EASBaseline mirrors the Linux Energy-Aware Scheduler as the paper
+//     describes it: "for any given task, it looks at its past core
+//     utilization, and uses the average to predict how much energy it will
+//     consume in the next scheduling quantum" — a utilization proxy that is
+//     systematically wrong for bimodal tasks.
+//   - InterfaceAware asks the task's energy interface, which states demand
+//     as a function of the quantum index (the program structure determines
+//     it), so phase changes are anticipated rather than chased.
+//
+// Both run on the same cpusim chip, and energy is compared from the chip's
+// package counter — the experiment design of E2.
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/cpusim"
+	"energyclarity/internal/energy"
+)
+
+// Task is one schedulable workload: its true demand signal and its energy
+// interface. Demand must be callable in any order (pure in q) for the
+// interface path; the scheduler queries the truth only when executing.
+type Task struct {
+	Name string
+	// Demand returns the true cycles the task needs in quantum q.
+	Demand func(q int) float64
+	// Iface is the task's energy interface, exposing method
+	// demand_cycles(q); nil for tasks that have not adopted interfaces
+	// (the baseline never consults it).
+	Iface *core.Interface
+}
+
+// TaskInterface builds a task's energy interface from its (interface-
+// declared) demand model. In the paper's architecture the interface is a
+// program the developer writes; here the program is the demand closure,
+// exposed as method demand_cycles(q). The same object can also price a
+// quantum on a given core via run(q, energy_per_cycle).
+func TaskInterface(name string, demand func(q int) float64) *core.Interface {
+	iface := core.New("task_" + name)
+	iface.SetDoc("energy interface of task " + name)
+	iface.MustMethod(core.Method{
+		Name: "demand_cycles", Params: []string{"q"},
+		Doc: "cycles the task will need in quantum q",
+		Body: func(c *core.Call) energy.Joules {
+			q := c.Num(0)
+			if q < 0 || q != math.Trunc(q) {
+				core.Fail(fmt.Errorf("sched: quantum index must be a non-negative integer"))
+			}
+			// Cycle counts ride in the Joules channel: the method is a
+			// "abstract unit" interface (1 unit = 1 cycle), see §3.
+			return energy.Joules(demand(int(q)))
+		},
+	})
+	iface.MustMethod(core.Method{
+		Name: "run", Params: []string{"q", "energy_per_cycle"},
+		Doc: "energy to execute quantum q at a given per-cycle cost",
+		Body: func(c *core.Call) energy.Joules {
+			return c.Self("demand_cycles", core.Num(c.Num(0))) * energy.Joules(c.Num(1))
+		},
+	})
+	return iface
+}
+
+// Scheduler decides, per quantum, each task's core type and DVFS level.
+type Scheduler interface {
+	Name() string
+	// Plan returns one assignment per task for quantum q.
+	Plan(q int, tasks []*Task) []Placement
+	// Observe feeds back what each task actually used in quantum q and
+	// whether it saturated its core (work was left over).
+	Observe(q int, used []float64, saturated []bool)
+}
+
+// Placement is a scheduling decision for one task.
+type Placement struct {
+	CoreType string // "big" or "little"
+	Level    int
+	Cycles   float64 // demand estimate the decision was made for
+}
+
+// choosePlacement picks the cheapest (coreType, level) able to serve the
+// predicted demand within one quantum; if nothing can, it picks the
+// biggest capacity. Shared by both schedulers so they differ only in the
+// demand estimate.
+func choosePlacement(chip *cpusim.Chip, demand float64) Placement {
+	bestFeasible := Placement{Level: -1}
+	var bestFeasibleE energy.Joules
+	fallback := Placement{Level: -1}
+	fallbackCap := -1.0
+
+	seen := map[string]cpusim.CoreSpec{}
+	for i := 0; i < chip.NumCores(); i++ {
+		spec := chip.Core(i)
+		if _, dup := seen[spec.Type]; !dup {
+			seen[spec.Type] = spec
+		}
+	}
+	for typ, spec := range seen {
+		for l := range spec.Freqs {
+			capCycles := spec.CapacityCycles(l) * chip.Quantum()
+			// Energy to serve `demand` cycles this quantum on this choice.
+			served := math.Min(demand, capCycles)
+			busy := served / capCycles
+			e := spec.Freqs[l].ActiveW.OverSeconds(chip.Quantum()*busy) +
+				spec.Idle.OverSeconds(chip.Quantum()*(1-busy))
+			if capCycles >= demand {
+				if bestFeasible.Level == -1 || e < bestFeasibleE ||
+					(e == bestFeasibleE && typ < bestFeasible.CoreType) {
+					bestFeasible = Placement{CoreType: typ, Level: l, Cycles: demand}
+					bestFeasibleE = e
+				}
+			}
+			if capCycles > fallbackCap {
+				fallbackCap = capCycles
+				fallback = Placement{CoreType: typ, Level: l, Cycles: demand}
+			}
+		}
+	}
+	if bestFeasible.Level != -1 {
+		return bestFeasible
+	}
+	return fallback
+}
+
+// EASBaseline predicts demand as the exponentially-weighted average of
+// observed past utilization (the Linux EAS PELT-style proxy).
+type EASBaseline struct {
+	chip  *cpusim.Chip
+	alpha float64
+	est   []float64
+	init  []bool
+}
+
+// NewEASBaseline returns the baseline scheduler for nTasks tasks. alpha is
+// the EWMA weight of the newest observation (Linux PELT halflife ~32ms on
+// 1ms updates corresponds to small alpha; 0.3 is a reasonable quantum-
+// scale setting).
+func NewEASBaseline(chip *cpusim.Chip, nTasks int, alpha float64) *EASBaseline {
+	return &EASBaseline{
+		chip:  chip,
+		alpha: alpha,
+		est:   make([]float64, nTasks),
+		init:  make([]bool, nTasks),
+	}
+}
+
+// Name implements Scheduler.
+func (s *EASBaseline) Name() string { return "eas-baseline" }
+
+// Plan implements Scheduler.
+func (s *EASBaseline) Plan(q int, tasks []*Task) []Placement {
+	out := make([]Placement, len(tasks))
+	for i := range tasks {
+		demand := s.est[i]
+		if !s.init[i] {
+			// No history: assume a middling load, as EAS effectively does
+			// for fresh tasks.
+			demand = s.chip.Core(0).CapacityCycles(0) * s.chip.Quantum() / 2
+		}
+		out[i] = choosePlacement(s.chip, demand)
+	}
+	return out
+}
+
+// Observe implements Scheduler. Utilization is capped at core capacity, so
+// the proxy can never see demand above it; like Linux EAS's misfit-task
+// handling, a saturated task's estimate is escalated (doubled) so the next
+// placement tries a bigger operating point. The estimate still lags every
+// phase change in both directions — the §1 critique.
+func (s *EASBaseline) Observe(q int, used []float64, saturated []bool) {
+	for i, u := range used {
+		if saturated[i] {
+			est := u * 2
+			if est < s.est[i] {
+				est = s.est[i]
+			}
+			s.est[i] = est
+			s.init[i] = true
+			continue
+		}
+		if !s.init[i] {
+			s.est[i] = u
+			s.init[i] = true
+			continue
+		}
+		s.est[i] = s.alpha*u + (1-s.alpha)*s.est[i]
+	}
+}
+
+// InterfaceAware queries each task's energy interface for its declared
+// next-quantum demand.
+type InterfaceAware struct {
+	chip *cpusim.Chip
+	// margin over-provisions the declared demand to absorb jitter the
+	// interface does not model (ECV-style headroom).
+	margin float64
+}
+
+// NewInterfaceAware returns the interface-consuming scheduler. margin is a
+// relative headroom on declared demand (e.g. 0.1 for 10%).
+func NewInterfaceAware(chip *cpusim.Chip, margin float64) *InterfaceAware {
+	return &InterfaceAware{chip: chip, margin: margin}
+}
+
+// Name implements Scheduler.
+func (s *InterfaceAware) Name() string { return "interface-aware" }
+
+// Plan implements Scheduler.
+func (s *InterfaceAware) Plan(q int, tasks []*Task) []Placement {
+	out := make([]Placement, len(tasks))
+	for i, t := range tasks {
+		var demand float64
+		if t.Iface != nil {
+			d, err := t.Iface.ExpectedJoules("demand_cycles", core.Num(float64(q)))
+			if err == nil {
+				demand = float64(d) * (1 + s.margin)
+			}
+		}
+		out[i] = choosePlacement(s.chip, demand)
+	}
+	return out
+}
+
+// Observe implements Scheduler (the interface path needs no feedback).
+func (s *InterfaceAware) Observe(q int, used []float64, saturated []bool) {}
+
+// RunResult summarizes a scheduling run.
+type RunResult struct {
+	Scheduler   string
+	Quanta      int
+	TotalEnergy energy.Joules
+	// UnmetCycles sums, over quanta, the cycles of work still pending at
+	// each quantum boundary — a backlog-latency (QoS) measure: work that
+	// stays late for k quanta contributes k times.
+	UnmetCycles float64
+	DemandTotal float64
+}
+
+// UnmetFraction returns backlog cycle-quanta normalized by total demand —
+// the run's QoS penalty (0 when every quantum's work finished in time).
+func (r RunResult) UnmetFraction() float64 {
+	if r.DemandTotal == 0 {
+		return 0
+	}
+	return r.UnmetCycles / r.DemandTotal
+}
+
+// Run executes tasks under sched on chip for the given number of quanta.
+// Each task runs alone on the core the scheduler picked for it (one task
+// per core; the chip must have at least as many cores of each type as the
+// scheduler requests, or spill goes to any free core).
+func Run(chip *cpusim.Chip, sched Scheduler, tasks []*Task, quanta int) (RunResult, error) {
+	if len(tasks) == 0 {
+		return RunResult{}, fmt.Errorf("sched: no tasks")
+	}
+	if len(tasks) > chip.NumCores() {
+		return RunResult{}, fmt.Errorf("sched: %d tasks exceed %d cores", len(tasks), chip.NumCores())
+	}
+	res := RunResult{Scheduler: sched.Name(), Quanta: quanta}
+	backlog := make([]float64, len(tasks))
+
+	for q := 0; q < quanta; q++ {
+		placements := sched.Plan(q, tasks)
+
+		// Bind each task to a physical core of the requested type; spill to
+		// any remaining core if the type is exhausted.
+		used := map[int]bool{}
+		taskCore := make([]int, len(tasks))
+		for i, p := range placements {
+			taskCore[i] = -1
+			for c := 0; c < chip.NumCores(); c++ {
+				if !used[c] && chip.Core(c).Type == p.CoreType {
+					used[c] = true
+					taskCore[i] = c
+					break
+				}
+			}
+		}
+		for i := range tasks {
+			if taskCore[i] != -1 {
+				continue
+			}
+			for c := 0; c < chip.NumCores(); c++ {
+				if !used[c] {
+					used[c] = true
+					taskCore[i] = c
+					// The requested level may not exist on the spill core.
+					if placements[i].Level >= len(chip.Core(c).Freqs) {
+						placements[i].Level = len(chip.Core(c).Freqs) - 1
+					}
+					break
+				}
+			}
+		}
+
+		// True demand for this quantum: new work plus backlog.
+		assign := make([]cpusim.Assignment, chip.NumCores())
+		for c := range assign {
+			assign[c] = cpusim.Assignment{Level: -1}
+		}
+		trueDemand := make([]float64, len(tasks))
+		for i, t := range tasks {
+			d := t.Demand(q)
+			res.DemandTotal += d
+			trueDemand[i] = d + backlog[i]
+			assign[taskCore[i]] = cpusim.Assignment{
+				Level:  placements[i].Level,
+				Cycles: trueDemand[i],
+			}
+		}
+
+		step, err := chip.Step(assign)
+		if err != nil {
+			return RunResult{}, err
+		}
+		usedCycles := make([]float64, len(tasks))
+		saturated := make([]bool, len(tasks))
+		for i := range tasks {
+			c := taskCore[i]
+			usedCycles[i] = step.Completed[c]
+			saturated[i] = step.Unmet[c] > 0
+			backlog[i] = step.Unmet[c]
+			res.UnmetCycles += step.Unmet[c]
+		}
+		sched.Observe(q, usedCycles, saturated)
+	}
+	res.TotalEnergy = chip.PackageEnergy()
+	return res, nil
+}

@@ -1,0 +1,255 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/cpusim"
+	"energyclarity/internal/trace"
+)
+
+func bimodalTasks(n int, jitter float64) []*Task {
+	tasks := make([]*Task, n)
+	for i := 0; i < n; i++ {
+		// Peak demand needs a big core at a high level; trough fits a
+		// little core at its lowest level. Phases are staggered.
+		b := trace.NewBimodal(
+			55e6, // peak cycles per 10ms quantum: needs ~big@2.4GHz
+			1.5e6,
+			8, 8, i*4, jitter, int64(100+i),
+		)
+		tasks[i] = &Task{
+			Name:   "transcode",
+			Demand: b.Demand,
+			Iface:  TaskInterface("transcode", b.Base),
+		}
+	}
+	return tasks
+}
+
+func TestTaskInterfaceDemand(t *testing.T) {
+	b := trace.NewBimodal(100, 10, 2, 2, 0, 0, 1)
+	iface := TaskInterface("x", b.Base)
+	d, err := iface.ExpectedJoules("demand_cycles", core.Num(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(d) != 100 {
+		t.Fatalf("demand(0) = %v", d)
+	}
+	if _, err := iface.ExpectedJoules("demand_cycles", core.Num(-1)); err == nil {
+		t.Fatal("negative quantum accepted")
+	}
+	if _, err := iface.ExpectedJoules("demand_cycles", core.Num(1.5)); err == nil {
+		t.Fatal("fractional quantum accepted")
+	}
+	j, err := iface.ExpectedJoules("run", core.Num(0), core.Num(2e-9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(j)-100*2e-9) > 1e-18 {
+		t.Fatalf("run energy = %v", j)
+	}
+}
+
+func TestChoosePlacementPrefersLittleForLightLoad(t *testing.T) {
+	chip := cpusim.BigLITTLE()
+	p := choosePlacement(chip, 1e6) // 1M cycles in 10ms: trivial
+	if p.CoreType != "little" || p.Level != 0 {
+		t.Fatalf("light load placed on %s@%d", p.CoreType, p.Level)
+	}
+}
+
+func TestChoosePlacementEscalatesForHeavyLoad(t *testing.T) {
+	chip := cpusim.BigLITTLE()
+	// 55M cycles in 10ms needs capacity 5.5e9 c/s: only big@2.4 (7.2e9).
+	p := choosePlacement(chip, 55e6)
+	if p.CoreType != "big" || p.Level != 2 {
+		t.Fatalf("heavy load placed on %s@%d", p.CoreType, p.Level)
+	}
+}
+
+func TestChoosePlacementInfeasibleFallsBackToMaxCapacity(t *testing.T) {
+	chip := cpusim.BigLITTLE()
+	p := choosePlacement(chip, 1e12)
+	if p.CoreType != "big" || p.Level != len(cpusim.BigCore().Freqs)-1 {
+		t.Fatalf("infeasible load placed on %s@%d", p.CoreType, p.Level)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	chip := cpusim.BigLITTLE()
+	s := NewInterfaceAware(chip, 0)
+	if _, err := Run(chip, s, nil, 10); err == nil {
+		t.Fatal("no tasks accepted")
+	}
+	if _, err := Run(chip, s, bimodalTasks(9, 0), 10); err == nil {
+		t.Fatal("more tasks than cores accepted")
+	}
+}
+
+func TestInterfaceAwareMeetsQoSOnCleanBimodal(t *testing.T) {
+	tasks := bimodalTasks(4, 0)
+	chip := cpusim.BigLITTLE()
+	res, err := Run(chip, NewInterfaceAware(chip, 0.05), tasks, 320)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UnmetFraction() > 0.001 {
+		t.Fatalf("interface-aware unmet fraction %v", res.UnmetFraction())
+	}
+}
+
+func TestBaselineChasesBimodalPhases(t *testing.T) {
+	// The EWMA proxy must either miss work or burn more energy than the
+	// interface-aware scheduler — on clean bimodal tasks it does both.
+	quanta := 320
+	tasksA := bimodalTasks(4, 0)
+	chipA := cpusim.BigLITTLE()
+	base, err := Run(chipA, NewEASBaseline(chipA, len(tasksA), 0.3), tasksA, quanta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasksB := bimodalTasks(4, 0)
+	chipB := cpusim.BigLITTLE()
+	aware, err := Run(chipB, NewInterfaceAware(chipB, 0.05), tasksB, quanta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.UnmetFraction() <= aware.UnmetFraction() {
+		t.Fatalf("baseline QoS (%v) not worse than interface-aware (%v)",
+			base.UnmetFraction(), aware.UnmetFraction())
+	}
+	if base.DemandTotal != aware.DemandTotal {
+		t.Fatalf("runs saw different demand: %v vs %v", base.DemandTotal, aware.DemandTotal)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() RunResult {
+		tasks := bimodalTasks(4, 0.1)
+		chip := cpusim.BigLITTLE()
+		res, err := Run(chip, NewInterfaceAware(chip, 0.1), tasks, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestObserveUpdatesEWMA(t *testing.T) {
+	chip := cpusim.BigLITTLE()
+	s := NewEASBaseline(chip, 1, 0.5)
+	s.Observe(0, []float64{100}, []bool{false})
+	if s.est[0] != 100 {
+		t.Fatalf("first observation: est = %v", s.est[0])
+	}
+	s.Observe(1, []float64{200}, []bool{false})
+	if s.est[0] != 150 {
+		t.Fatalf("EWMA: est = %v, want 150", s.est[0])
+	}
+}
+
+func TestObserveEscalatesOnSaturation(t *testing.T) {
+	chip := cpusim.BigLITTLE()
+	s := NewEASBaseline(chip, 1, 0.5)
+	s.Observe(0, []float64{100}, []bool{false})
+	s.Observe(1, []float64{120}, []bool{true})
+	if s.est[0] != 240 {
+		t.Fatalf("saturated estimate = %v, want doubled 240", s.est[0])
+	}
+	// Escalation never lowers the estimate.
+	s.Observe(2, []float64{10}, []bool{true})
+	if s.est[0] < 240 {
+		t.Fatalf("escalation lowered estimate to %v", s.est[0])
+	}
+}
+
+// --- placer (E3 scenario) ---
+
+func e3Apps() []App {
+	return []App{
+		{Name: "analytics", CPURequest: 0.6, CPUCyclesPerSec: 3e10, MemAccPerSec: 1.8e9, Seconds: 600},
+		{Name: "kvstore", CPURequest: 0.55, CPUCyclesPerSec: 1.2e10, MemAccPerSec: 6e9, Seconds: 600},
+		{Name: "batch", CPURequest: 0.9, CPUCyclesPerSec: 8e10, MemAccPerSec: 0.6e9, Seconds: 600},
+	}
+}
+
+func TestInterfacePlacerBeatsRequestPlacer(t *testing.T) {
+	nodes := []NodeSpec{ComputeNode(), BigMemoryNode()}
+	apps := e3Apps()
+	byReq := PlaceByRequest(apps, nodes)
+	byIface, err := PlaceByInterface(apps, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byIface.Energy >= byReq.Energy {
+		t.Fatalf("interface placement (%v) not cheaper than request placement (%v)",
+			byIface.Energy, byReq.Energy)
+	}
+	// The memory-intensive kvstore must land on the big-memory node under
+	// the interface placer; the request placer sends it to compute.
+	if byIface.Nodes[1] != "bigmem" {
+		t.Fatalf("kvstore placed on %s by interface placer", byIface.Nodes[1])
+	}
+	if byReq.Nodes[1] != "compute" {
+		t.Fatalf("kvstore placed on %s by request placer", byReq.Nodes[1])
+	}
+}
+
+func TestNodeInterfaceEnergy(t *testing.T) {
+	iface := NodeInterface(ComputeNode())
+	j, err := iface.ExpectedJoules("run", core.Num(1e9), core.Num(1e6), core.Num(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := ComputeNode()
+	want := float64(spec.CPUEnergyPerCycle)*1e10 + float64(spec.MemEnergyPerAcc)*1e7 +
+		float64(spec.StaticPower)*10
+	if rel := (float64(j) - want) / want; rel > 1e-12 || rel < -1e-12 {
+		t.Fatalf("node energy %v, want %v", j, want)
+	}
+	if _, err := iface.ExpectedJoules("run", core.Num(-1), core.Num(0), core.Num(1)); err == nil {
+		t.Fatal("negative intensity accepted")
+	}
+}
+
+func TestTrueRunEnergyStretchesUnderOverload(t *testing.T) {
+	node := ComputeNode()
+	app := App{Name: "x", CPUCyclesPerSec: node.CPUCyclesPerSec * 2, Seconds: 10}
+	over := trueRunEnergy(app, node)
+	app2 := App{Name: "x", CPUCyclesPerSec: node.CPUCyclesPerSec, Seconds: 10}
+	app2.CPUCyclesPerSec = node.CPUCyclesPerSec
+	fit := trueRunEnergy(App{Name: "y", CPUCyclesPerSec: node.CPUCyclesPerSec / 2, Seconds: 10}, node)
+	if over <= fit {
+		t.Fatal("overloaded run should cost more (static stretch)")
+	}
+}
+
+func TestAppInterfaceRebindChangesPrediction(t *testing.T) {
+	app := e3Apps()[1] // kvstore
+	onCompute, err := AppInterface(app, NodeInterface(ComputeNode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := onCompute.ExpectedJoules("run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	onBigmem, err := onCompute.Rebind("node", NodeInterface(BigMemoryNode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := onBigmem.ExpectedJoules("run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 >= e1 {
+		t.Fatalf("kvstore on bigmem (%v) should predict cheaper than compute (%v)", e2, e1)
+	}
+}

@@ -1,0 +1,123 @@
+// Package trace generates deterministic synthetic workloads: Zipf request
+// streams for cache experiments, bimodal compute/IO phase traces for the
+// §1 transcoding scenario, and token-length distributions for LLM-serving
+// experiments. Everything is seeded, so experiments are reproducible.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Zipf generates a stream of integer keys in [0, n) with Zipf popularity
+// (skew s > 1). It wraps math/rand's sampler with a stable seed.
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf returns a Zipf stream over n keys with skew s, deterministic for
+// the seed. It panics on invalid parameters (s <= 1 or n < 1), which are
+// programming errors.
+func NewZipf(n uint64, s float64, seed int64) *Zipf {
+	if n < 1 || s <= 1 {
+		panic(fmt.Sprintf("trace: invalid Zipf parameters n=%d s=%v", n, s))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Zipf{z: rand.NewZipf(rng, s, 1, n-1)}
+}
+
+// Next returns the next key.
+func (z *Zipf) Next() uint64 { return z.z.Uint64() }
+
+// Bimodal is a two-phase periodic demand signal: the §1 video-transcoding
+// pattern with "compute peaks during active transcoding and troughs when
+// doing I/O". Demand is in CPU cycles per quantum, with optional jitter.
+type Bimodal struct {
+	PeakCycles   float64
+	TroughCycles float64
+	PeakLen      int // quanta of compute phase
+	TroughLen    int // quanta of I/O phase
+	Phase        int // phase offset in quanta
+	Jitter       float64
+	rng          *rand.Rand
+}
+
+// NewBimodal returns a bimodal demand trace. Jitter is the relative
+// amplitude of per-quantum noise (0 for a clean square wave). It panics on
+// non-positive phase lengths.
+func NewBimodal(peak, trough float64, peakLen, troughLen, phase int, jitter float64, seed int64) *Bimodal {
+	if peakLen <= 0 || troughLen <= 0 {
+		panic("trace: bimodal phase lengths must be positive")
+	}
+	return &Bimodal{
+		PeakCycles:   peak,
+		TroughCycles: trough,
+		PeakLen:      peakLen,
+		TroughLen:    troughLen,
+		Phase:        phase,
+		Jitter:       jitter,
+		rng:          rand.New(rand.NewSource(seed)),
+	}
+}
+
+// InPeak reports whether quantum q falls in the compute phase.
+func (b *Bimodal) InPeak(q int) bool {
+	period := b.PeakLen + b.TroughLen
+	pos := (q + b.Phase) % period
+	if pos < 0 {
+		pos += period
+	}
+	return pos < b.PeakLen
+}
+
+// Base returns the noise-free demand for quantum q — this is what a task's
+// energy interface can state exactly, because the program structure (the
+// transcode loop) determines it.
+func (b *Bimodal) Base(q int) float64 {
+	if b.InPeak(q) {
+		return b.PeakCycles
+	}
+	return b.TroughCycles
+}
+
+// Demand returns the jittered demand for quantum q. Calls must be made in
+// increasing q order for reproducibility (the jitter stream is sequential).
+func (b *Bimodal) Demand(q int) float64 {
+	base := b.Base(q)
+	if b.Jitter == 0 {
+		return base
+	}
+	d := base * (1 + b.Jitter*(2*b.rng.Float64()-1))
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// TokenLengths samples generation lengths for LLM-serving workloads: a
+// mixture of short chat turns and long completions.
+type TokenLengths struct {
+	rng *rand.Rand
+	// mixture: with probability pShort, uniform in [shortLo, shortHi];
+	// otherwise uniform in [longLo, longHi].
+	pShort           float64
+	shortLo, shortHi int
+	longLo, longHi   int
+}
+
+// NewTokenLengths returns the default mixture: 70% short turns (8-48
+// tokens), 30% long completions (96-200 tokens).
+func NewTokenLengths(seed int64) *TokenLengths {
+	return &TokenLengths{
+		rng:    rand.New(rand.NewSource(seed)),
+		pShort: 0.7, shortLo: 8, shortHi: 48, longLo: 96, longHi: 200,
+	}
+}
+
+// Next samples one generation length.
+func (t *TokenLengths) Next() int {
+	if t.rng.Float64() < t.pShort {
+		return t.shortLo + t.rng.Intn(t.shortHi-t.shortLo+1)
+	}
+	return t.longLo + t.rng.Intn(t.longHi-t.longLo+1)
+}

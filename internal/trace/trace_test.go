@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestZipfDeterministicAndSkewed(t *testing.T) {
+	a := NewZipf(512, 1.1, 7)
+	b := NewZipf(512, 1.1, 7)
+	counts := map[uint64]int{}
+	for i := 0; i < 20000; i++ {
+		ka, kb := a.Next(), b.Next()
+		if ka != kb {
+			t.Fatal("Zipf not deterministic")
+		}
+		counts[ka]++
+	}
+	// Head key must dominate the tail heavily.
+	if counts[0] < 20000/10 {
+		t.Fatalf("key 0 count %d; distribution not skewed", counts[0])
+	}
+	for k := range counts {
+		if k >= 512 {
+			t.Fatalf("key %d out of range", k)
+		}
+	}
+}
+
+func TestZipfPanicsOnBadParams(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"n0": func() { NewZipf(0, 1.1, 1) },
+		"s1": func() { NewZipf(10, 1.0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBimodalPhases(t *testing.T) {
+	b := NewBimodal(100, 10, 3, 2, 0, 0, 1)
+	want := []float64{100, 100, 100, 10, 10, 100, 100, 100, 10, 10}
+	for q, w := range want {
+		if got := b.Demand(q); got != w {
+			t.Fatalf("quantum %d demand %v, want %v", q, got, w)
+		}
+	}
+}
+
+func TestBimodalPhaseOffset(t *testing.T) {
+	b := NewBimodal(100, 10, 3, 2, 3, 0, 1)
+	if b.Demand(0) != 10 {
+		t.Fatalf("offset phase: demand(0) = %v, want trough", b.Demand(0))
+	}
+	if !b.InPeak(2) {
+		t.Fatal("offset phase: quantum 2 should be peak")
+	}
+}
+
+func TestBimodalJitterBounded(t *testing.T) {
+	b := NewBimodal(100, 10, 3, 2, 0, 0.2, 5)
+	for q := 0; q < 100; q++ {
+		base := b.Base(q)
+		d := b.Demand(q)
+		if d < base*0.8-1e-9 || d > base*1.2+1e-9 {
+			t.Fatalf("quantum %d jittered demand %v outside ±20%% of %v", q, d, base)
+		}
+	}
+}
+
+func TestBimodalBaseIsPure(t *testing.T) {
+	b := NewBimodal(100, 10, 4, 4, 0, 0.5, 9)
+	if b.Base(3) != b.Base(3) || b.Base(3) != 100 || b.Base(4) != 10 {
+		t.Fatal("Base not pure/correct")
+	}
+}
+
+func TestBimodalPanicsOnBadLengths(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero phase length accepted")
+		}
+	}()
+	NewBimodal(1, 1, 0, 1, 0, 0, 1)
+}
+
+func TestTokenLengths(t *testing.T) {
+	tl := NewTokenLengths(3)
+	short, long := 0, 0
+	for i := 0; i < 5000; i++ {
+		n := tl.Next()
+		switch {
+		case n >= 8 && n <= 48:
+			short++
+		case n >= 96 && n <= 200:
+			long++
+		default:
+			t.Fatalf("token length %d outside both modes", n)
+		}
+	}
+	if short < 3000 || long < 1000 {
+		t.Fatalf("mixture off: %d short, %d long", short, long)
+	}
+}

@@ -1,0 +1,170 @@
+// Package verify implements the checking half of the paper's workflows:
+//
+//   - Refines: §4.1's interface→implementation direction — check that a
+//     derived (accurate) interface stays within a spec (upper-bound)
+//     interface's envelope on every probed input;
+//   - FindEnergyBugs: §4.2's testing loop — "running the layer with well
+//     chosen inputs, measuring the consumed energy (e.g. with Intel RAPL),
+//     and comparing it to the interface's prediction; divergences would
+//     then be flagged as energy bugs";
+//   - ConstantEnergy: §4.1's side-channel constraint — crypto code must
+//     consume input-independent energy, which "a mere upper bound is not
+//     sufficient" to express.
+package verify
+
+import (
+	"fmt"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/energy"
+)
+
+// Violation is one input whose implementation-level worst case exceeds the
+// spec's worst-case envelope.
+type Violation struct {
+	Input []core.Value
+	Impl  energy.Joules
+	Spec  energy.Joules
+}
+
+// RefinementReport summarizes a Refines run.
+type RefinementReport struct {
+	Method     string
+	Checked    int
+	Violations []Violation
+}
+
+// OK reports whether every probed input respected the envelope.
+func (r *RefinementReport) OK() bool { return len(r.Violations) == 0 }
+
+// Refines checks that, for each probe input, the implementation
+// interface's worst-case energy does not exceed the spec interface's
+// worst-case energy by more than slack (relative, e.g. 0.01 for 1%).
+// Both interfaces must expose the method; evaluation errors abort.
+func Refines(impl, spec *core.Interface, method string, inputs [][]core.Value, slack float64) (*RefinementReport, error) {
+	if impl == nil || spec == nil {
+		return nil, fmt.Errorf("verify: nil interface")
+	}
+	if slack < 0 {
+		return nil, fmt.Errorf("verify: negative slack")
+	}
+	rep := &RefinementReport{Method: method}
+	for _, in := range inputs {
+		iw, err := impl.WorstCaseJoules(method, in...)
+		if err != nil {
+			return nil, fmt.Errorf("verify: impl %s: %w", impl.Name(), err)
+		}
+		sw, err := spec.WorstCaseJoules(method, in...)
+		if err != nil {
+			return nil, fmt.Errorf("verify: spec %s: %w", spec.Name(), err)
+		}
+		rep.Checked++
+		if float64(iw) > float64(sw)*(1+slack) {
+			rep.Violations = append(rep.Violations, Violation{Input: in, Impl: iw, Spec: sw})
+		}
+	}
+	return rep, nil
+}
+
+// Case is one energy-bug probe: a predicted energy (from the interface)
+// and a measured energy (from running the implementation under a meter).
+type Case struct {
+	Name      string
+	Predicted func() (energy.Joules, error)
+	Measured  func() (energy.Joules, error)
+}
+
+// Divergence is one flagged energy bug.
+type Divergence struct {
+	Name      string
+	Predicted energy.Joules
+	Measured  energy.Joules
+	RelErr    float64
+}
+
+// BugReport summarizes a FindEnergyBugs run.
+type BugReport struct {
+	Checked     int
+	Divergences []Divergence
+}
+
+// OK reports whether no case diverged beyond tolerance.
+func (r *BugReport) OK() bool { return len(r.Divergences) == 0 }
+
+// FindEnergyBugs evaluates every case and flags those whose measured
+// energy diverges from the prediction by more than tol (relative).
+func FindEnergyBugs(cases []Case, tol float64) (*BugReport, error) {
+	if tol <= 0 {
+		return nil, fmt.Errorf("verify: non-positive tolerance")
+	}
+	rep := &BugReport{}
+	for _, c := range cases {
+		if c.Predicted == nil || c.Measured == nil {
+			return nil, fmt.Errorf("verify: case %q missing a probe", c.Name)
+		}
+		pred, err := c.Predicted()
+		if err != nil {
+			return nil, fmt.Errorf("verify: case %q predict: %w", c.Name, err)
+		}
+		meas, err := c.Measured()
+		if err != nil {
+			return nil, fmt.Errorf("verify: case %q measure: %w", c.Name, err)
+		}
+		rep.Checked++
+		if rel := energy.RelativeError(pred, meas); rel > tol {
+			rep.Divergences = append(rep.Divergences, Divergence{
+				Name: c.Name, Predicted: pred, Measured: meas, RelErr: rel,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// ConstReport summarizes a ConstantEnergy check.
+type ConstReport struct {
+	Method   string
+	Checked  int
+	Min, Max energy.Joules
+	// Spread is (Max-Min)/Max, 0 for a perfectly constant method.
+	Spread float64
+}
+
+// Constant reports whether the spread stayed within tol.
+func (r *ConstReport) Constant(tol float64) bool { return r.Spread <= tol }
+
+// ConstantEnergy checks whether a method's energy is independent of both
+// its inputs and its ECVs: it evaluates the full range (best case to worst
+// case) for every probe input and reports the global spread. Crypto-grade
+// constant energy means Spread == 0 across all secret-dependent inputs.
+func ConstantEnergy(iface *core.Interface, method string, inputs [][]core.Value) (*ConstReport, error) {
+	if iface == nil {
+		return nil, fmt.Errorf("verify: nil interface")
+	}
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("verify: no probe inputs")
+	}
+	rep := &ConstReport{Method: method}
+	first := true
+	for _, in := range inputs {
+		lo, err := iface.Eval(method, in, core.BestCase())
+		if err != nil {
+			return nil, fmt.Errorf("verify: %s: %w", iface.Name(), err)
+		}
+		hi, err := iface.Eval(method, in, core.WorstCase())
+		if err != nil {
+			return nil, fmt.Errorf("verify: %s: %w", iface.Name(), err)
+		}
+		rep.Checked++
+		if first || energy.Joules(lo.Min()) < rep.Min {
+			rep.Min = energy.Joules(lo.Min())
+		}
+		if first || energy.Joules(hi.Max()) > rep.Max {
+			rep.Max = energy.Joules(hi.Max())
+		}
+		first = false
+	}
+	if rep.Max > 0 {
+		rep.Spread = float64(rep.Max-rep.Min) / float64(rep.Max)
+	}
+	return rep, nil
+}

@@ -1,0 +1,294 @@
+package verify
+
+import (
+	"fmt"
+	"testing"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/energy"
+	"energyclarity/internal/gpusim"
+	"energyclarity/internal/nn"
+	"energyclarity/internal/nvml"
+)
+
+// linIface returns an interface whose method f(n) costs k*n joules, with
+// an optional ECV adding variance.
+func linIface(name string, k float64, ecvP float64) *core.Interface {
+	i := core.New(name)
+	if ecvP > 0 {
+		i.MustECV(core.BoolECV("hot", ecvP, ""))
+	}
+	i.MustMethod(core.Method{Name: "f", Params: []string{"n"}, Body: func(c *core.Call) energy.Joules {
+		e := energy.Joules(k * c.Num(0))
+		if ecvP > 0 && c.ECVBool("hot") {
+			e *= 2
+		}
+		return e
+	}})
+	return i
+}
+
+func inputs(ns ...float64) [][]core.Value {
+	out := make([][]core.Value, len(ns))
+	for i, n := range ns {
+		out[i] = []core.Value{core.Num(n)}
+	}
+	return out
+}
+
+func TestRefinesAccepts(t *testing.T) {
+	impl := linIface("impl", 1, 0.5) // worst case 2n
+	spec := linIface("spec", 3, 0)   // envelope 3n
+	rep, err := Refines(impl, spec, "f", inputs(1, 10, 100), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || rep.Checked != 3 {
+		t.Fatalf("refinement rejected: %+v", rep)
+	}
+}
+
+func TestRefinesFlagsViolations(t *testing.T) {
+	impl := linIface("impl", 2, 0.5) // worst case 4n
+	spec := linIface("spec", 3, 0)
+	rep, err := Refines(impl, spec, "f", inputs(1, 10), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || len(rep.Violations) != 2 {
+		t.Fatalf("violations missed: %+v", rep)
+	}
+	v := rep.Violations[0]
+	if v.Impl <= v.Spec {
+		t.Fatalf("violation fields wrong: %+v", v)
+	}
+}
+
+func TestRefinesSlack(t *testing.T) {
+	impl := linIface("impl", 1.05, 0)
+	spec := linIface("spec", 1, 0)
+	rep, err := Refines(impl, spec, "f", inputs(10), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatal("5% excess rejected under 10% slack")
+	}
+	rep, err = Refines(impl, spec, "f", inputs(10), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("5% excess accepted under 1% slack")
+	}
+}
+
+func TestRefinesErrors(t *testing.T) {
+	good := linIface("x", 1, 0)
+	if _, err := Refines(nil, good, "f", nil, 0); err == nil {
+		t.Fatal("nil impl accepted")
+	}
+	if _, err := Refines(good, nil, "f", nil, 0); err == nil {
+		t.Fatal("nil spec accepted")
+	}
+	if _, err := Refines(good, good, "f", nil, -1); err == nil {
+		t.Fatal("negative slack accepted")
+	}
+	if _, err := Refines(good, good, "nope", inputs(1), 0); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestFindEnergyBugsCleanSystem(t *testing.T) {
+	cases := []Case{{
+		Name:      "clean",
+		Predicted: func() (energy.Joules, error) { return 100, nil },
+		Measured:  func() (energy.Joules, error) { return 101, nil },
+	}}
+	rep, err := FindEnergyBugs(cases, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("clean system flagged: %+v", rep)
+	}
+}
+
+func TestFindEnergyBugsFlagsDivergence(t *testing.T) {
+	cases := []Case{{
+		Name:      "buggy",
+		Predicted: func() (energy.Joules, error) { return 100, nil },
+		Measured:  func() (energy.Joules, error) { return 150, nil },
+	}}
+	rep, err := FindEnergyBugs(cases, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() || rep.Divergences[0].RelErr < 0.3 {
+		t.Fatalf("divergence missed: %+v", rep)
+	}
+}
+
+func TestFindEnergyBugsErrors(t *testing.T) {
+	if _, err := FindEnergyBugs(nil, 0); err == nil {
+		t.Fatal("zero tolerance accepted")
+	}
+	if _, err := FindEnergyBugs([]Case{{Name: "half"}}, 0.1); err == nil {
+		t.Fatal("missing probes accepted")
+	}
+	failing := []Case{{
+		Name:      "err",
+		Predicted: func() (energy.Joules, error) { return 0, fmt.Errorf("boom") },
+		Measured:  func() (energy.Joules, error) { return 0, nil },
+	}}
+	if _, err := FindEnergyBugs(failing, 0.1); err == nil {
+		t.Fatal("probe error swallowed")
+	}
+}
+
+// TestEnergyBugOnRealStack injects a real energy bug — the GPT-2 engine
+// silently running with a doubled KV path (a "cache disabled" bug) — and
+// checks the §4.2 loop catches it while the healthy system passes.
+func TestEnergyBugOnRealStack(t *testing.T) {
+	spec := gpusim.RTX4090()
+	build := func(seed int64) (*gpusim.GPU, *core.Interface) {
+		g := gpusim.NewGPU(spec, seed)
+		coef := coefFor(t, g)
+		iface, err := nn.EnergyInterface(nn.GPT2Small(), spec, coef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g, iface
+	}
+
+	// Healthy: measured matches prediction.
+	gHealthy, iface := build(30)
+	engH, err := nn.NewEngine(nn.GPT2Small(), gHealthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meterH := nvml.NewMeter(gHealthy)
+	healthy := Case{
+		Name: "healthy-generate-50",
+		Predicted: func() (energy.Joules, error) {
+			return iface.ExpectedJoules("generate", core.Num(16), core.Num(50))
+		},
+		Measured: func() (energy.Joules, error) {
+			return meterH.Measure(func() { engH.Generate(16, 50) }), nil //nolint:errcheck
+		},
+	}
+
+	// Buggy: the service runs generation twice (a retry bug) but the
+	// interface predicts one run.
+	gBuggy, iface2 := build(30)
+	engB, err := nn.NewEngine(nn.GPT2Small(), gBuggy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meterB := nvml.NewMeter(gBuggy)
+	buggy := Case{
+		Name: "retry-bug-generate-50",
+		Predicted: func() (energy.Joules, error) {
+			return iface2.ExpectedJoules("generate", core.Num(16), core.Num(50))
+		},
+		Measured: func() (energy.Joules, error) {
+			return meterB.Measure(func() {
+				engB.Generate(16, 50) //nolint:errcheck
+				engB.Generate(16, 50) //nolint:errcheck
+			}), nil
+		},
+	}
+
+	rep, err := FindEnergyBugs([]Case{healthy, buggy}, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Divergences) != 1 || rep.Divergences[0].Name != "retry-bug-generate-50" {
+		t.Fatalf("bug detection wrong: %+v", rep)
+	}
+}
+
+func coefFor(t *testing.T, g *gpusim.GPU) *core.Interface {
+	t.Helper()
+	// Lightweight inline calibration avoids an import cycle on microbench
+	// in this test's hot path; datasheet coefficients are accurate enough
+	// for a 10% bug tolerance.
+	s := g.Spec()
+	hw := core.New("gpu_" + s.Name)
+	per := func(name string, e energy.Joules) {
+		hw.MustMethod(core.Method{Name: name, Params: []string{"n"},
+			Body: func(c *core.Call) energy.Joules { return e * energy.Joules(c.Num(0)) }})
+	}
+	per("instr", s.NomInstrEnergy)
+	per("l1", s.NomL1Energy)
+	per("l2", s.NomL2Energy)
+	per("vram", s.NomVRAMEnergy)
+	static := s.NomStaticPower
+	hw.MustMethod(core.Method{Name: "static", Params: []string{"seconds"},
+		Body: func(c *core.Call) energy.Joules { return static.OverSeconds(c.Num(0)) }})
+	hw.MustMethod(core.Method{Name: "kernel", Params: []string{"instr", "l1", "l2", "vram", "seconds"},
+		Body: func(c *core.Call) energy.Joules {
+			return c.Self("instr", core.Num(c.Num(0))) +
+				c.Self("l1", core.Num(c.Num(1))) +
+				c.Self("l2", core.Num(c.Num(2))) +
+				c.Self("vram", core.Num(c.Num(3))) +
+				c.Self("static", core.Num(c.Num(4)))
+		}})
+	return hw
+}
+
+func TestConstantEnergyAcceptsConstTime(t *testing.T) {
+	konst := core.New("aes").MustMethod(core.Method{
+		Name: "encrypt", Params: []string{"block"},
+		Body: func(c *core.Call) energy.Joules { return 42 },
+	})
+	rep, err := ConstantEnergy(konst, "encrypt", inputs(0, 1, 255, 1e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Constant(0) || rep.Spread != 0 {
+		t.Fatalf("constant method rejected: %+v", rep)
+	}
+}
+
+func TestConstantEnergyRejectsDataDependent(t *testing.T) {
+	leaky := core.New("rsa").MustMethod(core.Method{
+		Name: "encrypt", Params: []string{"key_bits"},
+		Body: func(c *core.Call) energy.Joules {
+			// Energy depends on the number of set key bits: a side channel.
+			return energy.Joules(1 + c.Num(0))
+		},
+	})
+	rep, err := ConstantEnergy(leaky, "encrypt", inputs(0, 8, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Constant(0.01) {
+		t.Fatalf("leaky method accepted: %+v", rep)
+	}
+}
+
+func TestConstantEnergyCountsECVVariance(t *testing.T) {
+	// Even with identical inputs, ECV-dependent energy is not constant.
+	i := linIface("x", 1, 0.5)
+	rep, err := ConstantEnergy(i, "f", inputs(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Constant(0.01) {
+		t.Fatalf("ECV-variable method accepted: %+v", rep)
+	}
+}
+
+func TestConstantEnergyErrors(t *testing.T) {
+	if _, err := ConstantEnergy(nil, "f", inputs(1)); err == nil {
+		t.Fatal("nil interface accepted")
+	}
+	i := linIface("x", 1, 0)
+	if _, err := ConstantEnergy(i, "f", nil); err == nil {
+		t.Fatal("no inputs accepted")
+	}
+	if _, err := ConstantEnergy(i, "nope", inputs(1)); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
