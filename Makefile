@@ -1,0 +1,27 @@
+# Stdlib-only Go repo; these targets are the whole verification surface.
+
+GO ?= go
+
+.PHONY: build test race bench bench-smoke all
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The evaluation engine, experiment sweeps, and calibration all fan out
+# across goroutines; run the full suite under the race detector before
+# merging anything that touches them.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# One-iteration smoke of the parallel-evaluation benchmark family: checks
+# the benchmarks still run and prints samples/sec at parallelism 1/4/max.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkEvalParallel' -benchtime=1x .

@@ -249,6 +249,77 @@ func BenchmarkA2EILInterface(b *testing.B) {
 	}
 }
 
+// BenchmarkEvalParallel measures Monte Carlo evaluation throughput at
+// fixed parallelism levels (1, 4, and one worker per CPU), reporting
+// samples/sec so runs on different machines compare directly. On a
+// machine with ≥4 CPUs the pmax case should approach a linear multiple
+// of p1; the sharded sampler makes the resulting Dist bit-identical at
+// every level.
+func BenchmarkEvalParallel(b *testing.B) {
+	const samples = 4096
+	iface := fig1Bench(b)
+	img := core.Record(map[string]core.Value{"pixels": core.Num(1e6), "zeros": core.Num(2e5)})
+	args := []core.Value{img}
+	for _, pc := range []struct {
+		name string
+		par  int
+	}{
+		{"p1", 1},
+		{"p4", 4},
+		{"pmax", 0}, // 0 = one worker per available CPU
+	} {
+		b.Run(pc.name, func(b *testing.B) {
+			opts := core.MonteCarlo(samples, 7)
+			opts.Parallelism = pc.par
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := iface.Eval("handle", args, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(samples)*float64(b.N)/b.Elapsed().Seconds(), "samples/sec")
+		})
+	}
+}
+
+// BenchmarkEvalParallelEnumerate measures exact-enumeration fan-out on a
+// wider joint ECV space (6 bool ECVs = 64 assignments) at the same
+// parallelism levels.
+func BenchmarkEvalParallelEnumerate(b *testing.B) {
+	iface := core.New("enum_bench")
+	for i := 0; i < 6; i++ {
+		iface.MustECV(core.BoolECV(string(rune('a'+i)), 0.5, ""))
+	}
+	iface.MustMethod(core.Method{Name: "run", Body: func(c *core.Call) energyclarity.Joules {
+		j := energyclarity.Joules(1)
+		for i := 0; i < 6; i++ {
+			if c.ECVBool(string(rune('a' + i))) {
+				j *= 2
+			}
+		}
+		return j
+	}})
+	for _, pc := range []struct {
+		name string
+		par  int
+	}{
+		{"p1", 1},
+		{"p4", 4},
+		{"pmax", 0},
+	} {
+		b.Run(pc.name, func(b *testing.B) {
+			opts := core.Expected()
+			opts.Parallelism = pc.par
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := iface.Eval("run", nil, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- framework microbenchmarks ---
 
 // BenchmarkGPUKernelLaunch measures simulator throughput (kernels/sec).

@@ -66,6 +66,14 @@ type EvalOptions struct {
 	// Seed seeds Monte Carlo sampling; evaluation is deterministic given
 	// Seed.
 	Seed int64
+	// Parallelism is the number of worker goroutines evaluation may use:
+	// 0 (the default) means one worker per available CPU
+	// (runtime.GOMAXPROCS), 1 forces the sequential reference path. Monte
+	// Carlo sampling uses fixed-size shards with per-shard deterministic
+	// RNG streams and exact enumeration partitions the assignment index
+	// range, so for a fixed Seed the resulting Dist is bit-identical at
+	// every parallelism level.
+	Parallelism int
 }
 
 // Expected returns options for ModeExpected.
@@ -330,48 +338,82 @@ func (i *Interface) Eval(method string, args []Value, opts EvalOptions) (energy.
 	if useMC {
 		return i.evalMonteCarlo(m, args, base, free, opts)
 	}
-	return i.evalEnumerate(m, args, base, free, opts.Mode)
+	return i.evalEnumerate(m, args, base, free, opts)
 }
 
+// enumChunkSize is the number of assignments one enumeration work unit
+// covers. Chunks are contiguous index ranges, so the (values, probs)
+// vectors come out in the same lexicographic order as a sequential walk.
+const enumChunkSize = 32
+
 func (i *Interface) evalEnumerate(m *Method, args []Value, base map[string]Value,
-	free []QualifiedECV, mode Mode) (energy.Dist, error) {
+	free []QualifiedECV, opts EvalOptions) (energy.Dist, error) {
 
-	assign := make(map[string]Value, len(base)+len(free))
-	for k, v := range base {
-		assign[k] = v
+	// Materialize the free dimensions with zero-probability support points
+	// dropped, and the row-major strides over the product space (the first
+	// free ECV is the most significant digit, matching the recursive-walk
+	// order this replaced).
+	type freeDim struct {
+		qn     string
+		ws     []Weighted
+		stride int
 	}
-	var values, probs []float64
+	dims := make([]freeDim, len(free))
+	for k, q := range free {
+		ws := make([]Weighted, 0, len(q.ECV.Dist))
+		for _, w := range q.ECV.Dist {
+			if w.P != 0 {
+				ws = append(ws, w)
+			}
+		}
+		dims[k] = freeDim{qn: q.QualifiedName(), ws: ws}
+	}
+	total := 1
+	for k := len(dims) - 1; k >= 0; k-- {
+		dims[k].stride = total
+		total *= len(dims[k].ws)
+	}
 
-	var walk func(idx int, p float64) error
-	walk = func(idx int, p float64) error {
-		if idx == len(free) {
+	values := energy.BorrowScratch(total)
+	probs := energy.BorrowScratch(total)
+	defer energy.ReturnScratch(values)
+	defer energy.ReturnScratch(probs)
+
+	nChunks := (total + enumChunkSize - 1) / enumChunkSize
+	err := runUnits(nChunks, opts.parallelism(), func(chunk int, g *evalGroup) error {
+		assign := make(map[string]Value, len(base)+len(dims))
+		for k, v := range base {
+			assign[k] = v
+		}
+		lo := chunk * enumChunkSize
+		hi := lo + enumChunkSize
+		if hi > total {
+			hi = total
+		}
+		for idx := lo; idx < hi; idx++ {
+			if g.cancelled() {
+				return nil
+			}
+			p := 1.0
+			for k := range dims {
+				w := dims[k].ws[(idx/dims[k].stride)%len(dims[k].ws)]
+				assign[dims[k].qn] = w.V
+				p *= w.P
+			}
 			j, err := i.evalOnce(m, args, assign)
 			if err != nil {
 				return err
 			}
-			values = append(values, float64(j))
-			probs = append(probs, p)
-			return nil
+			values[idx] = float64(j)
+			probs[idx] = p
 		}
-		q := free[idx]
-		qn := q.QualifiedName()
-		for _, w := range q.ECV.Dist {
-			if w.P == 0 {
-				continue
-			}
-			assign[qn] = w.V
-			if err := walk(idx+1, p*w.P); err != nil {
-				return err
-			}
-		}
-		delete(assign, qn)
 		return nil
-	}
-	if err := walk(0, 1); err != nil {
+	})
+	if err != nil {
 		return energy.Dist{}, err
 	}
 	full := energy.Categorical(values, probs)
-	switch mode {
+	switch opts.Mode {
 	case ModeWorstCase:
 		return energy.Point(full.Max()), nil
 	case ModeBestCase:
@@ -381,41 +423,71 @@ func (i *Interface) evalEnumerate(m *Method, args []Value, base map[string]Value
 	}
 }
 
+// mcShardSize is the number of samples one Monte Carlo shard draws from
+// its own RNG stream. The shard layout depends only on opts.Samples, so
+// the sample multiset — and therefore the resulting Dist — is identical
+// no matter how many workers execute the shards.
+const mcShardSize = 64
+
 func (i *Interface) evalMonteCarlo(m *Method, args []Value, base map[string]Value,
 	free []QualifiedECV, opts EvalOptions) (energy.Dist, error) {
 
-	rng := rand.New(rand.NewSource(opts.Seed))
-	assign := make(map[string]Value, len(base)+len(free))
-	for k, v := range base {
-		assign[k] = v
+	samples := opts.Samples
+	values := energy.BorrowScratch(samples)
+	probs := energy.BorrowScratch(samples)
+	defer energy.ReturnScratch(values)
+	defer energy.ReturnScratch(probs)
+	p := 1.0 / float64(samples)
+	for s := range probs {
+		probs[s] = p
 	}
-	var values, probs []float64
-	p := 1.0 / float64(opts.Samples)
-	worst, best := float64(0), 0.0
-	first := true
-	for s := 0; s < opts.Samples; s++ {
-		for _, q := range free {
-			assign[q.QualifiedName()] = q.ECV.sample(rng)
+
+	nShards := (samples + mcShardSize - 1) / mcShardSize
+	err := runUnits(nShards, opts.parallelism(), func(shard int, g *evalGroup) error {
+		rng := rand.New(rand.NewSource(shardSeed(opts.Seed, shard)))
+		assign := make(map[string]Value, len(base)+len(free))
+		for k, v := range base {
+			assign[k] = v
 		}
-		j, err := i.evalOnce(m, args, assign)
-		if err != nil {
-			return energy.Dist{}, err
+		lo := shard * mcShardSize
+		hi := lo + mcShardSize
+		if hi > samples {
+			hi = samples
 		}
-		v := float64(j)
-		if first || v > worst {
-			worst = v
+		for s := lo; s < hi; s++ {
+			if g.cancelled() {
+				return nil
+			}
+			for _, q := range free {
+				assign[q.QualifiedName()] = q.ECV.sample(rng)
+			}
+			j, err := i.evalOnce(m, args, assign)
+			if err != nil {
+				return err
+			}
+			values[s] = float64(j)
 		}
-		if first || v < best {
-			best = v
-		}
-		first = false
-		values = append(values, v)
-		probs = append(probs, p)
+		return nil
+	})
+	if err != nil {
+		return energy.Dist{}, err
 	}
 	switch opts.Mode {
 	case ModeWorstCase:
+		worst := values[0]
+		for _, v := range values[1:] {
+			if v > worst {
+				worst = v
+			}
+		}
 		return energy.Point(worst), nil
 	case ModeBestCase:
+		best := values[0]
+		for _, v := range values[1:] {
+			if v < best {
+				best = v
+			}
+		}
 		return energy.Point(best), nil
 	default:
 		return energy.Categorical(values, probs), nil

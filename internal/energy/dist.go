@@ -85,7 +85,10 @@ func Categorical(values, probs []float64) Dist {
 		items = append(items, wp{v, probs[i] / total})
 	}
 	sort.Slice(items, func(i, j int) bool { return items[i].x < items[j].x })
-	d := Dist{}
+	d := Dist{
+		xs: make([]float64, 0, len(items)),
+		ps: make([]float64, 0, len(items)),
+	}
 	for _, it := range items {
 		n := len(d.xs)
 		if n > 0 && d.xs[n-1] == it.x {
@@ -209,7 +212,9 @@ func (d Dist) Sample(rng *rand.Rand) float64 {
 }
 
 // Add returns the distribution of X+Y for independent X~d, Y~o
-// (discrete convolution). The result support is capped at MaxSupport.
+// (discrete convolution, computed by a sorted lane merge rather than a
+// build-and-sort of the full product). The result support is capped at
+// MaxSupport.
 func (d Dist) Add(o Dist) Dist {
 	if d.IsZero() {
 		return o
@@ -217,15 +222,7 @@ func (d Dist) Add(o Dist) Dist {
 	if o.IsZero() {
 		return d
 	}
-	values := make([]float64, 0, len(d.xs)*len(o.xs))
-	probs := make([]float64, 0, len(d.xs)*len(o.xs))
-	for i, x := range d.xs {
-		for j, y := range o.xs {
-			values = append(values, x+y)
-			probs = append(probs, d.ps[i]*o.ps[j])
-		}
-	}
-	return Categorical(values, probs).compact(MaxSupport)
+	return convolve(d, o).compact(MaxSupport)
 }
 
 // AddConst returns the distribution of X+c.
@@ -281,7 +278,6 @@ func Mix(weights []float64, dists []Dist) Dist {
 	if len(dists) == 0 {
 		panic("energy: Mix with no components")
 	}
-	var values, probs []float64
 	total := 0.0
 	for _, w := range weights {
 		if w < 0 || math.IsNaN(w) {
@@ -292,22 +288,17 @@ func Mix(weights []float64, dists []Dist) Dist {
 	if total <= 0 {
 		panic("energy: Mix weights sum to zero")
 	}
+	// Components are already sorted, so the mixture is a k-way merge over
+	// the non-zero-weight components rather than a build-and-sort.
+	ws := make([]float64, 0, len(dists))
+	comps := make([]Dist, 0, len(dists))
 	for k, dk := range dists {
-		w := weights[k] / total
-		if w == 0 {
-			continue
-		}
-		if dk.IsZero() {
-			values = append(values, 0)
-			probs = append(probs, w)
-			continue
-		}
-		for i, x := range dk.xs {
-			values = append(values, x)
-			probs = append(probs, w*dk.ps[i])
+		if w := weights[k] / total; w != 0 {
+			ws = append(ws, w)
+			comps = append(comps, dk)
 		}
 	}
-	return Categorical(values, probs).compact(MaxSupport)
+	return mergeComponents(ws, comps).compact(MaxSupport)
 }
 
 // Repeat returns the distribution of the sum of n independent copies of d.
@@ -333,29 +324,15 @@ func (d Dist) Repeat(n int) Dist {
 
 // compact merges adjacent support points (weighted by probability) until
 // the support size is at most limit. Merging adjacent points minimizes the
-// introduced error for sorted supports.
+// introduced error for sorted supports. Smallest gap merges first (ties
+// toward the left), via the O(n log n) pair heap in kernels.go.
 func (d Dist) compact(limit int) Dist {
 	if len(d.xs) <= limit {
 		return d
 	}
 	xs := append([]float64(nil), d.xs...)
 	ps := append([]float64(nil), d.ps...)
-	for len(xs) > limit {
-		// Find the adjacent pair with the smallest gap and merge it.
-		best := 0
-		bestGap := math.Inf(1)
-		for i := 0; i+1 < len(xs); i++ {
-			if gap := xs[i+1] - xs[i]; gap < bestGap {
-				bestGap = gap
-				best = i
-			}
-		}
-		p := ps[best] + ps[best+1]
-		x := (xs[best]*ps[best] + xs[best+1]*ps[best+1]) / p
-		xs[best], ps[best] = x, p
-		xs = append(xs[:best+1], xs[best+2:]...)
-		ps = append(ps[:best+1], ps[best+2:]...)
-	}
+	xs, ps = compactMerge(xs, ps, limit)
 	return Dist{xs: xs, ps: ps}
 }
 

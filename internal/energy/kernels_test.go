@@ -1,0 +1,211 @@
+package energy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// --- reference implementations (the pre-kernel code paths) ---
+
+// refAdd is the original build-the-product-then-sort convolution.
+func refAdd(d, o Dist) Dist {
+	if d.IsZero() {
+		return o
+	}
+	if o.IsZero() {
+		return d
+	}
+	values := make([]float64, 0, len(d.xs)*len(o.xs))
+	probs := make([]float64, 0, len(d.xs)*len(o.xs))
+	for i, x := range d.xs {
+		for j, y := range o.xs {
+			values = append(values, x+y)
+			probs = append(probs, d.ps[i]*o.ps[j])
+		}
+	}
+	return Categorical(values, probs).compact(MaxSupport)
+}
+
+// refMix is the original concatenate-then-sort mixture.
+func refMix(weights []float64, dists []Dist) Dist {
+	var values, probs []float64
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	for k, dk := range dists {
+		w := weights[k] / total
+		if w == 0 {
+			continue
+		}
+		if dk.IsZero() {
+			values = append(values, 0)
+			probs = append(probs, w)
+			continue
+		}
+		for i, x := range dk.xs {
+			values = append(values, x)
+			probs = append(probs, w*dk.ps[i])
+		}
+	}
+	return Categorical(values, probs).compact(MaxSupport)
+}
+
+// refCompact is the original quadratic smallest-gap rescan.
+func refCompact(d Dist, limit int) Dist {
+	if len(d.xs) <= limit {
+		return d
+	}
+	xs := append([]float64(nil), d.xs...)
+	ps := append([]float64(nil), d.ps...)
+	for len(xs) > limit {
+		best := 0
+		bestGap := math.Inf(1)
+		for i := 0; i+1 < len(xs); i++ {
+			if gap := xs[i+1] - xs[i]; gap < bestGap {
+				bestGap = gap
+				best = i
+			}
+		}
+		p := ps[best] + ps[best+1]
+		x := (xs[best]*ps[best] + xs[best+1]*ps[best+1]) / p
+		xs[best], ps[best] = x, p
+		xs = append(xs[:best+1], xs[best+2:]...)
+		ps = append(ps[:best+1], ps[best+2:]...)
+	}
+	return Dist{xs: xs, ps: ps}
+}
+
+func randomDist(rng *rand.Rand, n int) Dist {
+	values := make([]float64, n)
+	probs := make([]float64, n)
+	for i := range values {
+		// Coarse grid so duplicate support points (and sums) actually occur.
+		values[i] = float64(rng.Intn(50))
+		probs[i] = rng.Float64() + 0.01
+	}
+	return Categorical(values, probs)
+}
+
+func TestConvolutionMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		a := randomDist(rng, 1+rng.Intn(24))
+		b := randomDist(rng, 1+rng.Intn(24))
+		got := a.Add(b)
+		want := refAdd(a, b)
+		if !got.Equal(want, 1e-12) {
+			t.Fatalf("trial %d: Add mismatch\n got %v\nwant %v", trial, got, want)
+		}
+		if math.Abs(got.TotalProb()-1) > 1e-9 {
+			t.Fatalf("trial %d: total prob %v", trial, got.TotalProb())
+		}
+	}
+}
+
+func TestMixMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(5)
+		weights := make([]float64, k)
+		dists := make([]Dist, k)
+		for i := range dists {
+			weights[i] = rng.Float64()
+			if rng.Intn(6) == 0 {
+				weights[i] = 0 // exercise the zero-weight skip
+			}
+			if rng.Intn(6) == 0 {
+				dists[i] = Dist{} // exercise the zero-component lane
+			} else {
+				dists[i] = randomDist(rng, 1+rng.Intn(16))
+			}
+		}
+		// refMix/Mix both panic on all-zero weights; keep at least one.
+		weights[0] += 0.25
+		got := Mix(weights, dists)
+		want := refMix(weights, dists)
+		if !got.Equal(want, 1e-12) {
+			t.Fatalf("trial %d: Mix mismatch\n got %v\nwant %v", trial, got, want)
+		}
+	}
+}
+
+// TestCompactMatchesReference: the heap-based compaction must reproduce
+// the quadratic rescan's merge sequence exactly (same smallest-gap,
+// leftmost-tie policy), so the outputs are bit-identical.
+func TestCompactMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 20 + rng.Intn(120)
+		values := make([]float64, n)
+		probs := make([]float64, n)
+		for i := range values {
+			values[i] = rng.Float64() * 100
+			if rng.Intn(4) == 0 {
+				values[i] = math.Floor(values[i]) // equal gaps to exercise ties
+			}
+			probs[i] = rng.Float64() + 0.01
+		}
+		d := Categorical(values, probs)
+		limit := 1 + rng.Intn(16)
+		got := d.compact(limit)
+		want := refCompact(d, limit)
+		if got.Len() > limit {
+			t.Fatalf("trial %d: compact left %d > limit %d", trial, got.Len(), limit)
+		}
+		if !got.Equal(want, 0) {
+			t.Fatalf("trial %d (limit %d): compact mismatch\n got %v\nwant %v",
+				trial, limit, got, want)
+		}
+	}
+}
+
+func TestConvolutionLargeSupportCapped(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Two wide irrational-grid dists: the raw product has ~MaxSupport²
+	// points and must be compacted down.
+	mk := func() Dist {
+		values := make([]float64, MaxSupport)
+		probs := make([]float64, MaxSupport)
+		for i := range values {
+			values[i] = rng.Float64() * 1000
+			probs[i] = 1
+		}
+		return Categorical(values, probs)
+	}
+	a, b := mk(), mk()
+	s := a.Add(b)
+	if s.Len() > MaxSupport {
+		t.Fatalf("support %d > MaxSupport", s.Len())
+	}
+	wantMean := a.Mean() + b.Mean()
+	if math.Abs(s.Mean()-wantMean) > 1e-6*math.Abs(wantMean) {
+		t.Fatalf("mean drifted: %v vs %v", s.Mean(), wantMean)
+	}
+	if math.Abs(s.TotalProb()-1) > 1e-9 {
+		t.Fatalf("total prob %v", s.TotalProb())
+	}
+}
+
+func TestScratchPoolRoundTrip(t *testing.T) {
+	a := BorrowScratch(100)
+	if len(a) != 100 {
+		t.Fatalf("len %d", len(a))
+	}
+	for i := range a {
+		a[i] = float64(i)
+	}
+	ReturnScratch(a)
+	b := BorrowScratch(10)
+	if len(b) != 10 {
+		t.Fatalf("len %d", len(b))
+	}
+	ReturnScratch(b)
+	// Growing borrow after a small one must still size correctly.
+	c := BorrowScratch(5000)
+	if len(c) != 5000 {
+		t.Fatalf("len %d", len(c))
+	}
+	ReturnScratch(c)
+}

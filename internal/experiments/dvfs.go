@@ -97,21 +97,30 @@ func E9DVFS() (*E9Result, error) {
 		iface *core.Interface
 		gpu   *gpusim.GPU
 	}
-	var points []opPoint
-	for _, scale := range base.DVFSScales {
+	// Per-operating-point calibration regressions are independent — each
+	// worker owns a fresh GPU instance built from the shared spec and seed
+	// (identical silicon, untouched state) — so they fan out across
+	// workers with trajectories identical to the sequential sweep.
+	points := make([]opPoint, len(base.DVFSScales))
+	err := forEachIndexed(len(base.DVFSScales), func(i int) error {
+		scale := base.DVFSScales[i]
 		g := gpusim.NewGPU(base, Seed4090)
 		if err := g.SetDVFSScale(scale); err != nil {
-			return nil, err
+			return err
 		}
 		coef, err := microbench.CalibrateSpec(g, CalibrationRepeats, base.AtScale(scale))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		iface, err := nn.StackInterface(nn.GPT2Small(), coef.DeviceInterface(base.AtScale(scale)))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		points = append(points, opPoint{scale: scale, iface: iface, gpu: g})
+		points[i] = opPoint{scale: scale, iface: iface, gpu: g}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	for _, w := range e9Workloads() {

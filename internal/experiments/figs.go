@@ -68,16 +68,22 @@ const (
 // from its own statistics, predict per-request energy with the Fig. 1
 // interface, then measure a fresh request window with RAPL (host) + NVML
 // (GPU) and compare.
+// Capacity points are independent — each builds its own rig, host, and
+// service — so they fan out across workers; results keep sweep order.
 func Fig1WebService() (*Fig1Result, error) {
-	res := &Fig1Result{}
-	for _, capacity := range Fig1Capacities {
-		pt, err := fig1Point(capacity)
+	pts := make([]Fig1Point, len(Fig1Capacities))
+	err := forEachIndexed(len(Fig1Capacities), func(i int) error {
+		pt, err := fig1Point(Fig1Capacities[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Points = append(res.Points, pt)
+		pts[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig1Result{Points: pts}, nil
 }
 
 func fig1Point(localCap int) (Fig1Point, error) {

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEachIndexed runs fn(i) for every i in [0, n) across up to
+// GOMAXPROCS worker goroutines and returns the first error (remaining
+// units are skipped once a unit fails). Units must be independent and
+// write their results keyed by index, so the schedule cannot affect the
+// outcome — the experiment fan-outs that use this construct one
+// gpusim.GPU (stateful: thermal and clock drift) per unit from the shared
+// Spec and seed instead of sharing a device across goroutines, which
+// keeps every unit's ground-truth trajectory identical to a sequential
+// run of the same unit.
+func forEachIndexed(n int, fn func(i int) error) error {
+	par := runtime.GOMAXPROCS(0)
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		stop    atomic.Bool
+		mu      sync.Mutex
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || stop.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstEr == nil {
+						firstEr = err
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}

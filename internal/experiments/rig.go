@@ -24,6 +24,7 @@ const CalibrationRepeats = 3
 // and its bottom-layer energy interface.
 type Rig struct {
 	Spec   gpusim.Spec
+	Seed   int64 // device seed: NewGPU(Spec, Seed) replicates the silicon
 	GPU    *gpusim.GPU
 	Coef   microbench.Coefficients
 	Device *core.Interface // microbench.DeviceInterface: coefficients + datasheet model
@@ -38,11 +39,18 @@ func NewRig(spec gpusim.Spec, seed int64) (*Rig, error) {
 	}
 	return &Rig{
 		Spec:   spec,
+		Seed:   seed,
 		GPU:    g,
 		Coef:   coef,
 		Device: coef.DeviceInterface(spec),
 	}, nil
 }
+
+// Replica constructs a fresh device with the rig's spec and seed: the
+// same hidden silicon (deviations, sensor noise stream) in pristine
+// operating state. Workers that measure concurrently each take a replica
+// because gpusim.GPU is stateful and not safe for concurrent use.
+func (r *Rig) Replica() *gpusim.GPU { return gpusim.NewGPU(r.Spec, r.Seed) }
 
 // Rig4090 returns the canonical RTX 4090 testbed.
 func Rig4090() (*Rig, error) { return NewRig(gpusim.RTX4090(), Seed4090) }

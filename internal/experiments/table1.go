@@ -58,21 +58,28 @@ func (r *Table1Result) Table() *Table {
 // interface via microbenchmark calibration, compose the GPT-2 interface on
 // top, predict single-inference energy for each generation length, measure
 // the actual inference with the (simulated) NVML meter, and report the
-// average and maximum relative error per device.
+// average and maximum relative error per device. The two device rows run
+// concurrently (each builds its own rig), as do the per-generation-length
+// runs within a row.
 func Table1() (*Table1Result, error) {
-	res := &Table1Result{}
-	for _, mk := range []func() (*Rig, error){Rig4090, Rig3070} {
-		rig, err := mk()
+	mks := []func() (*Rig, error){Rig4090, Rig3070}
+	rows := make([]Table1Row, len(mks))
+	err := forEachIndexed(len(mks), func(i int) error {
+		rig, err := mks[i]()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row, err := table1Device(rig)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Table1Result{Rows: rows}, nil
 }
 
 func table1Device(rig *Rig) (Table1Row, error) {
@@ -80,35 +87,49 @@ func table1Device(rig *Rig) (Table1Row, error) {
 	if err != nil {
 		return Table1Row{}, err
 	}
-	eng, err := nn.NewEngine(nn.GPT2Small(), rig.GPU)
-	if err != nil {
-		return Table1Row{}, err
-	}
-	meter := nvml.NewMeter(rig.GPU)
-	row := Table1Row{Device: rig.Spec.Name}
-	for _, tok := range Table1TokenCounts {
-		// Let the device return to idle temperature between runs, as a lab
-		// methodology would.
-		rig.GPU.Idle(1.0)
+	runs := make([]Table1Run, len(Table1TokenCounts))
+	err = forEachIndexed(len(Table1TokenCounts), func(k int) error {
+		tok := Table1TokenCounts[k]
+		// Each run measures on its own replica of the rig's silicon:
+		// gpusim.GPU is stateful (thermal and clock drift), so sharing
+		// rig.GPU across workers would both race and entangle the runs'
+		// trajectories. A replica starting from idle is exactly the lab
+		// methodology of letting the device return to idle temperature
+		// between runs — and it makes every run's ground truth independent
+		// of scheduling, so Table 1 is identical at any parallelism.
+		gpu := rig.Replica()
+		eng, err := nn.NewEngine(nn.GPT2Small(), gpu)
+		if err != nil {
+			return err
+		}
+		meter := nvml.NewMeter(gpu)
+		gpu.Idle(1.0)
 		predicted, err := iface.ExpectedJoules("generate",
 			core.Num(Table1PromptLen), core.Num(float64(tok)))
 		if err != nil {
-			return Table1Row{}, err
+			return err
 		}
 		snap := meter.Snapshot()
 		if _, err := eng.Generate(Table1PromptLen, tok); err != nil {
-			return Table1Row{}, err
+			return err
 		}
 		measured := meter.EnergySince(snap)
-		rel := energy.RelativeError(predicted, measured)
-		row.PerRun = append(row.PerRun, Table1Run{
-			Tokens: tok, Predicted: predicted, Measured: measured, RelErr: rel,
-		})
-		row.AvgErr += rel
-		if rel > row.MaxErr {
-			row.MaxErr = rel
+		runs[k] = Table1Run{
+			Tokens: tok, Predicted: predicted, Measured: measured,
+			RelErr: energy.RelativeError(predicted, measured),
+		}
+		return nil
+	})
+	if err != nil {
+		return Table1Row{}, err
+	}
+	row := Table1Row{Device: rig.Spec.Name, PerRun: runs}
+	for _, run := range runs {
+		row.AvgErr += run.RelErr
+		if run.RelErr > row.MaxErr {
+			row.MaxErr = run.RelErr
 		}
 	}
-	row.AvgErr /= float64(len(Table1TokenCounts))
+	row.AvgErr /= float64(len(runs))
 	return row, nil
 }

@@ -1,0 +1,133 @@
+package microbench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"energyclarity/internal/energy"
+	"energyclarity/internal/gpusim"
+	"energyclarity/internal/nvml"
+)
+
+// CalibrateReplicas fits the same coefficient model as Calibrate, but fans
+// the per-kernel measurements of the suite across up to par workers.
+// gpusim.GPU is stateful (thermal drift, sensor stream, clock), so the
+// workers do not share a device: each suite row is measured on its own
+// replica constructed from (spec, seed) — identical hidden silicon in
+// pristine operating state. Every row's ground-truth trajectory therefore
+// depends only on the row itself, never on scheduling, and the returned
+// Coefficients are bit-identical at any par (0 means one worker per CPU).
+//
+// Relative to Calibrate's single shared device, per-replica rows start
+// cool instead of inheriting the previous row's residual warmth; the
+// fitted coefficients differ by well under the calibration error budget
+// (see TestCalibrateReplicasTracksCalibrate) while the suite wall-clock
+// drops by ~the worker count.
+func CalibrateReplicas(spec gpusim.Spec, seed int64, repeats, par int) (Coefficients, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+
+	// Static power from a dedicated idle replica — the same fresh-device
+	// trajectory as Calibrate's step 1.
+	gs := gpusim.NewGPU(spec, seed)
+	meter := nvml.NewMeter(gs)
+	snap := meter.Snapshot()
+	gs.Idle(staticIdleSeconds)
+	staticW, err := meter.AveragePowerSince(snap)
+	if err != nil || staticW <= 0 {
+		return Coefficients{}, fmt.Errorf("microbench: %s: static measurement failed (%v)", spec.Name, err)
+	}
+
+	suite := Suite(spec)
+	xs := make([][]float64, len(suite))
+	ys := make([]float64, len(suite))
+	if err := forEachRow(len(suite), par, func(r int) error {
+		k := suite[r]
+		g := gpusim.NewGPU(spec, seed) // per-worker replica, never shared
+		m := nvml.NewMeter(g)
+		tr := spec.SpecTraffic(k)
+		dur := spec.SpecDuration(k, tr)
+		snap := m.Snapshot()
+		for rep := 0; rep < repeats; rep++ {
+			g.Launch(k)
+		}
+		measured := float64(m.EnergySince(snap)) / float64(repeats)
+		dynamic := measured - float64(staticW.OverSeconds(dur))
+		xs[r] = []float64{k.Instructions, tr.L1Wavefronts, tr.L2Sectors, tr.VRAMSectors}
+		ys[r] = dynamic
+		return nil
+	}); err != nil {
+		return Coefficients{}, fmt.Errorf("microbench: %s: %w", spec.Name, err)
+	}
+
+	coef, err := leastSquares(xs, ys)
+	if err != nil {
+		return Coefficients{}, fmt.Errorf("microbench: %s: %w", spec.Name, err)
+	}
+	for i, c := range coef {
+		if c <= 0 {
+			return Coefficients{}, fmt.Errorf("microbench: %s: non-physical coefficient %d (%g)",
+				spec.Name, i, c)
+		}
+	}
+	return Coefficients{
+		Device: spec.Name,
+		Instr:  energy.Joules(coef[0]),
+		L1:     energy.Joules(coef[1]),
+		L2:     energy.Joules(coef[2]),
+		VRAM:   energy.Joules(coef[3]),
+		Static: staticW,
+	}, nil
+}
+
+// forEachRow runs fn(r) for r in [0, n) across at most par goroutines;
+// the first error cancels the remaining rows.
+func forEachRow(n, par int, fn func(r int) error) error {
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for r := 0; r < n; r++ {
+			if err := fn(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next  atomic.Int64
+		stop  atomic.Bool
+		mu    sync.Mutex
+		first error
+		wg    sync.WaitGroup
+	)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				r := int(next.Add(1) - 1)
+				if r >= n || stop.Load() {
+					return
+				}
+				if err := fn(r); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}

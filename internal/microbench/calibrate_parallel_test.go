@@ -1,0 +1,86 @@
+package microbench
+
+import (
+	"math"
+	"testing"
+
+	"energyclarity/internal/gpusim"
+)
+
+// CalibrateReplicas must be bit-identical across worker counts: every suite
+// row is measured on its own fresh replica, so scheduling cannot leak into
+// any trajectory.
+func TestCalibrateReplicasDeterministicAcrossParallelism(t *testing.T) {
+	ref, err := CalibrateReplicas(gpusim.RTX4090(), 7, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 4, 0} {
+		c, err := CalibrateReplicas(gpusim.RTX4090(), 7, 2, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c != ref {
+			t.Fatalf("par=%d: %+v differs from sequential %+v", par, c, ref)
+		}
+	}
+}
+
+// Measuring each row on a pristine replica instead of Calibrate's single
+// warm device changes the thermal history, so the fits differ — but only by
+// a small margin relative to the true coefficients; both must remain honest
+// calibrations of the same silicon.
+func TestCalibrateReplicasTracksCalibrate(t *testing.T) {
+	for _, tc := range []struct {
+		spec gpusim.Spec
+		seed int64
+		tol  float64
+	}{
+		{gpusim.RTX4090(), 42, 0.10},
+		{gpusim.RTX3070(), 42, 0.25},
+	} {
+		shared, err := Calibrate(gpusim.NewGPU(tc.spec, tc.seed), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repl, err := CalibrateReplicas(tc.spec, tc.seed, 3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check := func(name string, a, b float64) {
+			rel := math.Abs(a-b) / math.Abs(b)
+			if rel > tc.tol {
+				t.Errorf("%s %s: replica fit %.4g vs shared fit %.4g (rel %.4f > %.4f)",
+					tc.spec.Name, name, a, b, rel, tc.tol)
+			}
+		}
+		check("instr", float64(repl.Instr), float64(shared.Instr))
+		check("l1", float64(repl.L1), float64(shared.L1))
+		check("l2", float64(repl.L2), float64(shared.L2))
+		check("vram", float64(repl.VRAM), float64(shared.VRAM))
+		check("static", float64(repl.Static), float64(shared.Static))
+	}
+}
+
+// The replica path must recover the device's true coefficients about as well
+// as the shared-device path does (TestCalibrateRecoversCoefficients4090).
+func TestCalibrateReplicasRecoversCoefficients(t *testing.T) {
+	g := gpusim.NewGPU(gpusim.RTX4090(), 42)
+	instr, l1, l2, vram, static := g.TrueCoefficientsForTest()
+	c, err := CalibrateReplicas(gpusim.RTX4090(), 42, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, got, truth, tol float64) {
+		rel := math.Abs(got-truth) / truth
+		if rel > tol {
+			t.Errorf("%s: estimated %.4g vs true %.4g (rel %.4f > %.4f)",
+				name, got, truth, rel, tol)
+		}
+	}
+	check("instr", float64(c.Instr), float64(instr), 0.03)
+	check("l1", float64(c.L1), float64(l1), 0.03)
+	check("l2", float64(c.L2), float64(l2), 0.06)
+	check("vram", float64(c.VRAM), float64(vram), 0.06)
+	check("static", float64(c.Static), float64(static), 0.10)
+}
