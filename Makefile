@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke all
+.PHONY: build test race bench bench-smoke vet fmt-check serve-smoke all
 
 all: build test
 
@@ -11,6 +11,14 @@ build:
 
 test:
 	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# gofmt takes no exit code for diffs; fail if it would rewrite anything.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # The evaluation engine, experiment sweeps, and calibration all fan out
 # across goroutines; run the full suite under the race detector before
@@ -25,3 +33,9 @@ bench:
 # the benchmarks still run and prints samples/sec at parallelism 1/4/max.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEvalParallel' -benchtime=1x .
+
+# End-to-end daemon self-test: eid serves on a loopback port, registers
+# the Fig. 1 mlservice interface over the wire, queries it (the repeat
+# must be a memo hit), and asserts 200s throughout. See docs/EID.md.
+serve-smoke:
+	$(GO) run ./cmd/eid -smoke

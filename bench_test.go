@@ -7,11 +7,13 @@ package energyclarity_test
 // evaluation throughput, EIL interpretation overhead, simulator speed).
 
 import (
+	"net/http/httptest"
 	"testing"
 
 	"energyclarity"
 	"energyclarity/internal/core"
 	"energyclarity/internal/eil"
+	"energyclarity/internal/eisvc"
 	"energyclarity/internal/experiments"
 	"energyclarity/internal/gpusim"
 	"energyclarity/internal/microbench"
@@ -318,6 +320,65 @@ func BenchmarkEvalParallelEnumerate(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkE11DaemonServing regenerates the daemon-serving experiment.
+func BenchmarkE11DaemonServing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.E11DaemonServing()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.HitRate, "%memoHits")
+		b.ReportMetric(float64(res.Shed()), "shed")
+	}
+}
+
+// BenchmarkDaemonEval measures wire-served evaluation through the eid
+// daemon over real loopback HTTP: cold (every request carries a fresh
+// Monte Carlo seed, so the memo can never answer) against memo hits (the
+// same request repeated). The gap is the daemon's pitch: a hit costs one
+// HTTP round-trip and a cache lookup instead of a full evaluation.
+func BenchmarkDaemonEval(b *testing.B) {
+	const samples = 32768
+	srv := eisvc.NewServer(eisvc.Config{})
+	if _, err := srv.Registry().RegisterInterface("ml_webservice", fig1Bench(b)); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := eisvc.NewClient(ts.URL)
+	img := core.Record(map[string]core.Value{"pixels": core.Num(1e6), "zeros": core.Num(2e5)})
+	args := []core.Value{img}
+	var seed int64 // persists across the harness's calibration reruns
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			seed++
+			_, resp, err := c.Eval("ml_webservice", "handle", args, core.MonteCarlo(samples, seed))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Cached {
+				b.Fatal("distinct seeds must not hit the memo")
+			}
+		}
+	})
+	b.Run("memo-hit", func(b *testing.B) {
+		opts := core.MonteCarlo(samples, 7)
+		if _, _, err := c.Eval("ml_webservice", "handle", args, opts); err != nil {
+			b.Fatal(err) // warm the memo
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, resp, err := c.Eval("ml_webservice", "handle", args, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !resp.Cached {
+				b.Fatal("repeated request missed the memo")
+			}
+		}
+	})
 }
 
 // --- framework microbenchmarks ---

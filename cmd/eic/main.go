@@ -6,7 +6,12 @@
 //	eic check file.eil            parse + semantic-check, report errors
 //	eic fmt file.eil              print the canonical formatting
 //	eic describe file.eil         list interfaces, ECVs, methods, bindings
-//	eic eval -i name -m method [-args json] [-mode expected|worst|best] file.eil
+//	eic eval -i name -m method [-args json] [-mode mode] file.eil
+//
+// Modes take the spellings core.Mode.String emits — expected, worst-case,
+// best-case, fixed, monte-carlo — plus the short aliases worst and best;
+// the same parser (core.ParseMode) backs the eid daemon's wire protocol,
+// so CLI and daemon agree.
 //
 // Arguments are passed as a JSON array, e.g. -args '[1024, true, {"size": 10}]'.
 // JSON objects become records, arrays become lists.
@@ -90,7 +95,7 @@ func evalCmd(args []string) error {
 	ifaceName := fs.String("i", "", "interface name (default: last in file)")
 	method := fs.String("m", "", "method name (required)")
 	argsJSON := fs.String("args", "[]", "method arguments as a JSON array")
-	mode := fs.String("mode", "expected", "expected | worst | best")
+	mode := fs.String("mode", "expected", "expected | worst-case | best-case | fixed | monte-carlo")
 	samples := fs.Int("samples", 0, "Monte Carlo samples (0 = exact enumeration)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -133,16 +138,11 @@ func evalCmd(args []string) error {
 		vals[i] = v
 	}
 
-	opts := core.Expected()
-	switch *mode {
-	case "expected":
-	case "worst":
-		opts = core.WorstCase()
-	case "best":
-		opts = core.BestCase()
-	default:
-		return fmt.Errorf("eval: unknown mode %q", *mode)
+	m, err := core.ParseMode(*mode)
+	if err != nil {
+		return fmt.Errorf("eval: %w", err)
 	}
+	opts := core.EvalOptions{Mode: m}
 	if *samples > 0 {
 		opts.Mode = core.ModeMonteCarlo
 		opts.Samples = *samples

@@ -1,0 +1,174 @@
+// Command eid is the energy-interface daemon: a long-running service that
+// plays the Fig. 2 resource-manager role over a network boundary. It holds
+// a registry of bound energy-interface stacks, evaluates them on demand in
+// all five modes behind a memoization cache, sheds load instead of
+// queueing without bound, and attributes evaluated joules per client.
+//
+// Usage:
+//
+//	eid [-addr host:port] [-workers n] [-queue n] [-memo n]
+//	    [-deadline d] [-max-samples n] [-fig1] [-load file.eil]...
+//	eid -smoke        self-test: serve on a loopback port, register the
+//	                  Fig. 1 interface, query it, assert a 200, exit
+//
+// With -fig1 (implied by -smoke) the daemon seeds a calibrated
+// "cnn_forward" hardware interface (the Fig. 1 CNN priced on the canonical
+// RTX 4090 rig), so the paper-verbatim mlservice.Fig1EIL source registers
+// as-is. See docs/EID.md for the endpoint reference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/eisvc"
+	"energyclarity/internal/experiments"
+	"energyclarity/internal/mlservice"
+	"energyclarity/internal/nn"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "eid:", err)
+		os.Exit(1)
+	}
+}
+
+// stringList collects repeatable -load flags.
+type stringList []string
+
+func (l *stringList) String() string     { return fmt.Sprint([]string(*l)) }
+func (l *stringList) Set(v string) error { *l = append(*l, v); return nil }
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("eid", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7757", "listen address")
+	workers := fs.Int("workers", 0, "concurrent evaluations (0 = one per CPU)")
+	queue := fs.Int("queue", 0, "admission queue depth limit (0 = default 64)")
+	memo := fs.Int("memo", 0, "memo cache capacity (0 = default 1024)")
+	deadline := fs.Duration("deadline", 0, "default queue-wait deadline (0 = 5s)")
+	maxSamples := fs.Int("max-samples", 0, "per-request Monte Carlo sample cap (0 = default)")
+	fig1 := fs.Bool("fig1", false, "seed the calibrated Fig. 1 cnn_forward hardware interface")
+	smoke := fs.Bool("smoke", false, "self-test against a loopback listener, then exit")
+	var loads stringList
+	fs.Var(&loads, "load", "register an .eil file at startup (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := eisvc.NewServer(eisvc.Config{
+		Workers:         *workers,
+		QueueLimit:      *queue,
+		MemoCapacity:    *memo,
+		DefaultDeadline: *deadline,
+		MaxSamples:      *maxSamples,
+	})
+	if *fig1 || *smoke {
+		if err := seedFig1(srv); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "eid: seeded calibrated cnn_forward (Fig. 1 CNN on RTX4090)")
+	}
+	for _, path := range loads {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		names, err := srv.Registry().RegisterSource(string(data))
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Fprintf(out, "eid: %s: registered %v\n", path, names)
+	}
+
+	if *smoke {
+		return runSmoke(srv, out)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "eid: serving on http://%s (%d interface(s) registered)\n",
+		ln.Addr(), srv.Registry().Len())
+	return http.Serve(ln, srv)
+}
+
+// seedFig1 registers the calibrated CNN hardware interface under the name
+// mlservice.Fig1EIL's 'uses' clause expects.
+func seedFig1(srv *eisvc.Server) error {
+	rig, err := experiments.Rig4090()
+	if err != nil {
+		return err
+	}
+	cnn, err := nn.CNNEnergyInterface(nn.Fig1CNN(), rig.Spec, rig.Coef.HardwareInterface())
+	if err != nil {
+		return err
+	}
+	_, err = srv.Registry().RegisterInterface("cnn_forward", cnn)
+	return err
+}
+
+// runSmoke exercises the whole serving path over real loopback HTTP: it
+// registers the paper-verbatim Fig. 1 interface, evaluates it in expected
+// and Monte Carlo modes (the second ask must be a memo hit), and checks
+// the stats endpoint — any non-200 fails the run.
+func runSmoke(srv *eisvc.Server, out io.Writer) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+
+	c := eisvc.NewClient("http://" + ln.Addr().String())
+	c.ID = "serve-smoke"
+	c.Deadline = 10 * time.Second
+
+	infos, err := c.Register(mlservice.Fig1EIL)
+	if err != nil {
+		return fmt.Errorf("smoke register: %w", err)
+	}
+	fmt.Fprintf(out, "eid: registered %d interface(s) from Fig1EIL\n", len(infos))
+
+	req := core.Record(map[string]core.Value{
+		"image":  core.Num(1),
+		"pixels": core.Num(640 * 480),
+		"zeros":  core.Num(3e4),
+	})
+	args := []core.Value{req}
+	d, _, err := c.Eval("ml_webservice", "handle", args, core.Expected())
+	if err != nil {
+		return fmt.Errorf("smoke eval (expected): %w", err)
+	}
+	fmt.Fprintf(out, "eid: E[handle] = %.6g J over %d support points\n", d.Mean(), d.Len())
+
+	mc := core.MonteCarlo(2048, 7)
+	if _, resp, err := c.Eval("ml_webservice", "handle", args, mc); err != nil {
+		return fmt.Errorf("smoke eval (monte-carlo): %w", err)
+	} else if resp.Cached {
+		return fmt.Errorf("smoke: first monte-carlo eval claimed a memo hit")
+	}
+	_, resp, err := c.Eval("ml_webservice", "handle", args, mc)
+	if err != nil {
+		return fmt.Errorf("smoke eval (repeat): %w", err)
+	}
+	if !resp.Cached {
+		return fmt.Errorf("smoke: repeated monte-carlo eval missed the memo")
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		return fmt.Errorf("smoke stats: %w", err)
+	}
+	fmt.Fprintf(out, "eid: serve-smoke ok — %d evals, %d memo hit(s), %.4g J attributed to %q\n",
+		st.EvalRequests, st.MemoHits, st.AttribJ, c.ID)
+	return nil
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSmoke runs the full serve-smoke path: seed hardware, serve on a
+// loopback port, register Fig. 1 over the wire, evaluate, check the memo
+// and the ledger.
+func TestSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-smoke"}, &out); err != nil {
+		t.Fatalf("smoke failed: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"seeded calibrated cnn_forward", "serve-smoke ok", "memo hit"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("smoke output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-load", "/nonexistent/file.eil"}, &out); err == nil {
+		t.Error("missing -load file accepted")
+	}
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,99 @@
+package cache
+
+import "container/list"
+
+// Store is a fixed-capacity least-recently-used map from string keys to
+// values of type V. It generalizes LRU (a key set) to a key-value store
+// with the same eviction discipline; the energy-interface daemon uses it
+// to memoize evaluation results. Like LRU, a Store is not safe for
+// concurrent use — callers wrap it in their own lock.
+type Store[V any] struct {
+	capacity int
+	ll       *list.List
+	items    map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type storeEntry[V any] struct {
+	key string
+	val V
+}
+
+// NewStore returns a Store holding at most capacity entries. A capacity of
+// 0 is a valid always-miss store; negative capacities panic.
+func NewStore[V any](capacity int) *Store[V] {
+	if capacity < 0 {
+		panic("cache: negative capacity")
+	}
+	return &Store[V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Capacity returns the configured capacity.
+func (s *Store[V]) Capacity() int { return s.capacity }
+
+// Len returns the number of stored entries.
+func (s *Store[V]) Len() int { return s.ll.Len() }
+
+// Get returns the value for key, updating recency and hit/miss counters.
+func (s *Store[V]) Get(key string) (V, bool) {
+	if el, ok := s.items[key]; ok {
+		s.ll.MoveToFront(el)
+		s.hits++
+		return el.Value.(*storeEntry[V]).val, true
+	}
+	s.misses++
+	var zero V
+	return zero, false
+}
+
+// Put inserts key (or replaces its value), evicting the least-recently-used
+// entry if over capacity. It reports whether an eviction happened.
+func (s *Store[V]) Put(key string, val V) (evicted bool) {
+	if s.capacity == 0 {
+		return false
+	}
+	if el, ok := s.items[key]; ok {
+		el.Value.(*storeEntry[V]).val = val
+		s.ll.MoveToFront(el)
+		return false
+	}
+	el := s.ll.PushFront(&storeEntry[V]{key: key, val: val})
+	s.items[key] = el
+	if s.ll.Len() > s.capacity {
+		back := s.ll.Back()
+		s.ll.Remove(back)
+		delete(s.items, back.Value.(*storeEntry[V]).key)
+		s.evictions++
+		return true
+	}
+	return false
+}
+
+// Purge drops every entry, keeping the counters.
+func (s *Store[V]) Purge() {
+	s.ll.Init()
+	clear(s.items)
+}
+
+// HitRate returns hits/(hits+misses) over the lifetime of the store, and
+// false if there were no lookups.
+func (s *Store[V]) HitRate() (float64, bool) {
+	total := s.hits + s.misses
+	if total == 0 {
+		return 0, false
+	}
+	return float64(s.hits) / float64(total), true
+}
+
+// Stats returns the raw hit/miss/eviction counters.
+func (s *Store[V]) Stats() (hits, misses, evictions uint64) {
+	return s.hits, s.misses, s.evictions
+}
+
+// ResetStats clears the counters.
+func (s *Store[V]) ResetStats() { s.hits, s.misses, s.evictions = 0, 0, 0 }

@@ -1,0 +1,68 @@
+package cache
+
+import "testing"
+
+func TestStoreLRUEviction(t *testing.T) {
+	s := NewStore[int](2)
+	s.Put("a", 1)
+	s.Put("b", 2)
+	if _, ok := s.Get("a"); !ok { // a is now most recent
+		t.Fatal("a missing")
+	}
+	if evicted := s.Put("c", 3); !evicted {
+		t.Fatal("inserting c should evict")
+	}
+	if _, ok := s.Get("b"); ok {
+		t.Error("b should have been evicted (LRU)")
+	}
+	if v, ok := s.Get("a"); !ok || v != 1 {
+		t.Errorf("a = %v %v, want 1 true", v, ok)
+	}
+	if v, ok := s.Get("c"); !ok || v != 3 {
+		t.Errorf("c = %v %v, want 3 true", v, ok)
+	}
+	hits, misses, evictions := s.Stats()
+	if hits != 3 || misses != 1 || evictions != 1 {
+		t.Errorf("stats = %d/%d/%d, want 3/1/1", hits, misses, evictions)
+	}
+}
+
+func TestStoreReplaceAndPurge(t *testing.T) {
+	s := NewStore[string](4)
+	s.Put("k", "v1")
+	if evicted := s.Put("k", "v2"); evicted {
+		t.Error("replacing should not evict")
+	}
+	if v, _ := s.Get("k"); v != "v2" {
+		t.Errorf("k = %q, want v2", v)
+	}
+	if s.Len() != 1 {
+		t.Errorf("len = %d, want 1", s.Len())
+	}
+	s.Purge()
+	if s.Len() != 0 {
+		t.Errorf("len after purge = %d", s.Len())
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Error("purged key still present")
+	}
+	if rate, ok := s.HitRate(); !ok || rate != 0.5 {
+		t.Errorf("hit rate = %v %v", rate, ok)
+	}
+}
+
+func TestStoreZeroCapacity(t *testing.T) {
+	s := NewStore[int](0)
+	if evicted := s.Put("a", 1); evicted {
+		t.Error("zero-capacity store evicted")
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Error("zero-capacity store stored a value")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative capacity should panic")
+		}
+	}()
+	NewStore[int](-1)
+}

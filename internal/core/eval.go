@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"energyclarity/internal/energy"
 )
@@ -42,6 +43,30 @@ func (m Mode) String() string {
 	default:
 		return fmt.Sprintf("mode(%d)", int(m))
 	}
+}
+
+// Modes lists every evaluation mode, in declaration order.
+var Modes = []Mode{ModeExpected, ModeWorstCase, ModeBestCase, ModeFixed, ModeMonteCarlo}
+
+// ParseMode is the inverse of Mode.String: it maps a mode name to its Mode.
+// It accepts exactly the spellings String emits, plus the short aliases
+// "worst", "best" and "montecarlo" for tooling convenience. Wire protocols
+// (cmd/eid) and the CLI (cmd/eic) both route mode flags through here so
+// they agree on spelling.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "expected":
+		return ModeExpected, nil
+	case "worst-case", "worst":
+		return ModeWorstCase, nil
+	case "best-case", "best":
+		return ModeBestCase, nil
+	case "fixed":
+		return ModeFixed, nil
+	case "monte-carlo", "montecarlo":
+		return ModeMonteCarlo, nil
+	}
+	return 0, fmt.Errorf("core: unknown evaluation mode %q (want expected, worst-case, best-case, fixed, or monte-carlo)", s)
 }
 
 // Default evaluation limits.

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseModeRoundTrip proves ParseMode is the inverse of Mode.String for
+// every mode — the property the wire protocol depends on.
+func TestParseModeRoundTrip(t *testing.T) {
+	if len(Modes) != 5 {
+		t.Fatalf("Modes has %d entries, want 5", len(Modes))
+	}
+	for _, m := range Modes {
+		got, err := ParseMode(m.String())
+		if err != nil {
+			t.Fatalf("ParseMode(%q): %v", m.String(), err)
+		}
+		if got != m {
+			t.Errorf("ParseMode(%q) = %v, want %v", m.String(), got, m)
+		}
+	}
+}
+
+func TestParseModeAliasesAndErrors(t *testing.T) {
+	for in, want := range map[string]Mode{
+		"worst":       ModeWorstCase,
+		"best":        ModeBestCase,
+		"montecarlo":  ModeMonteCarlo,
+		" Expected ":  ModeExpected,
+		"MONTE-CARLO": ModeMonteCarlo,
+	} {
+		got, err := ParseMode(in)
+		if err != nil {
+			t.Errorf("ParseMode(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseMode(%q) = %v, want %v", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "avg", "mode(3)", "worst case"} {
+		if _, err := ParseMode(bad); err == nil {
+			t.Errorf("ParseMode(%q) succeeded, want error", bad)
+		} else if !strings.Contains(err.Error(), "unknown evaluation mode") {
+			t.Errorf("ParseMode(%q) error %q lacks mode list", bad, err)
+		}
+	}
+}

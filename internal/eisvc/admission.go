@@ -1,0 +1,86 @@
+package eisvc
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Shedding errors; the HTTP layer maps them to 429 and 503.
+var (
+	// ErrQueueFull means the wait queue was already at its depth limit
+	// when the request arrived; the request was rejected immediately.
+	ErrQueueFull = errors.New("eisvc: admission queue full")
+	// ErrDeadline means the request waited in the queue but no worker
+	// slot freed up before its deadline.
+	ErrDeadline = errors.New("eisvc: deadline expired waiting for a worker")
+)
+
+// admission is the daemon's load-shedding gate: a semaphore of worker
+// slots plus a bounded wait queue. A burst of worst-case enumerations
+// occupies at most `workers` goroutines; at most `queueLimit` further
+// requests wait (each bounded by its deadline); everything beyond that is
+// shed immediately. This keeps the daemon responsive — a memo hit or a
+// /v1/stats scrape never sits behind a convoy of heavy evaluations.
+type admission struct {
+	slots      chan struct{}
+	queueLimit int
+
+	mu     sync.Mutex
+	queued int
+	peak   int
+
+	shedQueueFull atomic.Uint64
+	shedDeadline  atomic.Uint64
+}
+
+func newAdmission(workers, queueLimit int) *admission {
+	return &admission{
+		slots:      make(chan struct{}, workers),
+		queueLimit: queueLimit,
+	}
+}
+
+// acquire claims a worker slot, waiting until ctx is done at most. It
+// returns the release function on success, ErrQueueFull if the queue was
+// at its limit, or ErrDeadline if ctx expired while waiting.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	a.mu.Lock()
+	if a.queued >= a.queueLimit {
+		a.mu.Unlock()
+		a.shedQueueFull.Add(1)
+		return nil, ErrQueueFull
+	}
+	a.queued++
+	if a.queued > a.peak {
+		a.peak = a.queued
+	}
+	a.mu.Unlock()
+
+	defer func() {
+		a.mu.Lock()
+		a.queued--
+		a.mu.Unlock()
+	}()
+
+	select {
+	case a.slots <- struct{}{}:
+		return func() { <-a.slots }, nil
+	case <-ctx.Done():
+		a.shedDeadline.Add(1)
+		return nil, ErrDeadline
+	}
+}
+
+// depth returns the current and peak number of requests in the gate
+// (waiting or holding a slot).
+func (a *admission) depth() (current, peak int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queued, a.peak
+}
+
+func (a *admission) sheds() (queueFull, deadline uint64) {
+	return a.shedQueueFull.Load(), a.shedDeadline.Load()
+}

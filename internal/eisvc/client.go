@@ -1,0 +1,176 @@
+package eisvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/energy"
+)
+
+// APIError is a non-2xx daemon answer. Shed requests surface as
+// StatusTooManyRequests (queue full) or StatusServiceUnavailable (queue
+// deadline); callers distinguish them by Status.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("eisvc: %d %s: %s", e.Status, http.StatusText(e.Status), e.Message)
+}
+
+// Shed reports whether the daemon refused the request under load.
+func (e *APIError) Shed() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// Client is the typed Go client for the daemon.
+type Client struct {
+	base string
+	http *http.Client
+	// ID names this client in the daemon's energy ledger (the
+	// X-Eisvc-Client header); empty means "anonymous".
+	ID string
+	// Deadline, when non-zero, is sent as every eval's queue-wait bound.
+	Deadline time.Duration
+}
+
+// NewClient returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:7757").
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+}
+
+func (c *Client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.ID != "" {
+		req.Header.Set("X-Eisvc-Client", c.ID)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var apiErr ErrorResponse
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health checks the daemon is up.
+func (c *Client) Health() error {
+	return c.do(http.MethodGet, "/healthz", nil, nil)
+}
+
+// Register uploads an EIL source file and returns the registered
+// interfaces.
+func (c *Client) Register(source string) ([]InterfaceInfo, error) {
+	var resp RegisterResponse
+	if err := c.do(http.MethodPost, "/v1/register", RegisterRequest{Source: source}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Registered, nil
+}
+
+// Interfaces lists the registered interfaces.
+func (c *Client) Interfaces() ([]InterfaceInfo, error) {
+	var resp struct {
+		Interfaces []InterfaceInfo `json:"interfaces"`
+	}
+	if err := c.do(http.MethodGet, "/v1/interfaces", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Interfaces, nil
+}
+
+// Source fetches the EIL source an interface was registered from.
+func (c *Client) Source(name string) (string, error) {
+	var resp SourceResponse
+	if err := c.do(http.MethodGet, "/v1/interfaces/"+name+"/source", nil, &resp); err != nil {
+		return "", err
+	}
+	return resp.Source, nil
+}
+
+// Rebind swaps the binding at path inside name for the registered
+// interface target and returns name's new version.
+func (c *Client) Rebind(name, path, target string) (uint64, error) {
+	var resp RebindResponse
+	err := c.do(http.MethodPost, "/v1/rebind",
+		RebindRequest{Interface: name, Path: path, Target: target}, &resp)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// Eval evaluates an energy method on the daemon and returns the exact
+// distribution (bit-identical to a local Interface.Eval with the same
+// options) plus the full wire response.
+func (c *Client) Eval(name, method string, args []core.Value, opts core.EvalOptions) (energy.Dist, *EvalResponse, error) {
+	req := EvalRequest{
+		Interface:   name,
+		Method:      method,
+		Mode:        opts.Mode.String(),
+		Samples:     opts.Samples,
+		Seed:        opts.Seed,
+		EnumLimit:   opts.EnumLimit,
+		Parallelism: opts.Parallelism,
+		DeadlineMs:  int(c.Deadline / time.Millisecond),
+	}
+	for _, a := range args {
+		req.Args = append(req.Args, ValueToJSON(a))
+	}
+	if len(opts.Fixed) > 0 {
+		req.Fixed = make(map[string]any, len(opts.Fixed))
+		for qn, v := range opts.Fixed {
+			req.Fixed[qn] = ValueToJSON(v)
+		}
+	}
+	var resp EvalResponse
+	if err := c.do(http.MethodPost, "/v1/eval", req, &resp); err != nil {
+		return energy.Dist{}, nil, err
+	}
+	d, err := resp.Dist.Dist()
+	if err != nil {
+		return energy.Dist{}, nil, fmt.Errorf("eisvc: malformed distribution from daemon: %w", err)
+	}
+	return d, &resp, nil
+}
+
+// Stats fetches the daemon's serving metrics and energy ledger.
+func (c *Client) Stats() (*StatsResponse, error) {
+	var resp StatsResponse
+	if err := c.do(http.MethodGet, "/v1/stats", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

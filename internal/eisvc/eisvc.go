@@ -1,0 +1,28 @@
+// Package eisvc implements the energy-interface daemon: the paper's Fig. 2
+// resource-manager role served over a network boundary. Resource managers
+// "export specialized energy interfaces upward" and clients "query them
+// before deploying work" — in every other package of this repo that
+// export/query seam is an in-process call; eisvc makes it a service.
+//
+// The daemon has four pieces:
+//
+//   - a Registry that loads and compiles EIL sources (internal/eil) and
+//     holds bound core.Interface stacks — register, list, get-source, and
+//     rebind-hardware operations;
+//   - an evaluation service exposing all five core.Mode values over a JSON
+//     wire protocol, fronted by a memoization cache (a bounded LRU from
+//     internal/cache) keyed on interface version plus a canonical request
+//     hash, so hot identical queries skip re-evaluation entirely;
+//   - admission control: a semaphore-bounded worker pool with per-request
+//     queue-wait deadlines and a queue-depth limit, shedding excess load
+//     with 429/503 instead of queueing without bound;
+//   - a per-request energy Ledger attributing evaluated joules (mean, p99,
+//     worst of each returned distribution) per client and per interface,
+//     served from /v1/stats next to hit-rate, shed, queue-depth, and
+//     latency metrics.
+//
+// Server is the http.Handler; Client is the typed Go client; cmd/eid is
+// the binary. The wire protocol round-trips distributions bit-for-bit
+// (energy.FromSorted), so a daemon answer is identical to a direct
+// in-process Interface.Eval at any parallelism.
+package eisvc

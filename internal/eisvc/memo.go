@@ -1,0 +1,119 @@
+package eisvc
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"energyclarity/internal/cache"
+	"energyclarity/internal/core"
+	"energyclarity/internal/energy"
+)
+
+// Memo is the daemon's evaluation cache: a bounded LRU (cache.Store) from
+// canonicalized request keys to distributions, wrapped in a mutex so
+// concurrent handlers share it safely.
+type Memo struct {
+	mu    sync.Mutex
+	store *cache.Store[energy.Dist]
+}
+
+// NewMemo returns a memo cache bounded to capacity entries; capacity 0
+// disables memoization.
+func NewMemo(capacity int) *Memo {
+	return &Memo{store: cache.NewStore[energy.Dist](capacity)}
+}
+
+// Get returns the cached distribution for key.
+func (m *Memo) Get(key string) (energy.Dist, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.store.Get(key)
+}
+
+// Put caches the distribution for key.
+func (m *Memo) Put(key string, d energy.Dist) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.store.Put(key, d)
+}
+
+// Stats returns the memo counters and current size.
+func (m *Memo) Stats() (hits, misses, evictions uint64, size int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	hits, misses, evictions = m.store.Stats()
+	return hits, misses, evictions, m.store.Len()
+}
+
+// memoKey canonicalizes one evaluation request. Two requests map to the
+// same key exactly when Interface.Eval is guaranteed to return the same
+// distribution for both:
+//
+//   - the interface version is part of the key, so re-registering or
+//     rebinding invalidates every older entry;
+//   - arguments and pinned ECVs canonicalize through core.Value.Key
+//     (pinned ECVs in sorted name order);
+//   - EnumLimit and Samples are normalized to their defaults first, so an
+//     explicit DefaultSamples and an omitted samples field collide;
+//   - Parallelism is NOT part of the key: the evaluation engine produces
+//     bit-identical distributions at every parallelism level, so answers
+//     are shared across clients that ask with different worker counts;
+//   - mode-irrelevant knobs are dropped (ModeFixed ignores seed, samples,
+//     and the enumeration limit; ModeMonteCarlo ignores the enumeration
+//     limit). The seed stays in the key for the enumeration modes because
+//     they fall back to Monte Carlo beyond EnumLimit.
+func memoKey(name string, version uint64, method string, args []core.Value, opts core.EvalOptions) string {
+	samples := opts.Samples
+	if samples <= 0 {
+		samples = core.DefaultSamples
+	}
+	enumLimit := opts.EnumLimit
+	if enumLimit <= 0 {
+		enumLimit = core.DefaultEnumLimit
+	}
+	seed := opts.Seed
+	switch opts.Mode {
+	case core.ModeFixed:
+		samples, enumLimit, seed = 0, 0, 0
+	case core.ModeMonteCarlo:
+		enumLimit = 0
+	}
+
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('@')
+	b.WriteString(strconv.FormatUint(version, 10))
+	b.WriteByte('|')
+	b.WriteString(method)
+	b.WriteString("|m")
+	b.WriteString(strconv.Itoa(int(opts.Mode)))
+	b.WriteString("|s")
+	b.WriteString(strconv.Itoa(samples))
+	b.WriteString("|l")
+	b.WriteString(strconv.Itoa(enumLimit))
+	b.WriteString("|r")
+	b.WriteString(strconv.FormatInt(seed, 10))
+	b.WriteString("|A[")
+	for _, a := range args {
+		b.WriteString(a.Key())
+		b.WriteByte(';')
+	}
+	b.WriteString("]|F{")
+	if len(opts.Fixed) > 0 {
+		names := make([]string, 0, len(opts.Fixed))
+		for qn := range opts.Fixed {
+			names = append(names, qn)
+		}
+		sort.Strings(names)
+		for _, qn := range names {
+			b.WriteString(qn)
+			b.WriteByte('=')
+			b.WriteString(opts.Fixed[qn].Key())
+			b.WriteByte(';')
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}

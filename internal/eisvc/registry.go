@@ -1,0 +1,171 @@
+package eisvc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/eil"
+)
+
+// Registry holds the daemon's bound interface stacks: the resource-manager
+// side of Fig. 2's ①-④ workflow. Interfaces arrive either as EIL source
+// (RegisterSource, the wire path) or as natively-built core.Interface
+// values (RegisterInterface, how cmd/eid seeds calibrated hardware
+// interfaces that contain Go closures and cannot travel as source).
+//
+// Every mutation — registering, re-registering, rebinding — assigns the
+// touched entry a fresh version from a registry-global counter. Memo keys
+// include the version, so a mutation implicitly invalidates every cached
+// evaluation of the old interface; stale entries age out of the LRU.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*regEntry
+	nextVer uint64
+}
+
+type regEntry struct {
+	iface   *core.Interface
+	source  string // EIL source; "" for native interfaces
+	version uint64
+	native  bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]*regEntry{}}
+}
+
+// RegisterInterface registers (or replaces) a natively-built interface
+// under name and returns its version. The interface must already be fully
+// constructed; per core.Interface's contract it must not be mutated after
+// registration (evaluation is read-only and concurrency-safe).
+func (r *Registry) RegisterInterface(name string, iface *core.Interface) (uint64, error) {
+	if iface == nil {
+		return 0, fmt.Errorf("eisvc: registering nil interface %q", name)
+	}
+	if name == "" {
+		return 0, fmt.Errorf("eisvc: registering interface with empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextVer++
+	r.entries[name] = &regEntry{iface: iface, version: r.nextVer, native: true}
+	return r.nextVer, nil
+}
+
+// RegisterSource compiles an EIL source file and registers every interface
+// it declares, returning their names in declaration order. 'uses' clauses
+// resolve against interfaces already registered and against other
+// interfaces in the same file. Re-registering a name replaces it with a
+// fresh version. On any error nothing is registered.
+func (r *Registry) RegisterSource(src string) ([]string, error) {
+	f, err := eil.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Compile against a snapshot of the current registry so lower layers
+	// registered earlier are visible to this file's 'uses' clauses. Names
+	// the file itself declares are left out: re-registering an interface
+	// shadows (and then replaces) its previous version.
+	declared := map[string]bool{}
+	for _, id := range f.Interfaces {
+		declared[id.Name] = true
+	}
+	snapshot := make(map[string]*core.Interface, len(r.entries))
+	for name, e := range r.entries {
+		if !declared[name] {
+			snapshot[name] = e.iface
+		}
+	}
+	compiled, err := eil.CompileFile(f, snapshot)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(f.Interfaces))
+	for _, id := range f.Interfaces {
+		r.nextVer++
+		r.entries[id.Name] = &regEntry{
+			iface:   compiled[id.Name],
+			source:  src,
+			version: r.nextVer,
+		}
+		names = append(names, id.Name)
+	}
+	return names, nil
+}
+
+// Get returns the named interface and its current version.
+func (r *Registry) Get(name string) (*core.Interface, uint64, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, 0, false
+	}
+	return e.iface, e.version, true
+}
+
+// Source returns the EIL source the named interface was registered from;
+// ok is false if the interface is unknown, and source is empty for native
+// interfaces.
+func (r *Registry) Source(name string) (source string, native, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, found := r.entries[name]
+	if !found {
+		return "", false, false
+	}
+	return e.source, e.native, true
+}
+
+// Rebind replaces the interface bound at the dot-separated path inside
+// name with the registered interface target, and returns name's new
+// version. The original tree is untouched (core.Interface.Rebind clones
+// the path), so evaluations in flight keep their snapshot.
+func (r *Registry) Rebind(name, path, target string) (uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return 0, fmt.Errorf("eisvc: no interface %q", name)
+	}
+	t, ok := r.entries[target]
+	if !ok {
+		return 0, fmt.Errorf("eisvc: no rebind target %q", target)
+	}
+	rebound, err := e.iface.Rebind(path, t.iface)
+	if err != nil {
+		return 0, err
+	}
+	r.nextVer++
+	r.entries[name] = &regEntry{
+		iface:   rebound,
+		source:  e.source,
+		version: r.nextVer,
+		native:  e.native,
+	}
+	return r.nextVer, nil
+}
+
+// List returns info for every registered interface, sorted by name.
+func (r *Registry) List() []InterfaceInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]InterfaceInfo, 0, len(r.entries))
+	for name, e := range r.entries {
+		out = append(out, infoFor(name, e.version, e.iface, e.native))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered interfaces.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}

@@ -1,0 +1,331 @@
+package eisvc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes a Server. The zero value picks sane defaults.
+type Config struct {
+	// Workers bounds concurrent evaluations (default: GOMAXPROCS).
+	Workers int
+	// QueueLimit bounds requests waiting for a worker slot; arrivals
+	// beyond it are shed with 429 (default 64).
+	QueueLimit int
+	// MemoCapacity bounds the memoization cache (default 1024 entries;
+	// 0 keeps the default — use NoMemo to disable memoization).
+	MemoCapacity int
+	// NoMemo disables the memoization cache entirely.
+	NoMemo bool
+	// DefaultDeadline bounds how long a request may wait for a worker
+	// slot when it does not carry its own deadline (default 5s).
+	DefaultDeadline time.Duration
+	// MaxSamples caps EvalRequest.Samples; larger asks are rejected with
+	// 400 before touching the worker pool (default 1<<20).
+	MaxSamples int
+	// MaxEnumLimit likewise caps EvalRequest.EnumLimit (default 1<<20).
+	MaxEnumLimit int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = 64
+	}
+	if c.MemoCapacity <= 0 {
+		c.MemoCapacity = 1024
+	}
+	if c.NoMemo {
+		c.MemoCapacity = 0
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 5 * time.Second
+	}
+	if c.MaxSamples <= 0 {
+		c.MaxSamples = 1 << 20
+	}
+	if c.MaxEnumLimit <= 0 {
+		c.MaxEnumLimit = 1 << 20
+	}
+	return c
+}
+
+// Server is the energy-interface daemon: an http.Handler exposing the
+// registry, the memoized evaluation service, and the stats endpoint.
+// Construct with NewServer, seed the registry (wire registrations and/or
+// Registry.RegisterInterface for native stacks), and serve.
+type Server struct {
+	cfg    Config
+	reg    *Registry
+	memo   *Memo
+	adm    *admission
+	ledger *Ledger
+	lat    *latencies
+	mux    *http.ServeMux
+
+	evalRequests atomic.Uint64
+	evaluations  atomic.Uint64
+}
+
+// NewServer returns a daemon with the given configuration.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		reg:    NewRegistry(),
+		memo:   NewMemo(cfg.MemoCapacity),
+		adm:    newAdmission(cfg.Workers, cfg.QueueLimit),
+		ledger: NewLedger(),
+		lat:    newLatencies(),
+		mux:    http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/register", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/interfaces", s.handleList)
+	s.mux.HandleFunc("GET /v1/interfaces/{name}", s.handleDescribe)
+	s.mux.HandleFunc("GET /v1/interfaces/{name}/source", s.handleSource)
+	s.mux.HandleFunc("POST /v1/rebind", s.handleRebind)
+	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// Registry exposes the daemon's registry so embedding code (cmd/eid, the
+// experiments rig) can seed native interfaces before serving.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// --- helpers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// clientID identifies the requester for the energy ledger.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Eisvc-Client"); id != "" {
+		return id
+	}
+	return "anonymous"
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "interfaces": s.reg.Len()})
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Source == "" {
+		writeError(w, http.StatusBadRequest, "empty source")
+		return
+	}
+	names, err := s.reg.RegisterSource(req.Source)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "register: %v", err)
+		return
+	}
+	resp := RegisterResponse{}
+	for _, name := range names {
+		iface, version, _ := s.reg.Get(name)
+		resp.Registered = append(resp.Registered, infoFor(name, version, iface, false))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"interfaces": s.reg.List()})
+}
+
+func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	iface, version, ok := s.reg.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no interface %q", name)
+		return
+	}
+	_, native, _ := s.reg.Source(name)
+	info := infoFor(name, version, iface, native)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"interface": info,
+		"describe":  iface.Describe(),
+	})
+}
+
+func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	src, native, ok := s.reg.Source(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no interface %q", name)
+		return
+	}
+	if native {
+		writeError(w, http.StatusNotFound, "interface %q is native (built in Go); no EIL source", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, SourceResponse{Name: name, Source: src})
+}
+
+func (s *Server) handleRebind(w http.ResponseWriter, r *http.Request) {
+	var req RebindRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	version, err := s.reg.Rebind(req.Interface, req.Path, req.Target)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if _, _, ok := s.reg.Get(req.Interface); !ok {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "rebind: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RebindResponse{Interface: req.Interface, Version: version})
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.evalRequests.Add(1)
+	var req EvalRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Samples > s.cfg.MaxSamples {
+		writeError(w, http.StatusBadRequest, "samples %d exceeds server cap %d", req.Samples, s.cfg.MaxSamples)
+		return
+	}
+	if req.EnumLimit > s.cfg.MaxEnumLimit {
+		writeError(w, http.StatusBadRequest, "enum_limit %d exceeds server cap %d", req.EnumLimit, s.cfg.MaxEnumLimit)
+		return
+	}
+	opts, err := req.Options()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	args, err := argsFromJSON(req.Args)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	iface, version, ok := s.reg.Get(req.Interface)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no interface %q", req.Interface)
+		return
+	}
+
+	resp := EvalResponse{
+		Interface: req.Interface,
+		Version:   version,
+		Method:    req.Method,
+		Mode:      opts.Mode.String(),
+	}
+	key := memoKey(req.Interface, version, req.Method, args, opts)
+	if d, hit := s.memo.Get(key); hit {
+		resp.Dist = ToWire(d)
+		resp.Cached = true
+		s.ledger.Record(clientID(r), req.Interface, d, true)
+		s.lat.observe(float64(time.Since(start)) / float64(time.Millisecond))
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	// Memo miss: the evaluation must win a worker slot. The deadline
+	// bounds the queue wait only — once running, an evaluation is bounded
+	// by the samples/enum caps, not by wall clock.
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMs > 0 {
+		deadline = time.Duration(req.DeadlineMs) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+	release, err := s.adm.acquire(ctx)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, ErrDeadline):
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	s.evaluations.Add(1)
+	d, evalErr := iface.Eval(req.Method, args, opts)
+	release()
+	if evalErr != nil {
+		writeError(w, http.StatusUnprocessableEntity, "eval: %v", evalErr)
+		return
+	}
+	s.memo.Put(key, d)
+	resp.Dist = ToWire(d)
+	s.ledger.Record(clientID(r), req.Interface, d, false)
+	s.lat.observe(float64(time.Since(start)) / float64(time.Millisecond))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	hits, misses, evictions, size := s.memo.Stats()
+	queueFull, deadline := s.adm.sheds()
+	depth, peak := s.adm.depth()
+	clients, ifaces := s.ledger.Snapshot()
+	resp := StatsResponse{
+		Interfaces:    s.reg.Len(),
+		EvalRequests:  s.evalRequests.Load(),
+		Evaluations:   s.evaluations.Load(),
+		MemoHits:      hits,
+		MemoMisses:    misses,
+		MemoEvictions: evictions,
+		MemoLen:       size,
+		ShedQueueFull: queueFull,
+		ShedDeadline:  deadline,
+		QueueDepth:    depth,
+		PeakQueue:     peak,
+		Workers:       s.cfg.Workers,
+		QueueLimit:    s.cfg.QueueLimit,
+		Latency:       s.lat.snapshot(),
+		Clients:       clients,
+		ByIface:       ifaces,
+	}
+	if total := hits + misses; total > 0 {
+		resp.MemoHitRate = float64(hits) / float64(total)
+	}
+	for _, e := range clients {
+		resp.AttribJ += e.MeanJ
+		resp.AttribP99J += e.P99J
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,315 @@
+package eisvc
+
+import (
+	"fmt"
+	"sort"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/energy"
+)
+
+// The JSON wire protocol. Every request and response body is one of these
+// types; errors are ErrorResponse with a non-2xx status.
+
+// RegisterRequest registers every interface declared in an EIL source file.
+// 'uses' clauses resolve against interfaces already in the registry (and
+// against other interfaces in the same file), so stacks can be uploaded
+// layer by layer, bottom first.
+type RegisterRequest struct {
+	Source string `json:"source"`
+}
+
+// RegisterResponse lists the interfaces the source declared, with their
+// assigned registry versions.
+type RegisterResponse struct {
+	Registered []InterfaceInfo `json:"registered"`
+}
+
+// InterfaceInfo is the listing entry for one registered interface.
+type InterfaceInfo struct {
+	Name     string   `json:"name"`
+	Version  uint64   `json:"version"`
+	Doc      string   `json:"doc,omitempty"`
+	Methods  []string `json:"methods"`
+	ECVs     []string `json:"ecvs,omitempty"`     // qualified names, transitively
+	Bindings []string `json:"bindings,omitempty"` // local binding names
+	Native   bool     `json:"native,omitempty"`   // built in Go, no EIL source
+}
+
+// SourceResponse returns a registered interface's EIL source.
+type SourceResponse struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+}
+
+// RebindRequest swaps the interface bound at a dot-separated path inside a
+// registered interface for another registered interface — Fig. 2's "only
+// some of the energy interfaces in the bottom layer need to be replaced".
+type RebindRequest struct {
+	Interface string `json:"interface"`
+	Path      string `json:"path"`
+	Target    string `json:"target"`
+}
+
+// RebindResponse carries the rebound interface's new version.
+type RebindResponse struct {
+	Interface string `json:"interface"`
+	Version   uint64 `json:"version"`
+}
+
+// EvalRequest asks the daemon to evaluate one energy method. Mode takes
+// the spellings core.Mode.String emits ("expected", "worst-case",
+// "best-case", "fixed", "monte-carlo"). Args and Fixed values use the
+// plain JSON data model: numbers, booleans, strings, objects (records),
+// and arrays (lists).
+type EvalRequest struct {
+	Interface   string         `json:"interface"`
+	Method      string         `json:"method"`
+	Args        []any          `json:"args,omitempty"`
+	Mode        string         `json:"mode"`
+	Samples     int            `json:"samples,omitempty"`
+	Seed        int64          `json:"seed,omitempty"`
+	EnumLimit   int            `json:"enum_limit,omitempty"`
+	Parallelism int            `json:"parallelism,omitempty"`
+	Fixed       map[string]any `json:"fixed,omitempty"`
+	// DeadlineMs bounds how long the request may wait for a worker slot
+	// before the daemon sheds it with 503; 0 uses the server default.
+	DeadlineMs int `json:"deadline_ms,omitempty"`
+}
+
+// WireDist is a distribution on the wire: the exact (support, probs)
+// vectors plus derived summary statistics. Support and Probs round-trip
+// through energy.FromSorted bit-for-bit.
+type WireDist struct {
+	Support []float64 `json:"support"`
+	Probs   []float64 `json:"probs"`
+	Mean    float64   `json:"mean"`
+	Std     float64   `json:"std"`
+	Min     float64   `json:"min"`
+	Max     float64   `json:"max"`
+	P99     float64   `json:"p99"`
+}
+
+// ToWire converts a distribution for transport.
+func ToWire(d energy.Dist) WireDist {
+	return WireDist{
+		Support: d.Support(),
+		Probs:   d.Probs(),
+		Mean:    d.Mean(),
+		Std:     d.Std(),
+		Min:     d.Min(),
+		Max:     d.Max(),
+		P99:     d.Quantile(0.99),
+	}
+}
+
+// Dist reconstructs the exact distribution.
+func (w WireDist) Dist() (energy.Dist, error) {
+	return energy.FromSorted(w.Support, w.Probs)
+}
+
+// EvalResponse is the daemon's answer to an EvalRequest.
+type EvalResponse struct {
+	Interface string   `json:"interface"`
+	Version   uint64   `json:"version"`
+	Method    string   `json:"method"`
+	Mode      string   `json:"mode"`
+	Dist      WireDist `json:"dist"`
+	// Cached reports whether the answer came from the memo cache.
+	Cached bool `json:"cached"`
+}
+
+// LatencyStats summarizes request latencies (memo hits included).
+type LatencyStats struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// LedgerEntry aggregates the energy a client (or an interface) had
+// evaluated on its behalf: sums over the returned distributions' mean,
+// p99, and worst-case joules.
+type LedgerEntry struct {
+	Requests uint64  `json:"requests"`
+	MemoHits uint64  `json:"memo_hits"`
+	MeanJ    float64 `json:"mean_j"`
+	P99J     float64 `json:"p99_j"`
+	WorstJ   float64 `json:"worst_j"`
+}
+
+// StatsResponse is the /v1/stats payload.
+type StatsResponse struct {
+	Interfaces int `json:"interfaces"`
+
+	EvalRequests  uint64  `json:"eval_requests"`
+	Evaluations   uint64  `json:"evaluations"` // actual Interface.Eval runs
+	MemoHits      uint64  `json:"memo_hits"`
+	MemoMisses    uint64  `json:"memo_misses"`
+	MemoEvictions uint64  `json:"memo_evictions"`
+	MemoLen       int     `json:"memo_len"`
+	MemoHitRate   float64 `json:"memo_hit_rate"`
+
+	ShedQueueFull uint64 `json:"shed_queue_full"` // rejected with 429
+	ShedDeadline  uint64 `json:"shed_deadline"`   // rejected with 503
+	QueueDepth    int    `json:"queue_depth"`
+	PeakQueue     int    `json:"peak_queue"`
+	Workers       int    `json:"workers"`
+	QueueLimit    int    `json:"queue_limit"`
+
+	Latency LatencyStats `json:"latency"`
+
+	Clients    map[string]LedgerEntry `json:"clients"`
+	ByIface    map[string]LedgerEntry `json:"by_interface"`
+	AttribJ    float64                `json:"attributed_mean_j"` // sum over clients
+	AttribP99J float64                `json:"attributed_p99_j"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- Value <-> JSON conversion ---
+
+// ValueToJSON maps a core.Value onto the plain JSON data model: records
+// become objects, lists become arrays.
+func ValueToJSON(v core.Value) any {
+	switch v.Kind() {
+	case core.KindNil:
+		return nil
+	case core.KindBool:
+		b, _ := v.AsBool()
+		return b
+	case core.KindNum:
+		n, _ := v.AsNum()
+		return n
+	case core.KindStr:
+		s, _ := v.AsStr()
+		return s
+	case core.KindRecord:
+		obj := map[string]any{}
+		for _, name := range v.FieldNames() {
+			f, _ := v.Field(name)
+			obj[name] = ValueToJSON(f)
+		}
+		return obj
+	case core.KindList:
+		arr := make([]any, v.Len())
+		for i := range arr {
+			e, _ := v.Index(i)
+			arr[i] = ValueToJSON(e)
+		}
+		return arr
+	}
+	return nil
+}
+
+// ValueFromJSON maps a decoded JSON value (as produced by encoding/json
+// into any) onto a core.Value.
+func ValueFromJSON(r any) (core.Value, error) {
+	switch x := r.(type) {
+	case nil:
+		return core.Nil(), nil
+	case bool:
+		return core.Bool(x), nil
+	case float64:
+		return core.Num(x), nil
+	case string:
+		return core.Str(x), nil
+	case []any:
+		items := make([]core.Value, len(x))
+		for i, e := range x {
+			v, err := ValueFromJSON(e)
+			if err != nil {
+				return core.Value{}, err
+			}
+			items[i] = v
+		}
+		return core.List(items...), nil
+	case map[string]any:
+		fields := make(map[string]core.Value, len(x))
+		for k, e := range x {
+			v, err := ValueFromJSON(e)
+			if err != nil {
+				return core.Value{}, err
+			}
+			fields[k] = v
+		}
+		return core.Record(fields), nil
+	default:
+		return core.Value{}, fmt.Errorf("eisvc: unsupported JSON value of type %T", r)
+	}
+}
+
+// argsFromJSON converts a JSON args array.
+func argsFromJSON(raw []any) ([]core.Value, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	out := make([]core.Value, len(raw))
+	for i, r := range raw {
+		v, err := ValueFromJSON(r)
+		if err != nil {
+			return nil, fmt.Errorf("arg %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// fixedFromJSON converts a JSON fixed-ECV map.
+func fixedFromJSON(raw map[string]any) (map[string]core.Value, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]core.Value, len(raw))
+	for k, r := range raw {
+		v, err := ValueFromJSON(r)
+		if err != nil {
+			return nil, fmt.Errorf("fixed %q: %w", k, err)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// Options converts the request into core.EvalOptions. The mode string is
+// parsed with core.ParseMode, so the wire accepts exactly the spellings
+// Mode.String emits.
+func (req *EvalRequest) Options() (core.EvalOptions, error) {
+	mode, err := core.ParseMode(req.Mode)
+	if err != nil {
+		return core.EvalOptions{}, err
+	}
+	fixed, err := fixedFromJSON(req.Fixed)
+	if err != nil {
+		return core.EvalOptions{}, err
+	}
+	return core.EvalOptions{
+		Mode:        mode,
+		Fixed:       fixed,
+		EnumLimit:   req.EnumLimit,
+		Samples:     req.Samples,
+		Seed:        req.Seed,
+		Parallelism: req.Parallelism,
+	}, nil
+}
+
+// infoFor builds the listing entry for a bound interface.
+func infoFor(name string, version uint64, iface *core.Interface, native bool) InterfaceInfo {
+	info := InterfaceInfo{
+		Name:     name,
+		Version:  version,
+		Doc:      iface.Doc(),
+		Methods:  iface.Methods(),
+		Bindings: iface.Bindings(),
+		Native:   native,
+	}
+	for _, q := range iface.TransitiveECVs() {
+		info.ECVs = append(info.ECVs, q.QualifiedName())
+	}
+	sort.Strings(info.ECVs)
+	return info
+}

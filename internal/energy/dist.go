@@ -110,6 +110,42 @@ func UniformOver(values ...float64) Dist {
 	return Categorical(values, probs)
 }
 
+// FromSorted reconstructs a Dist from an already-canonical (support, probs)
+// pair — strictly increasing values, positive probabilities summing to ~1 —
+// exactly as Support/Probs emitted them, without renormalizing. Unlike
+// Categorical, the probabilities are stored bit-for-bit, so a Dist
+// serialized over a wire and rebuilt here is identical to the original.
+// The slices are copied.
+func FromSorted(values, probs []float64) (Dist, error) {
+	if len(values) != len(probs) {
+		return Dist{}, fmt.Errorf("energy: FromSorted values/probs length mismatch (%d vs %d)", len(values), len(probs))
+	}
+	if len(values) == 0 {
+		return Dist{}, fmt.Errorf("energy: FromSorted with empty support")
+	}
+	total := 0.0
+	for i, x := range values {
+		if math.IsNaN(x) {
+			return Dist{}, fmt.Errorf("energy: FromSorted value %d is NaN", i)
+		}
+		if i > 0 && values[i-1] >= x {
+			return Dist{}, fmt.Errorf("energy: FromSorted values not strictly increasing at %d", i)
+		}
+		p := probs[i]
+		if math.IsNaN(p) || p <= 0 {
+			return Dist{}, fmt.Errorf("energy: FromSorted probability %v at %d invalid", p, i)
+		}
+		total += p
+	}
+	if math.Abs(total-1) > 1e-6 {
+		return Dist{}, fmt.Errorf("energy: FromSorted probabilities sum to %v, want ~1", total)
+	}
+	d := Dist{xs: make([]float64, len(values)), ps: make([]float64, len(probs))}
+	copy(d.xs, values)
+	copy(d.ps, probs)
+	return d, nil
+}
+
 // IsZero reports whether d is the zero (unconstructed) Dist.
 func (d Dist) IsZero() bool { return len(d.xs) == 0 }
 
@@ -120,6 +156,13 @@ func (d Dist) Len() int { return len(d.xs) }
 func (d Dist) Support() []float64 {
 	out := make([]float64, len(d.xs))
 	copy(out, d.xs)
+	return out
+}
+
+// Probs returns a copy of the probabilities, aligned with Support.
+func (d Dist) Probs() []float64 {
+	out := make([]float64, len(d.ps))
+	copy(out, d.ps)
 	return out
 }
 

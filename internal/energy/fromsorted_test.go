@@ -1,0 +1,68 @@
+package energy
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestFromSortedBitIdenticalRoundTrip is the property the daemon's wire
+// protocol rests on: Support/Probs → (JSON) → FromSorted reproduces the
+// Dist bit for bit, including probabilities whose sum is not exactly 1.
+func TestFromSortedBitIdenticalRoundTrip(t *testing.T) {
+	dists := []Dist{
+		Point(3.25),
+		Bernoulli2(0.3, 7.5, 1.5),
+		Categorical([]float64{1, 2, 3, 10}, []float64{0.1, 0.2, 0.3, 0.4}),
+		Categorical([]float64{0.001, 0.002, 0.007}, []float64{1, 1, 1}), // thirds: sum != 1 exactly
+	}
+	for _, d := range dists {
+		xs, ps := d.Support(), d.Probs()
+		// Through JSON, as the wire does.
+		var xs2, ps2 []float64
+		for src, dst := range map[*[]float64]*[]float64{&xs: &xs2, &ps: &ps2} {
+			b, err := json.Marshal(*src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(b, dst); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := FromSorted(xs2, ps2)
+		if err != nil {
+			t.Fatalf("FromSorted(%v, %v): %v", xs2, ps2, err)
+		}
+		if len(got.xs) != len(d.xs) {
+			t.Fatalf("support length %d, want %d", len(got.xs), len(d.xs))
+		}
+		for i := range d.xs {
+			if got.xs[i] != d.xs[i] || got.ps[i] != d.ps[i] {
+				t.Errorf("point %d: got (%v, %v), want (%v, %v) exactly",
+					i, got.xs[i], got.ps[i], d.xs[i], d.ps[i])
+			}
+		}
+	}
+}
+
+func TestFromSortedRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name   string
+		xs, ps []float64
+	}{
+		{"mismatch", []float64{1, 2}, []float64{1}},
+		{"empty", nil, nil},
+		{"unsorted", []float64{2, 1}, []float64{0.5, 0.5}},
+		{"duplicate", []float64{1, 1}, []float64{0.5, 0.5}},
+		{"zero prob", []float64{1, 2}, []float64{0, 1}},
+		{"negative prob", []float64{1, 2}, []float64{-0.5, 1.5}},
+		{"bad sum", []float64{1, 2}, []float64{0.5, 0.2}},
+	}
+	for _, c := range cases {
+		if _, err := FromSorted(c.xs, c.ps); err == nil {
+			t.Errorf("%s: FromSorted accepted malformed input", c.name)
+		}
+	}
+	if d, err := FromSorted([]float64{1, 2}, []float64{0.25, 0.75}); err != nil || d.Mean() != 1.75 {
+		t.Errorf("valid input rejected: %v %v", d, err)
+	}
+}

@@ -384,6 +384,43 @@ func TestE10BatchServingShape(t *testing.T) {
 	}
 }
 
+func TestE11DaemonServingShape(t *testing.T) {
+	res, err := E11DaemonServing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(e11Clients * e11PerClient)
+	if res.Requests != want {
+		t.Errorf("requests = %d, want %d", res.Requests, want)
+	}
+	// The Zipf head repeats constantly, so well over half the trace must be
+	// memo hits; misses are bounded by concurrent duplicates of the first
+	// ask per class, not by the trace length.
+	if res.HitRate < 0.5 {
+		t.Errorf("memo hit rate %.4f, want > 0.5", res.HitRate)
+	}
+	if res.Evaluations < e11Distinct/2 || res.Evaluations >= res.Requests {
+		t.Errorf("evaluations = %d (requests %d)", res.Evaluations, res.Requests)
+	}
+	if res.ClientsSeen != e11Clients {
+		t.Errorf("ledger saw %d clients, want %d", res.ClientsSeen, e11Clients)
+	}
+	if res.AttribJ <= 0 {
+		t.Errorf("attributed joules %v, want > 0", res.AttribJ)
+	}
+	// Overload burst: a one-worker daemon must serve some and shed the rest
+	// rather than queue without bound.
+	if res.Served == 0 {
+		t.Error("overload burst: nothing served")
+	}
+	if res.Shed() == 0 {
+		t.Error("overload burst: nothing shed")
+	}
+	if got := res.Served + int(res.Shed()); got != res.Offered {
+		t.Errorf("served %d + shed %d != offered %d", res.Served, res.Shed(), res.Offered)
+	}
+}
+
 func TestAblations(t *testing.T) {
 	a1, err := A1ExactVsMonteCarlo()
 	if err != nil {
@@ -433,7 +470,7 @@ func TestAllTablesRender(t *testing.T) {
 			t.Errorf("table %s rendered empty", tab.ID)
 		}
 	}
-	for _, id := range []string{"T1", "F1", "F2", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "A1", "A2", "A3"} {
+	for _, id := range []string{"T1", "F1", "F2", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "A1", "A2", "A3"} {
 		if !seen[id] {
 			t.Errorf("missing table %s", id)
 		}
