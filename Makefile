@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke vet fmt-check serve-smoke all
+.PHONY: build test race bench bench-smoke bench-json vet fmt-check serve-smoke all
 
 all: build test
 
@@ -33,6 +33,18 @@ bench:
 # the benchmarks still run and prints samples/sec at parallelism 1/4/max.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEvalParallel' -benchtime=1x .
+
+# Machine-readable numbers for the evaluation/serving path: run the
+# engine and daemon benchmarks a few iterations each and convert the
+# output to BENCH_eval.json via cmd/benchjson. Short -benchtime keeps the
+# target cheap enough for CI; it tracks trends, not microseconds.
+bench-json:
+	$(GO) test -run '^$$' \
+		-bench 'BenchmarkEvalParallel$$|BenchmarkDaemonEval$$|BenchmarkEvalLayerCache$$|BenchmarkDaemonBatch$$' \
+		-benchtime=3x . > .bench_eval.out
+	$(GO) run ./cmd/benchjson -o BENCH_eval.json < .bench_eval.out
+	@rm -f .bench_eval.out
+	@echo "wrote BENCH_eval.json"
 
 # End-to-end daemon self-test: eid serves on a loopback port, registers
 # the Fig. 1 mlservice interface over the wire, queries it (the repeat

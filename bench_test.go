@@ -381,6 +381,118 @@ func BenchmarkDaemonEval(b *testing.B) {
 	})
 }
 
+// BenchmarkEvalLayerCache measures the compositional layer cache on the
+// full GPT-2 stack interface: "off" walks the whole kernel tree every
+// evaluation; "warm" answers sub-evaluations (prefill, per-token decode,
+// kernel pricing) from the cache, so an evaluation collapses to a few
+// lookups plus the root body. The off/warm ratio is the per-request win
+// E12 measures end to end.
+func BenchmarkEvalLayerCache(b *testing.B) {
+	spec := gpusim.RTX4090()
+	coef := benchCoef(spec)
+	iface, err := nn.StackInterface(nn.GPT2Small(), coef.DeviceInterface(spec))
+	if err != nil {
+		b.Fatal(err)
+	}
+	args := []core.Value{core.Num(16), core.Num(100)}
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := iface.Eval("generate", args, core.Expected()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		opts := core.Expected()
+		opts.Layer = core.NewLayerCache(core.DefaultLayerCapacity)
+		if _, err := iface.Eval("generate", args, opts); err != nil {
+			b.Fatal(err) // warm the cache
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := iface.Eval("generate", args, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := opts.Layer.Stats()
+		if st.Hits+st.Misses > 0 {
+			b.ReportMetric(100*float64(st.Hits)/float64(st.Hits+st.Misses), "%layerHits")
+		}
+	})
+}
+
+// BenchmarkDaemonBatch measures serving one batch of requests with
+// duplicated classes through the daemon: "sequential" issues each request
+// as its own /v1/eval round trip; "batch" sends all of them in one
+// /v1/evalbatch, where duplicates are answered by in-batch deduplication
+// and distinct classes evaluate concurrently under the same admission
+// discipline. Every iteration uses fresh Monte Carlo seeds, so the memo
+// never answers and the comparison isolates batching itself.
+func BenchmarkDaemonBatch(b *testing.B) {
+	const (
+		samples = 8192
+		classes = 4
+		dups    = 2 // total items per iteration: classes * dups
+	)
+	srv := eisvc.NewServer(eisvc.Config{})
+	if _, err := srv.Registry().RegisterInterface("ml_webservice", fig1Bench(b)); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := eisvc.NewClient(ts.URL)
+	img := core.Record(map[string]core.Value{"pixels": core.Num(1e6), "zeros": core.Num(2e5)})
+	args := []core.Value{img}
+	var seed int64 // fresh seeds across sub-benches and calibration reruns
+	iterOpts := func() []core.EvalOptions {
+		seed++
+		opts := make([]core.EvalOptions, 0, classes*dups)
+		for d := 0; d < dups; d++ {
+			for k := 0; k < classes; k++ {
+				opts = append(opts, core.MonteCarlo(samples, seed*classes+int64(k)))
+			}
+		}
+		return opts
+	}
+	build := func() []eisvc.EvalRequest {
+		reqs := make([]eisvc.EvalRequest, 0, classes*dups)
+		for _, o := range iterOpts() {
+			reqs = append(reqs, c.EvalRequestFor("ml_webservice", "handle", args, o))
+		}
+		return reqs
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, o := range iterOpts() {
+				if _, _, err := c.Eval("ml_webservice", "handle", args, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			items, err := c.EvalBatch(build())
+			if err != nil {
+				b.Fatal(err)
+			}
+			deduped := 0
+			for _, it := range items {
+				if it.Error != "" {
+					b.Fatal(it.Error)
+				}
+				if it.Deduped {
+					deduped++
+				}
+			}
+			if deduped != classes*(dups-1) {
+				b.Fatalf("expected %d deduplicated items, got %d", classes*(dups-1), deduped)
+			}
+		}
+	})
+}
+
 // --- framework microbenchmarks ---
 
 // BenchmarkGPUKernelLaunch measures simulator throughput (kernels/sec).

@@ -1,0 +1,161 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so CI can archive benchmark numbers (and humans can diff
+// them across commits) without scraping the text format. It reads the
+// bench output on stdin and writes one JSON object:
+//
+//	{
+//	  "goos": "linux", "goarch": "amd64", "pkg": "energyclarity",
+//	  "cpu": "...",
+//	  "benchmarks": [
+//	    {"name": "BenchmarkEvalParallel/p1", "procs": 8,
+//	     "iterations": 128, "ns_per_op": 83211.5,
+//	     "metrics": {"samples/sec": 4.9e7}}
+//	  ]
+//	}
+//
+// ns/op is lifted into its own field; every other `value unit` pair (B/op,
+// allocs/op, custom b.ReportMetric units) lands in the metrics map keyed
+// by unit. Non-benchmark lines (PASS, ok, test logs) are ignored.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . | benchjson [-o out.json]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the whole document: run context plus every benchmark.
+type Report struct {
+	GOOS       string  `json:"goos,omitempty"`
+	GOARCH     string  `json:"goarch,omitempty"`
+	Pkg        string  `json:"pkg,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes `go test -bench` output and returns the report. It
+// errors only on malformed Benchmark lines or if no benchmarks appear at
+// all — an empty run usually means the -bench pattern matched nothing.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: []Bench{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok, err := parseBench(line)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	return rep, nil
+}
+
+// parseBench parses one result line of the form
+//
+//	BenchmarkName/sub-8   128   83211 ns/op   4.9e7 samples/sec
+//
+// The trailing -N on the name is the GOMAXPROCS suffix the testing
+// package appends; it is split into Procs. Returns ok=false for
+// Benchmark-prefixed lines that are not result lines (e.g. a bare name
+// printed before its timing on verbose runs).
+func parseBench(line string) (Bench, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Bench{}, false, nil
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Bench{}, false, nil // "BenchmarkFoo" alone on a line
+	}
+	b := Bench{Name: fields[0], Iterations: iters}
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], procs
+		}
+	}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Bench{}, false, fmt.Errorf("odd value/unit pairing in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Bench{}, false, fmt.Errorf("bad metric value %q in %q", rest[i], line)
+		}
+		unit := rest[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = map[string]float64{}
+		}
+		b.Metrics[unit] = v
+	}
+	return b, true, nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: energyclarity
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEvalParallel/p1-8         	     128	    83211 ns/op	 49226541 samples/sec
+BenchmarkEvalParallel/pmax-8       	     512	    20930 ns/op	195700432 samples/sec
+BenchmarkEvalLayerCache/warm-8     	  180000	     6763 ns/op	       91.91 %layerHits
+BenchmarkDaemonBatch/batch-8       	      33	 34951710 ns/op
+PASS
+ok  	energyclarity	4.1s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.Pkg != "energyclarity" {
+		t.Fatalf("bad run context: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("expected 4 benchmarks, got %d", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkEvalParallel/p1" || b.Procs != 8 ||
+		b.Iterations != 128 || b.NsPerOp != 83211 {
+		t.Fatalf("bad first benchmark: %+v", b)
+	}
+	if b.Metrics["samples/sec"] != 49226541 {
+		t.Fatalf("bad custom metric: %+v", b.Metrics)
+	}
+	warm := rep.Benchmarks[2]
+	if warm.NsPerOp != 6763 || warm.Metrics["%layerHits"] != 91.91 {
+		t.Fatalf("bad warm benchmark: %+v", warm)
+	}
+	last := rep.Benchmarks[3]
+	if last.Name != "BenchmarkDaemonBatch/batch" || last.Metrics != nil {
+		t.Fatalf("bad last benchmark: %+v", last)
+	}
+}
+
+func TestParseSkipsBareNames(t *testing.T) {
+	// Verbose runs print the name on its own line before the result.
+	in := "BenchmarkEvalLayerCache/off\nBenchmarkEvalLayerCache/off-8 \t 1 \t 15326527 ns/op\n"
+	rep, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "BenchmarkEvalLayerCache/off" {
+		t.Fatalf("unexpected benchmarks: %+v", rep.Benchmarks)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok  \tenergyclarity\t0.1s\n")); err == nil {
+		t.Fatal("expected an error for input with no benchmark lines")
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkX-8 \t 10 \t 5 ns/op \t 7\n")); err == nil {
+		t.Fatal("expected an error for an odd value/unit pairing")
+	}
+}

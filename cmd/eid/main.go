@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	eid [-addr host:port] [-workers n] [-queue n] [-memo n]
-//	    [-deadline d] [-max-samples n] [-fig1] [-load file.eil]...
+//	eid [-addr host:port] [-workers n] [-queue n] [-memo n] [-layer n]
+//	    [-no-layer-cache] [-deadline d] [-max-samples n] [-fig1]
+//	    [-load file.eil]...
 //	eid -smoke        self-test: serve on a loopback port, register the
 //	                  Fig. 1 interface, query it, assert a 200, exit
 //
@@ -52,6 +53,8 @@ func run(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "concurrent evaluations (0 = one per CPU)")
 	queue := fs.Int("queue", 0, "admission queue depth limit (0 = default 64)")
 	memo := fs.Int("memo", 0, "memo cache capacity (0 = default 1024)")
+	layer := fs.Int("layer", 0, "compositional layer-cache capacity (0 = default)")
+	noLayer := fs.Bool("no-layer-cache", false, "disable the compositional layer cache")
 	deadline := fs.Duration("deadline", 0, "default queue-wait deadline (0 = 5s)")
 	maxSamples := fs.Int("max-samples", 0, "per-request Monte Carlo sample cap (0 = default)")
 	fig1 := fs.Bool("fig1", false, "seed the calibrated Fig. 1 cnn_forward hardware interface")
@@ -66,6 +69,8 @@ func run(args []string, out io.Writer) error {
 		Workers:         *workers,
 		QueueLimit:      *queue,
 		MemoCapacity:    *memo,
+		LayerCapacity:   *layer,
+		NoLayerCache:    *noLayer,
 		DefaultDeadline: *deadline,
 		MaxSamples:      *maxSamples,
 	})
@@ -164,11 +169,31 @@ func runSmoke(srv *eisvc.Server, out io.Writer) error {
 		return fmt.Errorf("smoke: repeated monte-carlo eval missed the memo")
 	}
 
+	// Batch: two duplicates and one distinct ask in one round trip; the
+	// duplicate must come back deduplicated, the rest must answer.
+	batch := []eisvc.EvalRequest{
+		c.EvalRequestFor("ml_webservice", "handle", args, core.Expected()),
+		c.EvalRequestFor("ml_webservice", "handle", args, core.Expected()),
+		c.EvalRequestFor("ml_webservice", "handle", args, core.WorstCase()),
+	}
+	items, err := c.EvalBatch(batch)
+	if err != nil {
+		return fmt.Errorf("smoke evalbatch: %w", err)
+	}
+	for i, it := range items {
+		if it.Error != "" || it.Dist == nil {
+			return fmt.Errorf("smoke evalbatch item %d: %+v", i, it)
+		}
+	}
+	if !items[1].Deduped {
+		return fmt.Errorf("smoke evalbatch: duplicate item not deduplicated")
+	}
+
 	st, err := c.Stats()
 	if err != nil {
 		return fmt.Errorf("smoke stats: %w", err)
 	}
-	fmt.Fprintf(out, "eid: serve-smoke ok — %d evals, %d memo hit(s), %.4g J attributed to %q\n",
-		st.EvalRequests, st.MemoHits, st.AttribJ, c.ID)
+	fmt.Fprintf(out, "eid: serve-smoke ok — %d evals, %d memo hit(s), %d layer hit(s), %.4g J attributed to %q\n",
+		st.EvalRequests, st.MemoHits, st.LayerHits, st.AttribJ, c.ID)
 	return nil
 }

@@ -1,0 +1,68 @@
+package cache
+
+import (
+	"context"
+	"sync"
+)
+
+// Flight coalesces concurrent duplicate work: when several goroutines call
+// Do with the same key at the same time, exactly one of them (the leader)
+// runs fn; the rest block until the leader finishes and then share its
+// result. This is the classic singleflight discipline, here generic over
+// the result type and context-aware so a waiter's deadline still holds
+// while a slow leader runs.
+//
+// The zero Flight is ready to use.
+type Flight[V any] struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	done chan struct{} // closed when val/err are final
+	val  V
+	err  error
+}
+
+// Do runs fn for key, coalescing with any in-flight call for the same key.
+// It returns fn's result and shared=false on the leader, or the leader's
+// result and shared=true on a follower. A follower whose ctx expires
+// before the leader finishes returns ctx.Err() (the leader keeps running;
+// its result still reaches the other waiters). Errors are returned to
+// every waiter and never retained: the next Do after completion starts a
+// fresh flight.
+func (f *Flight[V]) Do(ctx context.Context, key string, fn func() (V, error)) (val V, shared bool, err error) {
+	f.mu.Lock()
+	if f.calls == nil {
+		f.calls = make(map[string]*flightCall[V])
+	}
+	if c, ok := f.calls[key]; ok {
+		f.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			var zero V
+			return zero, true, ctx.Err()
+		}
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	f.calls[key] = c
+	f.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}
+
+// InFlight reports the number of keys with a call currently running;
+// exposed for tests and stats.
+func (f *Flight[V]) InFlight() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.calls)
+}

@@ -99,6 +99,15 @@ type EvalOptions struct {
 	// range, so for a fixed Seed the resulting Dist is bit-identical at
 	// every parallelism level.
 	Parallelism int
+	// Layer, when non-nil, attaches a compositional evaluation cache:
+	// every method invocation during evaluation (the top-level body under
+	// each ECV assignment, and every Call.E/Call.Self beneath it) is
+	// memoized in it, keyed by subtree version, method, abstracted args,
+	// and the ECV values reaching that subtree. Cached results are the
+	// exact scalars the bodies returned, so the resulting Dist is
+	// bit-identical with the cache warm, cold, or absent. The same
+	// LayerCache may be shared by concurrent Evals over any interfaces.
+	Layer *LayerCache
 }
 
 // Expected returns options for ModeExpected.
@@ -139,6 +148,7 @@ type Call struct {
 	args   []Value
 	assign map[string]Value // qualified ECV name -> value (complete)
 	depth  int
+	ev     *layerEval // layer-cache view; nil when no cache is attached
 }
 
 // maxCallDepth bounds composition depth to catch runaway recursion through
@@ -279,13 +289,33 @@ func (c *Call) run(iface *Interface, path string, m *Method, args []Value) energ
 		args:   args,
 		assign: c.assign,
 		depth:  c.depth + 1,
+		ev:     c.ev,
 	}
-	return m.Body(sub)
+	if c.ev == nil {
+		return m.Body(sub)
+	}
+	// Layer-cache path: the descriptor for this binding path carries the
+	// subtree version and the ECV names whose values the body can observe.
+	d, ok := c.ev.descs[path]
+	if !ok {
+		return m.Body(sub)
+	}
+	key := d.key(m.Name, args, c.assign)
+	if v, hit := c.ev.cache.get(key); hit {
+		return energy.Joules(v)
+	}
+	j := m.Body(sub)
+	c.ev.cache.put(key, float64(j))
+	return j
 }
 
 // evalOnce runs one method evaluation under a complete assignment,
-// converting Body panics to errors.
-func (i *Interface) evalOnce(m *Method, args []Value, assign map[string]Value) (j energy.Joules, err error) {
+// converting Body panics to errors. With a layer cache attached (ev !=
+// nil), the whole-tree result under this assignment is itself memoized —
+// in Monte Carlo mode repeated draws of the same joint assignment become
+// cache hits, and in any mode the work is shared with other Evals whose
+// assignments coincide.
+func (i *Interface) evalOnce(m *Method, args []Value, assign map[string]Value, ev *layerEval) (j energy.Joules, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			ep, ok := r.(evalPanic)
@@ -295,9 +325,20 @@ func (i *Interface) evalOnce(m *Method, args []Value, assign map[string]Value) (
 			err = ep.err
 		}
 	}()
-	c := &Call{iface: i, path: "", method: m, args: args, assign: assign}
+	c := &Call{iface: i, path: "", method: m, args: args, assign: assign, ev: ev}
 	if len(m.Params) != 0 && len(args) != len(m.Params) {
 		return 0, fmt.Errorf("core: %s.%s: %d args, want %d", i.name, m.Name, len(args), len(m.Params))
+	}
+	if ev != nil {
+		if d, ok := ev.descs[""]; ok {
+			key := d.key(m.Name, args, assign)
+			if v, hit := ev.cache.get(key); hit {
+				return energy.Joules(v), nil
+			}
+			j := m.Body(c)
+			ev.cache.put(key, float64(j))
+			return j, nil
+		}
 	}
 	return m.Body(c), nil
 }
@@ -336,12 +377,17 @@ func (i *Interface) Eval(method string, args []Value, opts EvalOptions) (energy.
 		}
 	}
 
+	var ev *layerEval
+	if opts.Layer != nil {
+		ev = opts.Layer.evalContext(i)
+	}
+
 	if opts.Mode == ModeFixed {
 		if len(free) > 0 {
 			return energy.Dist{}, fmt.Errorf("core: interface %s: ModeFixed but ECV %q unassigned",
 				i.name, free[0].QualifiedName())
 		}
-		j, err := i.evalOnce(m, args, base)
+		j, err := i.evalOnce(m, args, base, ev)
 		if err != nil {
 			return energy.Dist{}, err
 		}
@@ -361,9 +407,9 @@ func (i *Interface) Eval(method string, args []Value, opts EvalOptions) (energy.
 
 	useMC := opts.Mode == ModeMonteCarlo || exceeded
 	if useMC {
-		return i.evalMonteCarlo(m, args, base, free, opts)
+		return i.evalMonteCarlo(m, args, base, free, opts, ev)
 	}
-	return i.evalEnumerate(m, args, base, free, opts)
+	return i.evalEnumerate(m, args, base, free, opts, ev)
 }
 
 // enumChunkSize is the number of assignments one enumeration work unit
@@ -372,7 +418,7 @@ func (i *Interface) Eval(method string, args []Value, opts EvalOptions) (energy.
 const enumChunkSize = 32
 
 func (i *Interface) evalEnumerate(m *Method, args []Value, base map[string]Value,
-	free []QualifiedECV, opts EvalOptions) (energy.Dist, error) {
+	free []QualifiedECV, opts EvalOptions, ev *layerEval) (energy.Dist, error) {
 
 	// Materialize the free dimensions with zero-probability support points
 	// dropped, and the row-major strides over the product space (the first
@@ -425,7 +471,7 @@ func (i *Interface) evalEnumerate(m *Method, args []Value, base map[string]Value
 				assign[dims[k].qn] = w.V
 				p *= w.P
 			}
-			j, err := i.evalOnce(m, args, assign)
+			j, err := i.evalOnce(m, args, assign, ev)
 			if err != nil {
 				return err
 			}
@@ -455,7 +501,7 @@ func (i *Interface) evalEnumerate(m *Method, args []Value, base map[string]Value
 const mcShardSize = 64
 
 func (i *Interface) evalMonteCarlo(m *Method, args []Value, base map[string]Value,
-	free []QualifiedECV, opts EvalOptions) (energy.Dist, error) {
+	free []QualifiedECV, opts EvalOptions, ev *layerEval) (energy.Dist, error) {
 
 	samples := opts.Samples
 	values := energy.BorrowScratch(samples)
@@ -486,7 +532,7 @@ func (i *Interface) evalMonteCarlo(m *Method, args []Value, base map[string]Valu
 			for _, q := range free {
 				assign[q.QualifiedName()] = q.ECV.sample(rng)
 			}
-			j, err := i.evalOnce(m, args, assign)
+			j, err := i.evalOnce(m, args, assign, ev)
 			if err != nil {
 				return err
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"energyclarity/internal/energy"
 )
@@ -44,7 +45,16 @@ type Interface struct {
 	order    []string // method insertion order for stable listings
 	bindings map[string]*Interface
 	bindOrd  []string
+	version  uint64 // bumped on every mutation; see Version
 }
+
+// ifaceVersions hands out interface versions: a process-global counter, so
+// no two distinct construction states ever share a version. The layer
+// cache (LayerCache) keys sub-evaluation results by subtree version, which
+// makes invalidation implicit: mutating or rebinding a node gives it (and,
+// through the subtree-version fold, its ancestors) a version no cached key
+// was ever built from.
+var ifaceVersions atomic.Uint64
 
 // New returns an empty interface with the given name.
 func New(name string) *Interface {
@@ -52,8 +62,20 @@ func New(name string) *Interface {
 		name:     name,
 		methods:  map[string]*Method{},
 		bindings: map[string]*Interface{},
+		version:  ifaceVersions.Add(1),
 	}
 }
+
+// Version returns the interface's construction version. Every mutation of
+// this node (AddECV, SetECV, AddMethod, Bind) assigns a fresh version, as
+// does cloning during Rebind; versions of distinct construction states are
+// never equal. Bindings do not propagate versions upward — consumers that
+// need a whole-subtree fingerprint (the layer cache) fold child versions
+// in themselves.
+func (i *Interface) Version() uint64 { return i.version }
+
+// bump assigns this node a fresh version; called by every mutator.
+func (i *Interface) bump() { i.version = ifaceVersions.Add(1) }
 
 // Name returns the interface name.
 func (i *Interface) Name() string { return i.name }
@@ -79,6 +101,7 @@ func (i *Interface) AddECV(e ECV) error {
 		}
 	}
 	i.ecvs = append(i.ecvs, e)
+	i.bump()
 	return nil
 }
 
@@ -100,6 +123,7 @@ func (i *Interface) SetECV(e ECV) error {
 	for k, have := range i.ecvs {
 		if have.Name == e.Name {
 			i.ecvs[k] = e
+			i.bump()
 			return nil
 		}
 	}
@@ -128,6 +152,7 @@ func (i *Interface) AddMethod(m Method) error {
 	mm := m
 	i.methods[m.Name] = &mm
 	i.order = append(i.order, m.Name)
+	i.bump()
 	return nil
 }
 
@@ -166,6 +191,7 @@ func (i *Interface) Bind(localName string, lower *Interface) error {
 		i.bindOrd = append(i.bindOrd, localName)
 	}
 	i.bindings[localName] = lower
+	i.bump()
 	return nil
 }
 

@@ -136,6 +136,44 @@ func (c *Client) Rebind(name, path, target string) (uint64, error) {
 // distribution (bit-identical to a local Interface.Eval with the same
 // options) plus the full wire response.
 func (c *Client) Eval(name, method string, args []core.Value, opts core.EvalOptions) (energy.Dist, *EvalResponse, error) {
+	req := c.EvalRequestFor(name, method, args, opts)
+	req.DeadlineMs = int(c.Deadline / time.Millisecond)
+	var resp EvalResponse
+	if err := c.do(http.MethodPost, "/v1/eval", req, &resp); err != nil {
+		return energy.Dist{}, nil, err
+	}
+	d, err := resp.Dist.Dist()
+	if err != nil {
+		return energy.Dist{}, nil, fmt.Errorf("eisvc: malformed distribution from daemon: %w", err)
+	}
+	return d, &resp, nil
+}
+
+// EvalBatch submits a slice of wire-level eval requests in one round trip
+// and returns the per-item results (Results[i] answers Requests[i]).
+// Identical items are deduplicated server-side. Per-item failures land in
+// the item's Error/Status, not in the returned error.
+func (c *Client) EvalBatch(reqs []EvalRequest) ([]BatchEvalItem, error) {
+	if c.Deadline > 0 {
+		for i := range reqs {
+			if reqs[i].DeadlineMs == 0 {
+				reqs[i].DeadlineMs = int(c.Deadline / time.Millisecond)
+			}
+		}
+	}
+	var resp BatchEvalResponse
+	if err := c.do(http.MethodPost, "/v1/evalbatch", BatchEvalRequest{Requests: reqs}, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(reqs) {
+		return nil, fmt.Errorf("eisvc: batch returned %d results for %d requests", len(resp.Results), len(reqs))
+	}
+	return resp.Results, nil
+}
+
+// EvalRequestFor builds the wire request Eval would send, for use with
+// EvalBatch.
+func (c *Client) EvalRequestFor(name, method string, args []core.Value, opts core.EvalOptions) EvalRequest {
 	req := EvalRequest{
 		Interface:   name,
 		Method:      method,
@@ -144,7 +182,6 @@ func (c *Client) Eval(name, method string, args []core.Value, opts core.EvalOpti
 		Seed:        opts.Seed,
 		EnumLimit:   opts.EnumLimit,
 		Parallelism: opts.Parallelism,
-		DeadlineMs:  int(c.Deadline / time.Millisecond),
 	}
 	for _, a := range args {
 		req.Args = append(req.Args, ValueToJSON(a))
@@ -155,15 +192,7 @@ func (c *Client) Eval(name, method string, args []core.Value, opts core.EvalOpti
 			req.Fixed[qn] = ValueToJSON(v)
 		}
 	}
-	var resp EvalResponse
-	if err := c.do(http.MethodPost, "/v1/eval", req, &resp); err != nil {
-		return energy.Dist{}, nil, err
-	}
-	d, err := resp.Dist.Dist()
-	if err != nil {
-		return energy.Dist{}, nil, fmt.Errorf("eisvc: malformed distribution from daemon: %w", err)
-	}
-	return d, &resp, nil
+	return req
 }
 
 // Stats fetches the daemon's serving metrics and energy ledger.

@@ -7,8 +7,13 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"energyclarity/internal/cache"
+	"energyclarity/internal/core"
+	"energyclarity/internal/energy"
 )
 
 // Config tunes a Server. The zero value picks sane defaults.
@@ -31,6 +36,17 @@ type Config struct {
 	MaxSamples int
 	// MaxEnumLimit likewise caps EvalRequest.EnumLimit (default 1<<20).
 	MaxEnumLimit int
+	// LayerCapacity bounds the compositional layer cache shared by all
+	// evaluations (default core.DefaultLayerCapacity; 0 keeps the default —
+	// use NoLayerCache to disable).
+	LayerCapacity int
+	// NoLayerCache disables the compositional layer cache: evaluations
+	// recompute every sub-interface result. Mostly for benchmarking the
+	// cache itself.
+	NoLayerCache bool
+	// MaxBatch caps the number of items in one /v1/evalbatch request
+	// (default 1024).
+	MaxBatch int
 }
 
 func (c Config) withDefaults() Config {
@@ -55,6 +71,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxEnumLimit <= 0 {
 		c.MaxEnumLimit = 1 << 20
 	}
+	if c.LayerCapacity <= 0 {
+		c.LayerCapacity = core.DefaultLayerCapacity
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1024
+	}
 	return c
 }
 
@@ -66,13 +88,18 @@ type Server struct {
 	cfg    Config
 	reg    *Registry
 	memo   *Memo
+	layer  *core.LayerCache // nil when Config.NoLayerCache
+	flight cache.Flight[evalOutcome]
 	adm    *admission
 	ledger *Ledger
 	lat    *latencies
 	mux    *http.ServeMux
 
-	evalRequests atomic.Uint64
-	evaluations  atomic.Uint64
+	evalRequests  atomic.Uint64
+	evaluations   atomic.Uint64
+	coalesced     atomic.Uint64
+	batchRequests atomic.Uint64
+	batchItems    atomic.Uint64
 }
 
 // NewServer returns a daemon with the given configuration.
@@ -87,6 +114,9 @@ func NewServer(cfg Config) *Server {
 		lat:    newLatencies(),
 		mux:    http.NewServeMux(),
 	}
+	if !cfg.NoLayerCache {
+		s.layer = core.NewLayerCache(cfg.LayerCapacity)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("POST /v1/register", s.handleRegister)
 	s.mux.HandleFunc("GET /v1/interfaces", s.handleList)
@@ -94,6 +124,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/interfaces/{name}/source", s.handleSource)
 	s.mux.HandleFunc("POST /v1/rebind", s.handleRebind)
 	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
+	s.mux.HandleFunc("POST /v1/evalbatch", s.handleEvalBatch)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
 }
@@ -157,6 +188,11 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, "register: %v", err)
 		return
 	}
+	if s.layer != nil {
+		// Re-registration gives the stack fresh interface versions; old
+		// layer-cache entries become unreachable (implicit invalidation).
+		s.layer.NoteInvalidation()
+	}
 	resp := RegisterResponse{}
 	for _, name := range names {
 		iface, version, _ := s.reg.Get(name)
@@ -212,7 +248,128 @@ func (s *Server) handleRebind(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "rebind: %v", err)
 		return
 	}
+	if s.layer != nil {
+		// The rebind clone carries fresh versions along the rebound path;
+		// entries for the untouched sibling subtrees stay live.
+		s.layer.NoteInvalidation()
+	}
 	writeJSON(w, http.StatusOK, RebindResponse{Interface: req.Interface, Version: version})
+}
+
+// evalOutcome is what one coalesced evaluation produces: the distribution
+// and whether it was resolved from the memo without running Eval.
+type evalOutcome struct {
+	dist    energy.Dist
+	memoHit bool
+}
+
+// evalShared resolves one canonicalized evaluation. All evaluation paths
+// (/v1/eval, /v1/evalbatch) funnel through here, so the discipline is
+// uniform: memo lookup, then a singleflight keyed by the memo key — N
+// concurrent identical misses run exactly one Eval — whose leader
+// re-checks the memo (a flight that finished between our miss and the
+// flight forming already published its answer), wins a worker slot under
+// the usual admission rules, evaluates with the layer cache attached, and
+// publishes to the memo. ctx bounds both the flight wait and the queue
+// wait.
+func (s *Server) evalShared(ctx context.Context, key string, iface *core.Interface, method string, args []core.Value, opts core.EvalOptions) (out evalOutcome, coalesced bool, err error) {
+	if d, hit := s.memo.Get(key); hit {
+		return evalOutcome{dist: d, memoHit: true}, false, nil
+	}
+	out, coalesced, err = s.flight.Do(ctx, key, func() (evalOutcome, error) {
+		if d, hit := s.memo.Get(key); hit {
+			return evalOutcome{dist: d, memoHit: true}, nil
+		}
+		release, err := s.adm.acquire(ctx)
+		if err != nil {
+			return evalOutcome{}, err
+		}
+		defer release()
+		opts.Layer = s.layer // nil (disabled) is valid
+		s.evaluations.Add(1)
+		d, evalErr := iface.Eval(method, args, opts)
+		if evalErr != nil {
+			return evalOutcome{}, &evalFailed{err: evalErr}
+		}
+		s.memo.Put(key, d)
+		return evalOutcome{dist: d}, nil
+	})
+	if coalesced {
+		s.coalesced.Add(1)
+	}
+	return out, coalesced, err
+}
+
+// evalFailed wraps an Interface.Eval error so writeEvalError can tell a
+// malformed-evaluation failure (422) from admission shedding (429/503).
+type evalFailed struct{ err error }
+
+func (e *evalFailed) Error() string { return e.err.Error() }
+func (e *evalFailed) Unwrap() error { return e.err }
+
+// writeEvalError maps an evalShared error onto the wire.
+func writeEvalError(w http.ResponseWriter, err error) {
+	var ef *evalFailed
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrDeadline), errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.As(err, &ef):
+		writeError(w, http.StatusUnprocessableEntity, "eval: %v", ef.err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// evalStatus is writeEvalError's status mapping, for per-item batch errors.
+func evalStatus(err error) int {
+	var ef *evalFailed
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDeadline), errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errors.As(err, &ef):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// checkEvalRequest validates caps and converts the wire request; it
+// returns the parsed pieces or a (status, message) rejection.
+func (s *Server) checkEvalRequest(req *EvalRequest) (iface *core.Interface, version uint64, args []core.Value, opts core.EvalOptions, status int, errMsg string) {
+	if req.Samples > s.cfg.MaxSamples {
+		return nil, 0, nil, core.EvalOptions{}, http.StatusBadRequest,
+			fmt.Sprintf("samples %d exceeds server cap %d", req.Samples, s.cfg.MaxSamples)
+	}
+	if req.EnumLimit > s.cfg.MaxEnumLimit {
+		return nil, 0, nil, core.EvalOptions{}, http.StatusBadRequest,
+			fmt.Sprintf("enum_limit %d exceeds server cap %d", req.EnumLimit, s.cfg.MaxEnumLimit)
+	}
+	opts, err := req.Options()
+	if err != nil {
+		return nil, 0, nil, core.EvalOptions{}, http.StatusBadRequest, err.Error()
+	}
+	args, err = argsFromJSON(req.Args)
+	if err != nil {
+		return nil, 0, nil, core.EvalOptions{}, http.StatusBadRequest, err.Error()
+	}
+	iface, version, ok := s.reg.Get(req.Interface)
+	if !ok {
+		return nil, 0, nil, core.EvalOptions{}, http.StatusNotFound,
+			fmt.Sprintf("no interface %q", req.Interface)
+	}
+	return iface, version, args, opts, 0, ""
+}
+
+// deadlineFor returns the queue-wait bound for a request.
+func (s *Server) deadlineFor(req *EvalRequest) time.Duration {
+	if req.DeadlineMs > 0 {
+		return time.Duration(req.DeadlineMs) * time.Millisecond
+	}
+	return s.cfg.DefaultDeadline
 }
 
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
@@ -222,79 +379,134 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	if req.Samples > s.cfg.MaxSamples {
-		writeError(w, http.StatusBadRequest, "samples %d exceeds server cap %d", req.Samples, s.cfg.MaxSamples)
-		return
-	}
-	if req.EnumLimit > s.cfg.MaxEnumLimit {
-		writeError(w, http.StatusBadRequest, "enum_limit %d exceeds server cap %d", req.EnumLimit, s.cfg.MaxEnumLimit)
-		return
-	}
-	opts, err := req.Options()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	args, err := argsFromJSON(req.Args)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	iface, version, ok := s.reg.Get(req.Interface)
-	if !ok {
-		writeError(w, http.StatusNotFound, "no interface %q", req.Interface)
+	iface, version, args, opts, status, msg := s.checkEvalRequest(&req)
+	if status != 0 {
+		writeError(w, status, "%s", msg)
 		return
 	}
 
+	// The deadline bounds the flight and queue waits only — once running,
+	// an evaluation is bounded by the samples/enum caps, not wall clock.
+	ctx, cancel := context.WithTimeout(r.Context(), s.deadlineFor(&req))
+	defer cancel()
+	key := memoKey(req.Interface, version, req.Method, args, opts)
+	out, coalesced, err := s.evalShared(ctx, key, iface, req.Method, args, opts)
+	if err != nil {
+		writeEvalError(w, err)
+		return
+	}
 	resp := EvalResponse{
 		Interface: req.Interface,
 		Version:   version,
 		Method:    req.Method,
 		Mode:      opts.Mode.String(),
+		Dist:      ToWire(out.dist),
+		Cached:    out.memoHit,
+		Coalesced: coalesced,
 	}
-	key := memoKey(req.Interface, version, req.Method, args, opts)
-	if d, hit := s.memo.Get(key); hit {
-		resp.Dist = ToWire(d)
-		resp.Cached = true
-		s.ledger.Record(clientID(r), req.Interface, d, true)
-		s.lat.observe(float64(time.Since(start)) / float64(time.Millisecond))
-		writeJSON(w, http.StatusOK, resp)
-		return
-	}
-
-	// Memo miss: the evaluation must win a worker slot. The deadline
-	// bounds the queue wait only — once running, an evaluation is bounded
-	// by the samples/enum caps, not by wall clock.
-	deadline := s.cfg.DefaultDeadline
-	if req.DeadlineMs > 0 {
-		deadline = time.Duration(req.DeadlineMs) * time.Millisecond
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), deadline)
-	defer cancel()
-	release, err := s.adm.acquire(ctx)
-	if err != nil {
-		switch {
-		case errors.Is(err, ErrQueueFull):
-			writeError(w, http.StatusTooManyRequests, "%v", err)
-		case errors.Is(err, ErrDeadline):
-			writeError(w, http.StatusServiceUnavailable, "%v", err)
-		default:
-			writeError(w, http.StatusInternalServerError, "%v", err)
-		}
-		return
-	}
-	s.evaluations.Add(1)
-	d, evalErr := iface.Eval(req.Method, args, opts)
-	release()
-	if evalErr != nil {
-		writeError(w, http.StatusUnprocessableEntity, "eval: %v", evalErr)
-		return
-	}
-	s.memo.Put(key, d)
-	resp.Dist = ToWire(d)
-	s.ledger.Record(clientID(r), req.Interface, d, false)
+	s.ledger.Record(clientID(r), req.Interface, out.dist, out.memoHit || coalesced)
 	s.lat.observe(float64(time.Since(start)) / float64(time.Millisecond))
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleEvalBatch evaluates a slice of requests in one round trip. Items
+// that canonicalize to the same memo key are deduplicated — one evaluation
+// serves all of them — and the distinct residuals evaluate concurrently,
+// each under the normal admission discipline (so a batch cannot bypass the
+// worker-slot and queue bounds; it can only stop paying for duplicates).
+// Item failures are per-item: a bad or shed item does not fail the batch.
+func (s *Server) handleEvalBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.batchRequests.Add(1)
+	var req BatchEvalRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Requests) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, "batch of %d exceeds server cap %d", len(req.Requests), s.cfg.MaxBatch)
+		return
+	}
+	s.batchItems.Add(uint64(len(req.Requests)))
+
+	type parsedItem struct {
+		iface   *core.Interface
+		version uint64
+		args    []core.Value
+		opts    core.EvalOptions
+		key     string
+	}
+	items := make([]BatchEvalItem, len(req.Requests))
+	parsed := make([]parsedItem, len(req.Requests))
+	// first maps a memo key to the first item index that produced it; later
+	// items with the same key share that item's evaluation.
+	first := map[string]int{}
+	for i := range req.Requests {
+		it := &req.Requests[i]
+		items[i] = BatchEvalItem{Interface: it.Interface, Method: it.Method}
+		iface, version, args, opts, status, msg := s.checkEvalRequest(it)
+		if status != 0 {
+			items[i].Status, items[i].Error = status, msg
+			continue
+		}
+		p := parsedItem{iface: iface, version: version, args: args, opts: opts}
+		p.key = memoKey(it.Interface, version, it.Method, args, opts)
+		parsed[i] = p
+		items[i].Version = version
+		items[i].Mode = opts.Mode.String()
+		if j, dup := first[p.key]; dup {
+			items[i].Deduped = true
+			parsed[i].key = parsed[j].key // same key; marker only
+		} else {
+			first[p.key] = i
+		}
+	}
+
+	// Evaluate each distinct key once, concurrently. evalShared also
+	// coalesces with in-flight singles and other batches.
+	type keyResult struct {
+		out       evalOutcome
+		coalesced bool
+		err       error
+	}
+	results := make(map[string]*keyResult, len(first))
+	var wg sync.WaitGroup
+	for key, i := range first {
+		kr := &keyResult{}
+		results[key] = kr
+		wg.Add(1)
+		go func(key string, it *EvalRequest, p parsedItem, kr *keyResult) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), s.deadlineFor(it))
+			defer cancel()
+			kr.out, kr.coalesced, kr.err = s.evalShared(ctx, key, p.iface, it.Method, p.args, p.opts)
+		}(key, &req.Requests[i], parsed[i], kr)
+	}
+	wg.Wait()
+
+	who := clientID(r)
+	for i := range items {
+		if items[i].Error != "" {
+			continue
+		}
+		kr := results[parsed[i].key]
+		if kr.err != nil {
+			items[i].Status, items[i].Error = evalStatus(kr.err), kr.err.Error()
+			continue
+		}
+		items[i].Status = http.StatusOK
+		d := ToWire(kr.out.dist)
+		items[i].Dist = &d
+		items[i].Cached = kr.out.memoHit
+		items[i].Coalesced = kr.coalesced
+		s.ledger.Record(who, items[i].Interface, kr.out.dist,
+			kr.out.memoHit || kr.coalesced || items[i].Deduped)
+	}
+	s.lat.observe(float64(time.Since(start)) / float64(time.Millisecond))
+	writeJSON(w, http.StatusOK, BatchEvalResponse{Results: items})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -320,8 +532,23 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Clients:       clients,
 		ByIface:       ifaces,
 	}
+	resp.Coalesced = s.coalesced.Load()
+	resp.BatchRequests = s.batchRequests.Load()
+	resp.BatchItems = s.batchItems.Load()
 	if total := hits + misses; total > 0 {
 		resp.MemoHitRate = float64(hits) / float64(total)
+	}
+	if s.layer != nil {
+		ls := s.layer.Stats()
+		resp.LayerEnabled = true
+		resp.LayerHits = ls.Hits
+		resp.LayerMisses = ls.Misses
+		resp.LayerEvictions = ls.Evictions
+		resp.LayerLen = ls.Len
+		resp.LayerInvalidations = ls.Invalidations
+		if total := ls.Hits + ls.Misses; total > 0 {
+			resp.LayerHitRate = float64(ls.Hits) / float64(total)
+		}
 	}
 	for _, e := range clients {
 		resp.AttribJ += e.MeanJ

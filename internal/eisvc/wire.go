@@ -117,6 +117,41 @@ type EvalResponse struct {
 	Dist      WireDist `json:"dist"`
 	// Cached reports whether the answer came from the memo cache.
 	Cached bool `json:"cached"`
+	// Coalesced reports that the request joined an identical in-flight
+	// evaluation instead of running its own (singleflight).
+	Coalesced bool `json:"coalesced,omitempty"`
+}
+
+// BatchEvalRequest evaluates several methods in one round trip
+// (POST /v1/evalbatch). Items that canonicalize to the same evaluation are
+// deduplicated server-side; the distinct residuals evaluate concurrently
+// under the daemon's normal admission discipline.
+type BatchEvalRequest struct {
+	Requests []EvalRequest `json:"requests"`
+}
+
+// BatchEvalItem is the per-item answer in a batch. Exactly one of Dist or
+// Error is set; Status carries the HTTP status the item would have
+// received as a single /v1/eval.
+type BatchEvalItem struct {
+	Interface string    `json:"interface"`
+	Version   uint64    `json:"version,omitempty"`
+	Method    string    `json:"method"`
+	Mode      string    `json:"mode,omitempty"`
+	Status    int       `json:"status"`
+	Dist      *WireDist `json:"dist,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	// Cached: served from the memo. Coalesced: joined an in-flight
+	// evaluation. Deduped: shared an identical item earlier in this batch.
+	Cached    bool `json:"cached,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	Deduped   bool `json:"deduped,omitempty"`
+}
+
+// BatchEvalResponse answers a BatchEvalRequest; Results[i] corresponds to
+// Requests[i].
+type BatchEvalResponse struct {
+	Results []BatchEvalItem `json:"results"`
 }
 
 // LatencyStats summarizes request latencies (memo hits included).
@@ -150,6 +185,22 @@ type StatsResponse struct {
 	MemoEvictions uint64  `json:"memo_evictions"`
 	MemoLen       int     `json:"memo_len"`
 	MemoHitRate   float64 `json:"memo_hit_rate"`
+
+	// Compositional layer cache (per-sub-interface results shared across
+	// evaluations; see core.LayerCache).
+	LayerEnabled       bool    `json:"layer_enabled"`
+	LayerHits          uint64  `json:"layer_hits"`
+	LayerMisses        uint64  `json:"layer_misses"`
+	LayerEvictions     uint64  `json:"layer_evictions"`
+	LayerLen           int     `json:"layer_len"`
+	LayerInvalidations uint64  `json:"layer_invalidations"`
+	LayerHitRate       float64 `json:"layer_hit_rate"`
+
+	// Coalesced counts requests that joined an identical in-flight
+	// evaluation; BatchRequests/BatchItems count /v1/evalbatch traffic.
+	Coalesced     uint64 `json:"coalesced"`
+	BatchRequests uint64 `json:"batch_requests"`
+	BatchItems    uint64 `json:"batch_items"`
 
 	ShedQueueFull uint64 `json:"shed_queue_full"` // rejected with 429
 	ShedDeadline  uint64 `json:"shed_deadline"`   // rejected with 503

@@ -198,14 +198,29 @@ func siftUp(key []float64, lane []int, i int) {
 // --- heap-based support compaction ---
 
 // compactMerge merges adjacent support points (probability-weighted) until
-// at most limit remain, picking the smallest gap first with ties broken
-// toward the leftmost pair — the same merge sequence as a quadratic
+// at most limit remain, picking the smallest interior gap first with ties
+// broken toward the leftmost pair — the same merge sequence as a quadratic
 // rescan, in O(n log n) via a lazily-invalidated pair heap over a doubly
 // linked list of live support points.
+//
+// The extreme support points are pinned: a merge involving the first or
+// last live point would move it to a probability-weighted average and pull
+// Min()/Max() inward, silently weakening the worst-case bound (§4.1) that
+// compaction must preserve. For limit >= 3 only interior pairs merge, so
+// Min, Max, and the mean are all exact. For limit == 2 the interior mass
+// is split between the two extremes so that the mean is preserved; for
+// limit == 1 the single surviving point is the mean (there is nothing to
+// pin with one point).
 func compactMerge(xs, ps []float64, limit int) ([]float64, []float64) {
 	n := len(xs)
 	if limit < 1 {
 		limit = 1
+	}
+	if n <= limit {
+		return xs, ps
+	}
+	if limit <= 2 {
+		return compactToExtremes(xs, ps, limit)
 	}
 	prev := borrowInts(n)
 	next := borrowInts(n)
@@ -263,9 +278,17 @@ func compactMerge(xs, ps []float64, limit int) ([]float64, []float64) {
 		return top
 	}
 	pushPair := func(left int) {
-		if r := next[left]; r != -1 {
-			push(pair{gap: xs[r] - xs[left], left: left, right: r, vLeft: ver[left], vRig: ver[r]})
+		r := next[left]
+		if r == -1 {
+			return
 		}
+		// Pin the extremes: never merge a pair that includes the first or
+		// last live point (index 0 and n-1 — neither is ever merged away,
+		// so the original indices identify them throughout).
+		if left == 0 || r == n-1 {
+			return
+		}
+		push(pair{gap: xs[r] - xs[left], left: left, right: r, vLeft: ver[left], vRig: ver[r]})
 	}
 	for i := 0; i < n-1; i++ {
 		pushPair(i)
@@ -301,6 +324,35 @@ func compactMerge(xs, ps []float64, limit int) ([]float64, []float64) {
 		outPS = append(outPS, ps[i])
 	}
 	return outXS, outPS
+}
+
+// compactToExtremes collapses a distribution to limit (1 or 2) points
+// without moving the bounds inward more than it must. With two points the
+// mass sits on the original min and max, split so the mean is preserved
+// exactly; with one point, the single survivor is the mean (a one-point
+// distribution cannot preserve a range). Caller guarantees len(xs) > limit
+// and sorted xs.
+func compactToExtremes(xs, ps []float64, limit int) ([]float64, []float64) {
+	total, mean := 0.0, 0.0
+	for i, p := range ps {
+		total += p
+		mean += xs[i] * p
+	}
+	mean /= total
+	if limit == 1 {
+		return []float64{mean}, []float64{total}
+	}
+	lo, hi := xs[0], xs[len(xs)-1]
+	if hi == lo {
+		return []float64{lo}, []float64{total}
+	}
+	pHi := total * (mean - lo) / (hi - lo)
+	if pHi < 0 {
+		pHi = 0
+	} else if pHi > total {
+		pHi = total
+	}
+	return []float64{lo, hi}, []float64{total - pHi, pHi}
 }
 
 func minInt(a, b int) int {

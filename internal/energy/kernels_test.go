@@ -52,17 +52,44 @@ func refMix(weights []float64, dists []Dist) Dist {
 	return Categorical(values, probs).compact(MaxSupport)
 }
 
-// refCompact is the original quadratic smallest-gap rescan.
+// refCompact is the quadratic smallest-interior-gap rescan with the
+// extreme support points pinned — the reference for compactMerge's policy.
 func refCompact(d Dist, limit int) Dist {
 	if len(d.xs) <= limit {
 		return d
 	}
 	xs := append([]float64(nil), d.xs...)
 	ps := append([]float64(nil), d.ps...)
+	if limit <= 2 {
+		// Mirror compactToExtremes: mean-preserving collapse onto the
+		// extremes (limit 2) or the mean point (limit 1).
+		total, mean := 0.0, 0.0
+		for i, p := range ps {
+			total += p
+			mean += xs[i] * p
+		}
+		mean /= total
+		if limit <= 1 {
+			return Dist{xs: []float64{mean}, ps: []float64{total}}
+		}
+		lo, hi := xs[0], xs[len(xs)-1]
+		if hi == lo {
+			return Dist{xs: []float64{lo}, ps: []float64{total}}
+		}
+		pHi := total * (mean - lo) / (hi - lo)
+		if pHi < 0 {
+			pHi = 0
+		} else if pHi > total {
+			pHi = total
+		}
+		return Dist{xs: []float64{lo, hi}, ps: []float64{total - pHi, pHi}}
+	}
 	for len(xs) > limit {
-		best := 0
+		best := -1
 		bestGap := math.Inf(1)
-		for i := 0; i+1 < len(xs); i++ {
+		// Interior pairs only: merging a pair that includes xs[0] or
+		// xs[len-1] would pull Min/Max inward.
+		for i := 1; i+2 < len(xs); i++ {
 			if gap := xs[i+1] - xs[i]; gap < bestGap {
 				bestGap = gap
 				best = i
@@ -132,8 +159,8 @@ func TestMixMatchesReference(t *testing.T) {
 }
 
 // TestCompactMatchesReference: the heap-based compaction must reproduce
-// the quadratic rescan's merge sequence exactly (same smallest-gap,
-// leftmost-tie policy), so the outputs are bit-identical.
+// the quadratic rescan's merge sequence exactly (same smallest interior
+// gap, leftmost-tie, extremes-pinned policy), so outputs are bit-identical.
 func TestCompactMatchesReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for trial := 0; trial < 100; trial++ {
@@ -159,6 +186,65 @@ func TestCompactMatchesReference(t *testing.T) {
 				trial, limit, got, want)
 		}
 	}
+}
+
+// TestCompactPinsExtremes: compaction must not move Min or Max inward —
+// the §4.1 worst-case bound is only sound if WorstCase() survives support
+// compaction exactly — and must keep the mean exact (the merge is a
+// probability-weighted average, so this holds for interior merges too).
+func TestCompactPinsExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 10 + rng.Intn(200)
+		values := make([]float64, n)
+		probs := make([]float64, n)
+		for i := range values {
+			values[i] = rng.Float64() * 1000
+			probs[i] = rng.Float64() + 0.001
+		}
+		d := Categorical(values, probs)
+		for _, limit := range []int{2, 3, 4, 8, n / 2} {
+			if limit < 2 || limit >= d.Len() {
+				continue
+			}
+			c := d.compact(limit)
+			if c.Len() > limit {
+				t.Fatalf("trial %d limit %d: %d points left", trial, limit, c.Len())
+			}
+			if c.Min() != d.Min() || c.Max() != d.Max() {
+				t.Fatalf("trial %d limit %d: bounds moved: [%v,%v] -> [%v,%v]",
+					trial, limit, d.Min(), d.Max(), c.Min(), c.Max())
+			}
+			if rel := math.Abs(c.Mean()-d.Mean()) / math.Abs(d.Mean()); rel > 1e-9 {
+				t.Fatalf("trial %d limit %d: mean drifted %v -> %v", trial, limit, d.Mean(), c.Mean())
+			}
+			if math.Abs(c.TotalProb()-d.TotalProb()) > 1e-9 {
+				t.Fatalf("trial %d limit %d: mass changed %v -> %v",
+					trial, limit, d.TotalProb(), c.TotalProb())
+			}
+		}
+	}
+	// Chained arithmetic keeps bounds exact end to end: the worst case of a
+	// sum is the sum of worst cases even after repeated MaxSupport capping.
+	a := randomWide(rng, 300)
+	b := randomWide(rng, 300)
+	s := a.Add(b)
+	if s.Max() != a.Max()+b.Max() || s.Min() != a.Min()+b.Min() {
+		t.Fatalf("convolution bounds: got [%v,%v], want [%v,%v]",
+			s.Min(), s.Max(), a.Min()+b.Min(), a.Max()+b.Max())
+	}
+}
+
+// randomWide builds an n-point distribution on an irrational grid, wide
+// enough that Add must compact.
+func randomWide(rng *rand.Rand, n int) Dist {
+	values := make([]float64, n)
+	probs := make([]float64, n)
+	for i := range values {
+		values[i] = rng.Float64() * 1e4
+		probs[i] = rng.Float64() + 0.01
+	}
+	return Categorical(values, probs)
 }
 
 func TestConvolutionLargeSupportCapped(t *testing.T) {

@@ -197,9 +197,12 @@ func E11DaemonServing() (*E11Result, error) {
 	}
 
 	// Phase 2: distinct-request burst against a deliberately tiny daemon.
-	// Every request is a fresh class, so the memo cannot help; with one
-	// worker and a queue of two, admission control must shed the rest.
-	base, shutdown, err = e11Daemon(eisvc.Config{Workers: 1, QueueLimit: 2})
+	// Every request is a fresh class, so the memo cannot help, and the
+	// layer cache is disabled so every evaluation pays full cost (this
+	// phase demonstrates admission control, not caching — E12 covers
+	// that); with one worker and a queue of two, admission control must
+	// shed the rest.
+	base, shutdown, err = e11Daemon(eisvc.Config{Workers: 1, QueueLimit: 2, NoLayerCache: true})
 	if err != nil {
 		return nil, err
 	}

@@ -421,6 +421,45 @@ func TestE11DaemonServingShape(t *testing.T) {
 	}
 }
 
+func TestE12LayerCacheShape(t *testing.T) {
+	res, err := E12LayerCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E12LayerCache itself errors on any cached-vs-cold divergence; assert
+	// the flag anyway so the invariant is visible here.
+	if !res.BitIdentical {
+		t.Error("cached trace answers diverged from uncached")
+	}
+	if res.Classes != e12Classes || res.Requests != e12Requests {
+		t.Errorf("shape %d classes / %d requests", res.Classes, res.Requests)
+	}
+	// Same deterministic trace both ways: the same classes go cold.
+	if res.ColdOff != res.ColdOn {
+		t.Errorf("cold counts differ: %d off vs %d on", res.ColdOff, res.ColdOn)
+	}
+	if res.ColdOff == 0 || res.ColdOff > res.Classes {
+		t.Errorf("cold requests = %d, want 1..%d", res.ColdOff, res.Classes)
+	}
+	// The acceptance bar: the warm run must at least halve the trace time
+	// or the cold p50. Timing on a loaded CI box is noisy, so accept either.
+	if res.Speedup < 2 && res.ColdP50OnMs > 0.5*res.ColdP50OffMs {
+		t.Errorf("layer cache gained too little: %.2fx wall speedup, cold p50 %.2f -> %.2f ms",
+			res.Speedup, res.ColdP50OffMs, res.ColdP50OnMs)
+	}
+	if res.LayerHits == 0 {
+		t.Error("warm trace recorded no layer-cache hits")
+	}
+	// Batch phase: duplicates must dedup server-side.
+	wantItems := e12Classes * (1 + e12BatchDups)
+	if res.BatchItems != wantItems {
+		t.Errorf("batch items = %d, want %d", res.BatchItems, wantItems)
+	}
+	if res.BatchDeduped != e12Classes*e12BatchDups {
+		t.Errorf("batch deduped = %d, want %d", res.BatchDeduped, e12Classes*e12BatchDups)
+	}
+}
+
 func TestAblations(t *testing.T) {
 	a1, err := A1ExactVsMonteCarlo()
 	if err != nil {
@@ -470,7 +509,7 @@ func TestAllTablesRender(t *testing.T) {
 			t.Errorf("table %s rendered empty", tab.ID)
 		}
 	}
-	for _, id := range []string{"T1", "F1", "F2", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "A1", "A2", "A3"} {
+	for _, id := range []string{"T1", "F1", "F2", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "A1", "A2", "A3"} {
 		if !seen[id] {
 			t.Errorf("missing table %s", id)
 		}
