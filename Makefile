@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json vet fmt-check serve-smoke all
+.PHONY: build test race bench bench-smoke bench-json vet fmt-check serve-smoke fault-smoke all
 
 all: build test
 
@@ -51,3 +51,11 @@ bench-json:
 # must be a memo hit), and asserts 200s throughout. See docs/EID.md.
 serve-smoke:
 	$(GO) run ./cmd/eid -smoke
+
+# Short-mode run of the E13 resilience experiment: a retrying/hedging
+# client fleet sustains a Zipf trace through injected faults (resets,
+# hangs, 503 bursts) with every delivered answer bit-identical to the
+# fault-free reference, a cancelled evaluation frees its worker, and a
+# draining daemon sheds politely while in-flight work completes.
+fault-smoke:
+	$(GO) test -run 'TestE13ResilienceShape' -short -count=1 ./internal/experiments/

@@ -8,9 +8,14 @@
 //
 //	eid [-addr host:port] [-workers n] [-queue n] [-memo n] [-layer n]
 //	    [-no-layer-cache] [-deadline d] [-max-samples n] [-fig1]
-//	    [-load file.eil]...
+//	    [-drain-timeout d] [-load file.eil]...
 //	eid -smoke        self-test: serve on a loopback port, register the
 //	                  Fig. 1 interface, query it, assert a 200, exit
+//
+// On SIGTERM or SIGINT the daemon drains gracefully: it stops admitting
+// new evaluations (shedding them with 503 + Retry-After so retrying
+// clients fail over), waits up to -drain-timeout for in-flight
+// evaluations to finish, then shuts the listener down.
 //
 // With -fig1 (implied by -smoke) the daemon seeds a calibrated
 // "cnn_forward" hardware interface (the Fig. 1 CNN priced on the canonical
@@ -19,12 +24,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"energyclarity/internal/core"
@@ -59,6 +67,7 @@ func run(args []string, out io.Writer) error {
 	maxSamples := fs.Int("max-samples", 0, "per-request Monte Carlo sample cap (0 = default)")
 	fig1 := fs.Bool("fig1", false, "seed the calibrated Fig. 1 cnn_forward hardware interface")
 	smoke := fs.Bool("smoke", false, "self-test against a loopback listener, then exit")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "how long a SIGTERM drain waits for in-flight evaluations")
 	var loads stringList
 	fs.Var(&loads, "load", "register an .eil file at startup (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -102,7 +111,39 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "eid: serving on http://%s (%d interface(s) registered)\n",
 		ln.Addr(), srv.Registry().Len())
-	return http.Serve(ln, srv)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	return serve(srv, ln, *drainTimeout, sig, out)
+}
+
+// serve runs the daemon until the listener fails or a shutdown signal
+// arrives, then drains: evaluation endpoints shed 503 immediately,
+// in-flight evaluations get up to drainTimeout to finish, and the HTTP
+// server shuts down once they have. Split from run (with an injectable
+// signal channel) so the drain path is testable without real signals.
+func serve(srv *eisvc.Server, ln net.Listener, drainTimeout time.Duration, sig <-chan os.Signal, out io.Writer) error {
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(out, "eid: %v — draining (timeout %v)\n", s, drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			// Evaluations still stuck at the deadline: report and shut
+			// down anyway — the timeout exists so shutdown is bounded.
+			fmt.Fprintf(out, "eid: drain incomplete: %v\n", err)
+		}
+		if err := hs.Shutdown(ctx); err != nil {
+			_ = hs.Close()
+		}
+		fmt.Fprintln(out, "eid: drained; bye")
+		return nil
+	}
 }
 
 // seedFig1 registers the calibrated CNN hardware interface under the name

@@ -1,8 +1,14 @@
 package main
 
 import (
+	"net"
+	"os"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
+
+	"energyclarity/internal/eisvc"
 )
 
 // TestSmoke runs the full serve-smoke path: seed hardware, serve on a
@@ -17,6 +23,49 @@ func TestSmoke(t *testing.T) {
 	for _, want := range []string{"seeded calibrated cnn_forward", "serve-smoke ok", "memo hit"} {
 		if !strings.Contains(got, want) {
 			t.Errorf("smoke output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestServeDrainsOnSignal drives the SIGTERM path through the injectable
+// signal channel: the daemon serves, takes a signal, drains, and exits
+// cleanly within the drain timeout.
+func TestServeDrainsOnSignal(t *testing.T) {
+	srv := eisvc.NewServer(eisvc.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := make(chan os.Signal, 1)
+	var out strings.Builder
+	done := make(chan error, 1)
+	go func() { done <- serve(srv, ln, 5*time.Second, sig, &out) }()
+
+	c := eisvc.NewClient("http://" + ln.Addr().String())
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Health() != nil { // wait until the daemon answers
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never became healthy")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v after SIGTERM, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not exit after SIGTERM")
+	}
+	if !srv.Draining() {
+		t.Error("server not draining after the signal path")
+	}
+	got := out.String()
+	for _, want := range []string{"draining", "drained; bye"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -348,6 +349,21 @@ func (i *Interface) evalOnce(m *Method, args []Value, assign map[string]Value, e
 // the interface to know a priori the energy that the resource would consume
 // if run with a particular workload" (§2) — Eval is that execution.
 func (i *Interface) Eval(method string, args []Value, opts EvalOptions) (energy.Dist, error) {
+	return i.EvalCtx(context.Background(), method, args, opts)
+}
+
+// EvalCtx is Eval bounded by a context: cancelling ctx stops the
+// evaluation promptly — parallel Monte Carlo and enumeration workers poll
+// between individual samples, so an abandoned request releases its workers
+// within one sample's work, not after finishing its shard — and EvalCtx
+// returns ctx.Err(). Cancellation never corrupts shared state: scratch
+// buffers are returned and a shared LayerCache only ever holds fully
+// computed sub-results, so a later identical Eval is bit-identical to one
+// that was never cancelled.
+func (i *Interface) EvalCtx(ctx context.Context, method string, args []Value, opts EvalOptions) (energy.Dist, error) {
+	if err := ctx.Err(); err != nil {
+		return energy.Dist{}, err
+	}
 	m := i.methods[method]
 	if m == nil {
 		return energy.Dist{}, fmt.Errorf("core: interface %s has no method %q", i.name, method)
@@ -407,9 +423,9 @@ func (i *Interface) Eval(method string, args []Value, opts EvalOptions) (energy.
 
 	useMC := opts.Mode == ModeMonteCarlo || exceeded
 	if useMC {
-		return i.evalMonteCarlo(m, args, base, free, opts, ev)
+		return i.evalMonteCarlo(ctx, m, args, base, free, opts, ev)
 	}
-	return i.evalEnumerate(m, args, base, free, opts, ev)
+	return i.evalEnumerate(ctx, m, args, base, free, opts, ev)
 }
 
 // enumChunkSize is the number of assignments one enumeration work unit
@@ -417,7 +433,7 @@ func (i *Interface) Eval(method string, args []Value, opts EvalOptions) (energy.
 // vectors come out in the same lexicographic order as a sequential walk.
 const enumChunkSize = 32
 
-func (i *Interface) evalEnumerate(m *Method, args []Value, base map[string]Value,
+func (i *Interface) evalEnumerate(ctx context.Context, m *Method, args []Value, base map[string]Value,
 	free []QualifiedECV, opts EvalOptions, ev *layerEval) (energy.Dist, error) {
 
 	// Materialize the free dimensions with zero-probability support points
@@ -451,7 +467,7 @@ func (i *Interface) evalEnumerate(m *Method, args []Value, base map[string]Value
 	defer energy.ReturnScratch(probs)
 
 	nChunks := (total + enumChunkSize - 1) / enumChunkSize
-	err := runUnits(nChunks, opts.parallelism(), func(chunk int, g *evalGroup) error {
+	err := runUnits(ctx, nChunks, opts.parallelism(), func(chunk int, g *evalGroup) error {
 		assign := make(map[string]Value, len(base)+len(dims))
 		for k, v := range base {
 			assign[k] = v
@@ -500,7 +516,7 @@ func (i *Interface) evalEnumerate(m *Method, args []Value, base map[string]Value
 // no matter how many workers execute the shards.
 const mcShardSize = 64
 
-func (i *Interface) evalMonteCarlo(m *Method, args []Value, base map[string]Value,
+func (i *Interface) evalMonteCarlo(ctx context.Context, m *Method, args []Value, base map[string]Value,
 	free []QualifiedECV, opts EvalOptions, ev *layerEval) (energy.Dist, error) {
 
 	samples := opts.Samples
@@ -514,7 +530,7 @@ func (i *Interface) evalMonteCarlo(m *Method, args []Value, base map[string]Valu
 	}
 
 	nShards := (samples + mcShardSize - 1) / mcShardSize
-	err := runUnits(nShards, opts.parallelism(), func(shard int, g *evalGroup) error {
+	err := runUnits(ctx, nShards, opts.parallelism(), func(shard int, g *evalGroup) error {
 		rng := rand.New(rand.NewSource(shardSeed(opts.Seed, shard)))
 		assign := make(map[string]Value, len(base)+len(free))
 		for k, v := range base {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -15,15 +16,31 @@ import (
 // evalGroup coordinates first-error-wins cancellation across workers:
 // the first worker to fail records its error and flips the stop flag;
 // every other worker checks the flag between samples and bails promptly
-// instead of completing its remaining work.
+// instead of completing its remaining work. External cancellation (an
+// abandoned request's context) feeds the same flag, so a cancelled Eval
+// releases its workers within one sample, not one shard.
 type evalGroup struct {
 	stop atomic.Bool
+	done <-chan struct{} // caller ctx.Done(); nil when uncancellable
 	mu   sync.Mutex
 	err  error
 }
 
-// cancelled reports whether some worker has already failed.
-func (g *evalGroup) cancelled() bool { return g.stop.Load() }
+// cancelled reports whether some worker has already failed or the caller's
+// context is done. The context check is a non-blocking channel poll, cheap
+// enough to run between individual samples.
+func (g *evalGroup) cancelled() bool {
+	if g.stop.Load() {
+		return true
+	}
+	select {
+	case <-g.done:
+		g.stop.Store(true)
+		return true
+	default:
+		return false
+	}
+}
 
 // fail records err if it is the first failure and requests cancellation.
 func (g *evalGroup) fail(err error) {
@@ -44,9 +61,10 @@ func (g *evalGroup) fail(err error) {
 // schedule cannot affect the outcome. par <= 1 runs everything inline on
 // the calling goroutine — the sequential reference path, with no pool.
 // The first error returned by fn cancels the remaining units; runUnits
-// returns that error.
-func runUnits(n, par int, fn func(unit int, g *evalGroup) error) error {
-	g := &evalGroup{}
+// returns that error. Cancelling ctx likewise stops the remaining units
+// promptly (workers poll between samples) and returns ctx.Err().
+func runUnits(ctx context.Context, n, par int, fn func(unit int, g *evalGroup) error) error {
+	g := &evalGroup{done: ctx.Done()}
 	if par > n {
 		par = n
 	}
@@ -60,7 +78,7 @@ func runUnits(n, par int, fn func(unit int, g *evalGroup) error) error {
 				break
 			}
 		}
-		return g.err
+		return g.errOr(ctx)
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -81,7 +99,16 @@ func runUnits(n, par int, fn func(unit int, g *evalGroup) error) error {
 		}()
 	}
 	wg.Wait()
-	return g.err
+	return g.errOr(ctx)
+}
+
+// errOr resolves the group outcome: a worker error wins (it caused the
+// stop), otherwise a context cancellation surfaces as ctx.Err().
+func (g *evalGroup) errOr(ctx context.Context) error {
+	if g.err != nil {
+		return g.err
+	}
+	return ctx.Err()
 }
 
 // parallelism resolves the EvalOptions.Parallelism field: 0 (or negative)

@@ -33,6 +33,7 @@ type admission struct {
 
 	shedQueueFull atomic.Uint64
 	shedDeadline  atomic.Uint64
+	granted       atomic.Uint64
 }
 
 func newAdmission(workers, queueLimit int) *admission {
@@ -64,8 +65,23 @@ func (a *admission) acquire(ctx context.Context) (release func(), err error) {
 		a.mu.Unlock()
 	}()
 
+	// An already-expired request must never win a slot: when ctx is done
+	// AND a slot is free, select picks a case at random, so without these
+	// checks an expired request could still be granted and run. Check
+	// before entering the select, and re-check after winning (the context
+	// may have expired while both cases were ready).
+	if ctx.Err() != nil {
+		a.shedDeadline.Add(1)
+		return nil, ErrDeadline
+	}
 	select {
 	case a.slots <- struct{}{}:
+		if ctx.Err() != nil {
+			<-a.slots
+			a.shedDeadline.Add(1)
+			return nil, ErrDeadline
+		}
+		a.granted.Add(1)
 		return func() { <-a.slots }, nil
 	case <-ctx.Done():
 		a.shedDeadline.Add(1)
@@ -84,3 +100,8 @@ func (a *admission) depth() (current, peak int) {
 func (a *admission) sheds() (queueFull, deadline uint64) {
 	return a.shedQueueFull.Load(), a.shedDeadline.Load()
 }
+
+// grants returns the number of worker slots ever granted. Together with
+// sheds it balances against the total acquire calls: every acquire either
+// granted, shed on a full queue, or shed on a deadline.
+func (a *admission) grants() uint64 { return a.granted.Load() }

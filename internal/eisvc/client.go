@@ -2,11 +2,15 @@ package eisvc
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"energyclarity/internal/core"
@@ -15,10 +19,14 @@ import (
 
 // APIError is a non-2xx daemon answer. Shed requests surface as
 // StatusTooManyRequests (queue full) or StatusServiceUnavailable (queue
-// deadline); callers distinguish them by Status.
+// deadline, or a draining daemon); callers distinguish them by Status.
 type APIError struct {
 	Status  int
 	Message string
+	// RetryAfter is the parsed Retry-After header, when the server sent
+	// one (it did so because it wants the client to back off at least
+	// this long before retrying).
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -30,7 +38,29 @@ func (e *APIError) Shed() bool {
 	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
 }
 
-// Client is the typed Go client for the daemon.
+// DefaultTimeout bounds one HTTP attempt when Client.Timeout is zero: a
+// hung daemon must never block a caller forever.
+const DefaultTimeout = 30 * time.Second
+
+// NoDeadline is the explicit "do not stamp a queue-wait deadline on this
+// request" sentinel for EvalRequest.DeadlineMs: a negative value tells the
+// client to leave the item alone (the server default applies) instead of
+// overwriting it with Client.Deadline, which is what DeadlineMs == 0 gets.
+const NoDeadline = -1
+
+// Resilience headers: clients report their retry attempt number and hedge
+// status so the daemon's /v1/stats can aggregate fleet-wide retry/hedge
+// behavior without client-side scraping.
+const (
+	headerClient  = "X-Eisvc-Client"
+	headerAttempt = "X-Eisvc-Attempt"
+	headerHedge   = "X-Eisvc-Hedge"
+)
+
+// Client is the typed Go client for the daemon. Every method has a
+// context-taking variant (EvalCtx, StatsCtx, ...); the plain spellings use
+// context.Background(). All requests carry a per-attempt HTTP timeout, so
+// a stalled daemon surfaces as an error instead of a hang.
 type Client struct {
 	base string
 	http *http.Client
@@ -39,6 +69,22 @@ type Client struct {
 	ID string
 	// Deadline, when non-zero, is sent as every eval's queue-wait bound.
 	Deadline time.Duration
+	// Timeout bounds each HTTP attempt (default DefaultTimeout; negative
+	// disables the bound — the caller's ctx is then the only limit).
+	Timeout time.Duration
+	// Retry, when non-nil, retries idempotent requests (evals and reads —
+	// never Register/Rebind) per the policy. Shed answers honor the
+	// server's Retry-After.
+	Retry *RetryPolicy
+	// Hedge, when positive, races a second identical request after this
+	// delay for idempotent calls still in flight — the classic
+	// tail-latency hedge. The first answer wins; the loser is cancelled.
+	Hedge time.Duration
+
+	retries   atomic.Uint64
+	hedges    atomic.Uint64
+	hedgeWins atomic.Uint64
+	shed      atomic.Uint64
 }
 
 // NewClient returns a client for the daemon at base (e.g.
@@ -47,54 +93,223 @@ func NewClient(base string) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
 }
 
-func (c *Client) do(method, path string, body, out any) error {
+// SetTransport replaces the underlying HTTP transport — the hook the
+// fault-injection harness (internal/faultsim) uses to wrap the client.
+func (c *Client) SetTransport(rt http.RoundTripper) { c.http.Transport = rt }
+
+// Counters is a snapshot of the client's resilience counters.
+type Counters struct {
+	Retries   uint64 // re-sent attempts (attempt >= 2)
+	Hedges    uint64 // hedge requests launched
+	HedgeWins uint64 // hedges that answered before the primary
+	Shed      uint64 // 429/503 answers observed (before any retry succeeded)
+}
+
+// Counters returns the client's resilience counters.
+func (c *Client) Counters() Counters {
+	return Counters{
+		Retries:   c.retries.Load(),
+		Hedges:    c.hedges.Load(),
+		HedgeWins: c.hedgeWins.Load(),
+		Shed:      c.shed.Load(),
+	}
+}
+
+// exchange performs exactly one HTTP round trip and returns the response
+// body. The body is always read to completion (and the error path decoded
+// from it), so the underlying connection is reusable whether or not the
+// caller wants the payload.
+func (c *Client) exchange(ctx context.Context, method, path string, payload []byte, attempt int, hedge bool) ([]byte, error) {
+	if c.Timeout >= 0 {
+		timeout := c.Timeout
+		if timeout == 0 {
+			timeout = DefaultTimeout
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.ID != "" {
+		req.Header.Set(headerClient, c.ID)
+	}
+	if attempt > 1 {
+		req.Header.Set(headerAttempt, strconv.Itoa(attempt))
+	}
+	if hedge {
+		req.Header.Set(headerHedge, "1")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if resp.StatusCode/100 != 2 {
+		apiErr := &APIError{Status: resp.StatusCode, Message: resp.Status}
+		var wire ErrorResponse
+		if json.Unmarshal(data, &wire) == nil && wire.Error != "" {
+			apiErr.Message = wire.Error
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				apiErr.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		if apiErr.Shed() {
+			c.shed.Add(1)
+		}
+		return nil, apiErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// attempt is one try of the retry loop: a plain exchange, or — for
+// idempotent requests with hedging enabled — a primary exchange raced
+// against a hedge launched after the Hedge delay. The first success wins
+// and the loser is cancelled; when the primary fails before the hedge
+// launches there is nothing worth hedging (the retry loop backs off
+// instead), and when both fail the first error is returned.
+func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, attempt int, idempotent bool) ([]byte, error) {
+	if c.Hedge <= 0 || !idempotent {
+		return c.exchange(ctx, method, path, payload, attempt, false)
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // aborts the loser once a winner returns
+	type result struct {
+		data  []byte
+		err   error
+		hedge bool
+	}
+	ch := make(chan result, 2)
+	run := func(hedge bool) {
+		go func() {
+			data, err := c.exchange(hctx, method, path, payload, attempt, hedge)
+			ch <- result{data, err, hedge}
+		}()
+	}
+	run(false)
+	timer := time.NewTimer(c.Hedge)
+	defer timer.Stop()
+	inflight, hedged := 1, false
+	var firstErr error
+	for {
+		select {
+		case <-timer.C:
+			hedged = true
+			c.hedges.Add(1)
+			run(true)
+			inflight++
+		case r := <-ch:
+			inflight--
+			if r.err == nil {
+				if r.hedge {
+					c.hedgeWins.Add(1)
+				}
+				return r.data, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if inflight > 0 {
+				continue // the sibling may still succeed
+			}
+			if !hedged {
+				return nil, r.err // primary failed before the hedge fired
+			}
+			return nil, firstErr
+		}
+	}
+}
+
+// retryAfterOf extracts a shed answer's Retry-After hint, if any.
+func retryAfterOf(err error) time.Duration {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.RetryAfter
+	}
+	return 0
+}
+
+// doCtx is the request engine behind every client method: marshal once,
+// then attempt up to Retry.MaxAttempts times (idempotent requests only),
+// sleeping exponential-backoff-with-full-jitter delays between attempts
+// and honoring the server's Retry-After floor.
+func (c *Client) doCtx(ctx context.Context, method, path string, body, out any, idempotent bool) error {
+	var payload []byte
 	if body != nil {
 		b, err := json.Marshal(body)
 		if err != nil {
 			return err
 		}
-		rd = bytes.NewReader(b)
+		payload = b
 	}
-	req, err := http.NewRequest(method, c.base+path, rd)
-	if err != nil {
-		return err
+	attempts := 1
+	if idempotent {
+		attempts = c.Retry.attempts()
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	if c.ID != "" {
-		req.Header.Set("X-Eisvc-Client", c.ID)
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		var apiErr ErrorResponse
-		msg := resp.Status
-		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
-			msg = apiErr.Error
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			c.retries.Add(1)
+			delay := c.Retry.delay(attempt-1, retryAfterOf(lastErr))
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
 		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
+		data, err := c.attempt(ctx, method, path, payload, attempt, idempotent)
+		if err == nil {
+			if out == nil {
+				return nil
+			}
+			return json.Unmarshal(data, out)
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			// The caller's context expired: its error, not the attempt's,
+			// is what the caller should see.
+			return err
+		}
+		if attempt == attempts || c.Retry == nil || !c.Retry.shouldRetry(err) {
+			return err
+		}
 	}
-	if out == nil {
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return lastErr
 }
 
 // Health checks the daemon is up.
-func (c *Client) Health() error {
-	return c.do(http.MethodGet, "/healthz", nil, nil)
+func (c *Client) Health() error { return c.HealthCtx(context.Background()) }
+
+// HealthCtx is Health bounded by ctx.
+func (c *Client) HealthCtx(ctx context.Context) error {
+	return c.doCtx(ctx, http.MethodGet, "/healthz", nil, nil, true)
 }
 
 // Register uploads an EIL source file and returns the registered
-// interfaces.
+// interfaces. Registrations mutate the daemon and are never retried.
 func (c *Client) Register(source string) ([]InterfaceInfo, error) {
+	return c.RegisterCtx(context.Background(), source)
+}
+
+// RegisterCtx is Register bounded by ctx.
+func (c *Client) RegisterCtx(ctx context.Context, source string) ([]InterfaceInfo, error) {
 	var resp RegisterResponse
-	if err := c.do(http.MethodPost, "/v1/register", RegisterRequest{Source: source}, &resp); err != nil {
+	if err := c.doCtx(ctx, http.MethodPost, "/v1/register", RegisterRequest{Source: source}, &resp, false); err != nil {
 		return nil, err
 	}
 	return resp.Registered, nil
@@ -102,10 +317,15 @@ func (c *Client) Register(source string) ([]InterfaceInfo, error) {
 
 // Interfaces lists the registered interfaces.
 func (c *Client) Interfaces() ([]InterfaceInfo, error) {
+	return c.InterfacesCtx(context.Background())
+}
+
+// InterfacesCtx is Interfaces bounded by ctx.
+func (c *Client) InterfacesCtx(ctx context.Context) ([]InterfaceInfo, error) {
 	var resp struct {
 		Interfaces []InterfaceInfo `json:"interfaces"`
 	}
-	if err := c.do(http.MethodGet, "/v1/interfaces", nil, &resp); err != nil {
+	if err := c.doCtx(ctx, http.MethodGet, "/v1/interfaces", nil, &resp, true); err != nil {
 		return nil, err
 	}
 	return resp.Interfaces, nil
@@ -113,19 +333,30 @@ func (c *Client) Interfaces() ([]InterfaceInfo, error) {
 
 // Source fetches the EIL source an interface was registered from.
 func (c *Client) Source(name string) (string, error) {
+	return c.SourceCtx(context.Background(), name)
+}
+
+// SourceCtx is Source bounded by ctx.
+func (c *Client) SourceCtx(ctx context.Context, name string) (string, error) {
 	var resp SourceResponse
-	if err := c.do(http.MethodGet, "/v1/interfaces/"+name+"/source", nil, &resp); err != nil {
+	if err := c.doCtx(ctx, http.MethodGet, "/v1/interfaces/"+name+"/source", nil, &resp, true); err != nil {
 		return "", err
 	}
 	return resp.Source, nil
 }
 
 // Rebind swaps the binding at path inside name for the registered
-// interface target and returns name's new version.
+// interface target and returns name's new version. Rebinds mutate the
+// daemon and are never retried.
 func (c *Client) Rebind(name, path, target string) (uint64, error) {
+	return c.RebindCtx(context.Background(), name, path, target)
+}
+
+// RebindCtx is Rebind bounded by ctx.
+func (c *Client) RebindCtx(ctx context.Context, name, path, target string) (uint64, error) {
 	var resp RebindResponse
-	err := c.do(http.MethodPost, "/v1/rebind",
-		RebindRequest{Interface: name, Path: path, Target: target}, &resp)
+	err := c.doCtx(ctx, http.MethodPost, "/v1/rebind",
+		RebindRequest{Interface: name, Path: path, Target: target}, &resp, false)
 	if err != nil {
 		return 0, err
 	}
@@ -136,10 +367,18 @@ func (c *Client) Rebind(name, path, target string) (uint64, error) {
 // distribution (bit-identical to a local Interface.Eval with the same
 // options) plus the full wire response.
 func (c *Client) Eval(name, method string, args []core.Value, opts core.EvalOptions) (energy.Dist, *EvalResponse, error) {
+	return c.EvalCtx(context.Background(), name, method, args, opts)
+}
+
+// EvalCtx is Eval bounded by ctx: cancelling it abandons the request —
+// the daemon observes the disconnect and cancels the evaluation, freeing
+// its worker slot. Evaluations are deterministic and idempotent, so they
+// retry (and hedge) per the client's policy.
+func (c *Client) EvalCtx(ctx context.Context, name, method string, args []core.Value, opts core.EvalOptions) (energy.Dist, *EvalResponse, error) {
 	req := c.EvalRequestFor(name, method, args, opts)
 	req.DeadlineMs = int(c.Deadline / time.Millisecond)
 	var resp EvalResponse
-	if err := c.do(http.MethodPost, "/v1/eval", req, &resp); err != nil {
+	if err := c.doCtx(ctx, http.MethodPost, "/v1/eval", req, &resp, true); err != nil {
 		return energy.Dist{}, nil, err
 	}
 	d, err := resp.Dist.Dist()
@@ -154,15 +393,24 @@ func (c *Client) Eval(name, method string, args []core.Value, opts core.EvalOpti
 // Identical items are deduplicated server-side. Per-item failures land in
 // the item's Error/Status, not in the returned error.
 func (c *Client) EvalBatch(reqs []EvalRequest) ([]BatchEvalItem, error) {
-	if c.Deadline > 0 {
-		for i := range reqs {
-			if reqs[i].DeadlineMs == 0 {
-				reqs[i].DeadlineMs = int(c.Deadline / time.Millisecond)
-			}
+	return c.EvalBatchCtx(context.Background(), reqs)
+}
+
+// EvalBatchCtx is EvalBatch bounded by ctx. Items with DeadlineMs == 0 are
+// stamped with the client's Deadline; DeadlineMs == NoDeadline (any
+// negative value) means the caller explicitly wants no client-side stamp —
+// the item is sent with no deadline and the server default applies.
+func (c *Client) EvalBatchCtx(ctx context.Context, reqs []EvalRequest) ([]BatchEvalItem, error) {
+	for i := range reqs {
+		switch {
+		case reqs[i].DeadlineMs < 0:
+			reqs[i].DeadlineMs = 0 // explicit "no deadline": server default
+		case reqs[i].DeadlineMs == 0 && c.Deadline > 0:
+			reqs[i].DeadlineMs = int(c.Deadline / time.Millisecond)
 		}
 	}
 	var resp BatchEvalResponse
-	if err := c.do(http.MethodPost, "/v1/evalbatch", BatchEvalRequest{Requests: reqs}, &resp); err != nil {
+	if err := c.doCtx(ctx, http.MethodPost, "/v1/evalbatch", BatchEvalRequest{Requests: reqs}, &resp, true); err != nil {
 		return nil, err
 	}
 	if len(resp.Results) != len(reqs) {
@@ -197,8 +445,13 @@ func (c *Client) EvalRequestFor(name, method string, args []core.Value, opts cor
 
 // Stats fetches the daemon's serving metrics and energy ledger.
 func (c *Client) Stats() (*StatsResponse, error) {
+	return c.StatsCtx(context.Background())
+}
+
+// StatsCtx is Stats bounded by ctx.
+func (c *Client) StatsCtx(ctx context.Context) (*StatsResponse, error) {
 	var resp StatsResponse
-	if err := c.do(http.MethodGet, "/v1/stats", nil, &resp); err != nil {
+	if err := c.doCtx(ctx, http.MethodGet, "/v1/stats", nil, &resp, true); err != nil {
 		return nil, err
 	}
 	return &resp, nil

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -100,6 +101,21 @@ type Server struct {
 	coalesced     atomic.Uint64
 	batchRequests atomic.Uint64
 	batchItems    atomic.Uint64
+
+	// Fleet-resilience counters, aggregated from the client-reported
+	// X-Eisvc-Attempt / X-Eisvc-Hedge headers.
+	retriedRequests atomic.Uint64
+	retryAttempts   atomic.Uint64
+	hedgedRequests  atomic.Uint64
+
+	// Drain state: once draining, evaluation endpoints shed with 503 and
+	// idle is closed when the last in-flight evaluation finishes.
+	drainMu      sync.Mutex
+	draining     bool
+	inflight     int
+	idle         chan struct{}
+	idleOnce     sync.Once
+	shedDraining atomic.Uint64
 }
 
 // NewServer returns a daemon with the given configuration.
@@ -113,6 +129,7 @@ func NewServer(cfg Config) *Server {
 		ledger: NewLedger(),
 		lat:    newLatencies(),
 		mux:    http.NewServeMux(),
+		idle:   make(chan struct{}),
 	}
 	if !cfg.NoLayerCache {
 		s.layer = core.NewLayerCache(cfg.LayerCapacity)
@@ -132,6 +149,95 @@ func NewServer(cfg Config) *Server {
 // Registry exposes the daemon's registry so embedding code (cmd/eid, the
 // experiments rig) can seed native interfaces before serving.
 func (s *Server) Registry() *Registry { return s.reg }
+
+// --- graceful drain ---
+
+// beginEval admits one evaluation request into the drain accounting; it
+// returns false when the server is draining (the caller must shed with
+// 503) and otherwise a release that must run when the request finishes.
+func (s *Server) beginEval() (release func(), ok bool) {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining {
+		return nil, false
+	}
+	s.inflight++
+	return func() {
+		s.drainMu.Lock()
+		s.inflight--
+		settled := s.draining && s.inflight == 0
+		s.drainMu.Unlock()
+		if settled {
+			s.idleOnce.Do(func() { close(s.idle) })
+		}
+	}, true
+}
+
+// BeginDrain stops admitting evaluation work: /v1/eval and /v1/evalbatch
+// answer 503 (with Retry-After, so well-behaved clients fail over) while
+// registry reads, registrations, and /v1/stats keep working. In-flight
+// evaluations run to completion; wait for them with Drain. BeginDrain is
+// idempotent.
+func (s *Server) BeginDrain() {
+	s.drainMu.Lock()
+	s.draining = true
+	settled := s.inflight == 0
+	s.drainMu.Unlock()
+	if settled {
+		s.idleOnce.Do(func() { close(s.idle) })
+	}
+}
+
+// Drain begins draining (if not already) and blocks until every in-flight
+// evaluation has finished or ctx expires; on expiry it reports how many
+// evaluations were still running.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	select {
+	case <-s.idle:
+		return nil
+	case <-ctx.Done():
+		s.drainMu.Lock()
+		n := s.inflight
+		s.drainMu.Unlock()
+		return fmt.Errorf("eisvc: drain: %d evaluation(s) still in flight: %w", n, ctx.Err())
+	}
+}
+
+// Draining reports whether the server has stopped admitting evaluations.
+func (s *Server) Draining() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	return s.draining
+}
+
+// InFlight returns the number of evaluation requests currently admitted.
+func (s *Server) InFlight() int {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	return s.inflight
+}
+
+// shedForDrain answers an evaluation request arriving after BeginDrain.
+func (s *Server) shedForDrain(w http.ResponseWriter) {
+	s.shedDraining.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, "eisvc: draining — not admitting new evaluations")
+}
+
+// noteResilience aggregates the client-reported retry/hedge headers so
+// /v1/stats shows fleet-wide resilience behavior.
+func (s *Server) noteResilience(r *http.Request) {
+	if v := r.Header.Get("X-Eisvc-Attempt"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 1 {
+			s.retriedRequests.Add(1)
+			s.retryAttempts.Add(uint64(n - 1))
+		}
+	}
+	if r.Header.Get("X-Eisvc-Hedge") == "1" {
+		s.hedgedRequests.Add(1)
+	}
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -270,25 +376,37 @@ type evalOutcome struct {
 // re-checks the memo (a flight that finished between our miss and the
 // flight forming already published its answer), wins a worker slot under
 // the usual admission rules, evaluates with the layer cache attached, and
-// publishes to the memo. ctx bounds both the flight wait and the queue
-// wait.
-func (s *Server) evalShared(ctx context.Context, key string, iface *core.Interface, method string, args []core.Value, opts core.EvalOptions) (out evalOutcome, coalesced bool, err error) {
+// publishes to the memo.
+//
+// ctx is the request's own context; it cancels the running evaluation
+// when the client disconnects, so an abandoned request frees its worker
+// slot within one shard chunk instead of burning it to completion. wait
+// additionally bounds the flight and queue waits only — once running, an
+// evaluation is bounded by the samples/enum caps (and by ctx), not by the
+// queue deadline. A cancelled coalesced leader fails its followers too
+// (they see context.Canceled as a 503 and may retry).
+func (s *Server) evalShared(ctx context.Context, wait time.Duration, key string, iface *core.Interface, method string, args []core.Value, opts core.EvalOptions) (out evalOutcome, coalesced bool, err error) {
 	if d, hit := s.memo.Get(key); hit {
 		return evalOutcome{dist: d, memoHit: true}, false, nil
 	}
-	out, coalesced, err = s.flight.Do(ctx, key, func() (evalOutcome, error) {
+	waitCtx, cancel := context.WithTimeout(ctx, wait)
+	defer cancel()
+	out, coalesced, err = s.flight.Do(waitCtx, key, func() (evalOutcome, error) {
 		if d, hit := s.memo.Get(key); hit {
 			return evalOutcome{dist: d, memoHit: true}, nil
 		}
-		release, err := s.adm.acquire(ctx)
+		release, err := s.adm.acquire(waitCtx)
 		if err != nil {
 			return evalOutcome{}, err
 		}
 		defer release()
 		opts.Layer = s.layer // nil (disabled) is valid
 		s.evaluations.Add(1)
-		d, evalErr := iface.Eval(method, args, opts)
+		d, evalErr := iface.EvalCtx(ctx, method, args, opts)
 		if evalErr != nil {
+			if errors.Is(evalErr, context.Canceled) || errors.Is(evalErr, context.DeadlineExceeded) {
+				return evalOutcome{}, evalErr
+			}
 			return evalOutcome{}, &evalFailed{err: evalErr}
 		}
 		s.memo.Put(key, d)
@@ -364,7 +482,9 @@ func (s *Server) checkEvalRequest(req *EvalRequest) (iface *core.Interface, vers
 	return iface, version, args, opts, 0, ""
 }
 
-// deadlineFor returns the queue-wait bound for a request.
+// deadlineFor returns the queue-wait bound for a request. DeadlineMs <= 0
+// (including the client-side NoDeadline sentinel, which well-behaved
+// clients normalize to 0 before sending) means the server default.
 func (s *Server) deadlineFor(req *EvalRequest) time.Duration {
 	if req.DeadlineMs > 0 {
 		return time.Duration(req.DeadlineMs) * time.Millisecond
@@ -375,6 +495,13 @@ func (s *Server) deadlineFor(req *EvalRequest) time.Duration {
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.evalRequests.Add(1)
+	s.noteResilience(r)
+	release, admitted := s.beginEval()
+	if !admitted {
+		s.shedForDrain(w)
+		return
+	}
+	defer release()
 	var req EvalRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -385,12 +512,8 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// The deadline bounds the flight and queue waits only — once running,
-	// an evaluation is bounded by the samples/enum caps, not wall clock.
-	ctx, cancel := context.WithTimeout(r.Context(), s.deadlineFor(&req))
-	defer cancel()
 	key := memoKey(req.Interface, version, req.Method, args, opts)
-	out, coalesced, err := s.evalShared(ctx, key, iface, req.Method, args, opts)
+	out, coalesced, err := s.evalShared(r.Context(), s.deadlineFor(&req), key, iface, req.Method, args, opts)
 	if err != nil {
 		writeEvalError(w, err)
 		return
@@ -418,6 +541,13 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEvalBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.batchRequests.Add(1)
+	s.noteResilience(r)
+	release, admitted := s.beginEval()
+	if !admitted {
+		s.shedForDrain(w)
+		return
+	}
+	defer release()
 	var req BatchEvalRequest
 	if !decodeJSON(w, r, &req) {
 		return
@@ -480,9 +610,7 @@ func (s *Server) handleEvalBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(key string, it *EvalRequest, p parsedItem, kr *keyResult) {
 			defer wg.Done()
-			ctx, cancel := context.WithTimeout(r.Context(), s.deadlineFor(it))
-			defer cancel()
-			kr.out, kr.coalesced, kr.err = s.evalShared(ctx, key, p.iface, it.Method, p.args, p.opts)
+			kr.out, kr.coalesced, kr.err = s.evalShared(r.Context(), s.deadlineFor(it), key, p.iface, it.Method, p.args, p.opts)
 		}(key, &req.Requests[i], parsed[i], kr)
 	}
 	wg.Wait()
@@ -535,6 +663,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	resp.Coalesced = s.coalesced.Load()
 	resp.BatchRequests = s.batchRequests.Load()
 	resp.BatchItems = s.batchItems.Load()
+	resp.Draining = s.Draining()
+	resp.InFlight = s.InFlight()
+	resp.ShedDraining = s.shedDraining.Load()
+	resp.RetriedRequests = s.retriedRequests.Load()
+	resp.RetryAttempts = s.retryAttempts.Load()
+	resp.HedgedRequests = s.hedgedRequests.Load()
 	if total := hits + misses; total > 0 {
 		resp.MemoHitRate = float64(hits) / float64(total)
 	}

@@ -73,7 +73,10 @@ type EvalRequest struct {
 	Parallelism int            `json:"parallelism,omitempty"`
 	Fixed       map[string]any `json:"fixed,omitempty"`
 	// DeadlineMs bounds how long the request may wait for a worker slot
-	// before the daemon sheds it with 503; 0 uses the server default.
+	// before the daemon sheds it with 503; 0 uses the server default. A
+	// negative value is the client-side NoDeadline sentinel — Client
+	// methods treat it as "do not stamp a deadline" and normalize it to 0
+	// on the wire; the server likewise treats negatives as the default.
 	DeadlineMs int `json:"deadline_ms,omitempty"`
 }
 
@@ -208,6 +211,15 @@ type StatsResponse struct {
 	PeakQueue     int    `json:"peak_queue"`
 	Workers       int    `json:"workers"`
 	QueueLimit    int    `json:"queue_limit"`
+
+	// Resilience: drain state plus fleet retry/hedge behavior as reported
+	// by clients through the X-Eisvc-Attempt / X-Eisvc-Hedge headers.
+	Draining        bool   `json:"draining"`
+	InFlight        int    `json:"in_flight"`
+	ShedDraining    uint64 `json:"shed_draining"` // rejected with 503 while draining
+	RetriedRequests uint64 `json:"retried_requests"`
+	RetryAttempts   uint64 `json:"retry_attempts"` // extra attempts beyond the first
+	HedgedRequests  uint64 `json:"hedged_requests"`
 
 	Latency LatencyStats `json:"latency"`
 

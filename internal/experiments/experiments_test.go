@@ -460,6 +460,57 @@ func TestE12LayerCacheShape(t *testing.T) {
 	}
 }
 
+func TestE13ResilienceShape(t *testing.T) {
+	short := testing.Short()
+	res, err := E13Resilience(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOffered := e13Clients * e13PerClient
+	if short {
+		wantOffered = 3 * 10
+	}
+	if res.Offered != wantOffered {
+		t.Errorf("offered = %d, want %d", res.Offered, wantOffered)
+	}
+	// The acceptance bar: ≥ 99% of the trace eventually succeeds despite
+	// the injected faults...
+	if res.SuccessRate < 0.99 {
+		t.Errorf("success rate %.4f, want >= 0.99 (%d/%d)", res.SuccessRate, res.Succeeded, res.Offered)
+	}
+	// ...and every answer that arrives is bit-identical to the fault-free
+	// reference — resilience changes delivery, never the numbers.
+	if res.Mismatches != 0 {
+		t.Errorf("%d answers diverged from the fault-free reference", res.Mismatches)
+	}
+	// The plan really injected faults and the clients really retried.
+	if injected := res.InjResetsPre + res.InjResetsPost + res.Inj5xx + res.InjHangs; injected == 0 {
+		t.Error("no faults injected — the trace proved nothing")
+	}
+	if res.Retries == 0 {
+		t.Error("clients never retried under fault injection")
+	}
+	if !short && res.SrvRetried == 0 {
+		t.Error("server saw no retried requests (X-Eisvc-Attempt aggregation)")
+	}
+	// Cancellation probe: the follow-up got the single worker far sooner
+	// than the heavy evaluation would have held it.
+	if !res.ProbeOK {
+		t.Error("cancellation probe did not complete")
+	}
+	if res.HeavyMs > 100 && res.FreedMs > res.HeavyMs {
+		t.Errorf("cancel freed the worker in %.1f ms, slower than the %.1f ms uncancelled evaluation",
+			res.FreedMs, res.HeavyMs)
+	}
+	// Drain probe.
+	if !res.DrainOK || !res.InFlightCompleted {
+		t.Errorf("drain probe: ok=%v inFlightCompleted=%v", res.DrainOK, res.InFlightCompleted)
+	}
+	if res.DrainShed == 0 {
+		t.Error("drain probe shed nothing")
+	}
+}
+
 func TestAblations(t *testing.T) {
 	a1, err := A1ExactVsMonteCarlo()
 	if err != nil {
@@ -509,7 +560,7 @@ func TestAllTablesRender(t *testing.T) {
 			t.Errorf("table %s rendered empty", tab.ID)
 		}
 	}
-	for _, id := range []string{"T1", "F1", "F2", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "A1", "A2", "A3"} {
+	for _, id := range []string{"T1", "F1", "F2", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "A1", "A2", "A3"} {
 		if !seen[id] {
 			t.Errorf("missing table %s", id)
 		}
