@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json vet fmt-check serve-smoke fault-smoke all
+.PHONY: build test race bench bench-smoke bench-json vet fmt-check serve-smoke fault-smoke drift-smoke all
 
 all: build test
 
@@ -40,7 +40,7 @@ bench-smoke:
 # target cheap enough for CI; it tracks trends, not microseconds.
 bench-json:
 	$(GO) test -run '^$$' \
-		-bench 'BenchmarkEvalParallel$$|BenchmarkDaemonEval$$|BenchmarkEvalLayerCache$$|BenchmarkDaemonBatch$$' \
+		-bench 'BenchmarkEvalParallel$$|BenchmarkDaemonEval$$|BenchmarkEvalLayerCache$$|BenchmarkDaemonBatch$$|BenchmarkDriftDetect$$|BenchmarkRecalibrate$$' \
 		-benchtime=3x . > .bench_eval.out
 	$(GO) run ./cmd/benchjson -o BENCH_eval.json < .bench_eval.out
 	@rm -f .bench_eval.out
@@ -59,3 +59,12 @@ serve-smoke:
 # draining daemon sheds politely while in-flight work completes.
 fault-smoke:
 	$(GO) test -run 'TestE13ResilienceShape' -short -count=1 ./internal/experiments/
+
+# Short-mode run of the E14 continuous-calibration experiment under the
+# race detector: programmed aging on the hidden silicon must be detected
+# within the bounded sample count (zero false positives on the pristine
+# control replica), and the automated recalibration must restore
+# sub-percent prediction error through a version-bumping install that
+# keeps layer caches bit-exact. See docs/DRIFT.md.
+drift-smoke:
+	$(GO) test -race -run 'TestE14DriftShape' -short -count=1 ./internal/experiments/

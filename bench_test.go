@@ -12,6 +12,7 @@ import (
 
 	"energyclarity"
 	"energyclarity/internal/core"
+	"energyclarity/internal/drift"
 	"energyclarity/internal/eil"
 	"energyclarity/internal/eisvc"
 	"energyclarity/internal/experiments"
@@ -491,6 +492,63 @@ func BenchmarkDaemonBatch(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkDriftDetect measures the online drift monitor end to end:
+// each iteration streams a healthy warmup and then a 5%-aged tail of
+// (predicted, measured) pairs through a fresh monitor until it latches a
+// drifting verdict. ns/op is the full detect cycle; samplesToDetect is
+// the detection delay the monitor needed after the shift.
+func BenchmarkDriftDetect(b *testing.B) {
+	classes := []string{"generate/50", "generate/100", "generate/200"}
+	const healthy = 16
+	pred := 40 * energyclarity.Joule
+	var delay float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := drift.NewMonitor(drift.Config{})
+		n := 0
+		for st := m.State(); st == drift.StateWarmup || st == drift.StateStable; st = m.State() {
+			meas := pred
+			if n >= healthy {
+				meas = pred * 1.05 // aged silicon: +5% across every class
+			}
+			m.Ingest(classes[n%len(classes)], pred, meas)
+			if n++; n > 4096 {
+				b.Fatal("monitor never latched a verdict")
+			}
+		}
+		if st := m.State(); st != drift.StateDrifting {
+			b.Fatalf("monitor latched %v, want drifting", st)
+		}
+		delay = float64(n - healthy)
+	}
+	b.ReportMetric(delay, "samplesToDetect")
+}
+
+// BenchmarkRecalibrate measures the automated-repair path a drift verdict
+// triggers: refit the device coefficients against live silicon with the
+// microbenchmark probes, then install them into the GPT-2 stack through
+// the version-bumping rebind that keeps layer caches consistent.
+func BenchmarkRecalibrate(b *testing.B) {
+	spec := gpusim.RTX4090()
+	g := gpusim.NewGPU(spec, 30)
+	stack, err := nn.StackInterface(nn.GPT2Small(), benchCoef(spec).DeviceInterface(spec))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coef, err := microbench.Calibrate(g, experiments.CalibrationRepeats)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ns, err := stack.Rebind("hw", coef.DeviceInterface(spec))
+		if err != nil {
+			b.Fatal(err)
+		}
+		stack = ns
+	}
 }
 
 // --- framework microbenchmarks ---

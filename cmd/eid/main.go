@@ -8,6 +8,7 @@
 //
 //	eid [-addr host:port] [-workers n] [-queue n] [-memo n] [-layer n]
 //	    [-no-layer-cache] [-deadline d] [-max-samples n] [-fig1]
+//	    [-recal] [-drift-window n] [-recal-interval d]
 //	    [-drain-timeout d] [-load file.eil]...
 //	eid -smoke        self-test: serve on a loopback port, register the
 //	                  Fig. 1 interface, query it, assert a 200, exit
@@ -21,6 +22,13 @@
 // "cnn_forward" hardware interface (the Fig. 1 CNN priced on the canonical
 // RTX 4090 rig), so the paper-verbatim mlservice.Fig1EIL source registers
 // as-is. See docs/EID.md for the endpoint reference.
+//
+// With -recal (requires the seeded rig) the daemon continuously
+// calibrates: a background loop probes the live device through an nvml
+// meter, compares against the interface's predictions, and on a drift
+// verdict re-runs the microbenchmarks and installs fresh coefficients via
+// a version-bumping rebind. /v1/drift and /v1/healthz expose the detector
+// and the calibration generation registry; see docs/DRIFT.md.
 package main
 
 import (
@@ -32,14 +40,19 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"energyclarity/internal/core"
+	"energyclarity/internal/drift"
 	"energyclarity/internal/eisvc"
+	"energyclarity/internal/energy"
 	"energyclarity/internal/experiments"
+	"energyclarity/internal/microbench"
 	"energyclarity/internal/mlservice"
 	"energyclarity/internal/nn"
+	"energyclarity/internal/nvml"
 )
 
 func main() {
@@ -66,6 +79,9 @@ func run(args []string, out io.Writer) error {
 	deadline := fs.Duration("deadline", 0, "default queue-wait deadline (0 = 5s)")
 	maxSamples := fs.Int("max-samples", 0, "per-request Monte Carlo sample cap (0 = default)")
 	fig1 := fs.Bool("fig1", false, "seed the calibrated Fig. 1 cnn_forward hardware interface")
+	recal := fs.Bool("recal", false, "monitor the seeded rig for drift and recalibrate automatically (requires -fig1)")
+	driftWindow := fs.Int("drift-window", 0, "drift monitor warmup window in samples (0 = default 8)")
+	recalInterval := fs.Duration("recal-interval", time.Second, "drift probe interval in serve mode")
 	smoke := fs.Bool("smoke", false, "self-test against a loopback listener, then exit")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "how long a SIGTERM drain waits for in-flight evaluations")
 	var loads stringList
@@ -83,11 +99,23 @@ func run(args []string, out io.Writer) error {
 		DefaultDeadline: *deadline,
 		MaxSamples:      *maxSamples,
 	})
+	var rig *experiments.Rig
 	if *fig1 || *smoke {
-		if err := seedFig1(srv); err != nil {
+		var err error
+		if rig, err = seedFig1(srv); err != nil {
 			return err
 		}
 		fmt.Fprintln(out, "eid: seeded calibrated cnn_forward (Fig. 1 CNN on RTX4090)")
+	}
+	if *recal {
+		if rig == nil {
+			return fmt.Errorf("-recal needs a live device to probe: pass -fig1 (or -smoke)")
+		}
+		if err := attachDrift(srv, rig, *driftWindow); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "eid: continuous calibration armed (warmup %d, probe interval %v)\n",
+			*driftWindow, *recalInterval)
 	}
 	for _, path := range loads {
 		data, err := os.ReadFile(path)
@@ -102,7 +130,13 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *smoke {
-		return runSmoke(srv, out)
+		if err := runSmoke(srv, out); err != nil {
+			return err
+		}
+		if *recal {
+			return runDriftSmoke(srv, rig, out)
+		}
+		return nil
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -111,6 +145,11 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "eid: serving on http://%s (%d interface(s) registered)\n",
 		ln.Addr(), srv.Registry().Len())
+	if *recal {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		go func() { _ = srv.RunDriftLoop(ctx, *recalInterval) }()
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
@@ -147,18 +186,124 @@ func serve(srv *eisvc.Server, ln net.Listener, drainTimeout time.Duration, sig <
 }
 
 // seedFig1 registers the calibrated CNN hardware interface under the name
-// mlservice.Fig1EIL's 'uses' clause expects.
-func seedFig1(srv *eisvc.Server) error {
+// mlservice.Fig1EIL's 'uses' clause expects, and returns the rig so a
+// drift controller can keep probing the same silicon the calibration was
+// fitted against.
+func seedFig1(srv *eisvc.Server) (*experiments.Rig, error) {
 	rig, err := experiments.Rig4090()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	cnn, err := nn.CNNEnergyInterface(nn.Fig1CNN(), rig.Spec, rig.Coef.HardwareInterface())
 	if err != nil {
+		return nil, err
+	}
+	if _, err := srv.Registry().RegisterInterface("cnn_forward", cnn); err != nil {
+		return nil, err
+	}
+	return rig, nil
+}
+
+// driftProbeClasses are the abstract inputs the continuous-calibration
+// probe rotates through: distinct CNN request shapes, so an input-local
+// divergence is attributable to the offending class while device-wide
+// drift moves all of them together.
+var driftProbeClasses = []struct {
+	name          string
+	pixels, zeros float64
+}{
+	{"forward/qvga", 320 * 240, 1e4},
+	{"forward/vga", 640 * 480, 3e4},
+	{"forward/hd", 1280 * 720, 1e5},
+}
+
+// attachDrift arms continuous calibration on the seeded rig: the probe
+// runs a real CNN forward pass on the live GPU, meters it through the
+// nvml counter, and compares against the registered interface's
+// prediction; recalibration re-runs the microbenchmarks on the same GPU
+// and installs the fresh fit through a version-bumping rebind of
+// cnn_forward's "hw" binding.
+func attachDrift(srv *eisvc.Server, rig *experiments.Rig, warmup int) error {
+	engine, err := nn.NewCNNEngine(nn.Fig1CNN(), rig.GPU)
+	if err != nil {
 		return err
 	}
-	_, err = srv.Registry().RegisterInterface("cnn_forward", cnn)
-	return err
+	meter := nvml.NewMeter(rig.GPU)
+	deviceName := "gpu_" + rig.Spec.Name
+	var turn atomic.Uint64
+	ctl, err := drift.NewController(drift.NewMonitor(drift.Config{Warmup: warmup}), drift.Hooks{
+		Probe: func() (string, energy.Joules, energy.Joules, error) {
+			cl := driftProbeClasses[turn.Add(1)%uint64(len(driftProbeClasses))]
+			iface, _, ok := srv.Registry().Get("cnn_forward")
+			if !ok {
+				return "", 0, 0, fmt.Errorf("cnn_forward unregistered")
+			}
+			pred, err := iface.ExpectedJoules("forward", core.Num(cl.pixels), core.Num(cl.zeros))
+			if err != nil {
+				return "", 0, 0, err
+			}
+			s := meter.Snapshot()
+			if _, _, err := engine.Forward(cl.pixels, cl.zeros); err != nil {
+				return "", 0, 0, err
+			}
+			measured := meter.EnergySince(s)
+			// Cool toward ambient so thermal creep across probes stays
+			// inside the detector's Delta allowance.
+			rig.GPU.Idle(0.4)
+			return cl.name, pred, measured, nil
+		},
+		Recalibrate: func() (microbench.Coefficients, error) {
+			return microbench.Calibrate(rig.GPU, experiments.CalibrationRepeats)
+		},
+		Install: func(coef microbench.Coefficients) (uint64, error) {
+			return srv.InstallCalibration("cnn_forward", "hw", deviceName, coef.HardwareInterface())
+		},
+		Clock: rig.GPU.Now,
+	})
+	if err != nil {
+		return err
+	}
+	_, ver, _ := srv.Registry().Get("cnn_forward")
+	ctl.SeedGeneration(rig.Coef, ver)
+	srv.AttachDrift(ctl)
+	return nil
+}
+
+// runDriftSmoke exercises the continuous-calibration path end to end on
+// the smoke daemon: monitor to stable, age the silicon, and drive
+// DriftStep until the daemon detects the drift and installs generation 2.
+func runDriftSmoke(srv *eisvc.Server, rig *experiments.Rig, out io.Writer) error {
+	ctx := context.Background()
+	step := func(want func(*drift.ControllerStatus) bool, what string) (*drift.ControllerStatus, error) {
+		for i := 0; i < 300; i++ {
+			if err := srv.DriftStep(ctx); err != nil {
+				return nil, fmt.Errorf("drift-smoke step: %w", err)
+			}
+			st := srv.DriftController().Status()
+			if want(&st) {
+				return &st, nil
+			}
+		}
+		return nil, fmt.Errorf("drift-smoke: %s not reached in 300 steps", what)
+	}
+	if _, err := step(func(st *drift.ControllerStatus) bool {
+		return st.Monitor.State == drift.StateStable
+	}, "stable baseline"); err != nil {
+		return err
+	}
+	rig.GPU.InjectAging(0.05) // the silicon ages 5% across the board
+	st, err := step(func(st *drift.ControllerStatus) bool { return st.Generations >= 2 }, "recalibration")
+	if err != nil {
+		return err
+	}
+	gens := srv.DriftController().Generations()
+	last := gens[len(gens)-1]
+	if last.Reason != "drift" || last.Version == 0 {
+		return fmt.Errorf("drift-smoke: bad generation %+v", last)
+	}
+	fmt.Fprintf(out, "eid: drift-smoke ok — aged 5%%, detected at sample %d, generation %d installed (version %d), %d detection(s)\n",
+		last.DetectedAt, st.Generations, last.Version, st.Detections)
+	return nil
 }
 
 // runSmoke exercises the whole serving path over real loopback HTTP: it

@@ -43,7 +43,13 @@ func TestServeDrainsOnSignal(t *testing.T) {
 
 	c := eisvc.NewClient("http://" + ln.Addr().String())
 	deadline := time.Now().Add(5 * time.Second)
-	for c.Health() != nil { // wait until the daemon answers
+	for { // wait until the daemon reports ready through the typed probe
+		if hz, err := c.Healthz(); err == nil {
+			if !hz.Ready || hz.Draining {
+				t.Fatalf("fresh daemon healthz = %+v, want ready", hz)
+			}
+			break
+		}
 		if time.Now().After(deadline) {
 			t.Fatal("daemon never became healthy")
 		}
@@ -70,6 +76,22 @@ func TestServeDrainsOnSignal(t *testing.T) {
 	}
 }
 
+// TestSmokeWithRecal runs the continuous-calibration self-test: the smoke
+// daemon monitors its own rig, the silicon is aged mid-run, and the drift
+// loop must detect and install a second calibration generation.
+func TestSmokeWithRecal(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-smoke", "-recal", "-drift-window", "4"}, &out); err != nil {
+		t.Fatalf("recal smoke failed: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"continuous calibration armed", "drift-smoke ok", "generation 2 installed"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("recal smoke output missing %q:\n%s", want, got)
+		}
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-load", "/nonexistent/file.eil"}, &out); err == nil {
@@ -77,5 +99,9 @@ func TestBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
 		t.Error("unknown flag accepted")
+	}
+	// -recal has nothing to probe without the seeded rig.
+	if err := run([]string{"-recal"}, &out); err == nil {
+		t.Error("-recal without -fig1 accepted")
 	}
 }

@@ -300,6 +300,36 @@ func (c *Client) HealthCtx(ctx context.Context) error {
 	return c.doCtx(ctx, http.MethodGet, "/healthz", nil, nil, true)
 }
 
+// Healthz fetches the typed readiness probe: whether the daemon is
+// admitting evaluations, draining, or mid-recalibration.
+func (c *Client) Healthz() (*HealthzResponse, error) {
+	return c.HealthzCtx(context.Background())
+}
+
+// HealthzCtx is Healthz bounded by ctx.
+func (c *Client) HealthzCtx(ctx context.Context) (*HealthzResponse, error) {
+	var resp HealthzResponse
+	if err := c.doCtx(ctx, http.MethodGet, "/v1/healthz", nil, &resp, true); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Drift fetches the drift monitor's state and the calibration generation
+// registry. The daemon answers 404 when drift monitoring is not enabled.
+func (c *Client) Drift() (*DriftResponse, error) {
+	return c.DriftCtx(context.Background())
+}
+
+// DriftCtx is Drift bounded by ctx.
+func (c *Client) DriftCtx(ctx context.Context) (*DriftResponse, error) {
+	var resp DriftResponse
+	if err := c.doCtx(ctx, http.MethodGet, "/v1/drift", nil, &resp, true); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Register uploads an EIL source file and returns the registered
 // interfaces. Registrations mutate the daemon and are never retried.
 func (c *Client) Register(source string) ([]InterfaceInfo, error) {

@@ -209,13 +209,29 @@ func TestServerDrain(t *testing.T) {
 	}()
 	<-started // the evaluation is inside a method body
 
+	// Before the drain, the readiness probe reports ready.
+	hz, err := c.Healthz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hz.Ready || hz.Draining {
+		t.Fatalf("pre-drain healthz = %+v, want ready", hz)
+	}
+
 	srv.BeginDrain()
-	if !srv.Draining() {
-		t.Fatal("Draining() = false after BeginDrain")
+	// The drain state is observed through the typed readiness probe, not
+	// by sacrificing an eval request: /v1/healthz stays live while the
+	// daemon sheds.
+	hz, err = c.Healthz()
+	if err != nil {
+		t.Fatalf("Healthz while draining: %v", err)
+	}
+	if hz.Ready || !hz.Draining {
+		t.Fatalf("draining healthz = %+v, want ready=false draining=true", hz)
 	}
 
 	// New evaluations shed with 503 + Retry-After.
-	_, _, err := c.EvalCtx(context.Background(), "gate", "work", nil, opts)
+	_, _, err = c.EvalCtx(context.Background(), "gate", "work", nil, opts)
 	var apiErr *APIError
 	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
 		t.Fatalf("eval while draining: err = %v, want 503 APIError", err)

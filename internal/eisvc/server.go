@@ -14,6 +14,7 @@ import (
 
 	"energyclarity/internal/cache"
 	"energyclarity/internal/core"
+	"energyclarity/internal/drift"
 	"energyclarity/internal/energy"
 )
 
@@ -116,6 +117,13 @@ type Server struct {
 	idle         chan struct{}
 	idleOnce     sync.Once
 	shedDraining atomic.Uint64
+
+	// Continuous calibration (see drift.go): the attached controller plus
+	// loop counters surfaced at /v1/drift and /v1/stats.
+	driftCtl       atomic.Pointer[drift.Controller]
+	driftSteps     atomic.Uint64
+	driftErrors    atomic.Uint64
+	recalibrations atomic.Uint64
 }
 
 // NewServer returns a daemon with the given configuration.
@@ -135,6 +143,8 @@ func NewServer(cfg Config) *Server {
 		s.layer = core.NewLayerCache(cfg.LayerCapacity)
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/drift", s.handleDrift)
 	s.mux.HandleFunc("POST /v1/register", s.handleRegister)
 	s.mux.HandleFunc("GET /v1/interfaces", s.handleList)
 	s.mux.HandleFunc("GET /v1/interfaces/{name}", s.handleDescribe)
@@ -669,6 +679,19 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	resp.RetriedRequests = s.retriedRequests.Load()
 	resp.RetryAttempts = s.retryAttempts.Load()
 	resp.HedgedRequests = s.hedgedRequests.Load()
+	if ctl := s.DriftController(); ctl != nil {
+		dst := ctl.Status()
+		resp.DriftEnabled = true
+		resp.DriftState = dst.Monitor.State.String()
+		resp.DriftSamples = dst.Monitor.Samples
+		resp.DriftDetections = dst.Detections
+		resp.DriftEnergyBugs = dst.EnergyBugs
+		resp.DriftGeneration = dst.Generations
+		resp.RecalInProgress = dst.Recalibrating
+		resp.Recalibrations = s.recalibrations.Load()
+		resp.DriftSteps = s.driftSteps.Load()
+		resp.DriftStepErrors = s.driftErrors.Load()
+	}
 	if total := hits + misses; total > 0 {
 		resp.MemoHitRate = float64(hits) / float64(total)
 	}

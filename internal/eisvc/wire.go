@@ -221,12 +221,90 @@ type StatsResponse struct {
 	RetryAttempts   uint64 `json:"retry_attempts"` // extra attempts beyond the first
 	HedgedRequests  uint64 `json:"hedged_requests"`
 
+	// Continuous calibration (populated when a drift controller is
+	// attached; see GET /v1/drift for the full registry).
+	DriftEnabled    bool   `json:"drift_enabled"`
+	DriftState      string `json:"drift_state,omitempty"`
+	DriftSamples    int    `json:"drift_samples,omitempty"`
+	DriftDetections int    `json:"drift_detections,omitempty"`
+	DriftEnergyBugs int    `json:"drift_energy_bugs,omitempty"`
+	DriftGeneration int    `json:"drift_generation,omitempty"` // installed generations
+	RecalInProgress bool   `json:"recal_in_progress,omitempty"`
+	Recalibrations  uint64 `json:"recalibrations,omitempty"` // completed by the loop
+	DriftSteps      uint64 `json:"drift_steps,omitempty"`
+	DriftStepErrors uint64 `json:"drift_step_errors,omitempty"`
+
 	Latency LatencyStats `json:"latency"`
 
 	Clients    map[string]LedgerEntry `json:"clients"`
 	ByIface    map[string]LedgerEntry `json:"by_interface"`
 	AttribJ    float64                `json:"attributed_mean_j"` // sum over clients
 	AttribP99J float64                `json:"attributed_p99_j"`
+}
+
+// HealthzResponse is the GET /v1/healthz payload: the typed readiness
+// probe. Ready means the daemon is admitting evaluation work; a draining
+// daemon answers 200 with Ready false (the process is alive, the traffic
+// should go elsewhere). Recalibrating reports an in-progress background
+// recalibration; Generation is the number of calibration generations
+// installed so far (0 when drift monitoring is off or nothing is seeded).
+type HealthzResponse struct {
+	Ready         bool `json:"ready"`
+	Draining      bool `json:"draining"`
+	DriftEnabled  bool `json:"drift_enabled"`
+	Recalibrating bool `json:"recalibrating"`
+	Interfaces    int  `json:"interfaces"`
+	Generation    int  `json:"generation,omitempty"`
+}
+
+// DriftClassWire is one input class's residual statistics on the wire.
+type DriftClassWire struct {
+	Input    string  `json:"input"`
+	Samples  int     `json:"samples"`
+	Residual float64 `json:"residual"` // class residual EWMA (signed)
+}
+
+// GenerationWire is one calibration generation in the /v1/drift registry:
+// the fitted coefficients, the interface version that serves them, and the
+// detection/installation metadata.
+type GenerationWire struct {
+	Index      int     `json:"index"`
+	Version    uint64  `json:"version"`
+	Reason     string  `json:"reason"`
+	Device     string  `json:"device"`
+	InstrJ     float64 `json:"instr_j"`
+	L1J        float64 `json:"l1_j"`
+	L2J        float64 `json:"l2_j"`
+	VRAMJ      float64 `json:"vram_j"`
+	StaticW    float64 `json:"static_w"`
+	DetectedAt int     `json:"detected_at,omitempty"` // monitor sample of the alarm
+	Residual   float64 `json:"residual"`              // post-install verification residual
+	Time       float64 `json:"time,omitempty"`        // device-clock seconds at install
+}
+
+// DriftResponse is the GET /v1/drift payload: detector state, per-class
+// statistics, loop counters, and the calibration generation registry.
+type DriftResponse struct {
+	State      string  `json:"state"` // warmup | stable | drifting | energy_bug
+	Samples    int     `json:"samples"`
+	Baseline   float64 `json:"baseline"`
+	EWMA       float64 `json:"ewma"`
+	Shift      float64 `json:"shift"`
+	PHUp       float64 `json:"ph_up"`
+	PHDown     float64 `json:"ph_down"`
+	Lambda     float64 `json:"lambda"`
+	DetectedAt int     `json:"detected_at,omitempty"`
+	Offending  string  `json:"offending,omitempty"` // input class, energy-bug verdicts
+
+	Detections     int    `json:"detections"`
+	EnergyBugs     int    `json:"energy_bugs"`
+	Recalibrating  bool   `json:"recalibrating"`
+	CurrentVersion uint64 `json:"current_version"`
+	Steps          uint64 `json:"steps"`       // DriftStep invocations
+	StepErrors     uint64 `json:"step_errors"` // probe/recal failures (loop survived)
+
+	Classes     []DriftClassWire `json:"classes,omitempty"`
+	Generations []GenerationWire `json:"generations,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.

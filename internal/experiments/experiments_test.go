@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -508,6 +509,52 @@ func TestE13ResilienceShape(t *testing.T) {
 	}
 	if res.DrainShed == 0 {
 		t.Error("drain probe shed nothing")
+	}
+}
+
+func TestE14DriftShape(t *testing.T) {
+	res, err := E14Drift(testing.Short())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Detection: within the configured bound, as device drift (not an
+	// input-dependent energy bug — the aging is uniform across inputs).
+	if res.DetectDelay < 1 || res.DetectDelay > res.DetectBound {
+		t.Errorf("detection delay = %d samples, want 1..%d", res.DetectDelay, res.DetectBound)
+	}
+	if res.Verdict != "drifting" {
+		t.Errorf("verdict = %q, want drifting", res.Verdict)
+	}
+	// Zero false positives on the identical-but-stable control device.
+	if res.ControlSamples == 0 || res.FalsePositives != 0 {
+		t.Errorf("control: %d false positives over %d samples, want 0 over >0",
+			res.FalsePositives, res.ControlSamples)
+	}
+	// The seed calibration was healthy before aging, degrades to roughly
+	// the aging factor when frozen, and recalibration restores sub-percent
+	// error on the very same aged device.
+	if res.PreErr > 0.01 {
+		t.Errorf("pre-aging error %.4f, want < 1%%", res.PreErr)
+	}
+	if res.FrozenErr < 0.03 {
+		t.Errorf("frozen calibration error %.4f on the aged device, want >= 3%%", res.FrozenErr)
+	}
+	if res.RecalErr > 0.01 {
+		t.Errorf("recalibrated error %.4f, want < 1%%", res.RecalErr)
+	}
+	// The registry gained a generation through a strict version bump, and
+	// the layer cache stayed bit-exact across the install.
+	if res.Generations != 2 {
+		t.Errorf("generations = %d, want 2 (seed + drift)", res.Generations)
+	}
+	if res.VersionAfter <= res.VersionBefore {
+		t.Errorf("version did not bump: %d -> %d", res.VersionBefore, res.VersionAfter)
+	}
+	if !res.CacheBitExact {
+		t.Error("layer cache not bit-exact across the recalibration install")
+	}
+	if math.Abs(res.RecalResidual) > 0.02 {
+		t.Errorf("post-install verification residual %.4f, want |r| <= 2%%", res.RecalResidual)
 	}
 }
 

@@ -205,6 +205,26 @@ func (g *GPU) advance(dt float64, e energy.Joules) {
 	}
 }
 
+// InjectAging degrades the device in place: every hidden energy
+// coefficient (per-event energies and static leakage) grows by the given
+// fraction, as if the silicon had aged or its cooling had deteriorated.
+// frac 0.05 means "everything now costs 5% more energy". Timing is
+// unchanged — aging here is an energy effect, which is exactly the kind of
+// truth shift a frozen calibration cannot see and a drift monitor must.
+// Negative frac (a device getting cheaper) is allowed for tests but must
+// not push any coefficient below zero.
+func (g *GPU) InjectAging(frac float64) {
+	if frac < -1 {
+		panic(fmt.Sprintf("gpusim: InjectAging(%v) would make energy negative", frac))
+	}
+	s := energy.Joules(1 + frac)
+	g.instrE *= s
+	g.l1E *= s
+	g.l2E *= s
+	g.vramE *= s
+	g.staticP *= energy.Watts(1 + frac)
+}
+
 // SensorEnergy returns the device's cumulative energy counter as software
 // (e.g. the nvml package) can read it: quantized and noisy. Monotone
 // non-decreasing.

@@ -145,6 +145,51 @@ func TestSensorQuantization(t *testing.T) {
 	}
 }
 
+func TestInjectAgingScalesEnergyNotTiming(t *testing.T) {
+	fresh := NewGPU(RTX4090(), 21)
+	aged := NewGPU(RTX4090(), 21)
+	const frac = 0.05
+	aged.InjectAging(frac)
+
+	i0, l10, l20, v0, s0 := fresh.TrueCoefficientsForTest()
+	i1, l11, l21, v1, s1 := aged.TrueCoefficientsForTest()
+	checks := []struct {
+		name          string
+		before, after float64
+	}{
+		{"instr", float64(i0), float64(i1)},
+		{"l1", float64(l10), float64(l11)},
+		{"l2", float64(l20), float64(l21)},
+		{"vram", float64(v0), float64(v1)},
+		{"static", float64(s0), float64(s1)},
+	}
+	for _, c := range checks {
+		if got := c.after / c.before; math.Abs(got-(1+frac)) > 1e-12 {
+			t.Errorf("%s scaled by %v, want %v", c.name, got, 1+frac)
+		}
+	}
+
+	k := smallKernel()
+	sf := fresh.Launch(k)
+	sa := aged.Launch(k)
+	if sf.Duration != sa.Duration {
+		t.Fatalf("aging changed timing: %v vs %v", sf.Duration, sa.Duration)
+	}
+	if sa.Energy() <= sf.Energy() {
+		t.Fatalf("aged energy %v not above fresh %v", sa.Energy(), sf.Energy())
+	}
+}
+
+func TestInjectAgingRejectsNegativeEnergy(t *testing.T) {
+	g := NewGPU(RTX4090(), 21)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InjectAging(-1.5) accepted")
+		}
+	}()
+	g.InjectAging(-1.5)
+}
+
 func TestLaunchPanicsOnNegativeCounts(t *testing.T) {
 	g := NewGPU(RTX4090(), 1)
 	defer func() {

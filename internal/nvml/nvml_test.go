@@ -81,6 +81,68 @@ func TestMeasureAgainstRealDevice(t *testing.T) {
 	}
 }
 
+// TestCounterMonotoneAcrossSamplingBoundaries drives a real simulated
+// device through a mixed load/idle schedule and asserts the NVML-style
+// counter never decreases no matter where the sampling boundaries fall,
+// and that no window's measured energy is negative even when the window is
+// smaller than the sensor quantum (quantization may report zero for a tiny
+// window, never a negative value).
+func TestCounterMonotoneAcrossSamplingBoundaries(t *testing.T) {
+	for _, spec := range []gpusim.Spec{gpusim.RTX4090(), gpusim.RTX3070()} {
+		g := gpusim.NewGPU(spec, 17)
+		m := NewMeter(g)
+		prev := m.Snapshot()
+		tiny := gpusim.Kernel{Instructions: 100} // well under one quantum
+		big := gpusim.Kernel{Instructions: 1e8, L1Accesses: 1e7, WorkingSet: 8 << 20, Reuse: 4}
+		for i := 0; i < 300; i++ {
+			switch i % 4 {
+			case 0:
+				g.Launch(big)
+			case 1:
+				g.Launch(tiny) // sub-quantum: counter may not move
+			case 2:
+				g.Idle(1e-6) // near-zero idle window
+			case 3:
+				g.Idle(0.05)
+			}
+			cur := m.Snapshot()
+			if cur.Energy < prev.Energy {
+				t.Fatalf("%s: counter went backwards at step %d: %v -> %v",
+					spec.Name, i, prev.Energy, cur.Energy)
+			}
+			if w := m.EnergySince(prev); w < 0 {
+				t.Fatalf("%s: negative window energy %v at step %d", spec.Name, w, i)
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestQuantizationConservesEnergy checks the counter owes at most one
+// quantum at any sampling boundary: the deficit between noisy observed
+// energy and the counter stays in [0, quantum).
+func TestQuantizationConservesEnergy(t *testing.T) {
+	spec := gpusim.RTX3070()
+	g := gpusim.NewGPU(spec, 23)
+	m := NewMeter(g)
+	q := float64(spec.SensorQuantum)
+	start := m.Snapshot()
+	var true0 = float64(g.TrueEnergyForTest())
+	for i := 0; i < 200; i++ {
+		g.Launch(gpusim.Kernel{Instructions: 1e7, L1Accesses: 1e6, WorkingSet: 1 << 20, Reuse: 2})
+		counted := float64(m.EnergySince(start))
+		truth := float64(g.TrueEnergyForTest()) - true0
+		// The counter lags the (noisy) truth by its sub-quantum residual
+		// accumulator only; allow the noise band on top of one quantum.
+		if counted > truth*(1+spec.SensorNoise)+q {
+			t.Fatalf("counter %v ahead of truth %v beyond noise+quantum", counted, truth)
+		}
+		if counted < truth*(1-spec.SensorNoise)-q {
+			t.Fatalf("counter %v behind truth %v beyond noise+quantum", counted, truth)
+		}
+	}
+}
+
 func TestMeasureIsWindowed(t *testing.T) {
 	g := gpusim.NewGPU(gpusim.RTX4090(), 7)
 	m := NewMeter(g)

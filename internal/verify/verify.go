@@ -66,6 +66,27 @@ func Refines(impl, spec *core.Interface, method string, inputs [][]core.Value, s
 	return rep, nil
 }
 
+// Residual is the signed relative prediction error (measured−predicted)
+// divided by the prediction: positive when the device consumed more than
+// the interface promised. This is the statistic both FindEnergyBugs and
+// the internal/drift detectors accumulate; keeping it in one place keeps
+// "what counts as divergence" consistent between offline bug hunts and
+// the online monitor. A zero prediction with a nonzero measurement is an
+// unbounded divergence, reported as ±1 (100%); 0/0 is a perfect match.
+func Residual(predicted, measured energy.Joules) float64 {
+	if predicted == 0 {
+		switch {
+		case measured > 0:
+			return 1
+		case measured < 0:
+			return -1
+		default:
+			return 0
+		}
+	}
+	return float64(measured-predicted) / float64(predicted)
+}
+
 // Case is one energy-bug probe: a predicted energy (from the interface)
 // and a measured energy (from running the implementation under a meter).
 type Case struct {
@@ -80,6 +101,9 @@ type Divergence struct {
 	Predicted energy.Joules
 	Measured  energy.Joules
 	RelErr    float64
+	// Residual is the signed relative error (see Residual); RelErr is its
+	// magnitude.
+	Residual float64
 }
 
 // BugReport summarizes a FindEnergyBugs run.
@@ -90,6 +114,34 @@ type BugReport struct {
 
 // OK reports whether no case diverged beyond tolerance.
 func (r *BugReport) OK() bool { return len(r.Divergences) == 0 }
+
+// UniformShift distinguishes §4.2 energy bugs from device drift. If every
+// probed case diverged and their signed residuals agree within tol of one
+// another, the device as a whole has shifted — a calibration problem, not
+// an input-dependent energy bug — and UniformShift returns the mean
+// residual with uniform=true. If only some cases diverged, or the
+// divergent residuals disagree in size or sign, the divergence depends on
+// the input and stays classified as an energy bug (uniform=false).
+func (r *BugReport) UniformShift(tol float64) (shift float64, uniform bool) {
+	if len(r.Divergences) == 0 || len(r.Divergences) < r.Checked {
+		return 0, false
+	}
+	min, max := r.Divergences[0].Residual, r.Divergences[0].Residual
+	for _, d := range r.Divergences {
+		shift += d.Residual
+		if d.Residual < min {
+			min = d.Residual
+		}
+		if d.Residual > max {
+			max = d.Residual
+		}
+	}
+	shift /= float64(len(r.Divergences))
+	if max-min > tol {
+		return shift, false
+	}
+	return shift, true
+}
 
 // FindEnergyBugs evaluates every case and flags those whose measured
 // energy diverges from the prediction by more than tol (relative).
@@ -114,6 +166,7 @@ func FindEnergyBugs(cases []Case, tol float64) (*BugReport, error) {
 		if rel := energy.RelativeError(pred, meas); rel > tol {
 			rep.Divergences = append(rep.Divergences, Divergence{
 				Name: c.Name, Predicted: pred, Measured: meas, RelErr: rel,
+				Residual: Residual(pred, meas),
 			})
 		}
 	}

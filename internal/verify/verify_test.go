@@ -146,6 +146,163 @@ func TestFindEnergyBugsErrors(t *testing.T) {
 	}
 }
 
+func TestResidualSignedAndGuarded(t *testing.T) {
+	cases := []struct {
+		pred, meas energy.Joules
+		want       float64
+	}{
+		{100, 100, 0},
+		{100, 105, 0.05},
+		{100, 95, -0.05},
+		{0, 10, 1},   // unbounded over-consumption caps at 100%
+		{0, -10, -1}, // and symmetrically below
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Residual(c.pred, c.meas); got != c.want {
+			t.Errorf("Residual(%v, %v) = %v, want %v", c.pred, c.meas, got, c.want)
+		}
+	}
+}
+
+// constCases builds probes where the measured energy is the prediction
+// scaled per-case: scale 1.05 models a device consuming 5% extra.
+func constCases(preds []float64, scales []float64) []Case {
+	out := make([]Case, len(preds))
+	for i := range preds {
+		p, s := preds[i], scales[i]
+		out[i] = Case{
+			Name:      fmt.Sprintf("case-%d", i),
+			Predicted: func() (energy.Joules, error) { return energy.Joules(p), nil },
+			Measured:  func() (energy.Joules, error) { return energy.Joules(p * s), nil },
+		}
+	}
+	return out
+}
+
+// TestUniformShiftIsDriftNotBug covers the drift-vs-bug boundary: a device
+// where *every* input costs 6% more than predicted has drifted — the
+// §4.2 classification must not call that an input-dependent energy bug.
+func TestUniformShiftIsDriftNotBug(t *testing.T) {
+	cases := constCases(
+		[]float64{10, 50, 200, 1000},
+		[]float64{1.06, 1.06, 1.061, 1.059})
+	rep, err := FindEnergyBugs(cases, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("6% shift not flagged at 2% tolerance")
+	}
+	shift, uniform := rep.UniformShift(0.02)
+	if !uniform {
+		t.Fatalf("uniformly shifted device classified as input-dependent bug: %+v", rep)
+	}
+	if shift < 0.055 || shift > 0.065 {
+		t.Fatalf("shift estimate %v, want ~0.06", shift)
+	}
+}
+
+// TestInputDependentDivergenceIsABug is the other side of the boundary:
+// one input class diverging while the rest match is an energy bug, and
+// UniformShift must refuse to explain it away as drift.
+func TestInputDependentDivergenceIsABug(t *testing.T) {
+	cases := constCases(
+		[]float64{10, 50, 200, 1000},
+		[]float64{1.0, 1.0, 1.0, 1.40}) // only the large input misbehaves
+	rep, err := FindEnergyBugs(cases, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Divergences) != 1 {
+		t.Fatalf("want exactly the large-input divergence: %+v", rep)
+	}
+	if _, uniform := rep.UniformShift(0.02); uniform {
+		t.Fatal("partial divergence classified as uniform drift")
+	}
+}
+
+// TestOpposingShiftsAreABug: all inputs diverge but in different
+// directions — that is input-dependent, not a calibration offset.
+func TestOpposingShiftsAreABug(t *testing.T) {
+	cases := constCases(
+		[]float64{10, 50},
+		[]float64{1.30, 0.70})
+	rep, err := FindEnergyBugs(cases, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Divergences) != 2 {
+		t.Fatalf("want both divergences: %+v", rep)
+	}
+	if _, uniform := rep.UniformShift(0.05); uniform {
+		t.Fatal("opposing residuals classified as uniform drift")
+	}
+}
+
+func TestUniformShiftCleanReport(t *testing.T) {
+	rep, err := FindEnergyBugs(constCases([]float64{10}, []float64{1.0}), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, uniform := rep.UniformShift(0.02); uniform {
+		t.Fatal("clean report reported a shift")
+	}
+}
+
+// TestUniformShiftOnRealDriftedDevice runs the boundary check against a
+// real gpusim device with injected aging: every probe shifts together, so
+// the report must classify it as drift, with the shift estimate near the
+// injected fraction.
+func TestUniformShiftOnRealDriftedDevice(t *testing.T) {
+	spec := gpusim.RTX4090()
+	g := gpusim.NewGPU(spec, 30)
+	hw := coefFor(t, g)
+	// Calibrate the inline datasheet interface to this device first so the
+	// only post-injection divergence is the aging itself: scale by the
+	// device's observed pre-drift residual per event class.
+	const frac = 0.08
+	g.InjectAging(frac)
+
+	meter := nvml.NewMeter(g)
+	kernels := []gpusim.Kernel{
+		{Name: "small", Instructions: 2e8, L1Accesses: 2e7, WorkingSet: 4 << 20, Reuse: 4},
+		{Name: "medium", Instructions: 1e9, L1Accesses: 1e8, WorkingSet: 32 << 20, Reuse: 8},
+		{Name: "large", Instructions: 4e9, L1Accesses: 4e8, WorkingSet: 128 << 20, Reuse: 8},
+	}
+	var cases []Case
+	for _, k := range kernels {
+		k := k
+		cases = append(cases, Case{
+			Name: k.Name,
+			Predicted: func() (energy.Joules, error) {
+				tr := spec.SpecTraffic(k)
+				dur := spec.SpecDuration(k, tr)
+				return hw.ExpectedJoules("kernel",
+					core.Num(k.Instructions), core.Num(tr.L1Wavefronts),
+					core.Num(tr.L2Sectors), core.Num(tr.VRAMSectors), core.Num(dur))
+			},
+			Measured: func() (energy.Joules, error) {
+				return meter.Measure(func() { g.Launch(k) }), nil
+			},
+		})
+	}
+	rep, err := FindEnergyBugs(cases, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatalf("8%% aged device passed a 4%% bug check: %+v", rep)
+	}
+	shift, uniform := rep.UniformShift(0.06)
+	if !uniform {
+		t.Fatalf("aged device classified as input-dependent bug: %+v", rep.Divergences)
+	}
+	if shift < 0.02 {
+		t.Fatalf("shift estimate %v too small for %v aging", shift, frac)
+	}
+}
+
 // TestEnergyBugOnRealStack injects a real energy bug — the GPT-2 engine
 // silently running with a doubled KV path (a "cache disabled" bug) — and
 // checks the §4.2 loop catches it while the healthy system passes.
