@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json vet fmt-check serve-smoke fault-smoke drift-smoke all
+.PHONY: build test race bench bench-smoke bench-json vet fmt-check serve-smoke fault-smoke drift-smoke compile-smoke all
 
 all: build test
 
@@ -40,7 +40,7 @@ bench-smoke:
 # target cheap enough for CI; it tracks trends, not microseconds.
 bench-json:
 	$(GO) test -run '^$$' \
-		-bench 'BenchmarkEvalParallel$$|BenchmarkDaemonEval$$|BenchmarkEvalLayerCache$$|BenchmarkDaemonBatch$$|BenchmarkDriftDetect$$|BenchmarkRecalibrate$$' \
+		-bench 'BenchmarkEvalParallel$$|BenchmarkDaemonEval$$|BenchmarkEvalLayerCache$$|BenchmarkDaemonBatch$$|BenchmarkDriftDetect$$|BenchmarkRecalibrate$$|BenchmarkEvalCompiled$$|BenchmarkEvalInterpreted$$' \
 		-benchtime=3x . > .bench_eval.out
 	$(GO) run ./cmd/benchjson -o BENCH_eval.json < .bench_eval.out
 	@rm -f .bench_eval.out
@@ -59,6 +59,15 @@ serve-smoke:
 # draining daemon sheds politely while in-flight work completes.
 fault-smoke:
 	$(GO) test -run 'TestE13ResilienceShape' -short -count=1 ./internal/experiments/
+
+# Smoke of the EIL→bytecode optimizing compiler (internal/opt): the
+# differential suite proves compiled evaluation bit-identical to the
+# interpreter across all five modes (random programs included), and eid
+# -smoke asserts wire-served pure-EIL interfaces run compiled while
+# native-bound trees still fall back — counters surface in /v1/stats.
+compile-smoke:
+	$(GO) test -run 'TestGPT2StackCompilesBitIdentical|TestRandomProgramsBitIdentity|TestRebindInvalidatesPrograms' -count=1 ./internal/opt/
+	$(GO) run ./cmd/eid -smoke
 
 # Short-mode run of the E14 continuous-calibration experiment under the
 # race detector: programmed aging on the hidden silicon must be detected

@@ -233,6 +233,9 @@ func BenchmarkA2NativeInterface(b *testing.B) {
 
 // BenchmarkA2EILInterface measures the same program interpreted from EIL —
 // the interpretation overhead is the price of machine-readable interfaces.
+// Interpret pins the tree-walking interpreter: the registered optimizing
+// compiler would otherwise serve this from a flat program (that speedup is
+// measured separately by BenchmarkEvalCompiled).
 func BenchmarkA2EILInterface(b *testing.B) {
 	compiled, err := eil.Compile(fig1EILBench, nil)
 	if err != nil {
@@ -243,6 +246,7 @@ func BenchmarkA2EILInterface(b *testing.B) {
 	assign := core.FixedAssignment(map[string]core.Value{
 		"request_hit": core.Bool(false), "local_cache_hit": core.Bool(false),
 	})
+	assign.Interpret = true
 	args := []core.Value{img}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -612,6 +616,91 @@ func BenchmarkDistConvolution(b *testing.B) {
 		_ = d.Repeat(64)
 	}
 }
+
+// --- compiled-vs-interpreted evaluation benchmarks (E15) ---
+
+// evalBenchModes is the mode matrix both E15 benchmarks sweep.
+func evalBenchModes() []struct {
+	name string
+	opts core.EvalOptions
+} {
+	fixed := map[string]core.Value{
+		"kv_spill": core.Bool(false), "hw.thermal_throttle": core.Bool(false),
+	}
+	return []struct {
+		name string
+		opts core.EvalOptions
+	}{
+		{"expected", core.Expected()},
+		{"worst", core.WorstCase()},
+		{"best", core.BestCase()},
+		{"fixed", core.FixedAssignment(fixed)},
+		// 512 samples (not the 2048 default) keeps the interpreted
+		// baseline cheap enough for the bench-json CI target.
+		{"mc", core.MonteCarlo(512, 7)},
+	}
+}
+
+func gpt2EILBench(b *testing.B) *core.Interface {
+	b.Helper()
+	stack, err := nn.GPT2EILStack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return stack
+}
+
+// benchEvalStack runs the full GPT-2 EIL stack through every mode, cold
+// and warm. Cold rebuilds the interface tree each iteration (Rebind
+// clones with fresh versions and an empty program cache), so the compiled
+// path pays lowering, folding, specialization, and emission inside the
+// measurement; warm reuses the tree, so compiled evaluations hit the
+// cached specialized program. The interpreter keeps no per-tree state, so
+// its cold and warm numbers only differ by the Rebind clone itself.
+func benchEvalStack(b *testing.B, interpret bool) {
+	stack := gpt2EILBench(b)
+	hw := stack.Binding("hw")
+	args := []core.Value{core.Num(64), core.Num(8)}
+	for _, m := range evalBenchModes() {
+		opts := m.opts
+		opts.Interpret = interpret
+		b.Run("cold/"+m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fresh, err := stack.Rebind("hw", hw)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := fresh.Eval("generate", args, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("warm/"+m.name, func(b *testing.B) {
+			if _, err := stack.Eval("generate", args, opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := stack.Eval("generate", args, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEvalCompiled measures full-stack GPT-2 EIL evaluation through
+// the optimizing compiler (internal/opt): methods lower to flat
+// instruction programs, partial evaluation folds the architecture
+// constants, and per-assignment runs replay only the ECV-dependent
+// suffix. Compare against BenchmarkEvalInterpreted; E15 tabulates the
+// ratio (the tentpole target is ≥10x cold).
+func BenchmarkEvalCompiled(b *testing.B) { benchEvalStack(b, false) }
+
+// BenchmarkEvalInterpreted measures the identical evaluations forced
+// through the tree-walking interpreter (EvalOptions.Interpret), the
+// reference semantics the compiled path must match bit for bit.
+func BenchmarkEvalInterpreted(b *testing.B) { benchEvalStack(b, true) }
 
 // --- shared fixtures ---
 

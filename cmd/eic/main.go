@@ -6,7 +6,13 @@
 //	eic check file.eil            parse + semantic-check, report errors
 //	eic fmt file.eil              print the canonical formatting
 //	eic describe file.eil         list interfaces, ECVs, methods, bindings
-//	eic eval -i name -m method [-args json] [-mode mode] file.eil
+//	eic eval -i name -m method [-args json] [-mode mode] [-dump] file.eil
+//
+// -dump prints the optimizing compiler's pipeline for the method before
+// the result: the lowered (fully inlined) IR, the constant-folded IR, the
+// IR specialized for the given arguments, and the flat instruction
+// listing with its register constants, ECV dependencies, and hoisted
+// prefix (see internal/opt and docs/EIL.md).
 //
 // Modes take the spellings core.Mode.String emits — expected, worst-case,
 // best-case, fixed, monte-carlo — plus the short aliases worst and best;
@@ -25,6 +31,7 @@ import (
 
 	"energyclarity/internal/core"
 	"energyclarity/internal/eil"
+	"energyclarity/internal/opt"
 )
 
 func main() {
@@ -97,6 +104,7 @@ func evalCmd(args []string) error {
 	argsJSON := fs.String("args", "[]", "method arguments as a JSON array")
 	mode := fs.String("mode", "expected", "expected | worst-case | best-case | fixed | monte-carlo")
 	samples := fs.Int("samples", 0, "Monte Carlo samples (0 = exact enumeration)")
+	dump := fs.Bool("dump", false, "print the compiled instruction listing, pass by pass")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -146,6 +154,14 @@ func evalCmd(args []string) error {
 	if *samples > 0 {
 		opts.Mode = core.ModeMonteCarlo
 		opts.Samples = *samples
+	}
+	if *dump {
+		out, err := opt.DumpMethod(iface, *method, vals)
+		if err != nil {
+			return fmt.Errorf("eval: -dump: %w", err)
+		}
+		fmt.Print(out)
+		fmt.Println()
 	}
 	d, err := iface.Eval(*method, vals, opts)
 	if err != nil {

@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"energyclarity/internal/core"
+	"energyclarity/internal/nn"
+	"energyclarity/internal/opt"
 )
 
 const validEIL = `
@@ -138,5 +140,43 @@ func TestEvalDefaultInterfaceIsLast(t *testing.T) {
 	if err := run([]string{"eval", "-m", "op", "-args", "[10]", path}); err == nil ||
 		!strings.Contains(err.Error(), "op") {
 		t.Fatalf("method of non-default interface resolved: %v", err)
+	}
+}
+
+func TestEvalDumpFlag(t *testing.T) {
+	path := writeTemp(t, validEIL)
+	if err := run([]string{"eval", "-m", "handle", "-args", "[100]", "-dump", path}); err != nil {
+		t.Fatal(err)
+	}
+	// -dump on a missing method must fail like eval does.
+	if err := run([]string{"eval", "-m", "nope", "-dump", path}); err == nil {
+		t.Fatal("dump of unknown method accepted")
+	}
+}
+
+// The compiled pipeline for a GPT-2 layer method is pinned by a golden
+// file: any change to lowering, folding, specialization, or emission
+// shows up as a readable diff. Regenerate with UPDATE_GOLDEN=1.
+func TestDumpGoldenGPT2LayerDecode(t *testing.T) {
+	stack, err := nn.GPT2EILStack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := opt.DumpMethod(stack, "layer_decode", []core.Value{core.Num(128)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "gpt2_layer_decode.dump")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Fatalf("dump differs from %s (set UPDATE_GOLDEN=1 to regenerate);\ngot:\n%s", golden, out)
 	}
 }

@@ -375,11 +375,37 @@ func runSmoke(srv *eisvc.Server, out io.Writer) error {
 		return fmt.Errorf("smoke evalbatch: duplicate item not deduplicated")
 	}
 
+	// A pure-EIL interface (no Go-native bindings anywhere beneath it)
+	// must be served through a compiled program, not the interpreter.
+	// Fig. 1's handle cannot: its cnn binding is native, so it counts a
+	// fallback instead — the smoke checks both paths are exercised.
+	const pureEIL = `
+interface accel_math {
+  ecv boost: bernoulli(0.1) "DVFS boost active"
+  func f(n) {
+    let e = 2nJ * n * n
+    if boost { return e * 1.5 }
+    return e
+  }
+}`
+	if _, err := c.Register(pureEIL); err != nil {
+		return fmt.Errorf("smoke register (pure EIL): %w", err)
+	}
+	if _, _, err := c.Eval("accel_math", "f", []core.Value{core.Num(64)}, core.Expected()); err != nil {
+		return fmt.Errorf("smoke eval (pure EIL): %w", err)
+	}
+
 	st, err := c.Stats()
 	if err != nil {
 		return fmt.Errorf("smoke stats: %w", err)
 	}
-	fmt.Fprintf(out, "eid: serve-smoke ok — %d evals, %d memo hit(s), %d layer hit(s), %.4g J attributed to %q\n",
-		st.EvalRequests, st.MemoHits, st.LayerHits, st.AttribJ, c.ID)
+	if st.CompiledEvals == 0 {
+		return fmt.Errorf("smoke: pure-EIL evaluation did not run compiled (compiled_evals = 0)")
+	}
+	if st.CompiledPrograms+st.CompileFallbacks == 0 {
+		return fmt.Errorf("smoke: EIL evaluations reached neither the compiler nor its fallback")
+	}
+	fmt.Fprintf(out, "eid: serve-smoke ok — %d evals, %d memo hit(s), %d layer hit(s), %d compiled program(s), %d compiled eval(s), %d fallback(s), %.4g J attributed to %q\n",
+		st.EvalRequests, st.MemoHits, st.LayerHits, st.CompiledPrograms, st.CompiledEvals, st.CompileFallbacks, st.AttribJ, c.ID)
 	return nil
 }

@@ -58,6 +58,12 @@ import (
 	"energyclarity/internal/core"
 	"energyclarity/internal/eil"
 	"energyclarity/internal/energy"
+
+	// Register the EIL→bytecode optimizing compiler (internal/opt): EIL
+	// interfaces evaluate through flat instruction programs with
+	// transparent, bit-identical interpreter fallback. EvalOptions.Interpret
+	// forces the interpreter for differential testing and baselines.
+	_ "energyclarity/internal/opt"
 )
 
 // Re-exported fundamental types. Aliases keep the internal packages and

@@ -100,14 +100,28 @@ type EvalOptions struct {
 	// range, so for a fixed Seed the resulting Dist is bit-identical at
 	// every parallelism level.
 	Parallelism int
+	// Interpret forces the tree-walking interpreter even when a method
+	// compiler is registered (see RegisterCompiler): the compiled-program
+	// path is skipped entirely. Compiled and interpreted evaluation return
+	// bit-identical distributions; the flag exists for differential
+	// testing and for benchmarking the interpreter baseline.
+	Interpret bool
 	// Layer, when non-nil, attaches a compositional evaluation cache:
-	// every method invocation during evaluation (the top-level body under
-	// each ECV assignment, and every Call.E/Call.Self beneath it) is
-	// memoized in it, keyed by subtree version, method, abstracted args,
-	// and the ECV values reaching that subtree. Cached results are the
-	// exact scalars the bodies returned, so the resulting Dist is
+	// every interpreted method invocation during evaluation (the top-level
+	// body under each ECV assignment, and every Call.E/Call.Self beneath
+	// it) is memoized in it, keyed by subtree version, method, abstracted
+	// args, and the ECV values reaching that subtree. Cached results are
+	// the exact scalars the bodies returned, so the resulting Dist is
 	// bit-identical with the cache warm, cold, or absent. The same
 	// LayerCache may be shared by concurrent Evals over any interfaces.
+	//
+	// A method the optimizing compiler accepts (see RegisterCompiler) runs
+	// as one flat program with every sub-call inlined; such an evaluation
+	// neither reads nor writes the layer — the compiled-program cache
+	// supersedes it. The layer therefore serves the interpreter's half of
+	// the world: Go-native and hybrid trees, methods the compiler
+	// declines, and Interpret-forced runs. Results stay bit-identical
+	// either way, so which cache answered is observable only in stats.
 	Layer *LayerCache
 }
 
@@ -398,10 +412,23 @@ func (i *Interface) EvalCtx(ctx context.Context, method string, args []Value, op
 		ev = opts.Layer.evalContext(i)
 	}
 
+	// Compiled-program path: compile (or fetch from the fold-keyed cache)
+	// and specialize for this Eval's args and pinned ECVs. A nil spec means
+	// interpreter fallback; both paths produce bit-identical Dists, so the
+	// choice is invisible to callers.
+	spec := i.specializeFor(method, opts, args, base, free)
+
 	if opts.Mode == ModeFixed {
 		if len(free) > 0 {
 			return energy.Dist{}, fmt.Errorf("core: interface %s: ModeFixed but ECV %q unassigned",
 				i.name, free[0].QualifiedName())
+		}
+		if spec != nil {
+			v, err := spec.Run(nil)
+			if err != nil {
+				return energy.Dist{}, err
+			}
+			return energy.Point(v), nil
 		}
 		j, err := i.evalOnce(m, args, base, ev)
 		if err != nil {
@@ -423,9 +450,9 @@ func (i *Interface) EvalCtx(ctx context.Context, method string, args []Value, op
 
 	useMC := opts.Mode == ModeMonteCarlo || exceeded
 	if useMC {
-		return i.evalMonteCarlo(ctx, m, args, base, free, opts, ev)
+		return i.evalMonteCarlo(ctx, m, args, base, free, opts, ev, spec)
 	}
-	return i.evalEnumerate(ctx, m, args, base, free, opts, ev)
+	return i.evalEnumerate(ctx, m, args, base, free, opts, ev, spec)
 }
 
 // enumChunkSize is the number of assignments one enumeration work unit
@@ -433,18 +460,21 @@ func (i *Interface) EvalCtx(ctx context.Context, method string, args []Value, op
 // vectors come out in the same lexicographic order as a sequential walk.
 const enumChunkSize = 32
 
+// freeDim is one free ECV's materialized support (zero-probability points
+// dropped) plus its row-major stride in the joint assignment space.
+type freeDim struct {
+	qn     string
+	ws     []Weighted
+	stride int
+}
+
 func (i *Interface) evalEnumerate(ctx context.Context, m *Method, args []Value, base map[string]Value,
-	free []QualifiedECV, opts EvalOptions, ev *layerEval) (energy.Dist, error) {
+	free []QualifiedECV, opts EvalOptions, ev *layerEval, spec SpecializedProgram) (energy.Dist, error) {
 
 	// Materialize the free dimensions with zero-probability support points
 	// dropped, and the row-major strides over the product space (the first
 	// free ECV is the most significant digit, matching the recursive-walk
 	// order this replaced).
-	type freeDim struct {
-		qn     string
-		ws     []Weighted
-		stride int
-	}
 	dims := make([]freeDim, len(free))
 	for k, q := range free {
 		ws := make([]Weighted, 0, len(q.ECV.Dist))
@@ -466,8 +496,33 @@ func (i *Interface) evalEnumerate(ctx context.Context, m *Method, args []Value, 
 	defer energy.ReturnScratch(values)
 	defer energy.ReturnScratch(probs)
 
+	var err error
+	if spec != nil {
+		err = i.enumerateCompiled(ctx, spec, dims, total, len(free), values, probs, opts)
+	} else {
+		err = i.enumerateInterpreted(ctx, m, args, base, dims, total, values, probs, opts, ev)
+	}
+	if err != nil {
+		return energy.Dist{}, err
+	}
+	full := energy.Categorical(values, probs)
+	switch opts.Mode {
+	case ModeWorstCase:
+		return energy.Point(full.Max()), nil
+	case ModeBestCase:
+		return energy.Point(full.Min()), nil
+	default:
+		return full, nil
+	}
+}
+
+// enumerateInterpreted is the reference enumeration: one interpreter run
+// per joint assignment, chunked over workers by contiguous index ranges.
+func (i *Interface) enumerateInterpreted(ctx context.Context, m *Method, args []Value, base map[string]Value,
+	dims []freeDim, total int, values, probs []float64, opts EvalOptions, ev *layerEval) error {
+
 	nChunks := (total + enumChunkSize - 1) / enumChunkSize
-	err := runUnits(ctx, nChunks, opts.parallelism(), func(chunk int, g *evalGroup) error {
+	return runUnits(ctx, nChunks, opts.parallelism(), func(chunk int, g *evalGroup) error {
 		assign := make(map[string]Value, len(base)+len(dims))
 		for k, v := range base {
 			assign[k] = v
@@ -496,18 +551,89 @@ func (i *Interface) evalEnumerate(ctx context.Context, m *Method, args []Value, 
 		}
 		return nil
 	})
+}
+
+// enumerateCompiled enumerates through a specialized program. The program
+// is evaluated only over the sub-space of ECVs it can observe (spec.Deps):
+// results for assignments that differ only in unobserved ECVs are shared
+// by index projection, so a method depending on none of the free ECVs runs
+// exactly once regardless of the joint space size. Per projected index the
+// program executes the same instructions on the same inputs as a full
+// per-assignment run, and the probability products iterate all dims in the
+// same order as the interpreted path, so (values, probs) — and therefore
+// the Categorical built from them — are bit-identical.
+func (i *Interface) enumerateCompiled(ctx context.Context, spec SpecializedProgram,
+	dims []freeDim, total, nFree int, values, probs []float64, opts EvalOptions) error {
+
+	deps := spec.Deps()
+	// Projected dimensions: support values and row-major strides over the
+	// dependent sub-space, in deps order (deps is sorted, so relative
+	// significance matches the full space).
+	dimVals := make([][]Value, len(deps))
+	pstride := make([]int, len(deps))
+	ptotal := 1
+	for j := len(deps) - 1; j >= 0; j-- {
+		d := deps[j]
+		vs := make([]Value, len(dims[d].ws))
+		for x, w := range dims[d].ws {
+			vs[x] = w.V
+		}
+		dimVals[j] = vs
+		pstride[j] = ptotal
+		ptotal *= len(vs)
+	}
+
+	ptable := energy.BorrowScratch(ptotal)
+	defer energy.ReturnScratch(ptable)
+	ok, err := spec.FillTable(dimVals, ptable)
 	if err != nil {
-		return energy.Dist{}, err
+		return err
 	}
-	full := energy.Categorical(values, probs)
-	switch opts.Mode {
-	case ModeWorstCase:
-		return energy.Point(full.Max()), nil
-	case ModeBestCase:
-		return energy.Point(full.Min()), nil
-	default:
-		return full, nil
+	if !ok {
+		vals := make([]Value, nFree)
+		for pidx := 0; pidx < ptotal; pidx++ {
+			if pidx%enumChunkSize == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			for j, d := range deps {
+				vals[d] = dimVals[j][(pidx/pstride[j])%len(dimVals[j])]
+			}
+			v, err := spec.Run(vals)
+			if err != nil {
+				return err
+			}
+			ptable[pidx] = v
+		}
 	}
+
+	// Expand the projected table over the full joint space and fill the
+	// probability products (same multiply order as the interpreted path).
+	nChunks := (total + enumChunkSize - 1) / enumChunkSize
+	return runUnits(ctx, nChunks, opts.parallelism(), func(chunk int, g *evalGroup) error {
+		lo := chunk * enumChunkSize
+		hi := lo + enumChunkSize
+		if hi > total {
+			hi = total
+		}
+		for idx := lo; idx < hi; idx++ {
+			if g.cancelled() {
+				return nil
+			}
+			p := 1.0
+			for k := range dims {
+				p *= dims[k].ws[(idx/dims[k].stride)%len(dims[k].ws)].P
+			}
+			pidx := 0
+			for j, d := range deps {
+				pidx += ((idx / dims[d].stride) % len(dims[d].ws)) * pstride[j]
+			}
+			values[idx] = ptable[pidx]
+			probs[idx] = p
+		}
+		return nil
+	})
 }
 
 // mcShardSize is the number of samples one Monte Carlo shard draws from
@@ -517,7 +643,7 @@ func (i *Interface) evalEnumerate(ctx context.Context, m *Method, args []Value, 
 const mcShardSize = 64
 
 func (i *Interface) evalMonteCarlo(ctx context.Context, m *Method, args []Value, base map[string]Value,
-	free []QualifiedECV, opts EvalOptions, ev *layerEval) (energy.Dist, error) {
+	free []QualifiedECV, opts EvalOptions, ev *layerEval, spec SpecializedProgram) (energy.Dist, error) {
 
 	samples := opts.Samples
 	values := energy.BorrowScratch(samples)
@@ -532,14 +658,33 @@ func (i *Interface) evalMonteCarlo(ctx context.Context, m *Method, args []Value,
 	nShards := (samples + mcShardSize - 1) / mcShardSize
 	err := runUnits(ctx, nShards, opts.parallelism(), func(shard int, g *evalGroup) error {
 		rng := rand.New(rand.NewSource(shardSeed(opts.Seed, shard)))
-		assign := make(map[string]Value, len(base)+len(free))
-		for k, v := range base {
-			assign[k] = v
-		}
 		lo := shard * mcShardSize
 		hi := lo + mcShardSize
 		if hi > samples {
 			hi = samples
+		}
+		if spec != nil {
+			// Compiled path: identical per-ECV draw order, so the sample
+			// multiset — and the resulting Dist — matches the interpreter.
+			vals := make([]Value, len(free))
+			for s := lo; s < hi; s++ {
+				if g.cancelled() {
+					return nil
+				}
+				for k, q := range free {
+					vals[k] = q.ECV.sample(rng)
+				}
+				v, err := spec.Run(vals)
+				if err != nil {
+					return err
+				}
+				values[s] = v
+			}
+			return nil
+		}
+		assign := make(map[string]Value, len(base)+len(free))
+		for k, v := range base {
+			assign[k] = v
 		}
 		for s := lo; s < hi; s++ {
 			if g.cancelled() {

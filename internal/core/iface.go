@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"energyclarity/internal/energy"
@@ -25,6 +26,11 @@ type Method struct {
 	Params []string // parameter names, for documentation and arity checking
 	Doc    string
 	Body   Body
+	// Source optionally carries the method's source form for an optimizing
+	// compiler (internal/opt): the EIL front end stores the *eil.FuncDecl
+	// the Body interprets. Go-native methods leave it nil and always run
+	// through Body.
+	Source any
 }
 
 // Interface is an energy interface: an abstraction of a module's energy
@@ -46,6 +52,12 @@ type Interface struct {
 	bindings map[string]*Interface
 	bindOrd  []string
 	version  uint64 // bumped on every mutation; see Version
+
+	// progs caches compiled programs per method, each tagged with the
+	// subtree-version fold it was compiled against (see program.go).
+	// Evaluation-time state only: clones start empty, and mutation
+	// invalidates implicitly through the fold.
+	progs sync.Map
 }
 
 // ifaceVersions hands out interface versions: a process-global counter, so

@@ -37,6 +37,16 @@ import (
 //
 // The store is sharded with per-shard locks (cache.Sharded), so parallel
 // evaluation workers share it without funnelling through one mutex.
+//
+// The cache memoizes *interpreted* invocations. A method the optimizing
+// compiler accepts (internal/opt) evaluates as one flat instruction
+// program with every sub-call inlined and constant-folded away — there are
+// no per-invocation boundaries left to memoize, and the compiled-program
+// cache on the Interface already amortizes that work — so compiled
+// evaluations bypass the layer entirely. The layer's clients are the trees
+// the compiler cannot take: Go-native bodies, hybrid stacks whose EIL
+// methods call native bindings, declined methods, and Interpret-forced
+// runs. Either engine returns bit-identical distributions.
 type LayerCache struct {
 	store         *cache.Sharded[float64]
 	invalidations atomic.Uint64

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"sync/atomic"
+)
+
+// This file is the runtime side of the EIL optimizing compiler
+// (internal/opt): the hook a compiler registers itself through, the
+// per-interface compiled-program cache, and the process-wide counters the
+// daemon exports. The compiler itself lives outside core (it needs the EIL
+// AST); core only knows how to *route* evaluations through a compiled
+// program and how to fall back to the interpreter when compilation or
+// specialization declines.
+//
+// Cache keying mirrors LayerCache exactly: a compiled program is valid for
+// one subtree-version fold (mix64 over the node versions of the whole
+// binding tree). Any mutation — SetECV, AddMethod, Bind — bumps a version,
+// changes the fold, and the stale program is dropped on the next Eval;
+// Rebind clones the path with fresh versions, so a rebound tree never sees
+// a program compiled against the old bindings.
+
+// CompiledProgram is the compiled form of one method of one interface
+// tree, produced by a registered MethodCompiler. It is immutable and safe
+// for concurrent use.
+type CompiledProgram interface {
+	// Specialize partially evaluates the program for concrete arguments
+	// and pinned ECV values (partial evaluation: args and pinned ECV reads
+	// become immediates, dead branches drop, loop bounds become static).
+	// free lists the unpinned ECVs in evaluation order; the returned
+	// program's Run takes values aligned with that order. Specialize
+	// returns ok=false when the residual program is outside the compiled
+	// subset (e.g. a loop bound still dynamic, or a statically detectable
+	// fuel overrun) — the caller then falls back to the interpreter.
+	Specialize(args []Value, pinned map[string]Value, free []QualifiedECV) (SpecializedProgram, bool)
+}
+
+// SpecializedProgram evaluates a method under assignments of its free
+// ECVs. Implementations are safe for concurrent Run calls.
+type SpecializedProgram interface {
+	// Run evaluates under one complete free-ECV assignment; vals is
+	// aligned with the free slice passed to Specialize (slots for ECVs
+	// the program never reads may be the zero Value).
+	Run(vals []Value) (float64, error)
+	// Deps returns the sorted indexes (into the free slice) of the ECVs
+	// the program can observe. Enumeration evaluates the program only
+	// over the dependent sub-space and replicates results across the
+	// remaining dimensions — the distribution-collapse optimization.
+	Deps() []int
+	// FillTable bulk-evaluates the program over the row-major product
+	// space of dims (support values of the Deps ECVs, in Deps order),
+	// writing results to out (len = product of dims lengths). It returns
+	// ok=false if the program has no bulk path, in which case the caller
+	// iterates with Run. The values written are bit-identical to per-index
+	// Run calls.
+	FillTable(dims [][]Value, out []float64) (ok bool, err error)
+}
+
+// MethodCompiler compiles one method of the tree rooted at root. A nil
+// program (or an error) means the method is outside the compilable subset;
+// evaluation falls back to the tree-walking interpreter.
+type MethodCompiler func(root *Interface, method string) (CompiledProgram, error)
+
+var methodCompiler atomic.Pointer[MethodCompiler]
+
+// RegisterCompiler installs the process-wide method compiler. It is called
+// once from the compiler package's init (importing internal/opt enables
+// compiled evaluation everywhere); re-registering replaces the compiler.
+func RegisterCompiler(c MethodCompiler) {
+	if c == nil {
+		methodCompiler.Store(nil)
+		return
+	}
+	methodCompiler.Store(&c)
+}
+
+// CompilerRegistered reports whether a method compiler is installed.
+func CompilerRegistered() bool { return methodCompiler.Load() != nil }
+
+// ProgramStats are process-wide compiled-evaluation counters, exported by
+// the daemon as /v1/stats compiled_* fields.
+type ProgramStats struct {
+	// CompiledPrograms counts successful method compilations.
+	CompiledPrograms uint64
+	// CompileFallbacks counts interpreter fallbacks: methods the compiler
+	// declined plus specializations the compiled program declined.
+	CompileFallbacks uint64
+	// CompiledEvals counts Evals served through a compiled program.
+	CompiledEvals uint64
+}
+
+var progStats struct {
+	compiled  atomic.Uint64
+	fallbacks atomic.Uint64
+	evals     atomic.Uint64
+}
+
+// ReadProgramStats returns a snapshot of the compiled-evaluation counters.
+func ReadProgramStats() ProgramStats {
+	return ProgramStats{
+		CompiledPrograms: progStats.compiled.Load(),
+		CompileFallbacks: progStats.fallbacks.Load(),
+		CompiledEvals:    progStats.evals.Load(),
+	}
+}
+
+// subtreeFold folds the version of every node in the binding tree into one
+// fingerprint — the same order-sensitive mix64 fold the layer cache uses
+// (see LayerCache.evalContext), minus the descriptor bookkeeping. Versions
+// are globally unique, so any construction change anywhere in the tree
+// changes the fold.
+func (i *Interface) subtreeFold() uint64 {
+	ver := mix64(i.version)
+	for _, bn := range i.bindOrd {
+		ver = mix64(ver ^ i.bindings[bn].subtreeFold())
+	}
+	return ver
+}
+
+// progEntry caches one method's compiled program for one subtree fold.
+// prog == nil records a declined compilation, so fallback methods are not
+// re-analyzed on every Eval.
+type progEntry struct {
+	fold uint64
+	prog CompiledProgram
+}
+
+// compiledFor returns the compiled program for the named method, compiling
+// (or recompiling, after a version change) on demand. It returns nil when
+// no compiler is registered or the method is outside the compiled subset.
+func (i *Interface) compiledFor(method string) CompiledProgram {
+	cp := methodCompiler.Load()
+	if cp == nil {
+		return nil
+	}
+	fold := i.subtreeFold()
+	if e, ok := i.progs.Load(method); ok {
+		if ent := e.(*progEntry); ent.fold == fold {
+			return ent.prog
+		}
+	}
+	prog, err := (*cp)(i, method)
+	if err != nil || prog == nil {
+		prog = nil
+		progStats.fallbacks.Add(1)
+	} else {
+		progStats.compiled.Add(1)
+	}
+	// Keep at most one entry per method: a concurrent racer compiled the
+	// same (method, fold) and either store is equally valid.
+	i.progs.Store(method, &progEntry{fold: fold, prog: prog})
+	return prog
+}
+
+// specializeFor runs compilation + specialization for one Eval and counts
+// the outcome. A nil return means interpreter fallback.
+func (i *Interface) specializeFor(method string, opts EvalOptions, args []Value,
+	base map[string]Value, free []QualifiedECV) SpecializedProgram {
+	if opts.Interpret {
+		return nil
+	}
+	prog := i.compiledFor(method)
+	if prog == nil {
+		return nil
+	}
+	spec, ok := prog.Specialize(args, base, free)
+	if !ok || spec == nil {
+		progStats.fallbacks.Add(1)
+		return nil
+	}
+	progStats.evals.Add(1)
+	return spec
+}

@@ -78,3 +78,25 @@ var builtins = map[string]builtin{
 		}
 	}},
 }
+
+// Builtin reports whether name is an EIL builtin and, if so, its arity.
+// The optimizing compiler uses it to resolve calls the same way the
+// interpreter does (builtins shadow same-named sibling methods).
+func Builtin(name string) (arity int, ok bool) {
+	b, ok := builtins[name]
+	return b.arity, ok
+}
+
+// CallBuiltin invokes the named builtin on already-evaluated arguments.
+// It shares the interpreter's implementation, so constant-folded builtin
+// calls produce bit-identical values and identical error text.
+func CallBuiltin(name string, args []core.Value) (core.Value, error) {
+	b, ok := builtins[name]
+	if !ok {
+		return core.Value{}, fmt.Errorf("unknown builtin %q", name)
+	}
+	if len(args) != b.arity {
+		return core.Value{}, fmt.Errorf("%s takes %d argument(s), got %d", name, b.arity, len(args))
+	}
+	return b.impl(args)
+}

@@ -403,7 +403,7 @@ func constValue(e Expr) (core.Value, error) {
 		if err != nil {
 			return core.Value{}, err
 		}
-		return applyBinary(x.Pos, x.Op, a, b)
+		return ApplyBinary(x.Pos, x.Op, a, b)
 	case *CallExpr:
 		if x.Target != "" {
 			return core.Value{}, errf(x.Pos, "interface calls are not constant")

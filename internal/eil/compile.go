@@ -10,8 +10,26 @@ import (
 
 // DefaultFuel bounds the number of interpreter steps per method evaluation.
 // EIL is expressive enough to loop, so tools need a termination guarantee;
-// exceeding the budget fails the evaluation with a clear error.
+// exceeding the budget fails the evaluation with ErrFuelExhausted.
 const DefaultFuel = 1_000_000
+
+// ErrFuelExhausted reports that one method evaluation exceeded DefaultFuel
+// interpreter steps (a non-terminating or pathologically large interface).
+// It surfaces through Interface.Eval's returned error; match it with
+// errors.As to learn which method ran away. The optimizing compiler
+// (internal/opt) statically rejects methods whose loops it cannot bound
+// below the fuel budget, so compiled programs never need — and never
+// produce — this error; such methods fall back to the interpreter, which
+// reports it with the offending method's name.
+type ErrFuelExhausted struct {
+	Method string // the method whose evaluation ran out of fuel
+	Pos    Pos    // source position of the step that exhausted the budget
+}
+
+func (e *ErrFuelExhausted) Error() string {
+	return fmt.Sprintf("eil:%s: func %s: fuel exhausted after %d steps (non-terminating interface?)",
+		e.Pos, e.Method, DefaultFuel)
+}
 
 // Compile parses, checks, and compiles EIL source into core interfaces,
 // one per interface declaration, keyed by name. 'uses' declarations are
@@ -52,6 +70,10 @@ func CompileFile(f *File, registry map[string]*core.Interface) (map[string]*core
 				Params: append([]string(nil), fn.Params...),
 				Doc:    fn.Doc,
 				Body:   makeBody(fn),
+				// The AST rides along so the optimizing compiler
+				// (internal/opt) can lower the method to a flat program;
+				// the Body above is the interpreter fallback.
+				Source: fn,
 			}
 			if err := iface.AddMethod(m); err != nil {
 				return nil, err
@@ -134,7 +156,7 @@ func (in *interp) failf(pos Pos, format string, args ...interface{}) {
 func (in *interp) step(pos Pos) {
 	in.fuel--
 	if in.fuel <= 0 {
-		in.failf(pos, "fuel exhausted (non-terminating interface?)")
+		core.Fail(&ErrFuelExhausted{Method: in.fn.Name, Pos: pos})
 	}
 }
 
@@ -287,7 +309,7 @@ func (in *interp) eval(e Expr, scope *env) core.Value {
 		}
 		a := in.eval(x.X, scope)
 		b := in.eval(x.Y, scope)
-		v, err := applyBinary(x.Pos, x.Op, a, b)
+		v, err := ApplyBinary(x.Pos, x.Op, a, b)
 		if err != nil {
 			core.Fail(fmt.Errorf("eil: func %s: %v", in.fn.Name, err))
 		}
@@ -325,9 +347,11 @@ func (in *interp) eval(e Expr, scope *env) core.Value {
 	return core.Value{} // unreachable
 }
 
-// applyBinary evaluates a (non-short-circuit) binary operator on values.
-// Shared by the interpreter and the constant evaluator.
-func applyBinary(pos Pos, op TokKind, a, b core.Value) (core.Value, error) {
+// ApplyBinary evaluates a (non-short-circuit) binary operator on values.
+// Shared by the interpreter, the checker's constant evaluator, and the
+// optimizing compiler's folder (internal/opt) — one implementation, so
+// folded constants are bit-identical to interpreted ones.
+func ApplyBinary(pos Pos, op TokKind, a, b core.Value) (core.Value, error) {
 	switch op {
 	case TokEq:
 		return core.Bool(a.Equal(b)), nil

@@ -1,6 +1,7 @@
 package eil
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -409,5 +410,30 @@ func TestRecordAndListConstruction(t *testing.T) {
 	}
 	if j != 12 {
 		t.Fatalf("got %v, want 12", j)
+	}
+}
+
+func TestFuelExhaustedTypedError(t *testing.T) {
+	src := `interface t {
+	  func spin() {
+	    let x = 0
+	    for i in 0 .. 2000000 { x = x + 1 }
+	    return x
+	  }
+	}`
+	m, err := Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m["t"].ExpectedJoules("spin")
+	var fe *ErrFuelExhausted
+	if !errors.As(err, &fe) {
+		t.Fatalf("want *ErrFuelExhausted, got %v", err)
+	}
+	if fe.Method != "spin" {
+		t.Fatalf("ErrFuelExhausted.Method = %q, want %q", fe.Method, "spin")
+	}
+	if !strings.Contains(fe.Error(), "spin") || !strings.Contains(fe.Error(), "fuel exhausted") {
+		t.Fatalf("unhelpful message: %q", fe.Error())
 	}
 }

@@ -229,13 +229,50 @@ func TestEvalBatchCaps(t *testing.T) {
 	}
 }
 
-// TestDaemonLayerStats: evaluating a layered stack twice with different
-// args still hits the layer cache (shared lower-layer sub-evaluations),
-// and /v1/stats reports it.
+// hybridLayerEIL is ml_webservice with its accelerator binding resolved
+// against a Go-native interface seeded in the server registry. The native
+// bodies have no EIL source to inline, so the optimizing compiler declines
+// handle and the daemon's interpreter evaluates it with the layer cache
+// attached — the tree shape the layer now serves. (A pure-EIL stack like
+// testEIL compiles to a flat program and never touches the layer; see
+// internal/opt and the EvalOptions.Layer docs.)
+const hybridLayerEIL = `
+interface ml_hybrid {
+  ecv request_hit: bernoulli(0.3)
+  ecv local_cache_hit: bernoulli(0.8)
+  uses accel: accel_native
+  func handle(request) {
+    if request_hit {
+      if local_cache_hit { return 5mJ * 1024 }
+      return 100mJ * 1024
+    }
+    return 8 * accel.conv2d(request.pixels - request.zeros) + 16 * accel.mlp(256)
+  }
+}
+`
+
+// nativeAccel prices conv2d/mlp like testEIL's accel_hw, but with Go
+// bodies, which makes any EIL caller uncompilable (and thus interpreted).
+func nativeAccel() *core.Interface {
+	return core.New("accel_native").
+		MustMethod(core.Method{Name: "conv2d", Params: []string{"n"}, Body: func(c *core.Call) energy.Joules {
+			return energy.Joules(4e-6 * c.Num(0))
+		}}).
+		MustMethod(core.Method{Name: "mlp", Params: []string{"n"}, Body: func(c *core.Call) energy.Joules {
+			return energy.Joules(1e-5 * c.Num(0))
+		}})
+}
+
+// TestDaemonLayerStats: evaluating an interpreted layered stack twice with
+// different args still hits the layer cache (shared lower-layer
+// sub-evaluations), and /v1/stats reports it.
 func TestDaemonLayerStats(t *testing.T) {
-	_, client, stop := newTestDaemon(t, Config{})
+	srv, client, stop := newTestDaemon(t, Config{})
 	defer stop()
-	if _, err := client.Register(testEIL); err != nil {
+	if _, err := srv.Registry().RegisterInterface("accel_native", nativeAccel()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Register(hybridLayerEIL); err != nil {
 		t.Fatal(err)
 	}
 	arg := func(pixels float64) []core.Value {
@@ -243,11 +280,11 @@ func TestDaemonLayerStats(t *testing.T) {
 			"pixels": core.Num(pixels), "zeros": core.Num(0),
 		})}
 	}
-	if _, _, err := client.Eval("ml_webservice", "handle", arg(512), core.Expected()); err != nil {
+	if _, _, err := client.Eval("ml_hybrid", "handle", arg(512), core.Expected()); err != nil {
 		t.Fatal(err)
 	}
 	// Different argument → memo miss, but the mlp(256) sub-call repeats.
-	if _, _, err := client.Eval("ml_webservice", "handle", arg(768), core.Expected()); err != nil {
+	if _, _, err := client.Eval("ml_hybrid", "handle", arg(768), core.Expected()); err != nil {
 		t.Fatal(err)
 	}
 	st, err := client.Stats()
@@ -268,7 +305,7 @@ func TestDaemonLayerStats(t *testing.T) {
 	if _, err := client.Register(altHW); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Rebind("ml_webservice", "accel", "accel_hw_v2"); err != nil {
+	if _, err := client.Rebind("ml_hybrid", "accel", "accel_hw_v2"); err != nil {
 		t.Fatal(err)
 	}
 	st2, err := client.Stats()

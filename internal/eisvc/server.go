@@ -16,6 +16,10 @@ import (
 	"energyclarity/internal/core"
 	"energyclarity/internal/drift"
 	"energyclarity/internal/energy"
+
+	// The daemon serves EIL interfaces through compiled programs;
+	// importing opt registers the compiler with core.
+	_ "energyclarity/internal/opt"
 )
 
 // Config tunes a Server. The zero value picks sane defaults.
@@ -673,6 +677,10 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	resp.Coalesced = s.coalesced.Load()
 	resp.BatchRequests = s.batchRequests.Load()
 	resp.BatchItems = s.batchItems.Load()
+	ps := core.ReadProgramStats()
+	resp.CompiledPrograms = ps.CompiledPrograms
+	resp.CompileFallbacks = ps.CompileFallbacks
+	resp.CompiledEvals = ps.CompiledEvals
 	resp.Draining = s.Draining()
 	resp.InFlight = s.InFlight()
 	resp.ShedDraining = s.shedDraining.Load()

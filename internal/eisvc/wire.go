@@ -205,6 +205,14 @@ type StatsResponse struct {
 	BatchRequests uint64 `json:"batch_requests"`
 	BatchItems    uint64 `json:"batch_items"`
 
+	// Optimizing EIL compiler (internal/opt), process-wide counters from
+	// core.ReadProgramStats: methods compiled to flat instruction
+	// programs, interpreter fallbacks (declined methods/specializations),
+	// and evaluations served through compiled programs.
+	CompiledPrograms uint64 `json:"compiled_programs"`
+	CompileFallbacks uint64 `json:"compile_fallbacks"`
+	CompiledEvals    uint64 `json:"compiled_evals"`
+
 	ShedQueueFull uint64 `json:"shed_queue_full"` // rejected with 429
 	ShedDeadline  uint64 `json:"shed_deadline"`   // rejected with 503
 	QueueDepth    int    `json:"queue_depth"`

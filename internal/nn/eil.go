@@ -1,0 +1,123 @@
+package nn
+
+import (
+	"fmt"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/eil"
+)
+
+// GPT2EIL is a pure-EIL two-layer energy interface for GPT-2-small
+// inference: a device layer pricing kernels from logical (shape-derived)
+// properties, and a model layer expressing the transformer's kernel
+// decomposition — the same mat/elem shape formulas as TransformerConfig's
+// Go kernels (d=768, 12 layers, 4d feed-forward, 50257-token LM head,
+// fp16, 64 flops per warp instruction, 32-byte wavefronts).
+//
+// The Go-native StackInterface closes over gpusim state and cannot be
+// compiled; this fixture gives the EIL optimizer (internal/opt) a full
+// realistic stack — deep inlining, per-layer loops, two ECVs — and is the
+// workload for the compiled-vs-interpreted benchmarks and the eic -dump
+// golden test.
+const GPT2EIL = `
+interface device_hw "logical kernel pricing for a simulated accelerator" {
+  ecv thermal_throttle: bernoulli(0.02) "sustained load trips DVFS down, costing ~18% extra energy per op"
+
+  func kernel_logical(instructions, l1_accesses, working_set, reuse) {
+    let l1_bytes = l1_accesses * 32
+    let l2_bytes = max(l1_bytes / reuse, working_set)
+    let vram_bytes = min(l2_bytes, working_set * 2)
+    let base = 1.1nJ * instructions
+             + 0.8nJ * l1_accesses
+             + 2.4nJ * (l2_bytes / 32)
+             + 14nJ * (vram_bytes / 32)
+    if thermal_throttle {
+      return base * 1.18
+    }
+    return base
+  }
+}
+
+interface gpt2_stack "device-agnostic GPT-2-small kernel decomposition" {
+  ecv kv_spill: bernoulli(0.05) "KV cache spilled out of VRAM; decode attention re-streams it at double cost"
+  uses hw: device_hw
+
+  func mat(m, k, n) {
+    let flops = 2 * m * k * n
+    let instr = flops / 64
+    let ws = 2 * (k * n + m * k + m * n)
+    let acc = max(instr * 0.5, ws / 32)
+    let reuse = max(acc * 32 / ws, 1)
+    return hw.kernel_logical(instr, acc, ws, reuse)
+  }
+
+  func elem(n) {
+    let instr = 4 * n / 32
+    let ws = 4 * n
+    return hw.kernel_logical(instr, ws / 32, ws, 1)
+  }
+
+  func layer_prefill(p) {
+    let d = 768
+    return elem(p * d)
+         + mat(p, d, 3 * d)
+         + mat(p, d, p / 2 + 1)
+         + mat(p, p / 2 + 1, d)
+         + mat(p, d, d)
+         + elem(p * d)
+         + mat(p, d, 4 * d)
+         + mat(p, 4 * d, d)
+  }
+
+  func layer_decode(ctx) {
+    let d = 768
+    let attn = mat(1, d, ctx) + mat(1, ctx, d)
+    if kv_spill {
+      attn = attn * 2
+    }
+    return elem(d)
+         + mat(1, d, 3 * d)
+         + attn
+         + mat(1, d, d)
+         + elem(d)
+         + mat(1, d, 4 * d)
+         + mat(1, 4 * d, d)
+  }
+
+  func prefill(prompt_len) {
+    let d = 768
+    let total = elem(prompt_len * d)
+    for l in 0 .. 12 {
+      total = total + layer_prefill(prompt_len)
+    }
+    return total
+  }
+
+  func decode_token(pos) {
+    let d = 768
+    let total = elem(d)
+    for l in 0 .. 12 {
+      total = total + layer_decode(pos + 1)
+    }
+    return total + elem(d) + mat(1, d, 50257)
+  }
+
+  func generate(prompt_len, new_tokens) {
+    let total = prefill(prompt_len)
+    for t in 0 .. new_tokens {
+      total = total + decode_token(prompt_len + t)
+    }
+    return total
+  }
+}
+`
+
+// GPT2EILStack compiles GPT2EIL and returns the model-layer interface
+// (gpt2_stack, with device_hw bound as "hw").
+func GPT2EILStack() (*core.Interface, error) {
+	m, err := eil.Compile(GPT2EIL, nil)
+	if err != nil {
+		return nil, fmt.Errorf("nn: GPT2EIL fixture: %w", err)
+	}
+	return m["gpt2_stack"], nil
+}

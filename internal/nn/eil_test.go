@@ -1,0 +1,72 @@
+package nn
+
+import (
+	"testing"
+
+	"energyclarity/internal/core"
+)
+
+func TestGPT2EILStackCompiles(t *testing.T) {
+	stack, err := GPT2EILStack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stack == nil {
+		t.Fatal("gpt2_stack missing")
+	}
+	for _, m := range []string{"mat", "elem", "prefill", "decode_token", "generate"} {
+		if stack.Method(m) == nil {
+			t.Fatalf("gpt2_stack lacks method %q", m)
+		}
+	}
+	var names []string
+	for _, q := range stack.TransitiveECVs() {
+		names = append(names, q.QualifiedName())
+	}
+	if len(names) != 2 || names[0] != "kv_spill" || names[1] != "hw.thermal_throttle" {
+		t.Fatalf("transitive ECVs = %v", names)
+	}
+}
+
+func TestGPT2EILStackEvaluates(t *testing.T) {
+	stack, err := GPT2EILStack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []core.Value{core.Num(128), core.Num(16)}
+	d, err := stack.Eval("generate", args, core.Expected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(d.Mean() > 0) {
+		t.Fatalf("generate mean = %v, want positive", d.Mean())
+	}
+	// Two bernoulli ECVs: at most 4 support points.
+	if d.Len() < 2 || d.Len() > 4 {
+		t.Fatalf("support size = %d, want 2..4", d.Len())
+	}
+	// Decoding must cost more with a longer prompt in the KV cache.
+	d1, err := stack.Eval("decode_token", []core.Value{core.Num(64)}, core.Expected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := stack.Eval("decode_token", []core.Value{core.Num(512)}, core.Expected())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(d2.Mean() > d1.Mean()) {
+		t.Fatalf("decode at pos 512 (%v J) not costlier than pos 64 (%v J)", d2.Mean(), d1.Mean())
+	}
+	// Worst case (throttled, spilled) strictly dominates best case.
+	w, err := stack.Eval("generate", args, core.WorstCase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := stack.Eval("generate", args, core.BestCase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(w.Max() > b.Min()) {
+		t.Fatalf("worst %v not above best %v", w.Max(), b.Min())
+	}
+}

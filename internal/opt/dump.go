@@ -1,0 +1,251 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/eil"
+)
+
+// DumpMethod renders the compilation pipeline for one method, pass by
+// pass: the lowered (fully inlined) IR, the constant-folded IR, the IR
+// specialized for the given arguments with every ECV free, and the final
+// instruction listing with its register constants and dependency set.
+// Methods outside the compiled subset report the decline instead.
+func DumpMethod(root *core.Interface, method string, args []core.Value) (string, error) {
+	m := root.Method(method)
+	if m == nil {
+		return "", fmt.Errorf("opt: interface %s has no method %q", root.Name(), method)
+	}
+	fn, ok := m.Source.(*eil.FuncDecl)
+	if !ok || fn == nil {
+		return "", fmt.Errorf("opt: method %q has no EIL source (Go-native); nothing to compile", method)
+	}
+	if len(fn.Params) != 0 && len(args) != len(fn.Params) {
+		return "", fmt.Errorf("opt: method %q takes %d args, got %d", method, len(fn.Params), len(args))
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: lowered (inlined) ==\n", method)
+	lw := &lowerer{}
+	irArgs := make([]irExpr, len(fn.Params))
+	for i := range irArgs {
+		irArgs[i] = irArg{i: i}
+	}
+	blk, err := lw.lowerMethod(root, "", fn, irArgs, 0)
+	if err != nil {
+		fmt.Fprintf(&b, "declined: %v\n", err)
+		return b.String(), nil
+	}
+	writeStmts(&b, blk.stmts, 1)
+
+	fmt.Fprintf(&b, "\n== %s: folded ==\n", method)
+	fc := &foldCtx{consts: map[*irSlot]irConst{}}
+	folded := &irBlock{stmts: fc.foldStmts(blk.stmts), w0: blk.w0}
+	writeStmts(&b, folded.stmts, 1)
+
+	fmt.Fprintf(&b, "\n== %s: specialized (all ECVs free) ==\n", method)
+	free := root.TransitiveECVs()
+	freeIdx := make(map[string]int, len(free))
+	for i, q := range free {
+		freeIdx[q.QualifiedName()] = i
+	}
+	sc := &foldCtx{subst: true, args: args, pinned: map[string]core.Value{},
+		freeIdx: freeIdx, consts: map[*irSlot]irConst{}}
+	spec := &irBlock{stmts: sc.foldStmts(cloneStmts(folded.stmts, map[*irSlot]*irSlot{})), w0: folded.w0}
+	if sc.err != nil {
+		fmt.Fprintf(&b, "declined: %v\n", sc.err)
+		return b.String(), nil
+	}
+	writeStmts(&b, spec.stmts, 1)
+
+	fmt.Fprintf(&b, "\n== %s: code ==\n", method)
+	bound, err := boundStmts(spec.stmts)
+	if err != nil {
+		fmt.Fprintf(&b, "declined: %v\n", err)
+		return b.String(), nil
+	}
+	if satAdd(spec.w0, bound) >= int64(eil.DefaultFuel) {
+		fmt.Fprintf(&b, "declined: static step bound %d exceeds fuel budget %d\n", bound, eil.DefaultFuel)
+		return b.String(), nil
+	}
+	code, deps, err := emitProgram(spec, method)
+	if err != nil {
+		fmt.Fprintf(&b, "declined: %v\n", err)
+		return b.String(), nil
+	}
+	writeCode(&b, code, deps, free)
+	return b.String(), nil
+}
+
+func writeStmts(b *strings.Builder, stmts []irStmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, st := range stmts {
+		switch s := st.(type) {
+		case *irLet:
+			fmt.Fprintf(b, "%slet %s = %s\n", ind, slotName(s.slot), exprString(s.init))
+		case *irAssign:
+			fmt.Fprintf(b, "%s%s = %s\n", ind, slotName(s.slot), exprString(s.x))
+		case *irIf:
+			fmt.Fprintf(b, "%sif %s {\n", ind, exprString(s.cond))
+			writeStmts(b, s.then, depth+1)
+			if len(s.els) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", ind)
+				writeStmts(b, s.els, depth+1)
+			}
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *irFor:
+			fmt.Fprintf(b, "%sfor %s in %s .. %s {\n", ind, slotName(s.slot), exprString(s.from), exprString(s.to))
+			writeStmts(b, s.body, depth+1)
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *irReturn:
+			fmt.Fprintf(b, "%sreturn %s\n", ind, exprString(s.x))
+		}
+	}
+}
+
+func slotName(s *irSlot) string { return fmt.Sprintf("%s#%d", s.name, s.id) }
+
+func exprString(e irExpr) string {
+	switch x := e.(type) {
+	case irConst:
+		return x.v.String()
+	case irArg:
+		return fmt.Sprintf("arg%d", x.i)
+	case irVar:
+		return slotName(x.slot)
+	case irECV:
+		return fmt.Sprintf("ecv(%s)", x.qn)
+	case irFree:
+		return fmt.Sprintf("free%d(%s)", x.idx, x.qn)
+	case *irUnary:
+		return fmt.Sprintf("(%s %s)", x.op, exprString(x.x))
+	case *irBinary:
+		return fmt.Sprintf("(%s %s %s)", exprString(x.x), x.op, exprString(x.y))
+	case *irCond:
+		return fmt.Sprintf("(%s ? %s : %s)", exprString(x.cond), exprString(x.then), exprString(x.els))
+	case *irCall:
+		parts := make([]string, len(x.args))
+		for i, a := range x.args {
+			parts[i] = exprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", x.name, strings.Join(parts, ", "))
+	case *irField:
+		return fmt.Sprintf("%s.%s", exprString(x.x), x.name)
+	case *irIndex:
+		return fmt.Sprintf("%s[%s]", exprString(x.x), exprString(x.i))
+	case *irRecord:
+		parts := make([]string, len(x.vals))
+		for i := range x.vals {
+			parts[i] = fmt.Sprintf("%s: %s", x.names[i], exprString(x.vals[i]))
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case *irList:
+		parts := make([]string, len(x.elems))
+		for i, el := range x.elems {
+			parts[i] = exprString(el)
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case *irBlock:
+		var b strings.Builder
+		b.WriteString("block {\n")
+		writeStmts(&b, x.stmts, 2)
+		b.WriteString("  }")
+		return b.String()
+	case *irSteps:
+		return exprString(x.x)
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+func writeCode(b *strings.Builder, p *progCode, deps map[int]bool, free []core.QualifiedECV) {
+	fmt.Fprintf(b, "registers: %d float, %d bool, %d value\n",
+		len(p.initF), len(p.initB), len(p.initV))
+	if len(p.constsF) > 0 {
+		fmt.Fprintf(b, "float constants:\n")
+		for _, c := range p.constsF {
+			fmt.Fprintf(b, "  f%d = %v\n", c.reg, c.v)
+		}
+	}
+	if len(p.constsB) > 0 {
+		fmt.Fprintf(b, "bool constants:\n")
+		for _, c := range p.constsB {
+			fmt.Fprintf(b, "  b%d = %v\n", c.reg, c.v)
+		}
+	}
+	if len(p.constsV) > 0 {
+		fmt.Fprintf(b, "value constants:\n")
+		for _, c := range p.constsV {
+			fmt.Fprintf(b, "  v%d = %s\n", c.reg, c.v.String())
+		}
+	}
+	ds := make([]int, 0, len(deps))
+	for d := range deps {
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+	if len(ds) == 0 {
+		fmt.Fprintf(b, "deps: none (fully collapsed: one evaluation covers every assignment)\n")
+	} else {
+		names := make([]string, len(ds))
+		for i, d := range ds {
+			names[i] = free[d].QualifiedName()
+		}
+		fmt.Fprintf(b, "deps: %s\n", strings.Join(names, ", "))
+	}
+	fmt.Fprintf(b, "prefix: %d of %d instructions run once per specialization\n",
+		prefixLen(p.code), len(p.code))
+	for pc, in := range p.code {
+		fmt.Fprintf(b, "%4d  %-9s", pc, opNames[in.Op])
+		switch in.Op {
+		case opJmp:
+			fmt.Fprintf(b, "-> %d", in.A)
+		case opJmpIfNot:
+			fmt.Fprintf(b, "b%d -> %d", in.B, in.A)
+		case opMovF, opNegF, opCeilRaw, opAbsF, opCeilF, opFloorF, opSqrtF, opLog2F:
+			fmt.Fprintf(b, "f%d <- f%d", in.A, in.B)
+		case opMovB, opNotB:
+			fmt.Fprintf(b, "b%d <- b%d", in.A, in.B)
+		case opMovV:
+			fmt.Fprintf(b, "v%d <- v%d", in.A, in.B)
+		case opAddF, opSubF, opMulF, opDivF, opModF, opMinF, opMaxF, opPowF:
+			fmt.Fprintf(b, "f%d <- f%d, f%d", in.A, in.B, in.C)
+		case opLtF, opLeF, opGtF, opGeF, opEqF, opNeF:
+			fmt.Fprintf(b, "b%d <- f%d, f%d", in.A, in.B, in.C)
+		case opEqB, opNeB:
+			fmt.Fprintf(b, "b%d <- b%d, b%d", in.A, in.B, in.C)
+		case opEqV, opNeV:
+			fmt.Fprintf(b, "b%d <- v%d, v%d", in.A, in.B, in.C)
+		case opLenV, opNumV:
+			fmt.Fprintf(b, "f%d <- v%d", in.A, in.B)
+		case opBoolV:
+			fmt.Fprintf(b, "b%d <- v%d", in.A, in.B)
+		case opBoxF:
+			fmt.Fprintf(b, "v%d <- f%d", in.A, in.B)
+		case opBoxB:
+			fmt.Fprintf(b, "v%d <- b%d", in.A, in.B)
+		case opFieldV:
+			fmt.Fprintf(b, "v%d <- v%d.%s", in.A, in.B, p.names[in.C])
+		case opIndexV:
+			fmt.Fprintf(b, "v%d <- v%d[f%d]", in.A, in.B, in.C)
+		case opRecordV, opListV:
+			fmt.Fprintf(b, "v%d <- aux[%d:%d]", in.A, in.B, in.C)
+		case opLoadF:
+			fmt.Fprintf(b, "f%d <- ecv %s", in.A, free[in.B].QualifiedName())
+		case opLoadB:
+			fmt.Fprintf(b, "b%d <- ecv %s", in.A, free[in.B].QualifiedName())
+		case opLoadV:
+			fmt.Fprintf(b, "v%d <- ecv %s", in.A, free[in.B].QualifiedName())
+		case opFrameRet:
+			fmt.Fprintf(b, "f%d <- f%d, -> %d", in.A, in.B, in.C)
+		case opFail:
+			fmt.Fprintf(b, "%q", p.msgs[in.A])
+		case opEnd:
+			fmt.Fprintf(b, "f%d", in.A)
+		}
+		b.WriteByte('\n')
+	}
+}

@@ -1,0 +1,336 @@
+package opt
+
+import (
+	"fmt"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/eil"
+)
+
+// declineError marks a method (or a specialization) as outside the
+// compiled subset; core falls back to the tree-walking interpreter, which
+// defines the reference semantics — including the runtime error the
+// construct would produce. Declining is therefore always correct.
+type declineError struct{ reason string }
+
+func (e *declineError) Error() string { return "opt: declined: " + e.reason }
+
+func decline(format string, args ...interface{}) error {
+	return &declineError{reason: fmt.Sprintf(format, args...)}
+}
+
+// maxInlineDepth mirrors core's maxCallDepth: a static call chain this
+// deep would make the interpreter fail at runtime, so we decline and let
+// it. Cycles (recursion) decline separately.
+const maxInlineDepth = 256
+
+// lowerer turns one method (with every reachable callee inlined) into a
+// single irBlock. It declines on Go-native callees (Method.Source == nil),
+// unresolvable bindings/methods, arity mismatches the interpreter would
+// reject at runtime, recursion, and excessive static call depth.
+type lowerer struct {
+	nslots int
+	stack  []frameKey
+}
+
+type frameKey struct {
+	iface  *core.Interface
+	method string
+}
+
+// lenv resolves names to slots within one frame, mirroring the
+// interpreter's lexically scoped environment.
+type lenv struct {
+	parent *lenv
+	vars   map[string]*irSlot
+}
+
+func (e *lenv) lookup(name string) (*irSlot, bool) {
+	for s := e; s != nil; s = s.parent {
+		if sl, ok := s.vars[name]; ok {
+			return sl, true
+		}
+	}
+	return nil, false
+}
+
+// frame is the lowering context of one (possibly inlined) method body.
+type frame struct {
+	iface *core.Interface
+	path  string // qualified binding path of iface within the root
+	fn    *eil.FuncDecl
+}
+
+func (l *lowerer) newSlot(name string) *irSlot {
+	l.nslots++
+	return &irSlot{name: name, id: l.nslots, reg: -1}
+}
+
+func qualify(path, name string) string {
+	if path == "" {
+		return name
+	}
+	return path + "." + name
+}
+
+// ecvType derives the static type of an ECV read from the declared
+// support: all-num and all-bool supports get typed banks, anything mixed
+// (or empty) stays dynamic.
+func ecvType(dist []core.Weighted) irType {
+	t := tUnknown
+	for _, w := range dist {
+		switch w.V.Kind() {
+		case core.KindNum:
+			t = joinType(t, tNum)
+		case core.KindBool:
+			t = joinType(t, tBool)
+		default:
+			return tVal
+		}
+	}
+	if t == tUnknown {
+		return tVal
+	}
+	return t
+}
+
+// lowerMethod lowers fn (a method of iface, bound at path) into an
+// irBlock, binding its parameters to argExprs. The interpreter evaluates
+// call arguments once and binds the values, so arguments become synthetic
+// lets (noStep: parameter binding costs no interpreter statement step).
+func (l *lowerer) lowerMethod(iface *core.Interface, path string, fn *eil.FuncDecl, argExprs []irExpr, callStep int64) (*irBlock, error) {
+	key := frameKey{iface: iface, method: fn.Name}
+	for _, k := range l.stack {
+		if k == key {
+			return nil, decline("recursive call to %s.%s", iface.Name(), fn.Name)
+		}
+	}
+	if len(l.stack) >= maxInlineDepth {
+		return nil, decline("static call depth exceeds %d", maxInlineDepth)
+	}
+	l.stack = append(l.stack, key)
+	defer func() { l.stack = l.stack[:len(l.stack)-1] }()
+
+	fr := &frame{iface: iface, path: path, fn: fn}
+	env := &lenv{vars: map[string]*irSlot{}}
+	var stmts []irStmt
+	switch {
+	case len(fn.Params) == len(argExprs):
+		for i, p := range fn.Params {
+			slot := l.newSlot(p)
+			stmts = append(stmts, &irLet{slot: slot, init: argExprs[i], noStep: true})
+			env.vars[p] = slot
+		}
+	case len(fn.Params) == 0:
+		// The interpreter accepts any argument count for zero-parameter
+		// methods; the arguments are still evaluated (they may error), so
+		// bind them to dead slots.
+		for i, a := range argExprs {
+			stmts = append(stmts, &irLet{slot: l.newSlot(fmt.Sprintf("_arg%d", i)), init: a, noStep: true})
+		}
+	default:
+		// The interpreter rejects this at runtime; let it.
+		return nil, decline("call to %s.%s: %d args, want %d",
+			iface.Name(), fn.Name, len(argExprs), len(fn.Params))
+	}
+	body, err := l.lowerBlock(fr, env, fn.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &irBlock{stmts: append(stmts, body...), w0: callStep}, nil
+}
+
+func (l *lowerer) lowerBlock(fr *frame, parent *lenv, b *eil.Block) ([]irStmt, error) {
+	env := &lenv{parent: parent, vars: map[string]*irSlot{}}
+	var out []irStmt
+	for _, st := range b.Stmts {
+		switch s := st.(type) {
+		case *eil.LetStmt:
+			init, err := l.lowerExpr(fr, env, s.Init)
+			if err != nil {
+				return nil, err
+			}
+			slot := l.newSlot(s.Name)
+			out = append(out, &irLet{slot: slot, init: init})
+			env.vars[s.Name] = slot // visible after the init, like the interpreter
+		case *eil.AssignStmt:
+			x, err := l.lowerExpr(fr, env, s.Expr)
+			if err != nil {
+				return nil, err
+			}
+			slot, ok := env.lookup(s.Name)
+			if !ok {
+				return nil, decline("assignment to undeclared %q", s.Name)
+			}
+			slot.mutated = true
+			out = append(out, &irAssign{slot: slot, x: x})
+		case *eil.IfStmt:
+			cond, err := l.lowerExpr(fr, env, s.Cond)
+			if err != nil {
+				return nil, err
+			}
+			then, err := l.lowerBlock(fr, env, s.Then)
+			if err != nil {
+				return nil, err
+			}
+			var els []irStmt
+			if s.Else != nil {
+				if els, err = l.lowerBlock(fr, env, s.Else); err != nil {
+					return nil, err
+				}
+			}
+			out = append(out, &irIf{cond: cond, then: then, els: els})
+		case *eil.ForStmt:
+			from, err := l.lowerExpr(fr, env, s.From)
+			if err != nil {
+				return nil, err
+			}
+			to, err := l.lowerExpr(fr, env, s.To)
+			if err != nil {
+				return nil, err
+			}
+			slot := l.newSlot(s.Var)
+			slot.mutated = true // varies per iteration: never a constant
+			slot.t = tNum
+			loopEnv := &lenv{parent: env, vars: map[string]*irSlot{s.Var: slot}}
+			body, err := l.lowerBlock(fr, loopEnv, s.Body)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &irFor{slot: slot, from: from, to: to, body: body})
+		case *eil.ReturnStmt:
+			x, err := l.lowerExpr(fr, env, s.Expr)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &irReturn{x: x})
+		default:
+			return nil, decline("unknown statement %T", st)
+		}
+	}
+	return out, nil
+}
+
+func (l *lowerer) lowerExpr(fr *frame, env *lenv, e eil.Expr) (irExpr, error) {
+	switch x := e.(type) {
+	case *eil.NumLit:
+		return irConst{v: core.Num(x.Val), w: 1}, nil
+	case *eil.BoolLit:
+		return irConst{v: core.Bool(x.Val), w: 1}, nil
+	case *eil.StrLit:
+		return irConst{v: core.Str(x.Val), w: 1}, nil
+	case *eil.Ident:
+		if slot, ok := env.lookup(x.Name); ok {
+			return irVar{slot: slot}, nil
+		}
+		// The checker guarantees unresolved identifiers are ECVs of the
+		// enclosing interface.
+		for _, ecv := range fr.iface.ECVs() {
+			if ecv.Name == x.Name {
+				return irECV{qn: qualify(fr.path, x.Name), t: ecvType(ecv.Dist)}, nil
+			}
+		}
+		return nil, decline("unresolved identifier %q", x.Name)
+	case *eil.FieldExpr:
+		v, err := l.lowerExpr(fr, env, x.X)
+		if err != nil {
+			return nil, err
+		}
+		return &irField{x: v, name: x.Name}, nil
+	case *eil.IndexExpr:
+		v, err := l.lowerExpr(fr, env, x.X)
+		if err != nil {
+			return nil, err
+		}
+		i, err := l.lowerExpr(fr, env, x.I)
+		if err != nil {
+			return nil, err
+		}
+		return &irIndex{x: v, i: i}, nil
+	case *eil.UnaryExpr:
+		v, err := l.lowerExpr(fr, env, x.X)
+		if err != nil {
+			return nil, err
+		}
+		return &irUnary{op: x.Op, x: v}, nil
+	case *eil.BinaryExpr:
+		a, err := l.lowerExpr(fr, env, x.X)
+		if err != nil {
+			return nil, err
+		}
+		b, err := l.lowerExpr(fr, env, x.Y)
+		if err != nil {
+			return nil, err
+		}
+		// Short-circuit operators become conditionals so emission
+		// evaluates the right operand exactly when the interpreter would.
+		switch x.Op {
+		case eil.TokAndAnd:
+			return &irCond{cond: a, then: b, els: irConst{v: core.Bool(false), w: 0}}, nil
+		case eil.TokOrOr:
+			return &irCond{cond: a, then: irConst{v: core.Bool(true), w: 0}, els: b}, nil
+		}
+		return &irBinary{op: x.Op, x: a, y: b}, nil
+	case *eil.RecordLit:
+		vals := make([]irExpr, len(x.Values))
+		for i, v := range x.Values {
+			lv, err := l.lowerExpr(fr, env, v)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = lv
+		}
+		return &irRecord{names: append([]string(nil), x.Names...), vals: vals}, nil
+	case *eil.ListLit:
+		elems := make([]irExpr, len(x.Elems))
+		for i, el := range x.Elems {
+			le, err := l.lowerExpr(fr, env, el)
+			if err != nil {
+				return nil, err
+			}
+			elems[i] = le
+		}
+		return &irList{elems: elems}, nil
+	case *eil.CallExpr:
+		args := make([]irExpr, len(x.Args))
+		for i, a := range x.Args {
+			la, err := l.lowerExpr(fr, env, a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = la
+		}
+		if x.Target == "" {
+			// Builtins win over sibling methods, like the interpreter.
+			if _, ok := eil.Builtin(x.Name); ok {
+				return &irCall{name: x.Name, args: args}, nil
+			}
+			m := fr.iface.Method(x.Name)
+			if m == nil {
+				return nil, decline("interface %s has no method %q", fr.iface.Name(), x.Name)
+			}
+			return l.inline(fr.iface, fr.path, m, args)
+		}
+		lower := fr.iface.Binding(x.Target)
+		if lower == nil {
+			return nil, decline("no binding %q", x.Target)
+		}
+		m := lower.Method(x.Name)
+		if m == nil {
+			return nil, decline("binding %q (interface %s) has no method %q",
+				x.Target, lower.Name(), x.Name)
+		}
+		return l.inline(lower, qualify(fr.path, x.Target), m, args)
+	default:
+		return nil, decline("unknown expression %T", e)
+	}
+}
+
+func (l *lowerer) inline(iface *core.Interface, path string, m *core.Method, args []irExpr) (irExpr, error) {
+	fn, ok := m.Source.(*eil.FuncDecl)
+	if !ok || fn == nil {
+		return nil, decline("method %s.%s has no EIL source (Go-native)", iface.Name(), m.Name)
+	}
+	// w0 = 1: the CallExpr's own evaluation step in the caller's frame.
+	return l.lowerMethod(iface, path, fn, args, 1)
+}

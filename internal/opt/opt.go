@@ -1,0 +1,242 @@
+package opt
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/eil"
+)
+
+// init wires the compiler into core: importing this package (even blank)
+// routes every Interface.Eval through compiled programs, with transparent
+// interpreter fallback for anything the compiler declines.
+func init() {
+	core.RegisterCompiler(CompileMethod)
+}
+
+// maxSpecCache bounds the per-program specialization cache. Beyond it,
+// specializations still compile — they are just not retained, so a daemon
+// sweeping unbounded argument spaces cannot grow memory without limit.
+const maxSpecCache = 1024
+
+// Program is a compiled method: the folded IR after lowering and
+// inlining, specialized on demand for each Eval's arguments and pinned
+// ECVs. It implements core.CompiledProgram and is safe for concurrent use
+// (the IR is immutable after compilation; specializations clone the slot
+// metadata they mutate).
+type Program struct {
+	method  string
+	nParams int
+	ir      *irBlock
+
+	specs  sync.Map // cache key -> *specEntry
+	nSpecs atomic.Int64
+}
+
+type specEntry struct {
+	spec core.SpecializedProgram // nil records a declined specialization
+}
+
+// CompileMethod compiles one method of the tree rooted at root. It is the
+// core.MethodCompiler this package registers. A (nil, nil) return means
+// the method is outside the compiled subset (Go-native body, unresolvable
+// call graph, recursion, excessive depth) and evaluation stays on the
+// interpreter.
+func CompileMethod(root *core.Interface, method string) (core.CompiledProgram, error) {
+	m := root.Method(method)
+	if m == nil {
+		return nil, nil
+	}
+	fn, ok := m.Source.(*eil.FuncDecl)
+	if !ok || fn == nil {
+		return nil, nil
+	}
+	lw := &lowerer{}
+	args := make([]irExpr, len(fn.Params))
+	for i := range args {
+		args[i] = irArg{i: i}
+	}
+	blk, err := lw.lowerMethod(root, "", fn, args, 0)
+	if err != nil {
+		if _, declined := err.(*declineError); declined {
+			return nil, nil
+		}
+		return nil, err
+	}
+	// Compile-time constant folding: literal arithmetic collapses here;
+	// argument- and ECV-dependent folding waits for specialization.
+	fc := &foldCtx{consts: map[*irSlot]irConst{}}
+	folded := fc.foldStmts(blk.stmts)
+	if fc.err != nil {
+		return nil, nil
+	}
+	return &Program{
+		method:  method,
+		nParams: len(fn.Params),
+		ir:      &irBlock{stmts: folded, w0: blk.w0},
+	}, nil
+}
+
+// Specialize partially evaluates the program for concrete arguments and
+// pinned ECVs, emits flat code, and caches the result keyed by the exact
+// (args, pinned, free) shape. ok=false declines to the interpreter.
+func (p *Program) Specialize(args []core.Value, pinned map[string]core.Value, free []core.QualifiedECV) (core.SpecializedProgram, bool) {
+	// The interpreter rejects argument-count mismatches at runtime (except
+	// for zero-parameter methods, which accept anything); decline and let
+	// it produce that error.
+	if p.nParams != 0 && len(args) != p.nParams {
+		return nil, false
+	}
+	key := specKey(args, pinned, free)
+	if e, ok := p.specs.Load(key); ok {
+		ent := e.(*specEntry)
+		return ent.spec, ent.spec != nil
+	}
+	spec := p.specialize(args, pinned, free)
+	if p.nSpecs.Load() < maxSpecCache {
+		if _, loaded := p.specs.LoadOrStore(key, &specEntry{spec: spec}); !loaded {
+			p.nSpecs.Add(1)
+		}
+	}
+	return spec, spec != nil
+}
+
+func (p *Program) specialize(args []core.Value, pinned map[string]core.Value, free []core.QualifiedECV) core.SpecializedProgram {
+	freeIdx := make(map[string]int, len(free))
+	for i, q := range free {
+		freeIdx[q.QualifiedName()] = i
+	}
+	fc := &foldCtx{
+		subst:   true,
+		args:    args,
+		pinned:  pinned,
+		freeIdx: freeIdx,
+		consts:  map[*irSlot]irConst{},
+	}
+	blk := &irBlock{stmts: cloneStmts(p.ir.stmts, map[*irSlot]*irSlot{}), w0: p.ir.w0}
+	blk = &irBlock{stmts: fc.foldStmts(blk.stmts), w0: blk.w0}
+	if fc.err != nil {
+		return nil
+	}
+	// Fuel check: the residual program's interpreter step bound must stay
+	// under the budget, or the interpreter could return ErrFuelExhausted
+	// where the compiled program would happily keep running.
+	bound, err := boundStmts(blk.stmts)
+	if err != nil || satAdd(blk.w0, bound) >= int64(eil.DefaultFuel) {
+		return nil
+	}
+	code, deps, err := emitProgram(blk, p.method)
+	if err != nil {
+		return nil
+	}
+	return newSpecialized(code, deps, len(free))
+}
+
+// cloneStmts deep-copies the IR so concurrent specializations (and the
+// emit pass, which mutates slot types and registers) never share slots.
+func cloneStmts(stmts []irStmt, slots map[*irSlot]*irSlot) []irStmt {
+	out := make([]irStmt, len(stmts))
+	for i, st := range stmts {
+		switch s := st.(type) {
+		case *irLet:
+			out[i] = &irLet{slot: cloneSlot(s.slot, slots), init: cloneExpr(s.init, slots), noStep: s.noStep}
+		case *irAssign:
+			out[i] = &irAssign{slot: cloneSlot(s.slot, slots), x: cloneExpr(s.x, slots)}
+		case *irIf:
+			out[i] = &irIf{cond: cloneExpr(s.cond, slots), then: cloneStmts(s.then, slots), els: cloneStmts(s.els, slots)}
+		case *irFor:
+			out[i] = &irFor{slot: cloneSlot(s.slot, slots), from: cloneExpr(s.from, slots), to: cloneExpr(s.to, slots), body: cloneStmts(s.body, slots)}
+		case *irReturn:
+			out[i] = &irReturn{x: cloneExpr(s.x, slots)}
+		default:
+			out[i] = st
+		}
+	}
+	return out
+}
+
+func cloneSlot(s *irSlot, slots map[*irSlot]*irSlot) *irSlot {
+	if c, ok := slots[s]; ok {
+		return c
+	}
+	c := &irSlot{name: s.name, id: s.id, mutated: s.mutated, t: s.t, reg: -1}
+	slots[s] = c
+	return c
+}
+
+func cloneExpr(e irExpr, slots map[*irSlot]*irSlot) irExpr {
+	switch x := e.(type) {
+	case irConst, irArg, irECV, irFree:
+		return x
+	case irVar:
+		return irVar{slot: cloneSlot(x.slot, slots)}
+	case *irUnary:
+		return &irUnary{op: x.op, x: cloneExpr(x.x, slots)}
+	case *irBinary:
+		return &irBinary{op: x.op, x: cloneExpr(x.x, slots), y: cloneExpr(x.y, slots)}
+	case *irCond:
+		return &irCond{cond: cloneExpr(x.cond, slots), then: cloneExpr(x.then, slots), els: cloneExpr(x.els, slots)}
+	case *irCall:
+		args := make([]irExpr, len(x.args))
+		for i, a := range x.args {
+			args[i] = cloneExpr(a, slots)
+		}
+		return &irCall{name: x.name, args: args}
+	case *irField:
+		return &irField{x: cloneExpr(x.x, slots), name: x.name}
+	case *irIndex:
+		return &irIndex{x: cloneExpr(x.x, slots), i: cloneExpr(x.i, slots)}
+	case *irRecord:
+		vals := make([]irExpr, len(x.vals))
+		for i, v := range x.vals {
+			vals[i] = cloneExpr(v, slots)
+		}
+		return &irRecord{names: x.names, vals: vals}
+	case *irList:
+		elems := make([]irExpr, len(x.elems))
+		for i, el := range x.elems {
+			elems[i] = cloneExpr(el, slots)
+		}
+		return &irList{elems: elems}
+	case *irBlock:
+		return &irBlock{stmts: cloneStmts(x.stmts, slots), w0: x.w0}
+	case *irSteps:
+		return &irSteps{x: cloneExpr(x.x, slots), extra: x.extra}
+	default:
+		return e
+	}
+}
+
+// specKey builds the deterministic cache key for one specialization
+// shape: argument values, pinned assignments (sorted), and the free-ECV
+// order the emitted loads index into.
+func specKey(args []core.Value, pinned map[string]core.Value, free []core.QualifiedECV) string {
+	var b strings.Builder
+	for _, a := range args {
+		b.WriteString(a.Key())
+		b.WriteByte(0)
+	}
+	b.WriteByte(1)
+	if len(pinned) > 0 {
+		keys := make([]string, 0, len(pinned))
+		for k := range pinned {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			b.WriteString(k)
+			b.WriteByte(2)
+			b.WriteString(pinned[k].Key())
+			b.WriteByte(0)
+		}
+	}
+	b.WriteByte(1)
+	for _, q := range free {
+		b.WriteString(q.QualifiedName())
+		b.WriteByte(0)
+	}
+	return b.String()
+}
