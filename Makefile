@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json vet fmt-check serve-smoke fault-smoke drift-smoke compile-smoke all
+.PHONY: build test race bench bench-smoke bench-json vet fmt-check serve-smoke fault-smoke drift-smoke compile-smoke fleet-smoke all
 
 all: build test
 
@@ -40,7 +40,7 @@ bench-smoke:
 # target cheap enough for CI; it tracks trends, not microseconds.
 bench-json:
 	$(GO) test -run '^$$' \
-		-bench 'BenchmarkEvalParallel$$|BenchmarkDaemonEval$$|BenchmarkEvalLayerCache$$|BenchmarkDaemonBatch$$|BenchmarkDriftDetect$$|BenchmarkRecalibrate$$|BenchmarkEvalCompiled$$|BenchmarkEvalInterpreted$$' \
+		-bench 'BenchmarkEvalParallel$$|BenchmarkDaemonEval$$|BenchmarkEvalLayerCache$$|BenchmarkDaemonBatch$$|BenchmarkDriftDetect$$|BenchmarkRecalibrate$$|BenchmarkEvalCompiled$$|BenchmarkEvalInterpreted$$|BenchmarkFleetEval$$|BenchmarkFleetBatch$$' \
 		-benchtime=3x . > .bench_eval.out
 	$(GO) run ./cmd/benchjson -o BENCH_eval.json < .bench_eval.out
 	@rm -f .bench_eval.out
@@ -77,3 +77,13 @@ compile-smoke:
 # keeps layer caches bit-exact. See docs/DRIFT.md.
 drift-smoke:
 	$(GO) test -race -run 'TestE14DriftShape' -short -count=1 ./internal/experiments/
+
+# Fleet self-test: a 3-node in-process cluster (internal/fleet) serves a
+# retrying Zipf trace through the consistent-hashing router while a
+# replica owner is killed a third of the way in — every request must be
+# answered, bit-identical to the pre-kill reference (the race-mode test),
+# and efleet -smoke repeats the drill end to end over real loopback HTTP.
+# See docs/FLEET.md.
+fleet-smoke:
+	$(GO) test -race -run 'TestFleetKillMidTraceSmoke' -count=1 ./internal/fleet/
+	$(GO) run ./cmd/efleet -smoke

@@ -16,6 +16,7 @@ import (
 	"energyclarity/internal/eil"
 	"energyclarity/internal/eisvc"
 	"energyclarity/internal/experiments"
+	"energyclarity/internal/fleet"
 	"energyclarity/internal/gpusim"
 	"energyclarity/internal/microbench"
 	"energyclarity/internal/nn"
@@ -701,6 +702,116 @@ func BenchmarkEvalCompiled(b *testing.B) { benchEvalStack(b, false) }
 // through the tree-walking interpreter (EvalOptions.Interpret), the
 // reference semantics the compiled path must match bit for bit.
 func BenchmarkEvalInterpreted(b *testing.B) { benchEvalStack(b, true) }
+
+// BenchmarkFleetEval measures the fleet serving path end to end: a
+// 3-node cluster behind the consistent-hashing router. "router-memo-hit"
+// is the steady-state hot path (route to the shard owner, answer from
+// its memo); "peer-forward" prices a shard re-home (a cold node fetches
+// a fresh key from the warm peer's memo instead of re-evaluating).
+func BenchmarkFleetEval(b *testing.B) {
+	const samples = 1024
+	f, err := fleet.New(fleet.Config{Nodes: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.SeedInterface("ml_webservice", fig1Bench(b)); err != nil {
+		b.Fatal(err)
+	}
+	_, base, stop, err := f.StartRouter("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer stop()
+	img := core.Record(map[string]core.Value{"pixels": core.Num(1e6), "zeros": core.Num(2e5)})
+	args := []core.Value{img}
+	var seed int64 // persists across the harness's calibration reruns
+
+	b.Run("router-memo-hit", func(b *testing.B) {
+		c := eisvc.NewClient(base).TuneTransport(eisvc.TransportTuning{})
+		opts := core.MonteCarlo(samples, 7)
+		if _, _, err := c.Eval("ml_webservice", "handle", args, opts); err != nil {
+			b.Fatal(err) // warm the owner's memo
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, resp, err := c.Eval("ml_webservice", "handle", args, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !resp.Cached {
+				b.Fatal("repeated request missed the fleet memo")
+			}
+		}
+	})
+	b.Run("peer-forward", func(b *testing.B) {
+		nodes := f.Nodes()
+		warm := eisvc.NewClient(nodes[0].URL).TuneTransport(eisvc.TransportTuning{})
+		cold := eisvc.NewClient(nodes[1].URL).TuneTransport(eisvc.TransportTuning{})
+		for i := 0; i < b.N; i++ {
+			seed++
+			opts := core.MonteCarlo(samples, seed)
+			if _, _, err := warm.Eval("ml_webservice", "handle", args, opts); err != nil {
+				b.Fatal(err)
+			}
+			_, resp, err := cold.Eval("ml_webservice", "handle", args, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !resp.Peer {
+				b.Fatal("fresh key on the cold node was not served by a peer")
+			}
+		}
+	})
+}
+
+// BenchmarkFleetBatch measures a mixed batch through the router: each
+// iteration sends fresh-seeded items that the router splits by shard
+// owner, fans out concurrently, and stitches back in request order.
+func BenchmarkFleetBatch(b *testing.B) {
+	const (
+		samples = 1024
+		classes = 4
+		dups    = 4 // items per iteration: classes * dups
+	)
+	f, err := fleet.New(fleet.Config{Nodes: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.SeedInterface("ml_webservice", fig1Bench(b)); err != nil {
+		b.Fatal(err)
+	}
+	_, base, stop, err := f.StartRouter("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer stop()
+	c := eisvc.NewClient(base).TuneTransport(eisvc.TransportTuning{})
+	img := core.Record(map[string]core.Value{"pixels": core.Num(1e6), "zeros": core.Num(2e5)})
+	args := []core.Value{img}
+	var seed int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seed++
+		reqs := make([]eisvc.EvalRequest, 0, classes*dups)
+		for d := 0; d < dups; d++ {
+			for k := 0; k < classes; k++ {
+				reqs = append(reqs, c.EvalRequestFor("ml_webservice", "handle", args,
+					core.MonteCarlo(samples, seed*classes+int64(k))))
+			}
+		}
+		items, err := c.EvalBatch(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, it := range items {
+			if it.Error != "" || it.Dist == nil {
+				b.Fatalf("batch item %d: %+v", j, it)
+			}
+		}
+	}
+}
 
 // --- shared fixtures ---
 

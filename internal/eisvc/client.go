@@ -97,6 +97,63 @@ func NewClient(base string) *Client {
 // fault-injection harness (internal/faultsim) uses to wrap the client.
 func (c *Client) SetTransport(rt http.RoundTripper) { c.http.Transport = rt }
 
+// DefaultMaxIdleConnsPerHost sizes the per-daemon idle connection pool of
+// a tuned transport. The stock http.DefaultTransport keeps only 2 idle
+// conns per host, so fleet fan-out (a router or peer-forwarding node
+// talking to the same daemon from tens of goroutines) would dial a fresh
+// TCP connection on nearly every burst; 64 keeps the whole burst warm.
+const DefaultMaxIdleConnsPerHost = 64
+
+// TransportTuning sizes a client's HTTP connection pool for fleet
+// fan-out. The zero value picks the fleet defaults.
+type TransportTuning struct {
+	// MaxIdleConnsPerHost bounds idle conns kept per daemon (default
+	// DefaultMaxIdleConnsPerHost; negative means the transport default).
+	MaxIdleConnsPerHost int
+	// MaxConnsPerHost bounds total conns per daemon, dialing included;
+	// 0 means unlimited. Use it to stop a retry storm from piling
+	// unbounded sockets onto one struggling node.
+	MaxConnsPerHost int
+	// MaxIdleConns bounds the pool across all daemons (default: scales
+	// with MaxIdleConnsPerHost so a router talking to N nodes is not
+	// capped by the stock global limit of 100).
+	MaxIdleConns int
+	// IdleConnTimeout evicts idle conns (default 90s, the stock value).
+	IdleConnTimeout time.Duration
+}
+
+// NewTransport builds an *http.Transport tuned per t, cloned from
+// http.DefaultTransport so proxy/dialer defaults are preserved.
+func NewTransport(t TransportTuning) *http.Transport {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	switch {
+	case t.MaxIdleConnsPerHost > 0:
+		tr.MaxIdleConnsPerHost = t.MaxIdleConnsPerHost
+	case t.MaxIdleConnsPerHost == 0:
+		tr.MaxIdleConnsPerHost = DefaultMaxIdleConnsPerHost
+	}
+	tr.MaxConnsPerHost = t.MaxConnsPerHost
+	if t.MaxIdleConns > 0 {
+		tr.MaxIdleConns = t.MaxIdleConns
+	} else if tr.MaxIdleConnsPerHost > tr.MaxIdleConns/4 {
+		// Room for ~16 hosts' worth of warm conns before global eviction.
+		tr.MaxIdleConns = 16 * tr.MaxIdleConnsPerHost
+	}
+	if t.IdleConnTimeout > 0 {
+		tr.IdleConnTimeout = t.IdleConnTimeout
+	}
+	return tr
+}
+
+// TuneTransport installs a tuned transport (see TransportTuning) and
+// returns the client, so construction chains:
+//
+//	c := eisvc.NewClient(base).TuneTransport(eisvc.TransportTuning{})
+func (c *Client) TuneTransport(t TransportTuning) *Client {
+	c.http.Transport = NewTransport(t)
+	return c
+}
+
 // Counters is a snapshot of the client's resilience counters.
 type Counters struct {
 	Retries   uint64 // re-sent attempts (attempt >= 2)
@@ -471,6 +528,31 @@ func (c *Client) EvalRequestFor(name, method string, args []core.Value, opts cor
 		}
 	}
 	return req
+}
+
+// CacheLookup probes the daemon's memo for an exact canonical key; found
+// is false on a clean miss (err covers transport/API failures only).
+func (c *Client) CacheLookup(key string) (energy.Dist, bool, error) {
+	return c.CacheLookupCtx(context.Background(), key)
+}
+
+// CacheLookupCtx is CacheLookup bounded by ctx. Fleet peer forwarding
+// calls this on the evaluation critical path, so callers typically use a
+// dedicated client with a short Timeout and no retry policy — a slow
+// peer must cost less than evaluating locally.
+func (c *Client) CacheLookupCtx(ctx context.Context, key string) (energy.Dist, bool, error) {
+	var resp CacheLookupResponse
+	if err := c.doCtx(ctx, http.MethodPost, "/v1/cachelookup", CacheLookupRequest{Key: key}, &resp, true); err != nil {
+		return energy.Dist{}, false, err
+	}
+	if !resp.Found || resp.Dist == nil {
+		return energy.Dist{}, false, nil
+	}
+	d, err := resp.Dist.Dist()
+	if err != nil {
+		return energy.Dist{}, false, fmt.Errorf("eisvc: malformed distribution from peer: %w", err)
+	}
+	return d, true, nil
 }
 
 // Stats fetches the daemon's serving metrics and energy ledger.

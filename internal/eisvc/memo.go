@@ -47,6 +47,17 @@ func (m *Memo) Stats() (hits, misses, evictions uint64, size int) {
 	return hits, misses, evictions, m.store.Len()
 }
 
+// KeyStack returns the interface-stack name embedded in a canonical memo
+// key (the prefix before the '@' that introduces the version). The fleet
+// router uses it to aim peer cache probes at the stack's shard owners
+// first — they are where the key is most likely warm.
+func KeyStack(key string) string {
+	if i := strings.IndexByte(key, '@'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
 // memoKey canonicalizes one evaluation request. Two requests map to the
 // same key exactly when Interface.Eval is guaranteed to return the same
 // distribution for both:

@@ -151,6 +151,85 @@ func (r *Registry) Rebind(name, path, target string) (uint64, error) {
 	return r.nextVer, nil
 }
 
+// RegistryEntry is one interface in a replication snapshot. The Iface
+// pointer is shared, not deep-copied: core.Interface is immutable after
+// registration (evaluation is read-only), so fleet nodes in one process
+// can serve the same tree concurrently.
+type RegistryEntry struct {
+	Name    string
+	Iface   *core.Interface
+	Source  string // EIL source; "" for native interfaces
+	Version uint64
+	Native  bool
+}
+
+// RegistrySnapshot is a point-in-time copy of a registry, the unit of
+// fleet replication (internal/fleet): every register/rebind version bump
+// on the primary piggybacks a snapshot onto the mutation, and replicas
+// merge it with ApplySnapshot.
+type RegistrySnapshot struct {
+	// NextVersion is the primary's version counter; replicas advance to at
+	// least this so versions they assign later never collide backwards.
+	NextVersion uint64
+	Entries     []RegistryEntry
+}
+
+// Snapshot copies the registry for replication. Entries are sorted by
+// name so snapshots are deterministic.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	snap := RegistrySnapshot{NextVersion: r.nextVer}
+	for name, e := range r.entries {
+		snap.Entries = append(snap.Entries, RegistryEntry{
+			Name:    name,
+			Iface:   e.iface,
+			Source:  e.source,
+			Version: e.version,
+			Native:  e.native,
+		})
+	}
+	sort.Slice(snap.Entries, func(i, j int) bool { return snap.Entries[i].Name < snap.Entries[j].Name })
+	return snap
+}
+
+// ApplySnapshot merges a replication snapshot: every entry whose version
+// is newer than the local one (or missing locally) is installed, and the
+// version counter advances to at least the snapshot's. The merge is
+// monotone — applying older or duplicate snapshots is a no-op — so
+// replicas converge no matter how deliveries interleave, and an in-flight
+// rebind on the receiving node can never be clobbered by a stale copy of
+// itself. It returns how many entries were installed.
+//
+// Version equality across nodes holds only when every mutation funnels
+// through one serializing primary (the fleet router's discipline); nodes
+// mutated directly assign versions from their own counter and are on
+// their own.
+func (r *Registry) ApplySnapshot(snap RegistrySnapshot) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	applied := 0
+	for _, e := range snap.Entries {
+		if e.Iface == nil || e.Name == "" {
+			continue
+		}
+		if have, ok := r.entries[e.Name]; ok && have.version >= e.Version {
+			continue
+		}
+		r.entries[e.Name] = &regEntry{
+			iface:   e.Iface,
+			source:  e.Source,
+			version: e.Version,
+			native:  e.Native,
+		}
+		applied++
+	}
+	if snap.NextVersion > r.nextVer {
+		r.nextVer = snap.NextVersion
+	}
+	return applied
+}
+
 // List returns info for every registered interface, sorted by name.
 func (r *Registry) List() []InterfaceInfo {
 	r.mu.RLock()

@@ -53,6 +53,10 @@ type Config struct {
 	// MaxBatch caps the number of items in one /v1/evalbatch request
 	// (default 1024).
 	MaxBatch int
+	// NodeID names this daemon instance in a fleet. When set it is echoed
+	// on every response as X-Eisvc-Node and surfaced in /v1/stats, so
+	// traces attribute answers (and hedged winners) to the serving node.
+	NodeID string
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +111,15 @@ type Server struct {
 	batchRequests atomic.Uint64
 	batchItems    atomic.Uint64
 
+	// Peer cache forwarding (see SetPeerLookup): outbound lookups this
+	// node issued on memo misses, and inbound /v1/cachelookup traffic it
+	// answered for other nodes.
+	peerLookup     atomic.Pointer[PeerLookup]
+	peerHits       atomic.Uint64
+	peerMisses     atomic.Uint64
+	peerServed     atomic.Uint64
+	peerServedHits atomic.Uint64
+
 	// Fleet-resilience counters, aggregated from the client-reported
 	// X-Eisvc-Attempt / X-Eisvc-Hedge headers.
 	retriedRequests atomic.Uint64
@@ -156,6 +169,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/rebind", s.handleRebind)
 	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
 	s.mux.HandleFunc("POST /v1/evalbatch", s.handleEvalBatch)
+	s.mux.HandleFunc("POST /v1/cachelookup", s.handleCacheLookup)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
 }
@@ -163,6 +177,41 @@ func NewServer(cfg Config) *Server {
 // Registry exposes the daemon's registry so embedding code (cmd/eid, the
 // experiments rig) can seed native interfaces before serving.
 func (s *Server) Registry() *Registry { return s.reg }
+
+// NodeID returns the configured fleet node name ("" standalone).
+func (s *Server) NodeID() string { return s.cfg.NodeID }
+
+// ApplyRegistrySnapshot merges a replication snapshot into this node's
+// registry (see Registry.ApplySnapshot) and, when anything new was
+// installed, notes a layer-cache invalidation exactly as a local
+// register/rebind would: the snapshot carries fresh interface versions,
+// so entries keyed by the old versions are unreachable.
+func (s *Server) ApplyRegistrySnapshot(snap RegistrySnapshot) int {
+	applied := s.reg.ApplySnapshot(snap)
+	if applied > 0 && s.layer != nil {
+		s.layer.NoteInvalidation()
+	}
+	return applied
+}
+
+// PeerLookup asks the rest of the fleet for a memoized answer by its
+// canonical memo key. It must return (dist, true) only on an exact hit;
+// errors and misses are both "false". Implementations should bound their
+// own time (the fleet router uses a short per-peer timeout) — the lookup
+// runs on the singleflight leader's critical path.
+type PeerLookup func(ctx context.Context, key string) (energy.Dist, bool)
+
+// SetPeerLookup installs (or, with nil, removes) the fleet peer-cache
+// hook. When set, a memo miss consults peers before paying for a local
+// evaluation; a peer hit is stored in the local memo, so each key is
+// fetched across the fleet at most once per node.
+func (s *Server) SetPeerLookup(fn PeerLookup) {
+	if fn == nil {
+		s.peerLookup.Store(nil)
+		return
+	}
+	s.peerLookup.Store(&fn)
+}
 
 // --- graceful drain ---
 
@@ -255,6 +304,9 @@ func (s *Server) noteResilience(r *http.Request) {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.NodeID != "" {
+		w.Header().Set("X-Eisvc-Node", s.cfg.NodeID)
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -377,10 +429,12 @@ func (s *Server) handleRebind(w http.ResponseWriter, r *http.Request) {
 }
 
 // evalOutcome is what one coalesced evaluation produces: the distribution
-// and whether it was resolved from the memo without running Eval.
+// and whether it was resolved without running Eval locally — from the
+// memo, or (peer) from another fleet node's warm cache.
 type evalOutcome struct {
 	dist    energy.Dist
 	memoHit bool
+	peer    bool
 }
 
 // evalShared resolves one canonicalized evaluation. All evaluation paths
@@ -408,6 +462,21 @@ func (s *Server) evalShared(ctx context.Context, wait time.Duration, key string,
 	out, coalesced, err = s.flight.Do(waitCtx, key, func() (evalOutcome, error) {
 		if d, hit := s.memo.Get(key); hit {
 			return evalOutcome{dist: d, memoHit: true}, nil
+		}
+		// Fleet peer forwarding: before paying for a local evaluation, ask
+		// whether another node already holds this key warm. Running here —
+		// on the singleflight leader, before admission — means one peer
+		// round trip serves every coalesced waiter and never occupies a
+		// worker slot. The distribution travels bit-exactly (WireDist
+		// round-trips through energy.FromSorted), so a peer answer is
+		// indistinguishable from a local one.
+		if pl := s.peerLookup.Load(); pl != nil {
+			if d, hit := (*pl)(waitCtx, key); hit {
+				s.peerHits.Add(1)
+				s.memo.Put(key, d)
+				return evalOutcome{dist: d, memoHit: true, peer: true}, nil
+			}
+			s.peerMisses.Add(1)
 		}
 		release, err := s.adm.acquire(waitCtx)
 		if err != nil {
@@ -540,6 +609,8 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		Dist:      ToWire(out.dist),
 		Cached:    out.memoHit,
 		Coalesced: coalesced,
+		Peer:      out.peer,
+		Node:      s.cfg.NodeID,
 	}
 	s.ledger.Record(clientID(r), req.Interface, out.dist, out.memoHit || coalesced)
 	s.lat.observe(float64(time.Since(start)) / float64(time.Millisecond))
@@ -644,11 +715,39 @@ func (s *Server) handleEvalBatch(w http.ResponseWriter, r *http.Request) {
 		items[i].Dist = &d
 		items[i].Cached = kr.out.memoHit
 		items[i].Coalesced = kr.coalesced
+		items[i].Peer = kr.out.peer
 		s.ledger.Record(who, items[i].Interface, kr.out.dist,
 			kr.out.memoHit || kr.coalesced || items[i].Deduped)
 	}
 	s.lat.observe(float64(time.Since(start)) / float64(time.Millisecond))
 	writeJSON(w, http.StatusOK, BatchEvalResponse{Results: items})
+}
+
+// handleCacheLookup answers a fleet peer's memo probe. It is a pure read
+// of the memo — no evaluation, no admission, no singleflight — so it
+// stays cheap under fan-out and, deliberately, keeps working while the
+// node drains: a draining node stops taking eval work but keeps donating
+// its warm cache until it is torn down (that is what makes rebalancing
+// free for warm keys).
+func (s *Server) handleCacheLookup(w http.ResponseWriter, r *http.Request) {
+	var req CacheLookupRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Key == "" {
+		writeError(w, http.StatusBadRequest, "empty key")
+		return
+	}
+	s.peerServed.Add(1)
+	d, hit := s.memo.Get(req.Key)
+	resp := CacheLookupResponse{Key: req.Key, Node: s.cfg.NodeID}
+	if hit {
+		s.peerServedHits.Add(1)
+		resp.Found = true
+		wd := ToWire(d)
+		resp.Dist = &wd
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -674,9 +773,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Clients:       clients,
 		ByIface:       ifaces,
 	}
+	resp.NodeID = s.cfg.NodeID
 	resp.Coalesced = s.coalesced.Load()
 	resp.BatchRequests = s.batchRequests.Load()
 	resp.BatchItems = s.batchItems.Load()
+	resp.PeerHits = s.peerHits.Load()
+	resp.PeerMisses = s.peerMisses.Load()
+	resp.PeerServed = s.peerServed.Load()
+	resp.PeerServedHits = s.peerServedHits.Load()
 	ps := core.ReadProgramStats()
 	resp.CompiledPrograms = ps.CompiledPrograms
 	resp.CompileFallbacks = ps.CompileFallbacks

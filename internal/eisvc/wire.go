@@ -123,6 +123,11 @@ type EvalResponse struct {
 	// Coalesced reports that the request joined an identical in-flight
 	// evaluation instead of running its own (singleflight).
 	Coalesced bool `json:"coalesced,omitempty"`
+	// Peer reports that the answer was fetched from another fleet node's
+	// warm cache instead of being evaluated here (Cached is also set).
+	Peer bool `json:"peer,omitempty"`
+	// Node is the serving node's ID; empty for a standalone daemon.
+	Node string `json:"node,omitempty"`
 }
 
 // BatchEvalRequest evaluates several methods in one round trip
@@ -146,9 +151,11 @@ type BatchEvalItem struct {
 	Error     string    `json:"error,omitempty"`
 	// Cached: served from the memo. Coalesced: joined an in-flight
 	// evaluation. Deduped: shared an identical item earlier in this batch.
+	// Peer: fetched from another fleet node's warm cache.
 	Cached    bool `json:"cached,omitempty"`
 	Coalesced bool `json:"coalesced,omitempty"`
 	Deduped   bool `json:"deduped,omitempty"`
+	Peer      bool `json:"peer,omitempty"`
 }
 
 // BatchEvalResponse answers a BatchEvalRequest; Results[i] corresponds to
@@ -177,8 +184,28 @@ type LedgerEntry struct {
 	WorstJ   float64 `json:"worst_j"`
 }
 
+// CacheLookupRequest is a fleet peer's memo probe (POST /v1/cachelookup):
+// an exact canonical memo key, as produced by this package's key
+// canonicalization. Because keys embed the interface version, a probe can
+// only hit an answer for the identical tree — replicated registries keep
+// versions aligned, which is what makes the key a cross-node identity.
+type CacheLookupRequest struct {
+	Key string `json:"key"`
+}
+
+// CacheLookupResponse answers a memo probe. Dist is set iff Found.
+type CacheLookupResponse struct {
+	Key   string    `json:"key"`
+	Found bool      `json:"found"`
+	Dist  *WireDist `json:"dist,omitempty"`
+	Node  string    `json:"node,omitempty"` // answering node's ID
+}
+
 // StatsResponse is the /v1/stats payload.
 type StatsResponse struct {
+	// NodeID names this daemon in a fleet ("" standalone).
+	NodeID string `json:"node_id,omitempty"`
+
 	Interfaces int `json:"interfaces"`
 
 	EvalRequests  uint64  `json:"eval_requests"`
@@ -204,6 +231,14 @@ type StatsResponse struct {
 	Coalesced     uint64 `json:"coalesced"`
 	BatchRequests uint64 `json:"batch_requests"`
 	BatchItems    uint64 `json:"batch_items"`
+
+	// Peer cache forwarding: lookups this node issued to the fleet on memo
+	// misses (hits/misses), and /v1/cachelookup probes it answered for
+	// other nodes (served, of which served_hits found a warm entry).
+	PeerHits       uint64 `json:"peer_hits,omitempty"`
+	PeerMisses     uint64 `json:"peer_misses,omitempty"`
+	PeerServed     uint64 `json:"peer_served,omitempty"`
+	PeerServedHits uint64 `json:"peer_served_hits,omitempty"`
 
 	// Optimizing EIL compiler (internal/opt), process-wide counters from
 	// core.ReadProgramStats: methods compiled to flat instruction

@@ -607,9 +607,59 @@ func TestAllTablesRender(t *testing.T) {
 			t.Errorf("table %s rendered empty", tab.ID)
 		}
 	}
-	for _, id := range []string{"T1", "F1", "F2", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "A1", "A2", "A3"} {
+	for _, id := range []string{"T1", "F1", "F2", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E16", "A1", "A2", "A3"} {
 		if !seen[id] {
 			t.Errorf("missing table %s", id)
 		}
+	}
+}
+
+// TestE16FleetShape always runs the short trace (the full-size fleet run
+// renders through TestAllTablesRender); it asserts the fleet contract:
+// scale-out beats the single node, the warm batch trace loses nothing,
+// rebalancing re-homes shards without re-evaluating, and the kill +
+// partition trace delivers every answer bit-identically.
+func TestE16FleetShape(t *testing.T) {
+	res, err := E16Fleet(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup < 2 {
+		t.Errorf("fleet speedup %.2fx, want >= 2x (single %.2fs, fleet %.2fs)",
+			res.Speedup, res.SingleSecs, res.FleetSecs)
+	}
+	if res.ScaleMismatches != 0 {
+		t.Errorf("%d fleet answers diverged from the single-node reference", res.ScaleMismatches)
+	}
+	if res.BatchFailures != 0 {
+		t.Errorf("%d batch items failed", res.BatchFailures)
+	}
+	if res.BatchHitRate < 0.90 {
+		t.Errorf("batch cache-served rate %.4f, want >= 0.90", res.BatchHitRate)
+	}
+	if res.BalanceMin == 0 {
+		t.Error("a fleet node served no batch items — sharding is broken")
+	}
+	if res.RebalanceEvalDelta != 0 {
+		t.Errorf("rebalance re-evaluated %d times, want 0 (peer cache re-homing)", res.RebalanceEvalDelta)
+	}
+	if res.RebalancePeerHits == 0 {
+		t.Error("rebalance never touched a peer cache — nothing was re-homed")
+	}
+	if res.RebalanceMismatches != 0 {
+		t.Errorf("%d rebalanced answers changed", res.RebalanceMismatches)
+	}
+	if res.FaultFailed != 0 || res.FaultSucceeded != res.FaultOffered {
+		t.Errorf("fault trace: %d/%d answered, %d failed — lost requests",
+			res.FaultSucceeded, res.FaultOffered, res.FaultFailed)
+	}
+	if res.FaultMismatches != 0 {
+		t.Errorf("%d faulted answers diverged from the fault-free reference", res.FaultMismatches)
+	}
+	if res.Killed == "" || res.Partitioned == "" {
+		t.Errorf("faults never landed (killed=%q partitioned=%q)", res.Killed, res.Partitioned)
+	}
+	if res.FaultFailovers == 0 {
+		t.Error("router never failed over — the faults were invisible")
 	}
 }

@@ -220,6 +220,12 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 // connection immediately — the listener-level counterpart of PResetPre,
 // for tests that want faults below the HTTP layer. N <= 0 disables the
 // fault (every connection passes through).
+//
+// It also models a network partition: while Partition(true) is in effect,
+// every already-accepted connection is severed and every new accept is
+// dropped on the floor, so the node behind the listener is unreachable —
+// in-flight requests fail with connection resets, exactly what a cut
+// network looks like from the client side. Partition(false) heals it.
 type FlakyListener struct {
 	net.Listener
 	// N: every Nth accepted connection is dropped.
@@ -227,6 +233,28 @@ type FlakyListener struct {
 
 	accepted atomic.Uint64
 	dropped  atomic.Uint64
+	severed  atomic.Uint64
+
+	mu          sync.Mutex
+	partitioned bool
+	open        map[*trackedConn]struct{}
+}
+
+// trackedConn removes itself from the listener's open set on Close, so a
+// partition can sever exactly the connections still alive.
+type trackedConn struct {
+	net.Conn
+	l    *FlakyListener
+	once sync.Once
+}
+
+func (c *trackedConn) Close() error {
+	c.once.Do(func() {
+		c.l.mu.Lock()
+		delete(c.l.open, c)
+		c.l.mu.Unlock()
+	})
+	return c.Conn.Close()
 }
 
 // Accept implements net.Listener.
@@ -242,9 +270,54 @@ func (l *FlakyListener) Accept() (net.Conn, error) {
 			conn.Close()
 			continue
 		}
-		return conn, nil
+		l.mu.Lock()
+		if l.partitioned {
+			l.mu.Unlock()
+			l.dropped.Add(1)
+			conn.Close()
+			continue
+		}
+		if l.open == nil {
+			l.open = map[*trackedConn]struct{}{}
+		}
+		tc := &trackedConn{Conn: conn, l: l}
+		l.open[tc] = struct{}{}
+		l.mu.Unlock()
+		return tc, nil
 	}
 }
 
-// Dropped returns how many connections the listener killed.
+// Partition cuts (true) or heals (false) the network in front of the
+// listener. Cutting severs every open connection and makes subsequent
+// accepts drop silently; the listener itself stays alive, so healing
+// restores service without rebinding the port. Idempotent.
+func (l *FlakyListener) Partition(cut bool) {
+	l.mu.Lock()
+	l.partitioned = cut
+	var victims []*trackedConn
+	if cut {
+		victims = make([]*trackedConn, 0, len(l.open))
+		for c := range l.open {
+			victims = append(victims, c)
+		}
+	}
+	l.mu.Unlock()
+	// Close outside the lock: Close re-enters to unregister.
+	for _, c := range victims {
+		l.severed.Add(1)
+		c.Close()
+	}
+}
+
+// Partitioned reports whether the listener is currently cut off.
+func (l *FlakyListener) Partitioned() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.partitioned
+}
+
+// Dropped returns how many connections the listener killed at accept.
 func (l *FlakyListener) Dropped() uint64 { return l.dropped.Load() }
+
+// Severed returns how many established connections partitions cut.
+func (l *FlakyListener) Severed() uint64 { return l.severed.Load() }

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -190,4 +191,122 @@ func TestFlakyListener(t *testing.T) {
 	if fl.Dropped() == 0 {
 		t.Error("listener dropped no connections")
 	}
+}
+
+// TestFlakyListenerPartition: a cut listener severs open connections and
+// drops new accepts; healing restores service on the same port.
+func TestFlakyListenerPartition(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &FlakyListener{Listener: inner}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok"))
+	})}
+	go srv.Serve(fl)
+	defer srv.Close()
+	url := "http://" + inner.Addr().String()
+
+	// Keep-alives on: the healthy request leaves an open conn behind,
+	// which the partition must sever (otherwise the pooled conn would let
+	// the next request through).
+	c := &http.Client{Timeout: 2 * time.Second}
+	resp, err := get(t, c, url)
+	if err != nil {
+		t.Fatalf("healthy request failed: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	fl.Partition(true)
+	if !fl.Partitioned() {
+		t.Fatal("Partitioned() = false after Partition(true)")
+	}
+	if fl.Severed() == 0 {
+		t.Error("partition severed no open connections")
+	}
+	if resp, err := get(t, c, url); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		t.Fatal("request succeeded through a partitioned listener")
+	}
+
+	fl.Partition(false)
+	resp, err = get(t, c, url)
+	if err != nil {
+		t.Fatalf("request after heal failed: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// TestFlakyListenerConcurrentAcceptPartition hammers a listener with
+// concurrent requests while another goroutine toggles the partition —
+// the satellite coverage for accept/partition races (run under -race).
+// Every request must either succeed or fail cleanly; the listener must
+// end healed and serving.
+func TestFlakyListenerConcurrentAcceptPartition(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &FlakyListener{Listener: inner, N: 7}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok"))
+	})}
+	go srv.Serve(fl)
+	defer srv.Close()
+	url := "http://" + inner.Addr().String()
+
+	stop := make(chan struct{})
+	var flips atomic.Int64
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			fl.Partition(i%2 == 0)
+			flips.Add(1)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	const clients, perClient = 8, 20
+	var ok atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := &http.Client{Timeout: time.Second}
+			for i := 0; i < perClient; i++ {
+				resp, err := get(t, c, url)
+				if err != nil {
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				ok.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	fl.Partition(false)
+
+	if flips.Load() < 2 {
+		t.Fatalf("partition flipped only %d times; test exercised nothing", flips.Load())
+	}
+	if ok.Load() == 0 {
+		t.Error("no request ever succeeded through the flapping listener")
+	}
+	resp, err := get(t, &http.Client{Timeout: 2 * time.Second}, url)
+	if err != nil {
+		t.Fatalf("request after final heal failed: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
 }

@@ -1,0 +1,453 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/eisvc"
+	"energyclarity/internal/energy"
+	"energyclarity/internal/faultsim"
+)
+
+// DefaultReplication is how many nodes own each interface stack: the
+// primary plus one replica, so any single node failure leaves every
+// shard served.
+const DefaultReplication = 2
+
+// DefaultPeerTimeout bounds one peer cache probe. A probe is a pure memo
+// read (sub-millisecond on loopback); anything slower means the peer is
+// dead, partitioned, or overloaded, and evaluating locally is cheaper
+// than waiting.
+const DefaultPeerTimeout = 75 * time.Millisecond
+
+// Config sizes a fleet. The zero value makes a 3-node cluster with
+// replication 2.
+type Config struct {
+	// Nodes is the initial node count (default 3).
+	Nodes int
+	// Replication is how many ring owners each interface stack gets
+	// (default DefaultReplication; capped at the node count at lookup).
+	Replication int
+	// VirtualNodes is the ring points per node (default DefaultVirtualNodes).
+	VirtualNodes int
+	// Node is the per-daemon configuration; NodeID is overwritten with the
+	// fleet-assigned ID.
+	Node eisvc.Config
+	// PeerTimeout bounds one peer cache probe (default DefaultPeerTimeout).
+	PeerTimeout time.Duration
+	// NoPeerForwarding disables the peer cache path: memo misses always
+	// evaluate locally. For benchmarking the forwarding itself.
+	NoPeerForwarding bool
+	// FlakyEvery, when positive, wraps every node's listener so each Nth
+	// accepted connection is dropped (faultsim.FlakyListener) — fleet-wide
+	// low-level network flakiness for resilience tests.
+	FlakyEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.Replication <= 0 {
+		c.Replication = DefaultReplication
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = DefaultPeerTimeout
+	}
+	return c
+}
+
+type nodeState int
+
+const (
+	stateLive nodeState = iota
+	stateDraining
+	stateDead
+)
+
+// Node is one daemon in the fleet: an eisvc.Server bound to a loopback
+// listener, plus the fleet's plumbing around it.
+type Node struct {
+	ID     string
+	Server *eisvc.Server
+	URL    string
+
+	ln   *faultsim.FlakyListener
+	hs   *http.Server
+	peer *eisvc.Client // short-timeout, no-retry client for cache probes
+	done chan struct{} // closed when the HTTP server loop exits
+
+	mu    sync.Mutex
+	state nodeState
+}
+
+func (n *Node) setState(s nodeState) {
+	n.mu.Lock()
+	n.state = s
+	n.mu.Unlock()
+}
+
+func (n *Node) getState() nodeState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state
+}
+
+// Live reports whether the node is accepting evaluation work.
+func (n *Node) Live() bool { return n.getState() == stateLive }
+
+// reachable nodes answer HTTP at all: live ones serve everything,
+// draining ones still serve reads — including cache probes, which is
+// what makes drain-rebalancing free for warm keys.
+func (n *Node) reachable() bool { return n.getState() != stateDead }
+
+// Partition cuts (true) or heals (false) the network in front of this
+// node. See faultsim.FlakyListener.Partition.
+func (n *Node) Partition(cut bool) { n.ln.Partition(cut) }
+
+// Fleet is a sharded, replicated cluster of eisvc daemons. Construct
+// with New, seed interfaces (SeedInterface / RegisterSource), and front
+// it with NewRouter. All membership mutations (AddNode, DrainNode,
+// KillNode, ...) are safe for concurrent use with routing.
+type Fleet struct {
+	cfg Config
+
+	mu     sync.RWMutex // guards ring + nodes map
+	ring   *Ring
+	nodes  map[string]*Node
+	nextID int
+
+	// mutMu serializes registry mutations fleet-wide: one register/rebind
+	// at a time flows to the primary and replicates before the next, so
+	// every node assigns/observes versions in the same order.
+	mutMu sync.Mutex
+}
+
+// New starts cfg.Nodes daemons on ephemeral loopback ports and places
+// them on the ring. Close the fleet to stop them.
+func New(cfg Config) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	f := &Fleet{
+		cfg:   cfg,
+		ring:  NewRing(cfg.VirtualNodes),
+		nodes: map[string]*Node{},
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		if _, err := f.AddNode(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// startNode boots one daemon on an ephemeral loopback port.
+func (f *Fleet) startNode(id string) (*Node, error) {
+	ncfg := f.cfg.Node
+	ncfg.NodeID = id
+	srv := eisvc.NewServer(ncfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("fleet: node %s: %w", id, err)
+	}
+	fl := &faultsim.FlakyListener{Listener: ln, N: f.cfg.FlakyEvery}
+	n := &Node{
+		ID:     id,
+		Server: srv,
+		URL:    "http://" + ln.Addr().String(),
+		ln:     fl,
+		hs:     &http.Server{Handler: srv},
+		done:   make(chan struct{}),
+	}
+	n.peer = eisvc.NewClient(n.URL).TuneTransport(eisvc.TransportTuning{})
+	n.peer.ID = "fleet-peer"
+	n.peer.Timeout = f.cfg.PeerTimeout
+	if !f.cfg.NoPeerForwarding {
+		srv.SetPeerLookup(f.peerLookupFor(id))
+	}
+	go func() {
+		_ = n.hs.Serve(fl)
+		close(n.done)
+	}()
+	return n, nil
+}
+
+// AddNode boots a fresh daemon, replicates the current registry into it,
+// and then joins it to the ring — in that order, so the node never owns
+// a shard it cannot serve. The keys that move to it are cold there but
+// warm on their previous owners; the peer cache path makes the handoff
+// an O(keys-moved) set of sub-millisecond probes instead of a re-trace.
+func (f *Fleet) AddNode() (*Node, error) {
+	f.mu.Lock()
+	f.nextID++
+	id := "node-" + strconv.Itoa(f.nextID)
+	f.mu.Unlock()
+
+	n, err := f.startNode(id)
+	if err != nil {
+		return nil, err
+	}
+	if src := f.anyReachable(); src != nil {
+		n.Server.ApplyRegistrySnapshot(src.Server.Registry().Snapshot())
+	}
+	f.mu.Lock()
+	f.nodes[id] = n
+	f.ring.Add(id)
+	f.mu.Unlock()
+	return n, nil
+}
+
+// DrainNode removes the node from the ring (its shards re-home to ring
+// neighbors immediately) and gracefully drains it: in-flight evaluations
+// finish, new evaluation work is shed, but the process stays up and
+// keeps answering /v1/cachelookup — donating its warm memo to the nodes
+// that inherited its shards until RemoveNode tears it down.
+func (f *Fleet) DrainNode(ctx context.Context, id string) error {
+	f.mu.Lock()
+	n, ok := f.nodes[id]
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("fleet: no node %s", id)
+	}
+	f.ring.Remove(id)
+	f.mu.Unlock()
+	n.setState(stateDraining)
+	return n.Server.Drain(ctx)
+}
+
+// KillNode abruptly stops a node: listener and all connections close
+// mid-flight, nothing is drained, and — deliberately — the node stays on
+// the ring. Routing discovers the corpse through failed forwards and
+// fails over to the replica, which is exactly the fault the replication
+// factor exists for.
+func (f *Fleet) KillNode(id string) error {
+	f.mu.RLock()
+	n, ok := f.nodes[id]
+	f.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("fleet: no node %s", id)
+	}
+	n.setState(stateDead)
+	err := n.hs.Close()
+	<-n.done
+	return err
+}
+
+// RemoveNode drains the node (bounded by ctx) and then stops it and
+// takes it off the ring entirely: the graceful decommission path.
+func (f *Fleet) RemoveNode(ctx context.Context, id string) error {
+	drainErr := f.DrainNode(ctx, id)
+	f.mu.Lock()
+	n, ok := f.nodes[id]
+	delete(f.nodes, id)
+	f.ring.Remove(id)
+	f.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("fleet: no node %s", id)
+	}
+	n.setState(stateDead)
+	_ = n.hs.Close()
+	<-n.done
+	return drainErr
+}
+
+// PartitionNode cuts (or heals) the network in front of a node without
+// stopping it: open connections are severed and new ones dropped, so the
+// node looks exactly like a network-partitioned peer — alive, burning
+// CPU, unreachable.
+func (f *Fleet) PartitionNode(id string, cut bool) error {
+	f.mu.RLock()
+	n, ok := f.nodes[id]
+	f.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("fleet: no node %s", id)
+	}
+	n.Partition(cut)
+	return nil
+}
+
+// Node returns a node by ID.
+func (f *Fleet) Node(id string) (*Node, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n, ok := f.nodes[id]
+	return n, ok
+}
+
+// Nodes returns all nodes (any state), sorted by ID.
+func (f *Fleet) Nodes() []*Node {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]*Node, 0, len(f.nodes))
+	for _, n := range f.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// LiveNodes returns the nodes currently accepting evaluation work.
+func (f *Fleet) LiveNodes() []*Node {
+	var out []*Node
+	for _, n := range f.Nodes() {
+		if n.Live() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// OwnersOf returns the ring owners for an interface stack, primary first.
+func (f *Fleet) OwnersOf(stack string) []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.ring.Lookup(stack, f.cfg.Replication)
+}
+
+// anyReachable returns some node that answers HTTP, preferring live ones.
+func (f *Fleet) anyReachable() *Node {
+	var fallback *Node
+	for _, n := range f.Nodes() {
+		switch n.getState() {
+		case stateLive:
+			return n
+		case stateDraining:
+			if fallback == nil {
+				fallback = n
+			}
+		}
+	}
+	return fallback
+}
+
+// primary returns the mutation primary: the lowest-ID live node. Every
+// register/rebind funnels through it (under mutMu), so version numbers
+// are assigned in one total order and replicate outward.
+func (f *Fleet) primary() *Node {
+	nodes := f.LiveNodes()
+	if len(nodes) == 0 {
+		return nil
+	}
+	return nodes[0]
+}
+
+// ReplicateFrom pushes src's registry snapshot to every other reachable
+// node. Snapshots share interface pointers (core.Interface is immutable
+// after registration), so replication is O(entries), not O(tree).
+func (f *Fleet) ReplicateFrom(src *Node) {
+	snap := src.Server.Registry().Snapshot()
+	for _, n := range f.Nodes() {
+		if n.ID != src.ID && n.reachable() {
+			n.Server.ApplyRegistrySnapshot(snap)
+		}
+	}
+}
+
+// SeedInterface registers a natively-built interface on the primary and
+// replicates it fleet-wide — how calibrated hardware stacks (which hold
+// Go closures and cannot travel as EIL source) enter the fleet.
+func (f *Fleet) SeedInterface(name string, iface *core.Interface) error {
+	f.mutMu.Lock()
+	defer f.mutMu.Unlock()
+	p := f.primary()
+	if p == nil {
+		return fmt.Errorf("fleet: no live nodes")
+	}
+	if _, err := p.Server.Registry().RegisterInterface(name, iface); err != nil {
+		return err
+	}
+	f.ReplicateFrom(p)
+	return nil
+}
+
+// RegisterSource compiles EIL source on the primary and replicates the
+// declared interfaces fleet-wide, returning their names.
+func (f *Fleet) RegisterSource(src string) ([]string, error) {
+	f.mutMu.Lock()
+	defer f.mutMu.Unlock()
+	p := f.primary()
+	if p == nil {
+		return nil, fmt.Errorf("fleet: no live nodes")
+	}
+	names, err := p.Server.Registry().RegisterSource(src)
+	if err != nil {
+		return nil, err
+	}
+	f.ReplicateFrom(p)
+	return names, nil
+}
+
+// Close stops every node abruptly. The fleet is unusable afterwards.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	nodes := make([]*Node, 0, len(f.nodes))
+	for _, n := range f.nodes {
+		nodes = append(nodes, n)
+	}
+	f.nodes = map[string]*Node{}
+	f.ring = NewRing(f.cfg.VirtualNodes)
+	f.mu.Unlock()
+	for _, n := range nodes {
+		n.setState(stateDead)
+		_ = n.hs.Close()
+		<-n.done
+	}
+}
+
+// peerLookupFor builds node id's fleet-cache hook: on a local memo miss,
+// probe the stack's other ring owners first (they are where the key is
+// warm by construction), then any other reachable node (which is where
+// warm entries live right after a drain or membership change). First hit
+// wins; every probe is bounded by PeerTimeout, so a dead or partitioned
+// peer costs one short timeout, not a stall.
+func (f *Fleet) peerLookupFor(id string) eisvc.PeerLookup {
+	return func(ctx context.Context, key string) (energy.Dist, bool) {
+		stack := eisvc.KeyStack(key)
+		f.mu.RLock()
+		owners := f.ring.Lookup(stack, f.cfg.Replication)
+		f.mu.RUnlock()
+		probed := map[string]bool{id: true}
+		for _, owner := range owners {
+			if probed[owner] {
+				continue
+			}
+			probed[owner] = true
+			if d, ok := f.probe(ctx, owner, key); ok {
+				return d, true
+			}
+		}
+		for _, n := range f.Nodes() {
+			if probed[n.ID] {
+				continue
+			}
+			if d, ok := f.probe(ctx, n.ID, key); ok {
+				return d, true
+			}
+		}
+		return energy.Dist{}, false
+	}
+}
+
+// probe asks one node for a memoized answer; all failures are misses.
+func (f *Fleet) probe(ctx context.Context, id, key string) (energy.Dist, bool) {
+	f.mu.RLock()
+	n, ok := f.nodes[id]
+	f.mu.RUnlock()
+	if !ok || !n.reachable() {
+		return energy.Dist{}, false
+	}
+	cctx, cancel := context.WithTimeout(ctx, f.cfg.PeerTimeout)
+	defer cancel()
+	d, hit, err := n.peer.CacheLookupCtx(cctx, key)
+	if err != nil || !hit {
+		return energy.Dist{}, false
+	}
+	return d, true
+}

@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringOf(n int) *Ring {
+	r := NewRing(0)
+	for i := 1; i <= n; i++ {
+		r.Add(fmt.Sprintf("node-%d", i))
+	}
+	return r
+}
+
+// TestRingLookupDeterministic: same membership, same answer, distinct
+// owners, primary-first ordering stable across instances.
+func TestRingLookupDeterministic(t *testing.T) {
+	a, b := ringOf(8), ringOf(8)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("stack-%d", i)
+		oa, ob := a.Lookup(key, 3), b.Lookup(key, 3)
+		if len(oa) != 3 {
+			t.Fatalf("%s: %d owners, want 3", key, len(oa))
+		}
+		seen := map[string]bool{}
+		for j := range oa {
+			if oa[j] != ob[j] {
+				t.Fatalf("%s: rings disagree: %v vs %v", key, oa, ob)
+			}
+			if seen[oa[j]] {
+				t.Fatalf("%s: duplicate owner in %v", key, oa)
+			}
+			seen[oa[j]] = true
+		}
+		if a.Owner(key) != oa[0] {
+			t.Fatalf("%s: Owner %q != Lookup[0] %q", key, a.Owner(key), oa[0])
+		}
+	}
+}
+
+// TestRingSmall: n larger than the ring returns every node; empty ring
+// returns nothing.
+func TestRingSmall(t *testing.T) {
+	r := ringOf(2)
+	if got := r.Lookup("k", 5); len(got) != 2 {
+		t.Fatalf("Lookup on 2-node ring returned %v, want both nodes", got)
+	}
+	if got := NewRing(0).Lookup("k", 2); got != nil {
+		t.Fatalf("empty ring returned %v", got)
+	}
+	if NewRing(0).Owner("k") != "" {
+		t.Fatal("empty ring has an owner")
+	}
+}
+
+// TestRingBalance: with virtual nodes, 2000 keys over 8 nodes spread
+// within a sane band (no node starved, none hot-spotted).
+func TestRingBalance(t *testing.T) {
+	r := ringOf(8)
+	counts := map[string]int{}
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("stack-%d", i))]++
+	}
+	want := keys / 8
+	for node, c := range counts {
+		if c < want/3 || c > want*3 {
+			t.Errorf("%s owns %d keys, want within [%d, %d]", node, c, want/3, want*3)
+		}
+	}
+	if len(counts) != 8 {
+		t.Errorf("only %d nodes own keys, want all 8", len(counts))
+	}
+}
+
+// TestRingMinimalMovement is consistent hashing's point: adding a ninth
+// node re-homes roughly 1/9 of the keys and never shuffles the rest.
+func TestRingMinimalMovement(t *testing.T) {
+	r := ringOf(8)
+	const keys = 2000
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = r.Owner(fmt.Sprintf("stack-%d", i))
+	}
+	r.Add("node-9")
+	moved := 0
+	for i := range before {
+		after := r.Owner(fmt.Sprintf("stack-%d", i))
+		if after != before[i] {
+			if after != "node-9" {
+				t.Fatalf("stack-%d moved %s -> %s, not to the new node", i, before[i], after)
+			}
+			moved++
+		}
+	}
+	if moved == 0 || moved > keys/3 {
+		t.Errorf("add moved %d/%d keys, want ~%d", moved, keys, keys/9)
+	}
+
+	// Removing it moves exactly those keys back.
+	r.Remove("node-9")
+	for i := range before {
+		if got := r.Owner(fmt.Sprintf("stack-%d", i)); got != before[i] {
+			t.Fatalf("stack-%d settled on %s after remove, want %s", i, got, before[i])
+		}
+	}
+}
+
+// TestRingMembership: Add/Remove idempotence and bookkeeping.
+func TestRingMembership(t *testing.T) {
+	r := NewRing(16)
+	r.Add("a")
+	r.Add("a")
+	r.Add("b")
+	if r.Len() != 2 || !r.Has("a") || !r.Has("b") {
+		t.Fatalf("len=%d has(a)=%v has(b)=%v", r.Len(), r.Has("a"), r.Has("b"))
+	}
+	if len(r.points) != 32 {
+		t.Fatalf("%d ring points, want 32 (double-add leaked)", len(r.points))
+	}
+	r.Remove("a")
+	r.Remove("a")
+	if r.Len() != 1 || r.Has("a") {
+		t.Fatalf("after remove: len=%d has(a)=%v", r.Len(), r.Has("a"))
+	}
+	if got := r.Nodes(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("Nodes() = %v, want [b]", got)
+	}
+}

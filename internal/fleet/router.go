@@ -1,0 +1,527 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"energyclarity/internal/eisvc"
+)
+
+// Router fronts a Fleet with the same wire API as a single daemon, so
+// every eisvc.Client works against a fleet unchanged. Evaluations route
+// to their stack's ring owners (spread across replicas by a request
+// hash, so identical hot keys still fan over R nodes); a dead, draining,
+// or shedding owner fails over to the next replica and then to any live
+// node — correctness never depends on placement, because the replicated
+// registry means every node can evaluate every stack; the ring only
+// decides where caches get warm. Registry mutations serialize through
+// the fleet primary and replicate before the response returns.
+type Router struct {
+	f   *Fleet
+	fwd *http.Client
+
+	routed    atomic.Uint64 // evaluation requests routed
+	failovers atomic.Uint64 // candidates skipped after a failure
+	exhausted atomic.Uint64 // requests no candidate could serve
+}
+
+// NewRouter returns a router over the fleet.
+func NewRouter(f *Fleet) *Router {
+	return &Router{
+		f: f,
+		// One pooled transport serves all nodes; MaxIdleConnsPerHost is the
+		// satellite tuning that keeps fan-out off the dialer's hot path.
+		fwd: &http.Client{Transport: eisvc.NewTransport(eisvc.TransportTuning{})},
+	}
+}
+
+// RouterCounters is a snapshot of the router's routing counters.
+type RouterCounters struct {
+	Routed    uint64
+	Failovers uint64
+	Exhausted uint64
+}
+
+// Counters returns the router's routing counters.
+func (rt *Router) Counters() RouterCounters {
+	return RouterCounters{
+		Routed:    rt.routed.Load(),
+		Failovers: rt.failovers.Load(),
+		Exhausted: rt.exhausted.Load(),
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/eval":
+		rt.handleEval(w, r)
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/evalbatch":
+		rt.handleEvalBatch(w, r)
+	case r.Method == http.MethodPost && (r.URL.Path == "/v1/register" || r.URL.Path == "/v1/rebind"):
+		rt.handleMutate(w, r)
+	case r.Method == http.MethodGet && r.URL.Path == "/v1/stats":
+		rt.handleStats(w, r)
+	default:
+		// Reads (healthz, interfaces, drift, cachelookup, ...) are served
+		// identically by every node thanks to registry replication.
+		rt.forwardToAnyLive(w, r)
+	}
+}
+
+// --- forwarding machinery ---
+
+// forward replays one request body to a node and returns the raw
+// response. The inbound request's identity and resilience headers ride
+// along so the serving node's ledger and stats attribute correctly.
+func (rt *Router) forward(ctx context.Context, n *Node, r *http.Request, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, r.Method, n.URL+r.URL.Path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	for _, h := range []string{"Content-Type", "X-Eisvc-Client", "X-Eisvc-Attempt", "X-Eisvc-Hedge"} {
+		if v := r.Header.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
+	return rt.fwd.Do(req)
+}
+
+// relay copies a node's response to the client verbatim (plus the
+// X-Eisvc-Node attribution the node stamped).
+func relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "X-Eisvc-Node", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// shedFailover reports whether a response should push the router to the
+// next candidate: the node refused under load (429), or is draining or
+// otherwise unavailable (503). Other statuses — including request errors
+// like 400/404/422 — are the answer; every node would say the same.
+func shedFailover(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// tryCandidates forwards body to each candidate in order until one
+// yields a non-shed response. It returns nil when every candidate failed
+// at the transport level or shed.
+func (rt *Router) tryCandidates(w http.ResponseWriter, r *http.Request, body []byte, candidates []*Node) bool {
+	for i, n := range candidates {
+		if i > 0 {
+			rt.failovers.Add(1)
+		}
+		resp, err := rt.forward(r.Context(), n, r, body)
+		if err != nil {
+			continue // dead or partitioned node: next candidate
+		}
+		if shedFailover(resp.StatusCode) && i < len(candidates)-1 {
+			resp.Body.Close()
+			continue
+		}
+		relay(w, resp)
+		return true
+	}
+	return false
+}
+
+// writeExhausted answers when no node could serve. Deliberately a 503
+// with no Retry-After: a retrying client applies its own short backoff
+// instead of a server-imposed full-second sleep, which matters when the
+// fleet is healing (a kill's replacement replica warms in milliseconds).
+func (rt *Router) writeExhausted(w http.ResponseWriter, what string) {
+	rt.exhausted.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	_ = json.NewEncoder(w).Encode(eisvc.ErrorResponse{Error: "fleet: no node could serve " + what})
+}
+
+// candidatesFor orders the nodes to try for one evaluation: the stack's
+// ring owners first — rotated by the request hash, so a hot stack's
+// traffic spreads over all R replicas instead of hammering the primary —
+// then every other live node as a last resort.
+func (rt *Router) candidatesFor(stack string, spread uint64) []*Node {
+	owners := rt.f.OwnersOf(stack)
+	var out []*Node
+	seen := map[string]bool{}
+	if len(owners) > 0 {
+		rot := int(spread % uint64(len(owners)))
+		for i := range owners {
+			id := owners[(rot+i)%len(owners)]
+			if n, ok := rt.f.Node(id); ok && n.Live() {
+				seen[id] = true
+				out = append(out, n)
+			}
+		}
+	}
+	for _, n := range rt.f.LiveNodes() {
+		if !seen[n.ID] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// spreadHash fingerprints one evaluation request so repeated identical
+// requests land on the same replica (maximizing memo locality) while
+// distinct requests for the same stack spread across its owners.
+func spreadHash(req *eisvc.EvalRequest) uint64 {
+	var b bytes.Buffer
+	b.WriteString(req.Method)
+	b.WriteByte('|')
+	b.WriteString(req.Mode)
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatInt(req.Seed, 10))
+	b.WriteByte('|')
+	// encoding/json sorts map keys, so identical args marshal identically.
+	if raw, err := json.Marshal(req.Args); err == nil {
+		b.Write(raw)
+	}
+	if len(req.Fixed) > 0 {
+		if raw, err := json.Marshal(req.Fixed); err == nil {
+			b.Write(raw)
+		}
+	}
+	return hash64(b.String())
+}
+
+// --- handlers ---
+
+func (rt *Router) handleEval(w http.ResponseWriter, r *http.Request) {
+	rt.routed.Add(1)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		rt.badRequest(w, "read body: %v", err)
+		return
+	}
+	var req eisvc.EvalRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		rt.badRequest(w, "bad request body: %v", err)
+		return
+	}
+	if !rt.tryCandidates(w, r, body, rt.candidatesFor(req.Interface, spreadHash(&req))) {
+		rt.writeExhausted(w, "eval of "+req.Interface)
+	}
+}
+
+// handleEvalBatch splits a batch by each item's preferred node and
+// forwards the sub-batches concurrently, stitching results back in
+// request order. A sub-batch whose preferred node fails retries on the
+// shared candidate list, so a mid-batch node kill surfaces as latency,
+// not errors.
+func (rt *Router) handleEvalBatch(w http.ResponseWriter, r *http.Request) {
+	rt.routed.Add(1)
+	var req eisvc.BatchEvalRequest
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&req); err != nil {
+		rt.badRequest(w, "bad request body: %v", err)
+		return
+	}
+	if len(req.Requests) == 0 {
+		rt.badRequest(w, "empty batch")
+		return
+	}
+
+	// Group item indices by preferred node ID. Items for unknown stacks or
+	// an empty ring fall into the "" group and ride with any live node.
+	groups := map[string][]int{}
+	for i := range req.Requests {
+		it := &req.Requests[i]
+		pref := ""
+		if owners := rt.f.OwnersOf(it.Interface); len(owners) > 0 {
+			pref = owners[spreadHash(it)%uint64(len(owners))]
+		}
+		groups[pref] = append(groups[pref], i)
+	}
+
+	results := make([]eisvc.BatchEvalItem, len(req.Requests))
+	var wg sync.WaitGroup
+	for pref, idxs := range groups {
+		wg.Add(1)
+		go func(pref string, idxs []int) {
+			defer wg.Done()
+			sub := eisvc.BatchEvalRequest{Requests: make([]eisvc.EvalRequest, len(idxs))}
+			for j, i := range idxs {
+				sub.Requests[j] = req.Requests[i]
+			}
+			body, err := json.Marshal(sub)
+			if err != nil {
+				rt.failGroup(results, idxs, &req, "marshal sub-batch: "+err.Error())
+				return
+			}
+			items, ok := rt.forwardBatch(r, pref, body, len(idxs))
+			if !ok {
+				rt.exhausted.Add(1)
+				rt.failGroup(results, idxs, &req, "fleet: no node could serve batch")
+				return
+			}
+			for j, i := range idxs {
+				results[i] = items[j]
+			}
+		}(pref, idxs)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, eisvc.BatchEvalResponse{Results: results})
+}
+
+// forwardBatch sends one sub-batch to its preferred node, failing over
+// to every other live node. It returns ok=false when no node answered.
+func (rt *Router) forwardBatch(r *http.Request, pref string, body []byte, want int) ([]eisvc.BatchEvalItem, bool) {
+	var candidates []*Node
+	seen := map[string]bool{}
+	if n, ok := rt.f.Node(pref); ok && n.Live() {
+		candidates = append(candidates, n)
+		seen[pref] = true
+	}
+	for _, n := range rt.f.LiveNodes() {
+		if !seen[n.ID] {
+			candidates = append(candidates, n)
+		}
+	}
+	for i, n := range candidates {
+		if i > 0 {
+			rt.failovers.Add(1)
+		}
+		resp, err := rt.forward(r.Context(), n, r, body)
+		if err != nil {
+			continue
+		}
+		if shedFailover(resp.StatusCode) {
+			resp.Body.Close()
+			continue
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode/100 != 2 {
+			continue
+		}
+		var out eisvc.BatchEvalResponse
+		if json.Unmarshal(data, &out) != nil || len(out.Results) != want {
+			continue
+		}
+		return out.Results, true
+	}
+	return nil, false
+}
+
+// failGroup marks every item of a failed sub-batch as 503 so callers can
+// retry item-by-item.
+func (rt *Router) failGroup(results []eisvc.BatchEvalItem, idxs []int, req *eisvc.BatchEvalRequest, msg string) {
+	for _, i := range idxs {
+		results[i] = eisvc.BatchEvalItem{
+			Interface: req.Requests[i].Interface,
+			Method:    req.Requests[i].Method,
+			Status:    http.StatusServiceUnavailable,
+			Error:     msg,
+		}
+	}
+}
+
+// handleMutate serializes a register/rebind through the fleet primary
+// and replicates the resulting registry snapshot to every node before
+// answering, so a client that mutates and immediately evaluates sees its
+// write no matter which node the evaluation routes to.
+func (rt *Router) handleMutate(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		rt.badRequest(w, "read body: %v", err)
+		return
+	}
+	rt.f.mutMu.Lock()
+	defer rt.f.mutMu.Unlock()
+	p := rt.f.primary()
+	if p == nil {
+		rt.writeExhausted(w, r.URL.Path)
+		return
+	}
+	resp, err := rt.forward(r.Context(), p, r, body)
+	if err != nil {
+		rt.writeExhausted(w, r.URL.Path)
+		return
+	}
+	if resp.StatusCode/100 == 2 {
+		rt.f.ReplicateFrom(p)
+	}
+	relay(w, resp)
+}
+
+// forwardToAnyLive serves reads: any live node answers identically.
+func (rt *Router) forwardToAnyLive(w http.ResponseWriter, r *http.Request) {
+	var body []byte
+	if r.Body != nil {
+		b, err := io.ReadAll(r.Body)
+		if err != nil {
+			rt.badRequest(w, "read body: %v", err)
+			return
+		}
+		body = b
+	}
+	for _, n := range rt.f.LiveNodes() {
+		resp, err := rt.forward(r.Context(), n, r, body)
+		if err != nil {
+			rt.failovers.Add(1)
+			continue
+		}
+		relay(w, resp)
+		return
+	}
+	rt.writeExhausted(w, r.URL.Path)
+}
+
+func (rt *Router) badRequest(w http.ResponseWriter, format string, args ...any) {
+	writeJSON(w, http.StatusBadRequest, eisvc.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// --- fleet stats ---
+
+// FleetStats is the router's /v1/stats payload: cluster shape, routing
+// counters, a fleet-wide aggregate, and each reachable node's own stats
+// keyed by node ID.
+type FleetStats struct {
+	Nodes       int `json:"nodes"`
+	LiveNodes   int `json:"live_nodes"`
+	Replication int `json:"replication"`
+
+	Routed    uint64 `json:"routed"`
+	Failovers uint64 `json:"failovers"`
+	Exhausted uint64 `json:"exhausted"`
+
+	Aggregate eisvc.StatsResponse             `json:"aggregate"`
+	PerNode   map[string]*eisvc.StatsResponse `json:"per_node"`
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rt.Stats(r.Context()))
+}
+
+// Stats gathers per-node stats and folds them into a fleet aggregate.
+// Unreachable nodes are skipped (they still count in Nodes).
+func (rt *Router) Stats(ctx context.Context) *FleetStats {
+	nodes := rt.f.Nodes()
+	c := rt.Counters()
+	fs := &FleetStats{
+		Nodes:       len(nodes),
+		Replication: rt.f.cfg.Replication,
+		Routed:      c.Routed,
+		Failovers:   c.Failovers,
+		Exhausted:   c.Exhausted,
+		PerNode:     map[string]*eisvc.StatsResponse{},
+	}
+	var latWeighted float64
+	for _, n := range nodes {
+		if n.Live() {
+			fs.LiveNodes++
+		}
+		if !n.reachable() {
+			continue
+		}
+		st, err := n.peer.StatsCtx(ctx)
+		if err != nil {
+			continue
+		}
+		fs.PerNode[n.ID] = st
+		agg := &fs.Aggregate
+		if st.Interfaces > agg.Interfaces {
+			agg.Interfaces = st.Interfaces
+		}
+		agg.EvalRequests += st.EvalRequests
+		agg.Evaluations += st.Evaluations
+		agg.MemoHits += st.MemoHits
+		agg.MemoMisses += st.MemoMisses
+		agg.MemoEvictions += st.MemoEvictions
+		agg.MemoLen += st.MemoLen
+		agg.Coalesced += st.Coalesced
+		agg.BatchRequests += st.BatchRequests
+		agg.BatchItems += st.BatchItems
+		agg.PeerHits += st.PeerHits
+		agg.PeerMisses += st.PeerMisses
+		agg.PeerServed += st.PeerServed
+		agg.PeerServedHits += st.PeerServedHits
+		agg.LayerEnabled = agg.LayerEnabled || st.LayerEnabled
+		agg.LayerHits += st.LayerHits
+		agg.LayerMisses += st.LayerMisses
+		agg.LayerEvictions += st.LayerEvictions
+		agg.LayerLen += st.LayerLen
+		agg.LayerInvalidations += st.LayerInvalidations
+		agg.ShedQueueFull += st.ShedQueueFull
+		agg.ShedDeadline += st.ShedDeadline
+		agg.ShedDraining += st.ShedDraining
+		agg.QueueDepth += st.QueueDepth
+		if st.PeakQueue > agg.PeakQueue {
+			agg.PeakQueue = st.PeakQueue
+		}
+		agg.Workers += st.Workers
+		agg.QueueLimit += st.QueueLimit
+		agg.InFlight += st.InFlight
+		agg.RetriedRequests += st.RetriedRequests
+		agg.RetryAttempts += st.RetryAttempts
+		agg.HedgedRequests += st.HedgedRequests
+		agg.AttribJ += st.AttribJ
+		agg.AttribP99J += st.AttribP99J
+		agg.Latency.Count += st.Latency.Count
+		latWeighted += st.Latency.MeanMs * float64(st.Latency.Count)
+		if st.Latency.P50Ms > agg.Latency.P50Ms {
+			agg.Latency.P50Ms = st.Latency.P50Ms
+		}
+		if st.Latency.P99Ms > agg.Latency.P99Ms {
+			agg.Latency.P99Ms = st.Latency.P99Ms
+		}
+		if st.Latency.MaxMs > agg.Latency.MaxMs {
+			agg.Latency.MaxMs = st.Latency.MaxMs
+		}
+	}
+	if fs.Aggregate.Latency.Count > 0 {
+		fs.Aggregate.Latency.MeanMs = latWeighted / float64(fs.Aggregate.Latency.Count)
+	}
+	if total := fs.Aggregate.MemoHits + fs.Aggregate.MemoMisses; total > 0 {
+		fs.Aggregate.MemoHitRate = float64(fs.Aggregate.MemoHits) / float64(total)
+	}
+	if total := fs.Aggregate.LayerHits + fs.Aggregate.LayerMisses; total > 0 {
+		fs.Aggregate.LayerHitRate = float64(fs.Aggregate.LayerHits) / float64(total)
+	}
+	return fs
+}
+
+// StartRouter listens on addr ("" means an ephemeral loopback port) and
+// serves a new router for the fleet. It returns the router (for
+// counters/stats), its base URL, and a shutdown func.
+func (f *Fleet) StartRouter(addr string) (*Router, string, func(), error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", nil, fmt.Errorf("fleet: router: %w", err)
+	}
+	rt := NewRouter(f)
+	hs := &http.Server{Handler: rt}
+	done := make(chan struct{})
+	go func() {
+		_ = hs.Serve(ln)
+		close(done)
+	}()
+	shutdown := func() {
+		_ = hs.Close()
+		<-done
+	}
+	return rt, "http://" + ln.Addr().String(), shutdown, nil
+}
