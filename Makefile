@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json vet fmt-check serve-smoke fault-smoke drift-smoke compile-smoke fleet-smoke all
+.PHONY: build test race bench bench-smoke bench-json vet fmt-check serve-smoke fault-smoke drift-smoke compile-smoke fleet-smoke wire-smoke all
 
 all: build test
 
@@ -40,7 +40,7 @@ bench-smoke:
 # target cheap enough for CI; it tracks trends, not microseconds.
 bench-json:
 	$(GO) test -run '^$$' \
-		-bench 'BenchmarkEvalParallel$$|BenchmarkDaemonEval$$|BenchmarkEvalLayerCache$$|BenchmarkDaemonBatch$$|BenchmarkDriftDetect$$|BenchmarkRecalibrate$$|BenchmarkEvalCompiled$$|BenchmarkEvalInterpreted$$|BenchmarkFleetEval$$|BenchmarkFleetBatch$$' \
+		-bench 'BenchmarkEvalParallel$$|BenchmarkDaemonEval$$|BenchmarkEvalLayerCache$$|BenchmarkDaemonBatch$$|BenchmarkDriftDetect$$|BenchmarkRecalibrate$$|BenchmarkEvalCompiled$$|BenchmarkEvalInterpreted$$|BenchmarkFleetEval$$|BenchmarkFleetBatch$$|BenchmarkWireCodec$$|BenchmarkMemoHitBinary$$|BenchmarkWarmRestart$$' \
 		-benchtime=3x . > .bench_eval.out
 	$(GO) run ./cmd/benchjson -o BENCH_eval.json < .bench_eval.out
 	@rm -f .bench_eval.out
@@ -87,3 +87,14 @@ drift-smoke:
 fleet-smoke:
 	$(GO) test -race -run 'TestFleetKillMidTraceSmoke' -count=1 ./internal/fleet/
 	$(GO) run ./cmd/efleet -smoke
+
+# Wire-protocol smoke: the codec fuzz corpus and interop test prove JSON
+# and binary clients get bit-identical answers through every handler, the
+# snapshot corruption tests prove a damaged or version-skewed snapshot
+# file produces a clean cold start (never garbage), and the short E17 run
+# drives the full path — binary memo hits over TCP and loopback, then a
+# fleet node killed and restarted from its snapshot serving the warm
+# trace with zero re-evaluations. See DESIGN.md §13.
+wire-smoke:
+	$(GO) test -run 'TestWireSmokeInterop|FuzzCodecRoundTrip|TestSnapshot' -count=1 ./internal/eisvc/
+	$(GO) test -run 'TestE17WireShape' -short -count=1 ./internal/experiments/

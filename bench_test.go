@@ -7,6 +7,7 @@ package energyclarity_test
 // evaluation throughput, EIL interpretation overhead, simulator speed).
 
 import (
+	"encoding/json"
 	"net/http/httptest"
 	"testing"
 
@@ -811,6 +812,142 @@ func BenchmarkFleetBatch(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkWireCodec measures encoding + decoding one eval response
+// (memo-hit shaped: a real Monte Carlo distribution) through both wire
+// codecs. The binary codec is the daemon's hot path; JSON is the debug
+// path the binary numbers are compared against. Run with -benchmem: the
+// pooled binary path should allocate a fraction of what JSON does.
+func BenchmarkWireCodec(b *testing.B) {
+	iface := fig1Bench(b)
+	img := core.Record(map[string]core.Value{"pixels": core.Num(1e6), "zeros": core.Num(2e5)})
+	d, err := iface.Eval("handle", []core.Value{img}, core.MonteCarlo(32768, 7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp := eisvc.EvalResponse{
+		Interface: "ml_webservice", Version: 1, Method: "handle",
+		Mode: core.ModeMonteCarlo.String(), Dist: eisvc.ToWire(d), Cached: true,
+	}
+	b.Run("binary", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf := eisvc.GetBuffer()
+			if err := eisvc.EncodeEvalResponse(buf, &resp); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eisvc.DecodeEvalResponse(buf.Bytes()); err != nil {
+				b.Fatal(err)
+			}
+			eisvc.PutBuffer(buf)
+		}
+	})
+	b.Run("json", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			raw, err := json.Marshal(&resp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var out eisvc.EvalResponse
+			if err := json.Unmarshal(raw, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMemoHitBinary measures one memo-served evaluation through the
+// binary codec: over loopback TCP (the fleet's inter-node path) and over
+// the in-process loopback transport (the fleet's same-process and
+// embedded path, where the sub-10 µs memo hit lives). Compare against
+// BenchmarkDaemonEval/memo-hit, the JSON-over-TCP baseline.
+func BenchmarkMemoHitBinary(b *testing.B) {
+	const samples = 32768
+	srv := eisvc.NewServer(eisvc.Config{})
+	if _, err := srv.Registry().RegisterInterface("ml_webservice", fig1Bench(b)); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	img := core.Record(map[string]core.Value{"pixels": core.Num(1e6), "zeros": core.Num(2e5)})
+	args := []core.Value{img}
+	opts := core.MonteCarlo(samples, 7)
+	if _, _, err := eisvc.NewClient(ts.URL).Eval("ml_webservice", "handle", args, opts); err != nil {
+		b.Fatal(err) // warm the memo
+	}
+	run := func(b *testing.B, c *eisvc.Client) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, resp, err := c.Eval("ml_webservice", "handle", args, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !resp.Cached {
+				b.Fatal("repeated request missed the memo")
+			}
+		}
+	}
+	b.Run("tcp", func(b *testing.B) {
+		c := eisvc.NewClient(ts.URL)
+		c.Binary = true
+		run(b, c)
+	})
+	b.Run("loopback", func(b *testing.B) {
+		c := eisvc.NewClient("http://loopback")
+		c.SetTransport(eisvc.NewLoopbackTransport(srv))
+		c.Binary = true
+		run(b, c)
+	})
+}
+
+// BenchmarkWarmRestart measures restart recovery: saving a warm daemon's
+// caches to the snapshot file and loading them into a cold daemon — the
+// work a restarted fleet node does before it serves its first warm
+// answer. The memo holds a realistic working set of Monte Carlo
+// distributions.
+func BenchmarkWarmRestart(b *testing.B) {
+	const entries = 512
+	iface := fig1Bench(b)
+	src := eisvc.NewServer(eisvc.Config{MemoCapacity: entries})
+	if _, err := src.Registry().RegisterInterface("ml_webservice", iface); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(src)
+	defer ts.Close()
+	c := eisvc.NewClient(ts.URL)
+	for k := 0; k < entries; k++ {
+		img := core.Record(map[string]core.Value{
+			"pixels": core.Num(1e6), "zeros": core.Num(float64(100 * (k + 1))),
+		})
+		if _, _, err := c.Eval("ml_webservice", "handle", []core.Value{img}, core.MonteCarlo(1024, 7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	path := b.TempDir() + "/warm.eisnap"
+	b.Run("save", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := src.SaveCacheSnapshot(path); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if err := src.SaveCacheSnapshot(path); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("load", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dst := eisvc.NewServer(eisvc.Config{MemoCapacity: entries})
+			memoN, _, err := dst.LoadCacheSnapshot(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if memoN != entries {
+				b.Fatalf("loaded %d entries, want %d", memoN, entries)
+			}
+		}
+	})
 }
 
 // --- shared fixtures ---

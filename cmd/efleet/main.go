@@ -10,7 +10,7 @@
 //
 //	efleet [-addr host:port] [-nodes n] [-replication r] [-vnodes n]
 //	       [-workers n] [-queue n] [-memo n] [-deadline d]
-//	       [-fig1] [-load file.eil]... [-drain-timeout d]
+//	       [-snapshot-dir dir] [-fig1] [-load file.eil]... [-drain-timeout d]
 //	efleet -smoke     self-test: boot a 3-node in-process fleet, kill a
 //	                  replica owner mid-trace, assert every request is
 //	                  answered bit-identically, exit
@@ -66,6 +66,7 @@ func run(args []string, out io.Writer) error {
 	queue := fs.Int("queue", 0, "per-node admission queue depth limit (0 = default 64)")
 	memo := fs.Int("memo", 0, "per-node memo cache capacity (0 = default 1024)")
 	deadline := fs.Duration("deadline", 0, "per-node default queue-wait deadline (0 = 5s)")
+	snapshotDir := fs.String("snapshot-dir", "", "persistent per-node cache snapshots: nodes warm-start from <dir>/<id>.eisnap and save on drain")
 	fig1 := fs.Bool("fig1", false, "seed the calibrated Fig. 1 cnn_forward hardware interface fleet-wide")
 	smoke := fs.Bool("smoke", false, "self-test: kill a replica owner mid-trace, then exit")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "how long a SIGTERM drain waits per node")
@@ -85,6 +86,7 @@ func run(args []string, out io.Writer) error {
 			MemoCapacity:    *memo,
 			DefaultDeadline: *deadline,
 		},
+		SnapshotDir: *snapshotDir,
 	})
 	if err != nil {
 		return err
@@ -126,14 +128,14 @@ func run(args []string, out io.Writer) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
-	return serve(f, rt, *drainTimeout, sig, out)
+	return serve(f, rt, *drainTimeout, *snapshotDir != "", sig, out)
 }
 
 // serve blocks until a shutdown signal, then drains every node: each
 // daemon sheds new evaluations with 503 (so retrying clients fail over
 // through the router while it lasts) and finishes its in-flight work
 // before the fleet closes.
-func serve(f *fleet.Fleet, rt *fleet.Router, drainTimeout time.Duration, sig <-chan os.Signal, out io.Writer) error {
+func serve(f *fleet.Fleet, rt *fleet.Router, drainTimeout time.Duration, snapshots bool, sig <-chan os.Signal, out io.Writer) error {
 	s := <-sig
 	fmt.Fprintf(out, "efleet: %v — draining %d node(s) (timeout %v)\n", s, len(f.LiveNodes()), drainTimeout)
 	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
@@ -149,6 +151,13 @@ func serve(f *fleet.Fleet, rt *fleet.Router, drainTimeout time.Duration, sig <-c
 		}(n)
 	}
 	wg.Wait()
+	if snapshots {
+		if err := f.SaveCacheSnapshots(); err != nil {
+			fmt.Fprintf(out, "efleet: snapshot save failed: %v\n", err)
+		} else {
+			fmt.Fprintln(out, "efleet: cache snapshots saved")
+		}
+	}
 	c := rt.Counters()
 	fmt.Fprintf(out, "efleet: drained; routed %d request(s), %d failover(s); bye\n", c.Routed, c.Failovers)
 	return nil

@@ -49,7 +49,7 @@ func TestServeDrainsOnSignal(t *testing.T) {
 	sig := make(chan os.Signal, 1)
 	var out strings.Builder
 	done := make(chan error, 1)
-	go func() { done <- serve(f, rt, 5*time.Second, sig, &out) }()
+	go func() { done <- serve(f, rt, 5*time.Second, false, sig, &out) }()
 	sig <- syscall.SIGTERM
 	select {
 	case err := <-done:

@@ -9,6 +9,7 @@
 //	eid [-addr host:port] [-workers n] [-queue n] [-memo n] [-layer n]
 //	    [-no-layer-cache] [-deadline d] [-max-samples n] [-fig1]
 //	    [-recal] [-drift-window n] [-recal-interval d]
+//	    [-snapshot file.eisnap] [-snapshot-interval d]
 //	    [-drain-timeout d] [-load file.eil]...
 //	eid -smoke        self-test: serve on a loopback port, register the
 //	                  Fig. 1 interface, query it, assert a 200, exit
@@ -83,6 +84,8 @@ func run(args []string, out io.Writer) error {
 	driftWindow := fs.Int("drift-window", 0, "drift monitor warmup window in samples (0 = default 8)")
 	recalInterval := fs.Duration("recal-interval", time.Second, "drift probe interval in serve mode")
 	smoke := fs.Bool("smoke", false, "self-test against a loopback listener, then exit")
+	snapshot := fs.String("snapshot", "", "persistent cache snapshot file: load at boot (cold start if missing or corrupt), rewrite periodically and on drain")
+	snapInterval := fs.Duration("snapshot-interval", time.Minute, "how often -snapshot is rewritten while serving")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "how long a SIGTERM drain waits for in-flight evaluations")
 	var loads stringList
 	fs.Var(&loads, "load", "register an .eil file at startup (repeatable)")
@@ -129,6 +132,20 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "eid: %s: registered %v\n", path, names)
 	}
 
+	if *snapshot != "" {
+		memoN, layerN, err := srv.LoadCacheSnapshot(*snapshot)
+		switch {
+		case err == nil:
+			fmt.Fprintf(out, "eid: warm start: %d memo + %d layer entries from %s\n", memoN, layerN, *snapshot)
+		case os.IsNotExist(err):
+			fmt.Fprintf(out, "eid: no snapshot at %s yet; starting cold\n", *snapshot)
+		default:
+			// Corruption is detected, logged, and ignored: never serve from
+			// a file that fails verification.
+			fmt.Fprintf(out, "eid: snapshot rejected (%v); starting cold\n", err)
+		}
+	}
+
 	if *smoke {
 		if err := runSmoke(srv, out); err != nil {
 			return err
@@ -142,6 +159,13 @@ func run(args []string, out io.Writer) error {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
+	}
+	if *snapshot != "" {
+		stopSnap := srv.StartSnapshotLoop(*snapshot, *snapInterval, func(err error) {
+			fmt.Fprintf(out, "eid: snapshot save failed: %v\n", err)
+		})
+		// Runs after serve's drain completes: the final on-drain snapshot.
+		defer stopSnap()
 	}
 	fmt.Fprintf(out, "eid: serving on http://%s (%d interface(s) registered)\n",
 		ln.Addr(), srv.Registry().Len())
@@ -347,13 +371,31 @@ func runSmoke(srv *eisvc.Server, out io.Writer) error {
 	} else if resp.Cached {
 		return fmt.Errorf("smoke: first monte-carlo eval claimed a memo hit")
 	}
-	_, resp, err := c.Eval("ml_webservice", "handle", args, mc)
+	dmc, resp, err := c.Eval("ml_webservice", "handle", args, mc)
 	if err != nil {
 		return fmt.Errorf("smoke eval (repeat): %w", err)
 	}
 	if !resp.Cached {
 		return fmt.Errorf("smoke: repeated monte-carlo eval missed the memo")
 	}
+
+	// The binary codec must interoperate with the JSON path bit for bit:
+	// the same ask through a binary client is memo-served with the exact
+	// distribution the JSON client got.
+	bc := eisvc.NewClient("http://" + ln.Addr().String())
+	bc.ID = "serve-smoke-bin"
+	bc.Binary = true
+	bd, bresp, err := bc.Eval("ml_webservice", "handle", args, mc)
+	if err != nil {
+		return fmt.Errorf("smoke eval (binary): %w", err)
+	}
+	if !bresp.Cached {
+		return fmt.Errorf("smoke: binary repeat missed the memo")
+	}
+	if !bd.Equal(dmc, 0) {
+		return fmt.Errorf("smoke: binary answer differs from the JSON answer")
+	}
+	fmt.Fprintln(out, "eid: binary codec ok — memo-served, bit-identical to JSON")
 
 	// Batch: two duplicates and one distinct ask in one round trip; the
 	// duplicate must come back deduplicated, the rest must answer.

@@ -84,6 +84,28 @@ func (s *Sharded[V]) Len() int {
 	return n
 }
 
+// Each calls fn for every entry, shard by shard (within a shard, from
+// most- to least-recently used), stopping early if fn returns false.
+// Each shard stays locked for its own scan only; fn must not call back
+// into the cache.
+func (s *Sharded[V]) Each(fn func(key string, val V) bool) {
+	for i := range s.shards {
+		stop := false
+		s.shards[i].mu.Lock()
+		s.shards[i].store.Each(func(key string, val V) bool {
+			if !fn(key, val) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		s.shards[i].mu.Unlock()
+		if stop {
+			return
+		}
+	}
+}
+
 // Purge drops every entry in every shard, keeping the counters.
 func (s *Sharded[V]) Purge() {
 	for i := range s.shards {

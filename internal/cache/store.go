@@ -74,6 +74,18 @@ func (s *Store[V]) Put(key string, val V) (evicted bool) {
 	return false
 }
 
+// Each calls fn for every entry from most- to least-recently used,
+// stopping early if fn returns false. Iteration does not touch recency
+// or the counters; fn must not mutate the store.
+func (s *Store[V]) Each(fn func(key string, val V) bool) {
+	for el := s.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*storeEntry[V])
+		if !fn(e.key, e.val) {
+			return
+		}
+	}
+}
+
 // Purge drops every entry, keeping the counters.
 func (s *Store[V]) Purge() {
 	s.ll.Init()

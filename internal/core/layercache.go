@@ -95,6 +95,36 @@ func (l *LayerCache) NoteInvalidation() { l.invalidations.Add(1) }
 // Purge drops every entry.
 func (l *LayerCache) Purge() { l.store.Purge() }
 
+// LayerEntry is one persisted layer-cache entry: the full compositional
+// key (subtree version fold, method, abstracted args, ECV assignment)
+// and the memoized scalar result.
+type LayerEntry struct {
+	Key    string
+	Joules float64
+}
+
+// Snapshot copies every live entry out of the cache, for persistence
+// across restarts. Keys embed subtree version folds, so restoring a
+// snapshot taken before a rebind is harmless: stale entries are keyed
+// by versions nothing references anymore and age out of the LRU.
+func (l *LayerCache) Snapshot() []LayerEntry {
+	out := make([]LayerEntry, 0, l.store.Len())
+	l.store.Each(func(key string, v float64) bool {
+		out = append(out, LayerEntry{Key: key, Joules: v})
+		return true
+	})
+	return out
+}
+
+// Restore inserts snapshot entries into the cache (subject to the normal
+// capacity bound) and returns how many were installed.
+func (l *LayerCache) Restore(entries []LayerEntry) int {
+	for _, e := range entries {
+		l.store.Put(e.Key, e.Joules)
+	}
+	return len(entries)
+}
+
 func (l *LayerCache) get(key string) (float64, bool) { return l.store.Get(key) }
 func (l *LayerCache) put(key string, v float64)      { l.store.Put(key, v) }
 

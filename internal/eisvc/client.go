@@ -80,6 +80,12 @@ type Client struct {
 	// delay for idempotent calls still in flight — the classic
 	// tail-latency hedge. The first answer wins; the loser is cancelled.
 	Hedge time.Duration
+	// Binary switches the hot-path calls (Eval, EvalBatch, CacheLookup)
+	// to the length-prefixed binary codec: the request body is sent as
+	// BinaryContentType and the same is offered in Accept. Requires a
+	// daemon that speaks the codec; everything else (register, stats,
+	// drift, ...) stays on the JSON debug path regardless.
+	Binary bool
 
 	retries   atomic.Uint64
 	hedges    atomic.Uint64
@@ -96,6 +102,9 @@ func NewClient(base string) *Client {
 // SetTransport replaces the underlying HTTP transport — the hook the
 // fault-injection harness (internal/faultsim) uses to wrap the client.
 func (c *Client) SetTransport(rt http.RoundTripper) { c.http.Transport = rt }
+
+// Base returns the daemon base URL this client targets.
+func (c *Client) Base() string { return c.base }
 
 // DefaultMaxIdleConnsPerHost sizes the per-daemon idle connection pool of
 // a tuned transport. The stock http.DefaultTransport keeps only 2 idle
@@ -173,10 +182,12 @@ func (c *Client) Counters() Counters {
 }
 
 // exchange performs exactly one HTTP round trip and returns the response
-// body. The body is always read to completion (and the error path decoded
-// from it), so the underlying connection is reusable whether or not the
-// caller wants the payload.
-func (c *Client) exchange(ctx context.Context, method, path string, payload []byte, attempt int, hedge bool) ([]byte, error) {
+// body in a pooled buffer (the caller decodes and releases it) plus
+// whether the response came back in the binary codec. The body is always
+// read to completion (and the error path decoded from it), so the
+// underlying connection is reusable whether or not the caller wants the
+// payload.
+func (c *Client) exchange(ctx context.Context, method, path string, payload []byte, ctype, accept string, attempt int, hedge bool) (*bytes.Buffer, bool, error) {
 	if c.Timeout >= 0 {
 		timeout := c.Timeout
 		if timeout == 0 {
@@ -192,10 +203,16 @@ func (c *Client) exchange(ctx context.Context, method, path string, payload []by
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if payload != nil {
-		req.Header.Set("Content-Type", "application/json")
+		if ctype == "" {
+			ctype = "application/json"
+		}
+		req.Header.Set("Content-Type", ctype)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
 	}
 	if c.ID != "" {
 		req.Header.Set(headerClient, c.ID)
@@ -208,16 +225,19 @@ func (c *Client) exchange(ctx context.Context, method, path string, payload []by
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
+	buf := GetBuffer()
+	_, err = buf.ReadFrom(resp.Body)
 	if resp.StatusCode/100 != 2 {
 		apiErr := &APIError{Status: resp.StatusCode, Message: resp.Status}
 		var wire ErrorResponse
-		if json.Unmarshal(data, &wire) == nil && wire.Error != "" {
+		// Errors are always JSON, whatever the request's codec.
+		if json.Unmarshal(buf.Bytes(), &wire) == nil && wire.Error != "" {
 			apiErr.Message = wire.Error
 		}
+		PutBuffer(buf)
 		if ra := resp.Header.Get("Retry-After"); ra != "" {
 			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
 				apiErr.RetryAfter = time.Duration(secs) * time.Second
@@ -226,12 +246,13 @@ func (c *Client) exchange(ctx context.Context, method, path string, payload []by
 		if apiErr.Shed() {
 			c.shed.Add(1)
 		}
-		return nil, apiErr
+		return nil, false, apiErr
 	}
 	if err != nil {
-		return nil, err
+		PutBuffer(buf)
+		return nil, false, err
 	}
-	return data, nil
+	return buf, IsBinaryContentType(resp.Header.Get("Content-Type")), nil
 }
 
 // attempt is one try of the retry loop: a plain exchange, or — for
@@ -240,22 +261,23 @@ func (c *Client) exchange(ctx context.Context, method, path string, payload []by
 // and the loser is cancelled; when the primary fails before the hedge
 // launches there is nothing worth hedging (the retry loop backs off
 // instead), and when both fail the first error is returned.
-func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, attempt int, idempotent bool) ([]byte, error) {
+func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, ctype, accept string, attempt int, idempotent bool) (*bytes.Buffer, bool, error) {
 	if c.Hedge <= 0 || !idempotent {
-		return c.exchange(ctx, method, path, payload, attempt, false)
+		return c.exchange(ctx, method, path, payload, ctype, accept, attempt, false)
 	}
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel() // aborts the loser once a winner returns
 	type result struct {
-		data  []byte
-		err   error
-		hedge bool
+		buf    *bytes.Buffer
+		binary bool
+		err    error
+		hedge  bool
 	}
 	ch := make(chan result, 2)
 	run := func(hedge bool) {
 		go func() {
-			data, err := c.exchange(hctx, method, path, payload, attempt, hedge)
-			ch <- result{data, err, hedge}
+			buf, binary, err := c.exchange(hctx, method, path, payload, ctype, accept, attempt, hedge)
+			ch <- result{buf, binary, err, hedge}
 		}()
 	}
 	run(false)
@@ -276,7 +298,10 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 				if r.hedge {
 					c.hedgeWins.Add(1)
 				}
-				return r.data, nil
+				// A losing sibling still in flight delivers to the buffered
+				// channel and its buffer is simply collected by the GC; only
+				// the winner's buffer returns to the caller (and the pool).
+				return r.buf, r.binary, nil
 			}
 			if firstErr == nil {
 				firstErr = r.err
@@ -285,9 +310,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 				continue // the sibling may still succeed
 			}
 			if !hedged {
-				return nil, r.err // primary failed before the hedge fired
+				return nil, false, r.err // primary failed before the hedge fired
 			}
-			return nil, firstErr
+			return nil, false, firstErr
 		}
 	}
 }
@@ -301,19 +326,14 @@ func retryAfterOf(err error) time.Duration {
 	return 0
 }
 
-// doCtx is the request engine behind every client method: marshal once,
-// then attempt up to Retry.MaxAttempts times (idempotent requests only),
-// sleeping exponential-backoff-with-full-jitter delays between attempts
-// and honoring the server's Retry-After floor.
-func (c *Client) doCtx(ctx context.Context, method, path string, body, out any, idempotent bool) error {
-	var payload []byte
-	if body != nil {
-		b, err := json.Marshal(body)
-		if err != nil {
-			return err
-		}
-		payload = b
-	}
+// do is the request engine behind every client method: attempt up to
+// Retry.MaxAttempts times (idempotent requests only), sleeping
+// exponential-backoff-with-full-jitter delays between attempts and
+// honoring the server's Retry-After floor. payload must stay valid for
+// the whole call (every attempt re-reads it); decode, when non-nil, runs
+// on the winning response body before its pooled buffer is released, so
+// it must copy anything it keeps — both codec paths do.
+func (c *Client) do(ctx context.Context, method, path string, payload []byte, ctype, accept string, decode func(data []byte, binary bool) error, idempotent bool) error {
 	attempts := 1
 	if idempotent {
 		attempts = c.Retry.attempts()
@@ -329,12 +349,15 @@ func (c *Client) doCtx(ctx context.Context, method, path string, body, out any, 
 				return ctx.Err()
 			}
 		}
-		data, err := c.attempt(ctx, method, path, payload, attempt, idempotent)
+		buf, binary, err := c.attempt(ctx, method, path, payload, ctype, accept, attempt, idempotent)
 		if err == nil {
-			if out == nil {
+			if decode == nil {
+				PutBuffer(buf)
 				return nil
 			}
-			return json.Unmarshal(data, out)
+			derr := decode(buf.Bytes(), binary)
+			PutBuffer(buf)
+			return derr
 		}
 		lastErr = err
 		if ctx.Err() != nil {
@@ -347,6 +370,38 @@ func (c *Client) doCtx(ctx context.Context, method, path string, body, out any, 
 		}
 	}
 	return lastErr
+}
+
+// doCtx is the JSON spelling of do: marshal the body once through a
+// pooled buffer, unmarshal the answer into out.
+func (c *Client) doCtx(ctx context.Context, method, path string, body, out any, idempotent bool) error {
+	var payload []byte
+	if body != nil {
+		pb := GetBuffer()
+		defer PutBuffer(pb)
+		if err := json.NewEncoder(pb).Encode(body); err != nil {
+			return err
+		}
+		payload = pb.Bytes()
+	}
+	var decode func(data []byte, binary bool) error
+	if out != nil {
+		decode = func(data []byte, _ bool) error { return json.Unmarshal(data, out) }
+	}
+	return c.do(ctx, method, path, payload, "application/json", "", decode, idempotent)
+}
+
+// doBin is the binary spelling of do for the hot-path endpoints: encode
+// fills the pooled request buffer with a binary frame, decode parses the
+// response by the codec the server actually chose (binary when our
+// Accept was honored; JSON from a daemon that pre-dates the codec).
+func (c *Client) doBin(ctx context.Context, path string, encode func(*bytes.Buffer) error, decode func(data []byte, binary bool) error, idempotent bool) error {
+	pb := GetBuffer()
+	defer PutBuffer(pb)
+	if err := encode(pb); err != nil {
+		return err
+	}
+	return c.do(ctx, http.MethodPost, path, pb.Bytes(), BinaryContentType, BinaryContentType, decode, idempotent)
 }
 
 // Health checks the daemon is up.
@@ -465,7 +520,25 @@ func (c *Client) EvalCtx(ctx context.Context, name, method string, args []core.V
 	req := c.EvalRequestFor(name, method, args, opts)
 	req.DeadlineMs = int(c.Deadline / time.Millisecond)
 	var resp EvalResponse
-	if err := c.doCtx(ctx, http.MethodPost, "/v1/eval", req, &resp, true); err != nil {
+	var err error
+	if c.Binary {
+		err = c.doBin(ctx, "/v1/eval",
+			func(pb *bytes.Buffer) error { return EncodeEvalRequest(pb, &req) },
+			func(data []byte, binary bool) error {
+				if !binary {
+					return json.Unmarshal(data, &resp)
+				}
+				r, derr := DecodeEvalResponse(data)
+				if derr != nil {
+					return derr
+				}
+				resp = *r
+				return nil
+			}, true)
+	} else {
+		err = c.doCtx(ctx, http.MethodPost, "/v1/eval", req, &resp, true)
+	}
+	if err != nil {
 		return energy.Dist{}, nil, err
 	}
 	d, err := resp.Dist.Dist()
@@ -497,7 +570,26 @@ func (c *Client) EvalBatchCtx(ctx context.Context, reqs []EvalRequest) ([]BatchE
 		}
 	}
 	var resp BatchEvalResponse
-	if err := c.doCtx(ctx, http.MethodPost, "/v1/evalbatch", BatchEvalRequest{Requests: reqs}, &resp, true); err != nil {
+	var err error
+	if c.Binary {
+		breq := BatchEvalRequest{Requests: reqs}
+		err = c.doBin(ctx, "/v1/evalbatch",
+			func(pb *bytes.Buffer) error { return EncodeBatchEvalRequest(pb, &breq) },
+			func(data []byte, binary bool) error {
+				if !binary {
+					return json.Unmarshal(data, &resp)
+				}
+				r, derr := DecodeBatchEvalResponse(data)
+				if derr != nil {
+					return derr
+				}
+				resp = *r
+				return nil
+			}, true)
+	} else {
+		err = c.doCtx(ctx, http.MethodPost, "/v1/evalbatch", BatchEvalRequest{Requests: reqs}, &resp, true)
+	}
+	if err != nil {
 		return nil, err
 	}
 	if len(resp.Results) != len(reqs) {
@@ -542,7 +634,26 @@ func (c *Client) CacheLookup(key string) (energy.Dist, bool, error) {
 // peer must cost less than evaluating locally.
 func (c *Client) CacheLookupCtx(ctx context.Context, key string) (energy.Dist, bool, error) {
 	var resp CacheLookupResponse
-	if err := c.doCtx(ctx, http.MethodPost, "/v1/cachelookup", CacheLookupRequest{Key: key}, &resp, true); err != nil {
+	var err error
+	if c.Binary {
+		req := CacheLookupRequest{Key: key}
+		err = c.doBin(ctx, "/v1/cachelookup",
+			func(pb *bytes.Buffer) error { return EncodeCacheLookupRequest(pb, &req) },
+			func(data []byte, binary bool) error {
+				if !binary {
+					return json.Unmarshal(data, &resp)
+				}
+				r, derr := DecodeCacheLookupResponse(data)
+				if derr != nil {
+					return derr
+				}
+				resp = *r
+				return nil
+			}, true)
+	} else {
+		err = c.doCtx(ctx, http.MethodPost, "/v1/cachelookup", CacheLookupRequest{Key: key}, &resp, true)
+	}
+	if err != nil {
 		return energy.Dist{}, false, err
 	}
 	if !resp.Found || resp.Dist == nil {

@@ -1,6 +1,7 @@
 package eisvc
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -8,6 +9,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -313,9 +315,63 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // --- helpers ---
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Encode through a pooled buffer: one reusable allocation instead of
+	// the encoder's per-call growth, and an exact Content-Length.
+	buf := GetBuffer()
+	defer PutBuffer(buf)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// writeBin answers with a binary frame produced by encode. Encoding
+// failures (an unsupported value type snuck into a payload) fall back to
+// a JSON 500 — the error path stays human-readable.
+func writeBin(w http.ResponseWriter, status int, encode func(*bytes.Buffer) error) {
+	buf := GetBuffer()
+	defer PutBuffer(buf)
+	if err := encode(buf); err != nil {
+		writeError(w, http.StatusInternalServerError, "binary encode: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", BinaryContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// binaryRequest reports whether the request body is a binary frame.
+func binaryRequest(r *http.Request) bool {
+	return IsBinaryContentType(r.Header.Get("Content-Type"))
+}
+
+// wantsBinary reports whether the client asked for a binary answer. The
+// check is a substring match so a multi-valued Accept ("application/
+// x-eisvc-bin, application/json") negotiates correctly.
+func wantsBinary(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), BinaryContentType)
+}
+
+// readBody drains the request body through a pooled buffer and hands the
+// bytes to decode; whatever decode keeps must be a copy (the binary
+// decoders copy everything). A false return means the 400 was written.
+func readBody(w http.ResponseWriter, r *http.Request, decode func(data []byte) error) bool {
+	buf := GetBuffer()
+	defer PutBuffer(buf)
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return false
+	}
+	if err := decode(buf.Bytes()); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -586,7 +642,19 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	var req EvalRequest
-	if !decodeJSON(w, r, &req) {
+	if binaryRequest(r) {
+		ok := readBody(w, r, func(data []byte) error {
+			rq, err := DecodeEvalRequest(data)
+			if err != nil {
+				return err
+			}
+			req = *rq
+			return nil
+		})
+		if !ok {
+			return
+		}
+	} else if !decodeJSON(w, r, &req) {
 		return
 	}
 	iface, version, args, opts, status, msg := s.checkEvalRequest(&req)
@@ -614,6 +682,10 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	}
 	s.ledger.Record(clientID(r), req.Interface, out.dist, out.memoHit || coalesced)
 	s.lat.observe(float64(time.Since(start)) / float64(time.Millisecond))
+	if wantsBinary(r) {
+		writeBin(w, http.StatusOK, func(buf *bytes.Buffer) error { return EncodeEvalResponse(buf, &resp) })
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -634,7 +706,19 @@ func (s *Server) handleEvalBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	var req BatchEvalRequest
-	if !decodeJSON(w, r, &req) {
+	if binaryRequest(r) {
+		ok := readBody(w, r, func(data []byte) error {
+			rq, err := DecodeBatchEvalRequest(data)
+			if err != nil {
+				return err
+			}
+			req = *rq
+			return nil
+		})
+		if !ok {
+			return
+		}
+	} else if !decodeJSON(w, r, &req) {
 		return
 	}
 	if len(req.Requests) == 0 {
@@ -720,6 +804,12 @@ func (s *Server) handleEvalBatch(w http.ResponseWriter, r *http.Request) {
 			kr.out.memoHit || kr.coalesced || items[i].Deduped)
 	}
 	s.lat.observe(float64(time.Since(start)) / float64(time.Millisecond))
+	if wantsBinary(r) {
+		writeBin(w, http.StatusOK, func(buf *bytes.Buffer) error {
+			return EncodeBatchEvalResponse(buf, &BatchEvalResponse{Results: items})
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, BatchEvalResponse{Results: items})
 }
 
@@ -731,7 +821,19 @@ func (s *Server) handleEvalBatch(w http.ResponseWriter, r *http.Request) {
 // free for warm keys).
 func (s *Server) handleCacheLookup(w http.ResponseWriter, r *http.Request) {
 	var req CacheLookupRequest
-	if !decodeJSON(w, r, &req) {
+	if binaryRequest(r) {
+		ok := readBody(w, r, func(data []byte) error {
+			rq, err := DecodeCacheLookupRequest(data)
+			if err != nil {
+				return err
+			}
+			req = *rq
+			return nil
+		})
+		if !ok {
+			return
+		}
+	} else if !decodeJSON(w, r, &req) {
 		return
 	}
 	if req.Key == "" {
@@ -746,6 +848,10 @@ func (s *Server) handleCacheLookup(w http.ResponseWriter, r *http.Request) {
 		resp.Found = true
 		wd := ToWire(d)
 		resp.Dist = &wd
+	}
+	if wantsBinary(r) {
+		writeBin(w, http.StatusOK, func(buf *bytes.Buffer) error { return EncodeCacheLookupResponse(buf, &resp) })
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

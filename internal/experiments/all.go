@@ -33,6 +33,7 @@ func AllTables() ([]*Table, error) {
 		{"E13", func() (*Table, error) { r, err := E13Resilience(false); return tab(r, err) }},
 		{"E14", func() (*Table, error) { r, err := E14Drift(false); return tab(r, err) }},
 		{"E16", func() (*Table, error) { r, err := E16Fleet(false); return tab(r, err) }},
+		{"E17", func() (*Table, error) { r, err := E17Wire(false); return tab(r, err) }},
 		{"A1", func() (*Table, error) { r, err := A1ExactVsMonteCarlo(); return tab(r, err) }},
 		{"A2", func() (*Table, error) { r, err := A2EILVsNative(); return tab(r, err) }},
 		{"A3", func() (*Table, error) { r, err := A3LayeredVsMonolithic(); return tab(r, err) }},

@@ -607,7 +607,7 @@ func TestAllTablesRender(t *testing.T) {
 			t.Errorf("table %s rendered empty", tab.ID)
 		}
 	}
-	for _, id := range []string{"T1", "F1", "F2", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E16", "A1", "A2", "A3"} {
+	for _, id := range []string{"T1", "F1", "F2", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E16", "E17", "A1", "A2", "A3"} {
 		if !seen[id] {
 			t.Errorf("missing table %s", id)
 		}
@@ -619,6 +619,45 @@ func TestAllTablesRender(t *testing.T) {
 // scale-out beats the single node, the warm batch trace loses nothing,
 // rebalancing re-homes shards without re-evaluating, and the kill +
 // partition trace delivers every answer bit-identically.
+// TestE17WireShape always runs the short variant; it asserts the wire
+// contract: all three client paths agree bit for bit, binary beats JSON
+// on the memo hit, the loopback path beats TCP, and a killed-and-
+// restarted node replays the warm trace entirely cache-served with zero
+// re-evaluations, in milliseconds.
+func TestE17WireShape(t *testing.T) {
+	res, err := E17Wire(testing.Short())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InteropMismatches != 0 {
+		t.Errorf("%d client paths diverged from the JSON reference", res.InteropMismatches)
+	}
+	if res.BinMicros >= res.JSONMicros {
+		t.Errorf("binary memo hit (%.1f µs) not faster than JSON (%.1f µs)", res.BinMicros, res.JSONMicros)
+	}
+	if res.LoopMicros >= res.BinMicros {
+		t.Errorf("loopback memo hit (%.1f µs) not faster than binary TCP (%.1f µs)", res.LoopMicros, res.BinMicros)
+	}
+	if res.BinBytes >= res.JSONBytes {
+		t.Errorf("binary response (%d B) not smaller than JSON (%d B)", res.BinBytes, res.JSONBytes)
+	}
+	if res.SnapshotMemo == 0 {
+		t.Error("restarted node loaded no memo entries from its snapshot")
+	}
+	if res.RestartMillis > 1000 {
+		t.Errorf("restart recovery took %.1f ms, want well under a second", res.RestartMillis)
+	}
+	if got := float64(res.ReplayServed) / float64(res.ReplayTotal); got < 0.95 {
+		t.Errorf("replay only %.0f%% cache-served, want >= 95%%", 100*got)
+	}
+	if res.ReplayEvalDelta != 0 {
+		t.Errorf("replay re-evaluated %d times, want 0", res.ReplayEvalDelta)
+	}
+	if res.ReplayMismatches != 0 {
+		t.Errorf("%d replay answers diverged from the pre-restart reference", res.ReplayMismatches)
+	}
+}
+
 func TestE16FleetShape(t *testing.T) {
 	res, err := E16Fleet(true)
 	if err != nil {

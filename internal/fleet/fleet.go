@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
@@ -49,6 +50,12 @@ type Config struct {
 	// accepted connection is dropped (faultsim.FlakyListener) — fleet-wide
 	// low-level network flakiness for resilience tests.
 	FlakyEvery int
+	// SnapshotDir, when set, turns on persistent warm-start caches: each
+	// node loads <dir>/<id>.eisnap at boot (a missing or corrupt file
+	// means a cold start, never an error), DrainNode saves one after the
+	// drain completes, and RestartNode recovers a killed node's memo from
+	// its last snapshot instead of re-homing every key over HTTP.
+	SnapshotDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -169,13 +176,78 @@ func (f *Fleet) startNode(id string) (*Node, error) {
 	n.peer = eisvc.NewClient(n.URL).TuneTransport(eisvc.TransportTuning{})
 	n.peer.ID = "fleet-peer"
 	n.peer.Timeout = f.cfg.PeerTimeout
+	// Peer probes ride the binary codec: both ends are the same build, and
+	// a probe is pure hot path — nothing to debug, everything to shave.
+	n.peer.Binary = true
 	if !f.cfg.NoPeerForwarding {
 		srv.SetPeerLookup(f.peerLookupFor(id))
+	}
+	if path := f.snapshotPath(id); path != "" {
+		// Load errors (missing file, corruption) mean a cold start; the
+		// snapshot layer guarantees a rejected file installs nothing.
+		_, _, _ = srv.LoadCacheSnapshot(path)
 	}
 	go func() {
 		_ = n.hs.Serve(fl)
 		close(n.done)
 	}()
+	return n, nil
+}
+
+// snapshotPath returns node id's snapshot file, or "" when the fleet has
+// no snapshot directory configured.
+func (f *Fleet) snapshotPath(id string) string {
+	if f.cfg.SnapshotDir == "" {
+		return ""
+	}
+	return filepath.Join(f.cfg.SnapshotDir, id+".eisnap")
+}
+
+// SaveCacheSnapshots persists every reachable node's caches to the
+// fleet's snapshot directory, returning the first error encountered.
+func (f *Fleet) SaveCacheSnapshots() error {
+	if f.cfg.SnapshotDir == "" {
+		return fmt.Errorf("fleet: no SnapshotDir configured")
+	}
+	var first error
+	for _, n := range f.Nodes() {
+		if !n.reachable() {
+			continue
+		}
+		if err := n.Server.SaveCacheSnapshot(f.snapshotPath(n.ID)); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// RestartNode replaces a killed node with a fresh daemon of the same ID
+// on a new port: the crash-recovery path. The replacement loads the
+// node's persisted cache snapshot (when the fleet has a SnapshotDir),
+// pulls the current registry from any reachable peer, and inherits its
+// old shards directly — KillNode deliberately leaves the corpse's ring
+// points in place so the restart owns exactly what the crash dropped.
+func (f *Fleet) RestartNode(id string) (*Node, error) {
+	f.mu.RLock()
+	old, ok := f.nodes[id]
+	f.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("fleet: no node %s", id)
+	}
+	if old.getState() != stateDead {
+		return nil, fmt.Errorf("fleet: node %s is not dead", id)
+	}
+	n, err := f.startNode(id)
+	if err != nil {
+		return nil, err
+	}
+	if src := f.anyReachable(); src != nil {
+		n.Server.ApplyRegistrySnapshot(src.Server.Registry().Snapshot())
+	}
+	f.mu.Lock()
+	f.nodes[id] = n
+	f.ring.Add(id) // idempotent: a no-op here unless the node had been removed
+	f.mu.Unlock()
 	return n, nil
 }
 
@@ -219,7 +291,15 @@ func (f *Fleet) DrainNode(ctx context.Context, id string) error {
 	f.ring.Remove(id)
 	f.mu.Unlock()
 	n.setState(stateDraining)
-	return n.Server.Drain(ctx)
+	err := n.Server.Drain(ctx)
+	if path := f.snapshotPath(id); path != "" {
+		// The on-drain snapshot: the drained node's warm memo persists so a
+		// later restart (or an operator re-adding the box) starts warm.
+		if serr := n.Server.SaveCacheSnapshot(path); err == nil {
+			err = serr
+		}
+	}
+	return err
 }
 
 // KillNode abruptly stops a node: listener and all connections close

@@ -27,10 +27,12 @@ import (
 type Router struct {
 	f   *Fleet
 	fwd *http.Client
+	aff *affinity
 
-	routed    atomic.Uint64 // evaluation requests routed
-	failovers atomic.Uint64 // candidates skipped after a failure
-	exhausted atomic.Uint64 // requests no candidate could serve
+	routed       atomic.Uint64 // evaluation requests routed
+	failovers    atomic.Uint64 // candidates skipped after a failure
+	exhausted    atomic.Uint64 // requests no candidate could serve
+	affinityHits atomic.Uint64 // evals steered to their last-serving node
 }
 
 // NewRouter returns a router over the fleet.
@@ -40,22 +42,25 @@ func NewRouter(f *Fleet) *Router {
 		// One pooled transport serves all nodes; MaxIdleConnsPerHost is the
 		// satellite tuning that keeps fan-out off the dialer's hot path.
 		fwd: &http.Client{Transport: eisvc.NewTransport(eisvc.TransportTuning{})},
+		aff: newAffinity(0),
 	}
 }
 
 // RouterCounters is a snapshot of the router's routing counters.
 type RouterCounters struct {
-	Routed    uint64
-	Failovers uint64
-	Exhausted uint64
+	Routed       uint64
+	Failovers    uint64
+	Exhausted    uint64
+	AffinityHits uint64
 }
 
 // Counters returns the router's routing counters.
 func (rt *Router) Counters() RouterCounters {
 	return RouterCounters{
-		Routed:    rt.routed.Load(),
-		Failovers: rt.failovers.Load(),
-		Exhausted: rt.exhausted.Load(),
+		Routed:       rt.routed.Load(),
+		Failovers:    rt.failovers.Load(),
+		Exhausted:    rt.exhausted.Load(),
+		AffinityHits: rt.affinityHits.Load(),
 	}
 }
 
@@ -87,7 +92,7 @@ func (rt *Router) forward(ctx context.Context, n *Node, r *http.Request, body []
 	if err != nil {
 		return nil, err
 	}
-	for _, h := range []string{"Content-Type", "X-Eisvc-Client", "X-Eisvc-Attempt", "X-Eisvc-Hedge"} {
+	for _, h := range []string{"Content-Type", "Accept", "X-Eisvc-Client", "X-Eisvc-Attempt", "X-Eisvc-Hedge"} {
 		if v := r.Header.Get(h); v != "" {
 			req.Header.Set(h, v)
 		}
@@ -117,9 +122,10 @@ func shedFailover(status int) bool {
 }
 
 // tryCandidates forwards body to each candidate in order until one
-// yields a non-shed response. It returns nil when every candidate failed
-// at the transport level or shed.
-func (rt *Router) tryCandidates(w http.ResponseWriter, r *http.Request, body []byte, candidates []*Node) bool {
+// yields a non-shed response; onServed (optional) learns which node
+// answered before the response relays. It returns false when every
+// candidate failed at the transport level or shed.
+func (rt *Router) tryCandidates(w http.ResponseWriter, r *http.Request, body []byte, candidates []*Node, onServed func(n *Node)) bool {
 	for i, n := range candidates {
 		if i > 0 {
 			rt.failovers.Add(1)
@@ -131,6 +137,9 @@ func (rt *Router) tryCandidates(w http.ResponseWriter, r *http.Request, body []b
 		if shedFailover(resp.StatusCode) && i < len(candidates)-1 {
 			resp.Body.Close()
 			continue
+		}
+		if onServed != nil && resp.StatusCode/100 == 2 {
+			onServed(n)
 		}
 		relay(w, resp)
 		return true
@@ -207,12 +216,48 @@ func (rt *Router) handleEval(w http.ResponseWriter, r *http.Request) {
 		rt.badRequest(w, "read body: %v", err)
 		return
 	}
+	// Binary bodies route without re-encoding: decode once for placement,
+	// then forward the client's exact bytes. The decoded request carries
+	// the same Go value shapes as a JSON decode, so spreadHash agrees
+	// across codecs and a mixed JSON/binary client population still lands
+	// identical requests on the same replica.
 	var req eisvc.EvalRequest
-	if err := json.Unmarshal(body, &req); err != nil {
+	if eisvc.IsBinaryContentType(r.Header.Get("Content-Type")) {
+		rq, err := eisvc.DecodeEvalRequest(body)
+		if err != nil {
+			rt.badRequest(w, "bad binary request body: %v", err)
+			return
+		}
+		req = *rq
+	} else if err := json.Unmarshal(body, &req); err != nil {
 		rt.badRequest(w, "bad request body: %v", err)
 		return
 	}
-	if !rt.tryCandidates(w, r, body, rt.candidatesFor(req.Interface, spreadHash(&req))) {
+
+	spread := spreadHash(&req)
+	cands := rt.candidatesFor(req.Interface, spread)
+	// Memo affinity: if some node already served this exact request, its
+	// memo is warm — try it first regardless of ring order.
+	affKey := hash64(req.Interface) ^ spread
+	affID, affKnown := rt.aff.get(affKey)
+	if affKnown {
+		for i, n := range cands {
+			if n.ID == affID {
+				if i > 0 {
+					copy(cands[1:i+1], cands[0:i])
+					cands[0] = n
+				}
+				break
+			}
+		}
+	}
+	ok := rt.tryCandidates(w, r, body, cands, func(n *Node) {
+		if affKnown && n.ID == affID {
+			rt.affinityHits.Add(1)
+		}
+		rt.aff.put(affKey, n.ID)
+	})
+	if !ok {
 		rt.writeExhausted(w, "eval of "+req.Interface)
 	}
 }
@@ -224,9 +269,23 @@ func (rt *Router) handleEval(w http.ResponseWriter, r *http.Request) {
 // not errors.
 func (rt *Router) handleEvalBatch(w http.ResponseWriter, r *http.Request) {
 	rt.routed.Add(1)
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		rt.badRequest(w, "read body: %v", err)
+		return
+	}
+	// Sub-batches re-encode in the inbound codec, so binary clients stay
+	// binary hop to hop and JSON clients stay debuggable end to end.
+	binary := eisvc.IsBinaryContentType(r.Header.Get("Content-Type"))
 	var req eisvc.BatchEvalRequest
-	dec := json.NewDecoder(r.Body)
-	if err := dec.Decode(&req); err != nil {
+	if binary {
+		rq, err := eisvc.DecodeBatchEvalRequest(raw)
+		if err != nil {
+			rt.badRequest(w, "bad binary request body: %v", err)
+			return
+		}
+		req = *rq
+	} else if err := json.Unmarshal(raw, &req); err != nil {
 		rt.badRequest(w, "bad request body: %v", err)
 		return
 	}
@@ -257,10 +316,22 @@ func (rt *Router) handleEvalBatch(w http.ResponseWriter, r *http.Request) {
 			for j, i := range idxs {
 				sub.Requests[j] = req.Requests[i]
 			}
-			body, err := json.Marshal(sub)
-			if err != nil {
-				rt.failGroup(results, idxs, &req, "marshal sub-batch: "+err.Error())
-				return
+			var body []byte
+			if binary {
+				buf := eisvc.GetBuffer()
+				defer eisvc.PutBuffer(buf)
+				if err := eisvc.EncodeBatchEvalRequest(buf, &sub); err != nil {
+					rt.failGroup(results, idxs, &req, "encode sub-batch: "+err.Error())
+					return
+				}
+				body = buf.Bytes()
+			} else {
+				b, err := json.Marshal(sub)
+				if err != nil {
+					rt.failGroup(results, idxs, &req, "marshal sub-batch: "+err.Error())
+					return
+				}
+				body = b
 			}
 			items, ok := rt.forwardBatch(r, pref, body, len(idxs))
 			if !ok {
@@ -274,7 +345,18 @@ func (rt *Router) handleEvalBatch(w http.ResponseWriter, r *http.Request) {
 		}(pref, idxs)
 	}
 	wg.Wait()
-	writeJSON(w, http.StatusOK, eisvc.BatchEvalResponse{Results: results})
+	out := eisvc.BatchEvalResponse{Results: results}
+	if eisvc.IsBinaryContentType(r.Header.Get("Accept")) {
+		buf := eisvc.GetBuffer()
+		defer eisvc.PutBuffer(buf)
+		if err := eisvc.EncodeBatchEvalResponse(buf, &out); err == nil {
+			w.Header().Set("Content-Type", eisvc.BinaryContentType)
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(buf.Bytes())
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // forwardBatch sends one sub-batch to its preferred node, failing over
@@ -304,12 +386,22 @@ func (rt *Router) forwardBatch(r *http.Request, pref string, body []byte, want i
 			continue
 		}
 		data, err := io.ReadAll(resp.Body)
+		ctype := resp.Header.Get("Content-Type")
 		resp.Body.Close()
 		if err != nil || resp.StatusCode/100 != 2 {
 			continue
 		}
 		var out eisvc.BatchEvalResponse
-		if json.Unmarshal(data, &out) != nil || len(out.Results) != want {
+		if eisvc.IsBinaryContentType(ctype) {
+			dec, err := eisvc.DecodeBatchEvalResponse(data)
+			if err != nil {
+				continue
+			}
+			out = *dec
+		} else if json.Unmarshal(data, &out) != nil {
+			continue
+		}
+		if len(out.Results) != want {
 			continue
 		}
 		return out.Results, true
@@ -401,9 +493,10 @@ type FleetStats struct {
 	LiveNodes   int `json:"live_nodes"`
 	Replication int `json:"replication"`
 
-	Routed    uint64 `json:"routed"`
-	Failovers uint64 `json:"failovers"`
-	Exhausted uint64 `json:"exhausted"`
+	Routed       uint64 `json:"routed"`
+	Failovers    uint64 `json:"failovers"`
+	Exhausted    uint64 `json:"exhausted"`
+	AffinityHits uint64 `json:"affinity_hits"`
 
 	Aggregate eisvc.StatsResponse             `json:"aggregate"`
 	PerNode   map[string]*eisvc.StatsResponse `json:"per_node"`
@@ -419,12 +512,13 @@ func (rt *Router) Stats(ctx context.Context) *FleetStats {
 	nodes := rt.f.Nodes()
 	c := rt.Counters()
 	fs := &FleetStats{
-		Nodes:       len(nodes),
-		Replication: rt.f.cfg.Replication,
-		Routed:      c.Routed,
-		Failovers:   c.Failovers,
-		Exhausted:   c.Exhausted,
-		PerNode:     map[string]*eisvc.StatsResponse{},
+		Nodes:        len(nodes),
+		Replication:  rt.f.cfg.Replication,
+		Routed:       c.Routed,
+		Failovers:    c.Failovers,
+		Exhausted:    c.Exhausted,
+		AffinityHits: c.AffinityHits,
+		PerNode:      map[string]*eisvc.StatsResponse{},
 	}
 	var latWeighted float64
 	for _, n := range nodes {

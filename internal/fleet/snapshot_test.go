@@ -1,0 +1,146 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"energyclarity/internal/eisvc"
+)
+
+// TestFleetBinaryRoutingAndAffinity: a binary client's requests route
+// through the fleet byte-for-byte identically to a JSON client's, and
+// repeating a request steers it back to the node that served it last
+// (the memo-affinity hint), so the repeat is a memo hit.
+func TestFleetBinaryRoutingAndAffinity(t *testing.T) {
+	f := startFleet(t, Config{Nodes: 3})
+	rt, jsonC := startTestRouter(t, f)
+	if _, err := jsonC.Register(fleetEIL); err != nil {
+		t.Fatal(err)
+	}
+	binC := eisvc.NewClient(jsonC.Base()).TuneTransport(eisvc.TransportTuning{})
+	binC.ID = "fleet-bin"
+	binC.Binary = true
+
+	want := refDists(t, 4)
+	for k := 0; k < 4; k++ {
+		jd, jresp, err := jsonC.Eval("ml_webservice", "handle", traceArgs(k), traceOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitIdentical(t, fmt.Sprintf("json class %d", k), jd, want[k])
+		bd, bresp, err := binC.Eval("ml_webservice", "handle", traceArgs(k), traceOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitIdentical(t, fmt.Sprintf("binary class %d", k), bd, want[k])
+		// The binary repeat of the JSON request must land on the same node
+		// (affinity) and be served from its memo, not re-evaluated.
+		if !bresp.Cached {
+			t.Errorf("class %d: binary repeat was not cache-served", k)
+		}
+		if bresp.Node != jresp.Node {
+			t.Errorf("class %d: binary repeat served by %s, want %s (affinity)", k, bresp.Node, jresp.Node)
+		}
+	}
+	if c := rt.Counters(); c.AffinityHits < 4 {
+		t.Errorf("affinity hits = %d, want >= 4", c.AffinityHits)
+	}
+
+	// Batches through the binary codec answer bit-identically too.
+	reqs := make([]eisvc.EvalRequest, 4)
+	for k := range reqs {
+		reqs[k] = binC.EvalRequestFor("ml_webservice", "handle", traceArgs(k), traceOpts)
+	}
+	items, err := binC.EvalBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, it := range items {
+		if it.Error != "" {
+			t.Fatalf("batch item %d: %s", k, it.Error)
+		}
+		d, err := it.Dist.Dist()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitIdentical(t, fmt.Sprintf("binary batch %d", k), d, want[k])
+	}
+}
+
+// TestFleetRestartFromSnapshot: kill a warm node, restart it, and its
+// memo comes back from the snapshot file — the warm trace replays
+// entirely cache-served, bit-identical, with zero new evaluations.
+func TestFleetRestartFromSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	f := startFleet(t, Config{Nodes: 3, SnapshotDir: dir})
+	_, c := startTestRouter(t, f)
+	if _, err := c.Register(fleetEIL); err != nil {
+		t.Fatal(err)
+	}
+
+	const distinct = 6
+	want := refDists(t, distinct)
+	served := make([]string, distinct)
+	for k := 0; k < distinct; k++ {
+		d, resp, err := c.Eval("ml_webservice", "handle", traceArgs(k), traceOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitIdentical(t, fmt.Sprintf("warmup %d", k), d, want[k])
+		served[k] = resp.Node
+	}
+	if err := f.SaveCacheSnapshots(); err != nil {
+		t.Fatal(err)
+	}
+
+	victim := served[0]
+	if victim == "" {
+		t.Fatal("no node attribution on warmup")
+	}
+	if err := f.KillNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.RestartNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := f.Node(victim)
+	st, err := n.peer.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MemoLen == 0 {
+		t.Fatal("restarted node's memo is empty — snapshot did not load")
+	}
+
+	evalsBefore := totalEvaluations(t, f)
+	for k := 0; k < distinct; k++ {
+		d, resp, err := c.Eval("ml_webservice", "handle", traceArgs(k), traceOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitIdentical(t, fmt.Sprintf("replay %d", k), d, want[k])
+		if !resp.Cached {
+			t.Errorf("replay %d: not cache-served after restart", k)
+		}
+	}
+	if after := totalEvaluations(t, f); after != evalsBefore {
+		t.Errorf("replay re-evaluated: %d -> %d evaluations", evalsBefore, after)
+	}
+}
+
+// totalEvaluations sums actual evaluation work across reachable nodes.
+func totalEvaluations(t *testing.T, f *Fleet) uint64 {
+	t.Helper()
+	var total uint64
+	for _, n := range f.Nodes() {
+		if !n.reachable() {
+			continue
+		}
+		st, err := n.peer.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += st.Evaluations
+	}
+	return total
+}
