@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json vet fmt-check serve-smoke fault-smoke drift-smoke compile-smoke fleet-smoke wire-smoke all
+.PHONY: build test race bench bench-smoke bench-json vet fmt-check serve-smoke fault-smoke drift-smoke compile-smoke fleet-smoke wire-smoke sched-smoke all
 
 all: build test
 
@@ -40,7 +40,7 @@ bench-smoke:
 # target cheap enough for CI; it tracks trends, not microseconds.
 bench-json:
 	$(GO) test -run '^$$' \
-		-bench 'BenchmarkEvalParallel$$|BenchmarkDaemonEval$$|BenchmarkEvalLayerCache$$|BenchmarkDaemonBatch$$|BenchmarkDriftDetect$$|BenchmarkRecalibrate$$|BenchmarkEvalCompiled$$|BenchmarkEvalInterpreted$$|BenchmarkFleetEval$$|BenchmarkFleetBatch$$|BenchmarkWireCodec$$|BenchmarkMemoHitBinary$$|BenchmarkWarmRestart$$' \
+		-bench 'BenchmarkEvalParallel$$|BenchmarkDaemonEval$$|BenchmarkEvalLayerCache$$|BenchmarkDaemonBatch$$|BenchmarkDriftDetect$$|BenchmarkRecalibrate$$|BenchmarkEvalCompiled$$|BenchmarkEvalInterpreted$$|BenchmarkFleetEval$$|BenchmarkFleetBatch$$|BenchmarkWireCodec$$|BenchmarkMemoHitBinary$$|BenchmarkWarmRestart$$|BenchmarkSchedRound$$|BenchmarkSchedPlacementBatch$$' \
 		-benchtime=3x . > .bench_eval.out
 	$(GO) run ./cmd/benchjson -o BENCH_eval.json < .bench_eval.out
 	@rm -f .bench_eval.out
@@ -98,3 +98,15 @@ fleet-smoke:
 wire-smoke:
 	$(GO) test -run 'TestWireSmokeInterop|FuzzCodecRoundTrip|TestSnapshot' -count=1 ./internal/eisvc/
 	$(GO) test -run 'TestE17WireShape' -short -count=1 ./internal/experiments/
+
+# Scheduler smoke: the short E18 run under the race detector — a full
+# scheduling comparison against a live fleet router where the
+# interface-driven policy must beat the utilization baseline on energy at
+# equal-or-better QoS, the carbon-aware variant must cut emissions
+# further, and repeat runs must be bit-identical — plus the sched
+# determinism regression tests (placement ties, error propagation,
+# E2 golden numbers). See docs/SCHED.md.
+sched-smoke:
+	$(GO) test -race -run 'TestE18SchedShape' -short -count=1 ./internal/experiments/
+	$(GO) test -race -count=1 ./internal/schedsvc/
+	$(GO) test -race -run 'TestChoosePlacementDeterministicUnderTies|TestRunGoldenE2|TestInfeasibleFallbackAvoidsWorstNode' -count=1 ./internal/sched/

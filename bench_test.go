@@ -7,6 +7,7 @@ package energyclarity_test
 // evaluation throughput, EIL interpretation overhead, simulator speed).
 
 import (
+	"context"
 	"encoding/json"
 	"net/http/httptest"
 	"testing"
@@ -21,6 +22,7 @@ import (
 	"energyclarity/internal/gpusim"
 	"energyclarity/internal/microbench"
 	"energyclarity/internal/nn"
+	"energyclarity/internal/schedsvc"
 )
 
 // BenchmarkTable1GPT2PredictionError regenerates Table 1.
@@ -1013,4 +1015,77 @@ func benchCoef(spec gpusim.Spec) microbench.Coefficients {
 		VRAM:   spec.NomVRAMEnergy,
 		Static: spec.NomStaticPower,
 	}
+}
+
+// benchSchedFleet boots a 3-node fleet behind the router, registers the
+// E18 short cluster's interfaces over the wire, and returns a warm
+// scheduler (one full interface-policy run so every canonical query is
+// in the fleet memo).
+func benchSchedFleet(b *testing.B) (*schedsvc.Scheduler, func()) {
+	b.Helper()
+	cfg := experiments.E18Config(true)
+	f, err := fleet.New(fleet.Config{Nodes: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, base, stop, err := f.StartRouter("")
+	if err != nil {
+		f.Close()
+		b.Fatal(err)
+	}
+	c := eisvc.NewClient(base).TuneTransport(eisvc.TransportTuning{})
+	c.Binary = true
+	s, err := schedsvc.New(cfg, c)
+	if err == nil {
+		err = s.Register(context.Background())
+	}
+	if err == nil {
+		_, err = s.Run(context.Background(), schedsvc.PolicyInterface, 6)
+	}
+	if err != nil {
+		stop()
+		f.Close()
+		b.Fatal(err)
+	}
+	return s, func() { stop(); f.Close() }
+}
+
+// BenchmarkSchedRound measures one warm interface-policy scheduling
+// round end to end: canonical demand + cost evalbatch over the binary
+// wire (memo-served), candidate ranking, greedy placement, and the
+// ground-truth simulation, for the E18 short cluster (~200 nodes, ~25k
+// tasks).
+func BenchmarkSchedRound(b *testing.B) {
+	s, cleanup := benchSchedFleet(b)
+	defer cleanup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(context.Background(), schedsvc.PolicyInterface, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedPlacementBatch measures the wire path alone: the full
+// canonical query set of one scheduling round (every cohort demand and
+// every candidate price) as a single warm /v1/evalbatch through the
+// router.
+func BenchmarkSchedPlacementBatch(b *testing.B) {
+	s, cleanup := benchSchedFleet(b)
+	defer cleanup()
+	reqs := append(s.DemandRequests(0), s.CostRequests()...)
+	client := s.Client()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		items, err := client.EvalBatch(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, it := range items {
+			if it.Status != 200 {
+				b.Fatalf("item failed: %s", it.Error)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(reqs)), "items/batch")
 }

@@ -14,6 +14,11 @@
 //	efleet -smoke     self-test: boot a 3-node in-process fleet, kill a
 //	                  replica owner mid-trace, assert every request is
 //	                  answered bit-identically, exit
+//	efleet -sched     scheduling demo: register the E18 cluster's node and
+//	                  task energy interfaces fleet-wide, run the
+//	                  utilization / interface / carbon placement policies
+//	                  against this fleet's router, print the comparison
+//	                  table, exit (add -full for the ~4000-node cluster)
 //
 // GET /v1/stats on the router returns the fleet aggregate plus a per-node
 // breakdown; every node response carries an X-Eisvc-Node header naming
@@ -41,6 +46,7 @@ import (
 	"energyclarity/internal/fleet"
 	"energyclarity/internal/mlservice"
 	"energyclarity/internal/nn"
+	"energyclarity/internal/schedsvc"
 )
 
 func main() {
@@ -69,6 +75,8 @@ func run(args []string, out io.Writer) error {
 	snapshotDir := fs.String("snapshot-dir", "", "persistent per-node cache snapshots: nodes warm-start from <dir>/<id>.eisnap and save on drain")
 	fig1 := fs.Bool("fig1", false, "seed the calibrated Fig. 1 cnn_forward hardware interface fleet-wide")
 	smoke := fs.Bool("smoke", false, "self-test: kill a replica owner mid-trace, then exit")
+	sched := fs.Bool("sched", false, "run the E18 scheduling policy comparison against this fleet, then exit")
+	schedFull := fs.Bool("full", false, "with -sched: the full ~4000-node, ~1M-task cluster")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "how long a SIGTERM drain waits per node")
 	var loads stringList
 	fs.Var(&loads, "load", "register an .eil file fleet-wide at startup (repeatable)")
@@ -113,6 +121,9 @@ func run(args []string, out io.Writer) error {
 
 	if *smoke {
 		return runSmoke(f, out)
+	}
+	if *sched {
+		return runSched(f, !*schedFull, out)
 	}
 
 	rt, base, stop, err := f.StartRouter(*addr)
@@ -181,6 +192,70 @@ func seedFig1(f *fleet.Fleet) error {
 	}
 	_, err = f.RegisterSource(mlservice.Fig1EIL)
 	return err
+}
+
+// runSched drives the E18 scheduling comparison against this fleet: the
+// scheduler registers the cluster's node-cost and task-demand interfaces
+// through the router (primary + replication, like any other mutation)
+// and then resolves every placement decision over the binary wire, one
+// canonical evalbatch per scheduling round.
+func runSched(f *fleet.Fleet, short bool, out io.Writer) error {
+	_, base, stop, err := f.StartRouter("")
+	if err != nil {
+		return err
+	}
+	defer stop()
+
+	cfg := experiments.E18Config(short)
+	rounds := 12
+	if short {
+		rounds = 6
+	}
+	client := eisvc.NewClient(base).TuneTransport(eisvc.TransportTuning{})
+	client.Binary = true
+	client.ID = "efleet-sched"
+	s, err := schedsvc.New(cfg, client)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if err := s.Register(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "efleet: registered %d node and %d task energy interfaces fleet-wide (%d nodes, %d tasks)\n",
+		len(cfg.Nodes), len(cfg.Tasks), cfg.TotalNodes(), cfg.TotalTasks())
+
+	var results []schedsvc.Result
+	for _, p := range []schedsvc.Policy{
+		schedsvc.PolicyUtilization, schedsvc.PolicyInterface, schedsvc.PolicyCarbon,
+	} {
+		r, err := s.Run(ctx, p, rounds)
+		if err != nil {
+			return fmt.Errorf("policy %s: %w", p, err)
+		}
+		results = append(results, r)
+		fmt.Fprintf(out, "efleet:   %-18s energy %v, carbon %.0f g, unmet %.2f%%, fleet items %d (%d cache-served)\n",
+			r.Policy, r.Energy, r.CarbonGrams, 100*r.UnmetFraction(),
+			r.Fleet.Items, r.Fleet.CacheServed)
+	}
+	again, err := s.Run(ctx, schedsvc.PolicyInterface, rounds)
+	if err != nil {
+		return err
+	}
+	iface, util := results[1], results[0]
+	if iface.Energy >= util.Energy || iface.UnmetFraction() > util.UnmetFraction() {
+		return fmt.Errorf("sched: interface policy did not beat the baseline (energy %v vs %v, unmet %.4f vs %.4f)",
+			iface.Energy, util.Energy, iface.UnmetFraction(), util.UnmetFraction())
+	}
+	if again.PlacementHash != iface.PlacementHash {
+		return fmt.Errorf("sched: repeat run diverged (%016x vs %016x)",
+			again.PlacementHash, iface.PlacementHash)
+	}
+	fmt.Fprintf(out, "efleet: sched ok — interface-driven placement saves %.1f%% energy at better QoS; carbon-aware cuts a further %.1f%% emissions; repeat run bit-identical (digest %016x)\n",
+		100*(1-float64(iface.Energy)/float64(util.Energy)),
+		100*(1-results[2].CarbonGrams/iface.CarbonGrams),
+		iface.PlacementHash)
+	return nil
 }
 
 // smokeRequest builds request class k of the smoke trace.

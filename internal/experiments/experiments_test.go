@@ -607,7 +607,7 @@ func TestAllTablesRender(t *testing.T) {
 			t.Errorf("table %s rendered empty", tab.ID)
 		}
 	}
-	for _, id := range []string{"T1", "F1", "F2", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E16", "E17", "A1", "A2", "A3"} {
+	for _, id := range []string{"T1", "F1", "F2", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E16", "E17", "E18", "A1", "A2", "A3"} {
 		if !seen[id] {
 			t.Errorf("missing table %s", id)
 		}
@@ -700,5 +700,48 @@ func TestE16FleetShape(t *testing.T) {
 	}
 	if res.FaultFailovers == 0 {
 		t.Error("router never failed over — the faults were invisible")
+	}
+}
+
+// TestE18SchedShape always runs the short cluster (the ~4000-node /
+// ~1M-task run renders through TestAllTablesRender); it asserts the
+// scheduling contract: the interface-driven policy beats the utilization
+// baseline on energy at equal-or-better QoS, the carbon-aware variant
+// cuts grams further under the time-varying intensity trace, every
+// demand/cost resolution went over the fleet wire, and repeat runs are
+// bit-identical.
+func TestE18SchedShape(t *testing.T) {
+	res, err := E18SchedFleet(testing.Short())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interface.Energy >= res.Utilization.Energy {
+		t.Errorf("interface energy %v !< baseline %v", res.Interface.Energy, res.Utilization.Energy)
+	}
+	if res.Interface.UnmetFraction() > res.Utilization.UnmetFraction() {
+		t.Errorf("interface QoS (%.3f unmet) worse than baseline (%.3f)",
+			res.Interface.UnmetFraction(), res.Utilization.UnmetFraction())
+	}
+	if res.Interface.UnmetFraction() > 0.01 {
+		t.Errorf("interface policy backlog %.4f, want < 1%%", res.Interface.UnmetFraction())
+	}
+	if res.Utilization.UnmetCycles <= 0 {
+		t.Error("baseline shows no escalation lag; the comparison is vacuous")
+	}
+	if res.Carbon.CarbonGrams >= res.Interface.CarbonGrams {
+		t.Errorf("carbon policy grams %.1f !< interface grams %.1f",
+			res.Carbon.CarbonGrams, res.Interface.CarbonGrams)
+	}
+	if res.Utilization.Fleet.Items != 0 {
+		t.Errorf("baseline issued %d fleet items, want 0", res.Utilization.Fleet.Items)
+	}
+	if res.Interface.Fleet.Items == 0 || res.Carbon.Fleet.Items == 0 {
+		t.Error("fleet-backed policies issued no wire queries")
+	}
+	if res.HitRate < 0.5 {
+		t.Errorf("canonical round queries only %.0f%% cache-served", 100*res.HitRate)
+	}
+	if !res.Deterministic {
+		t.Errorf("repeat interface run diverged (digest %016x)", res.Interface.PlacementHash)
 	}
 }

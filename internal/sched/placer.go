@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"math"
 
 	"energyclarity/internal/core"
 	"energyclarity/internal/energy"
@@ -180,6 +181,12 @@ func PlaceByInterface(apps []App, nodes []NodeSpec) (PlacementResult, error) {
 		}
 		best := -1
 		var bestE energy.Joules
+		// When nothing fits, fall back to the node the app overloads the
+		// least (minimal run stretch), breaking ties by predicted energy —
+		// never blindly to nodes[0], which may be the worst overload of all.
+		fallback := -1
+		fallbackStretch := math.Inf(1)
+		var fallbackE energy.Joules
 		for i := range nodes {
 			candidate := appIface
 			if i > 0 {
@@ -188,21 +195,28 @@ func PlaceByInterface(apps []App, nodes []NodeSpec) (PlacementResult, error) {
 					return PlacementResult{}, err
 				}
 			}
-			// Feasibility from declared intensity vs node throughput.
-			if app.CPUCyclesPerSec > nodes[i].CPUCyclesPerSec ||
-				app.MemAccPerSec > nodes[i].MemAccPerSec {
-				continue
-			}
 			e, err := candidate.ExpectedJoules("run")
 			if err != nil {
 				return PlacementResult{}, err
 			}
-			if best == -1 || e < bestE {
+			// Feasibility from declared intensity vs node throughput.
+			stretch := 1.0
+			if r := app.CPUCyclesPerSec / nodes[i].CPUCyclesPerSec; r > stretch {
+				stretch = r
+			}
+			if r := app.MemAccPerSec / nodes[i].MemAccPerSec; r > stretch {
+				stretch = r
+			}
+			if stretch <= 1 && (best == -1 || e < bestE) {
 				best, bestE = i, e
+			}
+			if stretch < fallbackStretch ||
+				(stretch == fallbackStretch && e < fallbackE) {
+				fallback, fallbackStretch, fallbackE = i, stretch, e
 			}
 		}
 		if best == -1 {
-			best = 0 // nothing fits: overload the first node
+			best = fallback
 		}
 		res.Nodes = append(res.Nodes, nodes[best].Name)
 		res.Energy += trueRunEnergy(app, nodes[best])

@@ -20,6 +20,7 @@ package sched
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"energyclarity/internal/core"
 	"energyclarity/internal/cpusim"
@@ -73,8 +74,10 @@ func TaskInterface(name string, demand func(q int) float64) *core.Interface {
 // Scheduler decides, per quantum, each task's core type and DVFS level.
 type Scheduler interface {
 	Name() string
-	// Plan returns one assignment per task for quantum q.
-	Plan(q int, tasks []*Task) []Placement
+	// Plan returns one assignment per task for quantum q. A non-nil error
+	// aborts the run: a scheduler that cannot resolve a demand estimate
+	// must say so rather than silently placing with a wrong one.
+	Plan(q int, tasks []*Task) ([]Placement, error)
 	// Observe feeds back what each task actually used in quantum q and
 	// whether it saturated its core (work was left over).
 	Observe(q int, used []float64, saturated []bool)
@@ -97,14 +100,22 @@ func choosePlacement(chip *cpusim.Chip, demand float64) Placement {
 	fallback := Placement{Level: -1}
 	fallbackCap := -1.0
 
+	// Collect one spec per core type and visit them in sorted-name order:
+	// ranging over the map directly would make equal-capacity fallback
+	// selection (and equal-energy tie-breaks) depend on Go's randomized
+	// map iteration, i.e. placement would differ run to run.
 	seen := map[string]cpusim.CoreSpec{}
+	types := make([]string, 0, 4)
 	for i := 0; i < chip.NumCores(); i++ {
 		spec := chip.Core(i)
 		if _, dup := seen[spec.Type]; !dup {
 			seen[spec.Type] = spec
+			types = append(types, spec.Type)
 		}
 	}
-	for typ, spec := range seen {
+	sort.Strings(types)
+	for _, typ := range types {
+		spec := seen[typ]
 		for l := range spec.Freqs {
 			capCycles := spec.CapacityCycles(l) * chip.Quantum()
 			// Energy to serve `demand` cycles this quantum on this choice.
@@ -157,7 +168,7 @@ func NewEASBaseline(chip *cpusim.Chip, nTasks int, alpha float64) *EASBaseline {
 func (s *EASBaseline) Name() string { return "eas-baseline" }
 
 // Plan implements Scheduler.
-func (s *EASBaseline) Plan(q int, tasks []*Task) []Placement {
+func (s *EASBaseline) Plan(q int, tasks []*Task) ([]Placement, error) {
 	out := make([]Placement, len(tasks))
 	for i := range tasks {
 		demand := s.est[i]
@@ -168,7 +179,7 @@ func (s *EASBaseline) Plan(q int, tasks []*Task) []Placement {
 		}
 		out[i] = choosePlacement(s.chip, demand)
 	}
-	return out
+	return out, nil
 }
 
 // Observe implements Scheduler. Utilization is capped at core capacity, so
@@ -214,20 +225,24 @@ func NewInterfaceAware(chip *cpusim.Chip, margin float64) *InterfaceAware {
 // Name implements Scheduler.
 func (s *InterfaceAware) Name() string { return "interface-aware" }
 
-// Plan implements Scheduler.
-func (s *InterfaceAware) Plan(q int, tasks []*Task) []Placement {
+// Plan implements Scheduler. A failing energy interface is an error, not
+// a zero: placing with demand = 0 (the minimum operating point) would
+// mask the interface bug as an inexplicable QoS collapse.
+func (s *InterfaceAware) Plan(q int, tasks []*Task) ([]Placement, error) {
 	out := make([]Placement, len(tasks))
 	for i, t := range tasks {
 		var demand float64
 		if t.Iface != nil {
 			d, err := t.Iface.ExpectedJoules("demand_cycles", core.Num(float64(q)))
-			if err == nil {
-				demand = float64(d) * (1 + s.margin)
+			if err != nil {
+				return nil, fmt.Errorf("sched: task %d (%s) quantum %d: demand interface: %w",
+					i, t.Name, q, err)
 			}
+			demand = float64(d) * (1 + s.margin)
 		}
 		out[i] = choosePlacement(s.chip, demand)
 	}
-	return out
+	return out, nil
 }
 
 // Observe implements Scheduler (the interface path needs no feedback).
@@ -269,7 +284,10 @@ func Run(chip *cpusim.Chip, sched Scheduler, tasks []*Task, quanta int) (RunResu
 	backlog := make([]float64, len(tasks))
 
 	for q := 0; q < quanta; q++ {
-		placements := sched.Plan(q, tasks)
+		placements, err := sched.Plan(q, tasks)
+		if err != nil {
+			return RunResult{}, err
+		}
 
 		// Bind each task to a physical core of the requested type; spill to
 		// any remaining core if the type is exhausted.

@@ -1,11 +1,14 @@
 package sched
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"energyclarity/internal/core"
 	"energyclarity/internal/cpusim"
+	"energyclarity/internal/energy"
 	"energyclarity/internal/trace"
 )
 
@@ -126,6 +129,67 @@ func TestBaselineChasesBimodalPhases(t *testing.T) {
 	}
 }
 
+// TestChoosePlacementDeterministicUnderTies is the regression test for the
+// map-iteration bug: with two core types of identical capacity and power,
+// both the equal-capacity fallback and the equal-energy feasible tie-break
+// used to depend on Go's randomized map order. 50 repetitions must agree.
+func TestChoosePlacementDeterministicUnderTies(t *testing.T) {
+	twin := func(name string) cpusim.CoreSpec {
+		return cpusim.CoreSpec{
+			Type: name,
+			IPC:  2.0,
+			Idle: 0.1,
+			Freqs: []cpusim.FreqLevel{
+				{GHz: 1.0, ActiveW: 1.0},
+				{GHz: 2.0, ActiveW: 3.0},
+			},
+		}
+	}
+	chip, err := cpusim.NewChip(
+		[]cpusim.CoreSpec{twin("alpha"), twin("beta"), twin("gamma")}, 0.010, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, demand := range []float64{1e6, 3e7, 1e12} { // feasible tie, mid, fallback tie
+		first := choosePlacement(chip, demand)
+		for i := 0; i < 50; i++ {
+			if p := choosePlacement(chip, demand); p != first {
+				t.Fatalf("demand %v: placement run %d = %+v, first run = %+v", demand, i, p, first)
+			}
+		}
+		// Sorted iteration means ties resolve to the lexicographically
+		// smallest core type, never to whichever the map yielded first.
+		if first.CoreType != "alpha" {
+			t.Fatalf("demand %v: tie broke to %q, want alpha", demand, first.CoreType)
+		}
+	}
+}
+
+// TestPlanSurfacesInterfaceError pins the error path: a task whose energy
+// interface fails must abort the run with a descriptive error instead of
+// being silently placed with demand = 0 (which used to masquerade as a
+// QoS collapse).
+func TestPlanSurfacesInterfaceError(t *testing.T) {
+	bad := core.New("task_broken").MustMethod(core.Method{
+		Name: "demand_cycles", Params: []string{"q"},
+		Body: func(c *core.Call) energy.Joules {
+			core.Fail(fmt.Errorf("sensor driver exploded"))
+			return 0
+		},
+	})
+	tasks := []*Task{{Name: "broken", Demand: func(int) float64 { return 1e6 }, Iface: bad}}
+	chip := cpusim.BigLITTLE()
+	s := NewInterfaceAware(chip, 0)
+	if _, err := s.Plan(0, tasks); err == nil {
+		t.Fatal("Plan swallowed the interface failure")
+	} else if !strings.Contains(err.Error(), "broken") || !strings.Contains(err.Error(), "sensor driver") {
+		t.Fatalf("error does not identify task or cause: %v", err)
+	}
+	if _, err := Run(chip, s, tasks, 4); err == nil {
+		t.Fatal("Run completed despite a failing demand interface")
+	}
+}
+
 func TestRunDeterministic(t *testing.T) {
 	run := func() RunResult {
 		tasks := bimodalTasks(4, 0.1)
@@ -170,6 +234,77 @@ func TestObserveEscalatesOnSaturation(t *testing.T) {
 	}
 }
 
+// TestObserveSaturationEscalationTable pins the misfit-escalation rule of
+// EASBaseline.Observe case by case: saturated observations double (never
+// lowering the standing estimate), unsaturated ones EWMA-blend, and the
+// first observation initializes directly.
+func TestObserveSaturationEscalationTable(t *testing.T) {
+	const alpha = 0.25
+	cases := []struct {
+		name      string
+		est       float64
+		init      bool
+		used      float64
+		saturated bool
+		want      float64
+	}{
+		{"first observation initializes", 0, false, 80, false, 80},
+		{"first observation saturated doubles", 0, false, 80, true, 160},
+		{"ewma blends", 100, true, 200, false, alpha*200 + (1-alpha)*100},
+		{"saturation doubles used", 100, true, 150, true, 300},
+		{"saturation keeps higher standing estimate", 500, true, 100, true, 500},
+		{"saturation exactly at half keeps estimate", 400, true, 200, true, 400},
+	}
+	for _, tc := range cases {
+		chip := cpusim.BigLITTLE()
+		s := NewEASBaseline(chip, 1, alpha)
+		s.est[0], s.init[0] = tc.est, tc.init
+		s.Observe(0, []float64{tc.used}, []bool{tc.saturated})
+		if s.est[0] != tc.want {
+			t.Errorf("%s: est = %v, want %v", tc.name, s.est[0], tc.want)
+		}
+		if !s.init[0] {
+			t.Errorf("%s: estimate not marked initialized", tc.name)
+		}
+	}
+}
+
+// TestRunGoldenE2 pins the E2 headline numbers end to end: the exact
+// bimodal task set of internal/experiments.E2EASBimodal (jitter 0.05,
+// seeds 100..103), 640 quanta, EWMA alpha 0.3 vs interface margin 0.10.
+// Everything in the pipeline is seeded and placement is now fully
+// deterministic, so these digits must reproduce exactly; a diff here
+// means the scheduling or simulation semantics changed, not noise.
+func TestRunGoldenE2(t *testing.T) {
+	const quanta = 640
+	chipA := cpusim.BigLITTLE()
+	base, err := Run(chipA, NewEASBaseline(chipA, 4, 0.3), bimodalTasks(4, 0.05), quanta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chipB := cpusim.BigLITTLE()
+	aware, err := Run(chipB, NewInterfaceAware(chipB, 0.10), bimodalTasks(4, 0.05), quanta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(base.TotalEnergy); got != 69.414898794609826 {
+		t.Errorf("baseline energy = %.17g, want 69.414898794609826", got)
+	}
+	if got := base.UnmetCycles; got != 57058407800.37944 {
+		t.Errorf("baseline unmet cycles = %.17g, want 57058407800.37944", got)
+	}
+	if got := float64(aware.TotalEnergy); got != 74.244098078622457 {
+		t.Errorf("interface-aware energy = %.17g, want 74.244098078622457", got)
+	}
+	if aware.UnmetCycles != 0 {
+		t.Errorf("interface-aware unmet cycles = %v, want 0", aware.UnmetCycles)
+	}
+	if base.DemandTotal != 72417597729.281494 || aware.DemandTotal != base.DemandTotal {
+		t.Errorf("demand totals: base %.17g aware %.17g, want both 72417597729.281494",
+			base.DemandTotal, aware.DemandTotal)
+	}
+}
+
 // --- placer (E3 scenario) ---
 
 func e3Apps() []App {
@@ -199,6 +334,43 @@ func TestInterfacePlacerBeatsRequestPlacer(t *testing.T) {
 	}
 	if byReq.Nodes[1] != "compute" {
 		t.Fatalf("kvstore placed on %s by request placer", byReq.Nodes[1])
+	}
+}
+
+// TestInfeasibleFallbackAvoidsWorstNode is the regression test for the
+// blind nodes[0] fallback: when no node fits, the placer must pick the
+// node the app overloads the least (then the cheapest), not whatever
+// happens to be listed first.
+func TestInfeasibleFallbackAvoidsWorstNode(t *testing.T) {
+	// Node 0 is a tiny edge box the app would stretch 60x; node 1 nearly
+	// fits (1.2x); node 2 matches node 1's stretch but costs more energy.
+	nodes := []NodeSpec{
+		{Name: "edge", CPUCyclesPerSec: 1e9, MemAccPerSec: 1e8,
+			CPUEnergyPerCycle: 0.5e-9, MemEnergyPerAcc: 10e-9, StaticPower: 8},
+		{Name: "rack", CPUCyclesPerSec: 5e10, MemAccPerSec: 4e9,
+			CPUEnergyPerCycle: 1.0e-9, MemEnergyPerAcc: 20e-9, StaticPower: 90},
+		{Name: "rack-hot", CPUCyclesPerSec: 5e10, MemAccPerSec: 4e9,
+			CPUEnergyPerCycle: 2.0e-9, MemEnergyPerAcc: 40e-9, StaticPower: 180},
+	}
+	apps := []App{{
+		Name: "monster", CPURequest: 1.0,
+		CPUCyclesPerSec: 6e10, MemAccPerSec: 1e9, Seconds: 100,
+	}}
+	res, err := PlaceByInterface(apps, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes[0] != "rack" {
+		t.Fatalf("infeasible app placed on %s, want rack (minimal stretch, then cheapest)", res.Nodes[0])
+	}
+	// Feasible placement is unaffected by the fallback logic.
+	small := []App{{Name: "small", CPUCyclesPerSec: 5e8, MemAccPerSec: 5e7, Seconds: 100}}
+	res, err = PlaceByInterface(small, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes[0] != "edge" {
+		t.Fatalf("feasible app placed on %s, want edge", res.Nodes[0])
 	}
 }
 

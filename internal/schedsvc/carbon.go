@@ -1,0 +1,65 @@
+package schedsvc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"energyclarity/internal/energy"
+)
+
+// RegionCarbon is a deterministic time-varying grid-intensity signal for
+// one region, in grams CO2-equivalent per kWh: a sinusoid around Base
+// with amplitude Amp and period Period rounds, phase-shifted by Phase.
+// It is a stand-in for a marginal-intensity feed (the LLM-inference
+// carbon simulation line of work); the scheduler only ever samples it at
+// integer rounds, so runs are reproducible.
+type RegionCarbon struct {
+	Base   float64 // mean intensity, gCO2e/kWh
+	Amp    float64 // sinusoid amplitude, gCO2e/kWh
+	Period int     // rounds per cycle (0 or 1 means constant)
+	Phase  int     // rounds of phase shift
+}
+
+// At returns the region's intensity in round q, floored at zero.
+func (rc RegionCarbon) At(q int) float64 {
+	v := rc.Base
+	if rc.Amp != 0 && rc.Period > 1 {
+		v += rc.Amp * math.Sin(2*math.Pi*float64(q+rc.Phase)/float64(rc.Period))
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// CarbonTrace maps region name to its grid-intensity signal.
+type CarbonTrace map[string]RegionCarbon
+
+// Intensity returns region's intensity in round q; unknown regions fail
+// loudly rather than scheduling against a silent zero-carbon grid.
+func (ct CarbonTrace) Intensity(region string, q int) (float64, error) {
+	rc, ok := ct[region]
+	if !ok {
+		return 0, fmt.Errorf("schedsvc: no carbon trace for region %q", region)
+	}
+	return rc.At(q), nil
+}
+
+// Regions returns the trace's region names, sorted.
+func (ct CarbonTrace) Regions() []string {
+	out := make([]string, 0, len(ct))
+	for r := range ct {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// joulesPerKWh converts the J→kWh denominator once: 1 kWh = 3.6e6 J.
+const joulesPerKWh = 3.6e6
+
+// CarbonGrams prices energy at a grid intensity (gCO2e/kWh).
+func CarbonGrams(e energy.Joules, gramsPerKWh float64) float64 {
+	return float64(e) / joulesPerKWh * gramsPerKWh
+}
