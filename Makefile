@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke bench-json vet fmt-check serve-smoke fault-smoke drift-smoke compile-smoke fleet-smoke wire-smoke sched-smoke all
+.PHONY: build test race bench bench-smoke bench-json vet fmt-check serve-smoke fault-smoke drift-smoke compile-smoke fleet-smoke wire-smoke sched-smoke autoopt-smoke all
 
 all: build test
 
@@ -40,7 +40,7 @@ bench-smoke:
 # target cheap enough for CI; it tracks trends, not microseconds.
 bench-json:
 	$(GO) test -run '^$$' \
-		-bench 'BenchmarkEvalParallel$$|BenchmarkDaemonEval$$|BenchmarkEvalLayerCache$$|BenchmarkDaemonBatch$$|BenchmarkDriftDetect$$|BenchmarkRecalibrate$$|BenchmarkEvalCompiled$$|BenchmarkEvalInterpreted$$|BenchmarkFleetEval$$|BenchmarkFleetBatch$$|BenchmarkWireCodec$$|BenchmarkMemoHitBinary$$|BenchmarkWarmRestart$$|BenchmarkSchedRound$$|BenchmarkSchedPlacementBatch$$' \
+		-bench 'BenchmarkEvalParallel$$|BenchmarkDaemonEval$$|BenchmarkEvalLayerCache$$|BenchmarkDaemonBatch$$|BenchmarkDriftDetect$$|BenchmarkRecalibrate$$|BenchmarkEvalCompiled$$|BenchmarkEvalInterpreted$$|BenchmarkFleetEval$$|BenchmarkFleetBatch$$|BenchmarkWireCodec$$|BenchmarkMemoHitBinary$$|BenchmarkWarmRestart$$|BenchmarkSchedRound$$|BenchmarkSchedPlacementBatch$$|BenchmarkOptimizeSweep$$' \
 		-benchtime=3x . > .bench_eval.out
 	$(GO) run ./cmd/benchjson -o BENCH_eval.json < .bench_eval.out
 	@rm -f .bench_eval.out
@@ -110,3 +110,18 @@ sched-smoke:
 	$(GO) test -race -run 'TestE18SchedShape' -short -count=1 ./internal/experiments/
 	$(GO) test -race -count=1 ./internal/schedsvc/
 	$(GO) test -race -run 'TestChoosePlacementDeterministicUnderTies|TestRunGoldenE2|TestInfeasibleFallbackAvoidsWorstNode' -count=1 ./internal/sched/
+
+# Auto-optimizer smoke under the race detector: the Pareto engine's unit
+# suite and the MoE fixture, the served-sweep tests (frontier digest
+# pinned bit-identical across parallelism 1/2/8 and across JSON vs
+# binary), the fleet drill that kills a sweep's serving node mid-flight
+# and still demands a bit-identical frontier, the short E19 run (>= 20%
+# savings under the SLO, repeat sweep >= 90% memo-served), and the eid
+# -optimize loopback drill with its /v1/stats counter checks. See
+# docs/AUTOOPT.md.
+autoopt-smoke:
+	$(GO) test -race -count=1 ./internal/autoopt/ ./internal/nn/
+	$(GO) test -race -run 'TestOptimize|TestCodecOptimize' -count=1 ./internal/eisvc/
+	$(GO) test -race -run 'TestFleetOptimizeKillMidSweep' -count=1 ./internal/fleet/
+	$(GO) test -race -run 'TestE19AutooptShape' -short -count=1 ./internal/experiments/
+	$(GO) run ./cmd/eid -optimize

@@ -1089,3 +1089,71 @@ func BenchmarkSchedPlacementBatch(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(reqs)), "items/batch")
 }
+
+// benchOptimizeRequest is the MoE stack's full 60-configuration knob
+// space (E19's sweep), priced by exact enumeration over its 324 joint
+// ECV assignments.
+func benchOptimizeRequest(seed int64) eisvc.OptimizeRequest {
+	return eisvc.OptimizeRequest{
+		Interface:     "moe_stack",
+		EnergyMethod:  "energy",
+		LatencyMethod: "latency",
+		Knobs: []eisvc.OptimizeKnob{
+			{Name: "batch", Values: []float64{1, 2, 4, 8, 16}},
+			{Name: "level", Values: []float64{0, 1, 2, 3}},
+			{Name: "replicas", Values: []float64{1, 2, 4}},
+		},
+		SLOMs:     25,
+		EnumLimit: 1 << 12,
+		Seed:      seed,
+	}
+}
+
+// BenchmarkOptimizeSweep measures POST /v1/optimize end to end over the
+// binary wire: cold (every configuration freshly enumerated — distinct
+// seeds defeat the memo) and warm (the repeat sweep, entirely
+// memo-served, which is what a dashboard re-asking the SLO question
+// pays).
+func BenchmarkOptimizeSweep(b *testing.B) {
+	srv := eisvc.NewServer(eisvc.Config{})
+	if _, err := srv.Registry().RegisterSource(nn.MoEEIL); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := eisvc.NewClient(ts.URL)
+	c.Binary = true
+	var seed int64 // persists across the harness's calibration reruns
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			seed++
+			res, err := c.Optimize(benchOptimizeRequest(seed))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.MemoServed != 0 {
+				b.Fatal("distinct seeds must not hit the memo")
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		req := benchOptimizeRequest(-1)
+		first, err := c.Optimize(req) // prime the memo
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := c.Optimize(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.MemoServed != res.Evals {
+				b.Fatal("repeat sweep missed the memo")
+			}
+			if res.Digest != first.Digest {
+				b.Fatal("repeat sweep diverged")
+			}
+		}
+	})
+}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	ebench -all                 run every experiment, print all tables
-//	ebench -experiment t1       run one experiment (t1, f1, f2, e1..e14, e16..e18, a1..a3)
+//	ebench -experiment t1       run one experiment (t1, f1, f2, e1..e14, e16..e19, a1..a3)
 //	ebench -experiment e5 -v    verbose: include experiment artifacts
 //	ebench -all -csv            emit CSV instead of aligned tables
 package main
@@ -21,7 +21,7 @@ import (
 
 func main() {
 	all := flag.Bool("all", false, "run every experiment")
-	one := flag.String("experiment", "", "run one experiment: t1,f1,f2,e1..e14,e16..e18,a1..a3")
+	one := flag.String("experiment", "", "run one experiment: t1,f1,f2,e1..e14,e16..e19,a1..a3")
 	csv := flag.Bool("csv", false, "emit CSV")
 	verbose := flag.Bool("v", false, "print experiment artifacts (e.g. extracted EIL)")
 	flag.Parse()
@@ -200,6 +200,12 @@ func runOne(id string, verbose bool) (*experiments.Table, error) {
 		return r.Table(), nil
 	case "e18":
 		r, err := experiments.E18SchedFleet(false)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table(), nil
+	case "e19":
+		r, err := experiments.E19Autoopt(false)
 		if err != nil {
 			return nil, err
 		}

@@ -13,6 +13,10 @@
 //	    [-drain-timeout d] [-load file.eil]...
 //	eid -smoke        self-test: serve on a loopback port, register the
 //	                  Fig. 1 interface, query it, assert a 200, exit
+//	eid -optimize     drill POST /v1/optimize on a loopback port: sweep
+//	                  the MoE stack's knob space, print the Pareto
+//	                  frontier, assert the repeat sweep is memo-served
+//	                  and bit-identical, exit
 //
 // On SIGTERM or SIGINT the daemon drains gracefully: it stops admitting
 // new evaluations (shedding them with 503 + Retry-After so retrying
@@ -84,6 +88,7 @@ func run(args []string, out io.Writer) error {
 	driftWindow := fs.Int("drift-window", 0, "drift monitor warmup window in samples (0 = default 8)")
 	recalInterval := fs.Duration("recal-interval", time.Second, "drift probe interval in serve mode")
 	smoke := fs.Bool("smoke", false, "self-test against a loopback listener, then exit")
+	optDrill := fs.Bool("optimize", false, "drill POST /v1/optimize against a loopback listener, then exit")
 	snapshot := fs.String("snapshot", "", "persistent cache snapshot file: load at boot (cold start if missing or corrupt), rewrite periodically and on drain")
 	snapInterval := fs.Duration("snapshot-interval", time.Minute, "how often -snapshot is rewritten while serving")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "how long a SIGTERM drain waits for in-flight evaluations")
@@ -154,6 +159,9 @@ func run(args []string, out io.Writer) error {
 			return runDriftSmoke(srv, rig, out)
 		}
 		return nil
+	}
+	if *optDrill {
+		return runOptimizeDrill(srv, out)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -437,9 +445,19 @@ interface accel_math {
 		return fmt.Errorf("smoke eval (pure EIL): %w", err)
 	}
 
+	// Auto-optimizer: sweep the MoE stack's knob space through POST
+	// /v1/optimize and pin the repeat-sweep contract.
+	cold, again, err := optimizeDrill(c, out)
+	if err != nil {
+		return err
+	}
+
 	st, err := c.Stats()
 	if err != nil {
 		return fmt.Errorf("smoke stats: %w", err)
+	}
+	if err := checkOptimizeStats(st, cold, again); err != nil {
+		return fmt.Errorf("smoke: %w", err)
 	}
 	if st.CompiledEvals == 0 {
 		return fmt.Errorf("smoke: pure-EIL evaluation did not run compiled (compiled_evals = 0)")
@@ -449,5 +467,110 @@ interface accel_math {
 	}
 	fmt.Fprintf(out, "eid: serve-smoke ok — %d evals, %d memo hit(s), %d layer hit(s), %d compiled program(s), %d compiled eval(s), %d fallback(s), %.4g J attributed to %q\n",
 		st.EvalRequests, st.MemoHits, st.LayerHits, st.CompiledPrograms, st.CompiledEvals, st.CompileFallbacks, st.AttribJ, c.ID)
+	return nil
+}
+
+// drillOptimizeRequest is the knob space the smoke/optimize drills
+// sweep: a 12-configuration slice of the MoE grid, small enough to stay
+// fast, rich enough that the frontier and the SLO pick are non-trivial.
+func drillOptimizeRequest() eisvc.OptimizeRequest {
+	return eisvc.OptimizeRequest{
+		Interface:     "moe_stack",
+		EnergyMethod:  "energy",
+		LatencyMethod: "latency",
+		Knobs: []eisvc.OptimizeKnob{
+			{Name: "batch", Values: []float64{1, 4, 16}},
+			{Name: "level", Values: []float64{0, 2}},
+			{Name: "replicas", Values: []float64{1, 4}},
+		},
+		SLOMs:     25,
+		EnumLimit: 1 << 12,
+	}
+}
+
+// optimizeDrill sweeps the MoE stack twice through POST /v1/optimize:
+// the cold sweep must produce a frontier with an SLO pick that saves
+// energy, the repeat must be bit-identical and entirely memo-served.
+func optimizeDrill(c *eisvc.Client, out io.Writer) (cold, again *eisvc.OptimizeResponse, err error) {
+	if _, err := c.Register(nn.MoEEIL); err != nil {
+		return nil, nil, fmt.Errorf("optimize register: %w", err)
+	}
+	req := drillOptimizeRequest()
+	cold, err = c.Optimize(req)
+	if err != nil {
+		return nil, nil, fmt.Errorf("optimize sweep: %w", err)
+	}
+	if len(cold.Frontier) < 2 || cold.Recommended == nil || cold.MaxPerf == nil {
+		return nil, nil, fmt.Errorf("optimize: degenerate sweep: %+v", cold)
+	}
+	if cold.Recommended.LatencyMs > req.SLOMs {
+		return nil, nil, fmt.Errorf("optimize: recommended p99 %.2f ms violates SLO %g ms",
+			cold.Recommended.LatencyMs, req.SLOMs)
+	}
+	if cold.SavingsFrac <= 0 {
+		return nil, nil, fmt.Errorf("optimize: SLO pick saves nothing: %+v", cold)
+	}
+	again, err = c.Optimize(req)
+	if err != nil {
+		return nil, nil, fmt.Errorf("optimize repeat: %w", err)
+	}
+	if again.Digest != cold.Digest {
+		return nil, nil, fmt.Errorf("optimize: repeat digest %016x != %016x", again.Digest, cold.Digest)
+	}
+	if again.MemoServed != again.Evals {
+		return nil, nil, fmt.Errorf("optimize: repeat sweep memo-served %d of %d evals",
+			again.MemoServed, again.Evals)
+	}
+	fmt.Fprintf(out, "eid: optimize ok — %d configs, %d-point frontier, SLO pick saves %.1f%%, repeat memo-served (digest %016x)\n",
+		cold.Configs, len(cold.Frontier), 100*cold.SavingsFrac, cold.Digest)
+	return cold, again, nil
+}
+
+// checkOptimizeStats asserts /v1/stats accounts the drill's two sweeps:
+// the counters must be present and mutually consistent.
+func checkOptimizeStats(st *eisvc.StatsResponse, cold, again *eisvc.OptimizeResponse) error {
+	if st.OptimizeRequests != 2 {
+		return fmt.Errorf("optimize_requests = %d, want 2", st.OptimizeRequests)
+	}
+	if want := uint64(cold.Evals + again.Evals); st.OptimizeEvals != want {
+		return fmt.Errorf("optimize_evals = %d, want %d", st.OptimizeEvals, want)
+	}
+	if st.OptimizeMemoServed < uint64(again.MemoServed) || st.OptimizeMemoServed > st.OptimizeEvals {
+		return fmt.Errorf("optimize_memo_served = %d inconsistent (repeat served %d, evals %d)",
+			st.OptimizeMemoServed, again.MemoServed, st.OptimizeEvals)
+	}
+	return nil
+}
+
+// runOptimizeDrill is eid -optimize: the optimizeDrill against a real
+// loopback listener over the binary wire, plus the stats consistency
+// check, as a standalone exit-code drill.
+func runOptimizeDrill(srv *eisvc.Server, out io.Writer) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+
+	c := eisvc.NewClient("http://" + ln.Addr().String())
+	c.ID = "optimize-drill"
+	c.Binary = true
+	c.Deadline = 30 * time.Second
+	cold, again, err := optimizeDrill(c, out)
+	if err != nil {
+		return err
+	}
+	st, err := c.Stats()
+	if err != nil {
+		return fmt.Errorf("optimize stats: %w", err)
+	}
+	if err := checkOptimizeStats(st, cold, again); err != nil {
+		return err
+	}
+	best := cold.Recommended
+	fmt.Fprintf(out, "eid: optimize-drill ok — recommended %v at %.4g J / %.2f ms p99 under %g ms SLO\n",
+		best.Knobs, best.EnergyJ, best.LatencyMs, cold.SLOMs)
 	return nil
 }

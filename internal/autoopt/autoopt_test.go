@@ -1,0 +1,200 @@
+package autoopt
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"energyclarity/internal/nn"
+)
+
+func TestGridCanonicalOrder(t *testing.T) {
+	s := Space{
+		{Name: "batch", Values: []float64{1, 2}},
+		{Name: "level", Values: []float64{0, 1, 2}},
+	}
+	grid, err := s.Grid(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{
+		{1, 0}, {1, 1}, {1, 2},
+		{2, 0}, {2, 1}, {2, 2},
+	}
+	if !reflect.DeepEqual(grid, want) {
+		t.Fatalf("grid = %v, want %v", grid, want)
+	}
+}
+
+func TestGridEmptySpaceIsNeutralProduct(t *testing.T) {
+	grid, err := Space(nil).Grid(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 1 || len(grid[0]) != 0 {
+		t.Fatalf("empty space grid = %v, want one zero-knob configuration", grid)
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	cases := map[string]Space{
+		"empty name":      {{Name: "", Values: []float64{1}}},
+		"duplicate knob":  {{Name: "b", Values: []float64{1}}, {Name: "b", Values: []float64{2}}},
+		"no values":       {{Name: "b", Values: nil}},
+		"NaN value":       {{Name: "b", Values: []float64{math.NaN()}}},
+		"Inf value":       {{Name: "b", Values: []float64{math.Inf(1)}}},
+		"duplicate value": {{Name: "b", Values: []float64{3, 3}}},
+	}
+	for name, s := range cases {
+		if _, err := s.Grid(0); err == nil {
+			t.Errorf("%s: Grid accepted invalid space %v", name, s)
+		}
+	}
+	big := Space{{Name: "k", Values: make([]float64, 10)}}
+	for i := range big[0].Values {
+		big[0].Values[i] = float64(i)
+	}
+	if _, err := big.Grid(5); err == nil {
+		t.Error("Grid accepted a space beyond its cap")
+	}
+}
+
+func TestParetoFrontierPrunesAndOrders(t *testing.T) {
+	pts := []Point{
+		{Knobs: []float64{1}, EnergyJ: 10, LatencyMs: 1},
+		{Knobs: []float64{2}, EnergyJ: 6, LatencyMs: 2},
+		{Knobs: []float64{3}, EnergyJ: 8, LatencyMs: 3}, // dominated by {2}
+		{Knobs: []float64{4}, EnergyJ: 6, LatencyMs: 4}, // dominated by {2} (equal E, worse L)
+		{Knobs: []float64{5}, EnergyJ: 4, LatencyMs: 4},
+		{Knobs: []float64{6}, EnergyJ: 12, LatencyMs: 1}, // dominated by {1} (equal L, worse E)
+	}
+	f := ParetoFrontier(pts)
+	wantKnobs := []float64{1, 2, 5}
+	if len(f) != len(wantKnobs) {
+		t.Fatalf("frontier = %+v, want 3 points", f)
+	}
+	for i, p := range f {
+		if p.Knobs[0] != wantKnobs[i] {
+			t.Fatalf("frontier[%d].Knobs = %v, want %v", i, p.Knobs, wantKnobs[i])
+		}
+		if i > 0 && (p.LatencyMs <= f[i-1].LatencyMs || p.EnergyJ >= f[i-1].EnergyJ) {
+			t.Fatalf("frontier not strictly ordered at %d: %+v", i, f)
+		}
+	}
+}
+
+func TestParetoFrontierExactTieKeepsLexSmallest(t *testing.T) {
+	pts := []Point{
+		{Knobs: []float64{2, 9}, EnergyJ: 5, LatencyMs: 5},
+		{Knobs: []float64{2, 3}, EnergyJ: 5, LatencyMs: 5},
+		{Knobs: []float64{1, 99}, EnergyJ: 5, LatencyMs: 5},
+	}
+	f := ParetoFrontier(pts)
+	if len(f) != 1 || f[0].Knobs[0] != 1 {
+		t.Fatalf("exact tie kept %+v, want the lex-smallest knob vector", f)
+	}
+}
+
+func TestRecommendAndDigest(t *testing.T) {
+	f := []Point{
+		{Knobs: []float64{1}, EnergyJ: 10, LatencyMs: 1},
+		{Knobs: []float64{2}, EnergyJ: 6, LatencyMs: 2},
+		{Knobs: []float64{3}, EnergyJ: 4, LatencyMs: 5},
+	}
+	if r := Recommend(f, 3); r == nil || r.Knobs[0] != 2 {
+		t.Fatalf("Recommend(3ms) = %+v, want the 2ms point", r)
+	}
+	if r := Recommend(f, 0.5); r != nil {
+		t.Fatalf("Recommend below every point = %+v, want nil", r)
+	}
+	if r := Recommend(f, 100); r == nil || r.Knobs[0] != 3 {
+		t.Fatalf("Recommend(∞) = %+v, want the cheapest point", r)
+	}
+
+	s := Space{{Name: "k", Values: []float64{1, 2, 3}}}
+	d1, d2 := Digest(s, f), Digest(s, f)
+	if d1 != d2 || d1 == 0 {
+		t.Fatalf("digest unstable: %x vs %x", d1, d2)
+	}
+	if Digest(s, f[:2]) == d1 {
+		t.Fatal("digest insensitive to frontier contents")
+	}
+}
+
+// TestSweepSkipsNonFinite pins the NaN/Inf policy: unmeasurable points
+// drop from the frontier deterministically instead of poisoning it.
+func TestSweepSkipsNonFinite(t *testing.T) {
+	spec := Spec{Space: Space{{Name: "k", Values: []float64{1, 2, 3}}}, SLOMs: 10}
+	eval := func(ctx context.Context, space Space, grid [][]float64) ([]Sample, error) {
+		out := make([]Sample, len(grid))
+		for i, cfg := range grid {
+			switch cfg[0] {
+			case 1:
+				out[i] = Sample{EnergyJ: math.NaN(), LatencyMs: 1, Evals: 2}
+			case 2:
+				out[i] = Sample{EnergyJ: 5, LatencyMs: math.Inf(1), Evals: 2}
+			default:
+				out[i] = Sample{EnergyJ: 3, LatencyMs: 4, Evals: 2, MemoServed: 1}
+			}
+		}
+		return out, nil
+	}
+	res, err := Sweep(context.Background(), spec, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != 2 || res.Evaluated != 1 || len(res.Frontier) != 1 {
+		t.Fatalf("skip accounting wrong: %+v", res)
+	}
+	if res.Evals != 6 || res.MemoServed != 1 {
+		t.Fatalf("eval accounting wrong: evals=%d memo=%d", res.Evals, res.MemoServed)
+	}
+	if res.Recommended == nil || res.MaxPerf == nil || res.Recommended.Knobs[0] != 3 {
+		t.Fatalf("recommendation wrong: %+v", res)
+	}
+}
+
+// TestSweepMoECoreEvaluator drives the whole pure path against the real
+// MoE fixture: the frontier must be non-trivial (≥ 5 points), the SLO
+// pick must save ≥ 20% over the max-performance point, and a repeat
+// sweep must be digest-identical.
+func TestSweepMoECoreEvaluator(t *testing.T) {
+	stack, err := nn.MoEEILStack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{
+		Space: Space{
+			{Name: "batch", Values: []float64{1, 2, 4, 8, 16}},
+			{Name: "level", Values: []float64{0, 1, 2, 3}},
+			{Name: "replicas", Values: []float64{1, 2, 4}},
+		},
+		SLOMs: 25,
+	}
+	eval := CoreEvaluator(stack, "energy", "latency", coreExpected())
+	res, err := Sweep(context.Background(), spec, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Configs != 60 || res.Skipped != 0 {
+		t.Fatalf("sweep covered %d configs, skipped %d", res.Configs, res.Skipped)
+	}
+	if len(res.Frontier) < 5 {
+		t.Fatalf("frontier has %d points, want >= 5: %+v", len(res.Frontier), res.Frontier)
+	}
+	if res.Recommended == nil {
+		t.Fatalf("SLO %v ms unmeetable: frontier %+v", spec.SLOMs, res.Frontier)
+	}
+	if res.SavingsFrac < 0.20 {
+		t.Fatalf("SLO pick saves %.1f%%, want >= 20%% (recommended %+v vs max-perf %+v)",
+			res.SavingsFrac*100, res.Recommended, res.MaxPerf)
+	}
+	again, err := Sweep(context.Background(), spec, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Digest != res.Digest {
+		t.Fatalf("repeat sweep digest %x != %x", again.Digest, res.Digest)
+	}
+}

@@ -1,0 +1,36 @@
+package autoopt
+
+import (
+	"context"
+	"fmt"
+
+	"energyclarity/internal/core"
+)
+
+// CoreEvaluator sweeps an in-process interface: each configuration's
+// knob vector becomes the argument list of energyMethod (objective: the
+// distribution's mean, J/request) and latencyMethod (objective: the
+// distribution's exact p99, ms/request). This is the offline path behind
+// `eic optimize`; the served paths (POST /v1/optimize and the
+// /v1/evalbatch fleet client) live in internal/eisvc.
+func CoreEvaluator(iface *core.Interface, energyMethod, latencyMethod string, opts core.EvalOptions) Evaluator {
+	return func(ctx context.Context, space Space, grid [][]float64) ([]Sample, error) {
+		out := make([]Sample, len(grid))
+		for i, cfg := range grid {
+			args := make([]core.Value, len(cfg))
+			for j, v := range cfg {
+				args[j] = core.Num(v)
+			}
+			ed, err := iface.EvalCtx(ctx, energyMethod, args, opts)
+			if err != nil {
+				return nil, fmt.Errorf("autoopt: %s.%s%v: %w", iface.Name(), energyMethod, cfg, err)
+			}
+			ld, err := iface.EvalCtx(ctx, latencyMethod, args, opts)
+			if err != nil {
+				return nil, fmt.Errorf("autoopt: %s.%s%v: %w", iface.Name(), latencyMethod, cfg, err)
+			}
+			out[i] = Sample{EnergyJ: ed.Mean(), LatencyMs: ld.Quantile(0.99), Evals: 2}
+		}
+		return out, nil
+	}
+}

@@ -1,0 +1,7 @@
+package autoopt
+
+import "energyclarity/internal/core"
+
+func coreExpected() core.EvalOptions {
+	return core.EvalOptions{Mode: core.ModeExpected, EnumLimit: 1 << 12}
+}

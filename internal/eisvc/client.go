@@ -372,14 +372,17 @@ func (c *Client) do(ctx context.Context, method, path string, payload []byte, ct
 	return lastErr
 }
 
-// doCtx is the JSON spelling of do: marshal the body once through a
-// pooled buffer, unmarshal the answer into out.
+// doCtx is the JSON spelling of do: marshal the body once, unmarshal
+// the answer into out. The payload buffer is deliberately NOT pooled:
+// an abandoned hedge or retry attempt's transport goroutine can still
+// be reading the request body after do returns, so recycling its
+// backing array would hand racing bytes to the next request. The GC
+// collects it once the last transport reference drops.
 func (c *Client) doCtx(ctx context.Context, method, path string, body, out any, idempotent bool) error {
 	var payload []byte
 	if body != nil {
-		pb := GetBuffer()
-		defer PutBuffer(pb)
-		if err := json.NewEncoder(pb).Encode(body); err != nil {
+		var pb bytes.Buffer
+		if err := json.NewEncoder(&pb).Encode(body); err != nil {
 			return err
 		}
 		payload = pb.Bytes()
@@ -392,13 +395,14 @@ func (c *Client) doCtx(ctx context.Context, method, path string, body, out any, 
 }
 
 // doBin is the binary spelling of do for the hot-path endpoints: encode
-// fills the pooled request buffer with a binary frame, decode parses the
+// fills the request buffer with a binary frame, decode parses the
 // response by the codec the server actually chose (binary when our
 // Accept was honored; JSON from a daemon that pre-dates the codec).
+// Like doCtx, the payload buffer is not pooled: an abandoned hedge or
+// retry may still be streaming it when do returns.
 func (c *Client) doBin(ctx context.Context, path string, encode func(*bytes.Buffer) error, decode func(data []byte, binary bool) error, idempotent bool) error {
-	pb := GetBuffer()
-	defer PutBuffer(pb)
-	if err := encode(pb); err != nil {
+	var pb bytes.Buffer
+	if err := encode(&pb); err != nil {
 		return err
 	}
 	return c.do(ctx, http.MethodPost, path, pb.Bytes(), BinaryContentType, BinaryContentType, decode, idempotent)

@@ -49,6 +49,8 @@ const (
 	kindCacheLookupRequest
 	kindCacheLookupResponse
 	kindSnapshot
+	kindOptimizeRequest
+	kindOptimizeResponse
 )
 
 // IsBinaryContentType reports whether a Content-Type (or Accept) header
@@ -706,6 +708,186 @@ func DecodeCacheLookupResponse(data []byte) (*CacheLookupResponse, error) {
 	if flags&flagHasDist != 0 {
 		w := d.wireDist()
 		resp.Dist = &w
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// --- optimize payloads ---
+
+func (e *benc) optimizeKnobs(knobs []OptimizeKnob) {
+	e.u32(uint32(len(knobs)))
+	for i := range knobs {
+		e.str(knobs[i].Name)
+		e.floats(knobs[i].Values)
+	}
+}
+
+func (d *bdec) optimizeKnobs() []OptimizeKnob {
+	// Each knob costs at least its two length prefixes.
+	n := d.count(8)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]OptimizeKnob, n)
+	for i := range out {
+		out[i].Name = d.str()
+		out[i].Values = d.floats()
+	}
+	return out
+}
+
+func (e *benc) optimizePoint(p *OptimizePoint) {
+	e.floats(p.Knobs)
+	e.f64(p.EnergyJ)
+	e.f64(p.LatencyMs)
+}
+
+func (d *bdec) optimizePoint() OptimizePoint {
+	var p OptimizePoint
+	p.Knobs = d.floats()
+	p.EnergyJ = d.f64()
+	p.LatencyMs = d.f64()
+	return p
+}
+
+// EncodeOptimizeRequest appends the binary frame for req to buf. The
+// interface name comes first so the fleet router can route the frame
+// after decoding only a short prefix (BinaryOptimizeInterface).
+func EncodeOptimizeRequest(buf *bytes.Buffer, req *OptimizeRequest) error {
+	e := &benc{buf: buf}
+	e.header(kindOptimizeRequest)
+	e.str(req.Interface)
+	e.str(req.EnergyMethod)
+	e.str(req.LatencyMethod)
+	e.str(req.Mode)
+	e.f64(req.SLOMs)
+	e.i64(int64(req.Samples))
+	e.i64(req.Seed)
+	e.i64(int64(req.EnumLimit))
+	e.i64(int64(req.Parallelism))
+	e.i64(int64(req.MaxConfigs))
+	e.i64(int64(req.DeadlineMs))
+	e.optimizeKnobs(req.Knobs)
+	return nil
+}
+
+// DecodeOptimizeRequest parses a binary optimize-request frame.
+func DecodeOptimizeRequest(data []byte) (*OptimizeRequest, error) {
+	d := &bdec{data: data}
+	d.header(kindOptimizeRequest)
+	var req OptimizeRequest
+	req.Interface = d.str()
+	req.EnergyMethod = d.str()
+	req.LatencyMethod = d.str()
+	req.Mode = d.str()
+	req.SLOMs = d.f64()
+	req.Samples = int(d.i64())
+	req.Seed = d.i64()
+	req.EnumLimit = int(d.i64())
+	req.Parallelism = int(d.i64())
+	req.MaxConfigs = int(d.i64())
+	req.DeadlineMs = int(d.i64())
+	req.Knobs = d.optimizeKnobs()
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// BinaryOptimizeInterface peeks the interface name out of a binary
+// optimize-request frame without decoding the rest — the fleet router's
+// routing key for verbatim passthrough.
+func BinaryOptimizeInterface(data []byte) (string, bool) {
+	d := &bdec{data: data}
+	d.header(kindOptimizeRequest)
+	name := d.str()
+	if d.err != nil {
+		return "", false
+	}
+	return name, true
+}
+
+// Optimize-response flag bits (which optional points are present).
+const (
+	optFlagRecommended byte = 1 << iota
+	optFlagMaxPerf
+)
+
+// EncodeOptimizeResponse appends the binary frame for resp to buf.
+func EncodeOptimizeResponse(buf *bytes.Buffer, resp *OptimizeResponse) error {
+	e := &benc{buf: buf}
+	e.header(kindOptimizeResponse)
+	e.str(resp.Interface)
+	e.u64(resp.Version)
+	e.str(resp.Mode)
+	e.str(resp.Node)
+	e.f64(resp.SLOMs)
+	e.i64(int64(resp.Configs))
+	e.i64(int64(resp.Evaluated))
+	e.i64(int64(resp.Skipped))
+	e.i64(int64(resp.Evals))
+	e.i64(int64(resp.MemoServed))
+	e.u64(resp.Digest)
+	e.f64(resp.SavingsFrac)
+	e.optimizeKnobs(resp.Knobs)
+	e.u32(uint32(len(resp.Frontier)))
+	for i := range resp.Frontier {
+		e.optimizePoint(&resp.Frontier[i])
+	}
+	var flags byte
+	if resp.Recommended != nil {
+		flags |= optFlagRecommended
+	}
+	if resp.MaxPerf != nil {
+		flags |= optFlagMaxPerf
+	}
+	e.u8(flags)
+	if resp.Recommended != nil {
+		e.optimizePoint(resp.Recommended)
+	}
+	if resp.MaxPerf != nil {
+		e.optimizePoint(resp.MaxPerf)
+	}
+	return nil
+}
+
+// DecodeOptimizeResponse parses a binary optimize-response frame.
+func DecodeOptimizeResponse(data []byte) (*OptimizeResponse, error) {
+	d := &bdec{data: data}
+	d.header(kindOptimizeResponse)
+	var resp OptimizeResponse
+	resp.Interface = d.str()
+	resp.Version = d.u64()
+	resp.Mode = d.str()
+	resp.Node = d.str()
+	resp.SLOMs = d.f64()
+	resp.Configs = int(d.i64())
+	resp.Evaluated = int(d.i64())
+	resp.Skipped = int(d.i64())
+	resp.Evals = int(d.i64())
+	resp.MemoServed = int(d.i64())
+	resp.Digest = d.u64()
+	resp.SavingsFrac = d.f64()
+	resp.Knobs = d.optimizeKnobs()
+	// Each frontier point costs at least its knob-vector length prefix
+	// plus the two objectives.
+	if n := d.count(20); d.err == nil && n > 0 {
+		resp.Frontier = make([]OptimizePoint, n)
+		for i := range resp.Frontier {
+			resp.Frontier[i] = d.optimizePoint()
+		}
+	}
+	flags := d.u8()
+	if flags&optFlagRecommended != 0 {
+		p := d.optimizePoint()
+		resp.Recommended = &p
+	}
+	if flags&optFlagMaxPerf != 0 {
+		p := d.optimizePoint()
+		resp.MaxPerf = &p
 	}
 	if err := d.done(); err != nil {
 		return nil, err

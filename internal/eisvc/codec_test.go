@@ -196,6 +196,152 @@ func TestCodecCacheLookupRoundTrip(t *testing.T) {
 	}
 }
 
+func testOptimizeRequest() *OptimizeRequest {
+	return &OptimizeRequest{
+		Interface:     "moe_stack",
+		EnergyMethod:  "energy",
+		LatencyMethod: "latency",
+		Knobs: []OptimizeKnob{
+			{Name: "batch", Values: []float64{1, 2, 4, 8, 16}},
+			{Name: "level", Values: append([]float64{}, oddFloats...)},
+		},
+		SLOMs:       25,
+		Mode:        "expected",
+		Samples:     4096,
+		Seed:        -3,
+		EnumLimit:   1 << 12,
+		Parallelism: 4,
+		MaxConfigs:  512,
+		DeadlineMs:  750,
+	}
+}
+
+func TestCodecOptimizeRequestRoundTrip(t *testing.T) {
+	for _, req := range []*OptimizeRequest{
+		testOptimizeRequest(),
+		// Empty knob space: the neutral product is a valid sweep.
+		{Interface: "s", EnergyMethod: "e", LatencyMethod: "l", SLOMs: math.Inf(1)},
+	} {
+		var buf bytes.Buffer
+		if err := EncodeOptimizeRequest(&buf, req); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeOptimizeRequest(buf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Interface != req.Interface || got.EnergyMethod != req.EnergyMethod ||
+			got.LatencyMethod != req.LatencyMethod || got.Mode != req.Mode ||
+			math.Float64bits(got.SLOMs) != math.Float64bits(req.SLOMs) ||
+			got.Samples != req.Samples || got.Seed != req.Seed ||
+			got.EnumLimit != req.EnumLimit || got.Parallelism != req.Parallelism ||
+			got.MaxConfigs != req.MaxConfigs || got.DeadlineMs != req.DeadlineMs {
+			t.Fatalf("scalar fields mismatch:\n in  %#v\n out %#v", req, got)
+		}
+		if len(got.Knobs) != len(req.Knobs) {
+			t.Fatalf("knob count mismatch: %#v", got.Knobs)
+		}
+		for i := range req.Knobs {
+			if got.Knobs[i].Name != req.Knobs[i].Name || !bitsEqual(got.Knobs[i].Values, req.Knobs[i].Values) {
+				t.Fatalf("knob %d not bit-identical: %#v", i, got.Knobs[i])
+			}
+		}
+		if name, ok := BinaryOptimizeInterface(buf.Bytes()); !ok || name != req.Interface {
+			t.Fatalf("BinaryOptimizeInterface = %q, %v", name, ok)
+		}
+		var again bytes.Buffer
+		if err := EncodeOptimizeRequest(&again, got); err != nil || !bytes.Equal(buf.Bytes(), again.Bytes()) {
+			t.Fatal("optimize request encoding not canonical")
+		}
+	}
+}
+
+func TestCodecOptimizeResponseRoundTrip(t *testing.T) {
+	// NaN/±Inf objectives must survive: a sweep reports unmeasurable
+	// points as skipped, but the codec itself carries any bit pattern.
+	odd := func(i int) float64 { return oddFloats[i%len(oddFloats)] }
+	full := &OptimizeResponse{
+		Interface: "moe_stack",
+		Version:   9,
+		Mode:      "expected",
+		Knobs:     testOptimizeRequest().Knobs,
+		SLOMs:     25,
+		Configs:   60, Evaluated: 58, Skipped: 2, Evals: 120, MemoServed: 117,
+		Frontier: []OptimizePoint{
+			{Knobs: []float64{1, odd(0)}, EnergyJ: odd(1), LatencyMs: 15.5},
+			{Knobs: []float64{16, 0}, EnergyJ: math.Inf(-1), LatencyMs: math.NaN()},
+		},
+		Digest:      0xdeadbeefcafef00d,
+		Recommended: &OptimizePoint{Knobs: []float64{16, 1}, EnergyJ: 2.7e-6, LatencyMs: 24.9},
+		MaxPerf:     &OptimizePoint{Knobs: []float64{1, 3}, EnergyJ: 1.1e-5, LatencyMs: 15.5},
+		SavingsFrac: 0.76,
+		Node:        "node-2",
+	}
+	empty := &OptimizeResponse{Interface: "s", Mode: "expected", SLOMs: 1}
+	for _, resp := range []*OptimizeResponse{full, empty} {
+		var buf bytes.Buffer
+		if err := EncodeOptimizeResponse(&buf, resp); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeOptimizeResponse(buf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Interface != resp.Interface || got.Version != resp.Version || got.Mode != resp.Mode ||
+			got.Configs != resp.Configs || got.Evaluated != resp.Evaluated || got.Skipped != resp.Skipped ||
+			got.Evals != resp.Evals || got.MemoServed != resp.MemoServed ||
+			got.Digest != resp.Digest || got.Node != resp.Node ||
+			math.Float64bits(got.SavingsFrac) != math.Float64bits(resp.SavingsFrac) {
+			t.Fatalf("scalar fields mismatch:\n in  %#v\n out %#v", resp, got)
+		}
+		if len(got.Frontier) != len(resp.Frontier) {
+			t.Fatalf("frontier length mismatch: %#v", got.Frontier)
+		}
+		for i := range resp.Frontier {
+			p, q := resp.Frontier[i], got.Frontier[i]
+			if !bitsEqual(q.Knobs, p.Knobs) ||
+				math.Float64bits(q.EnergyJ) != math.Float64bits(p.EnergyJ) ||
+				math.Float64bits(q.LatencyMs) != math.Float64bits(p.LatencyMs) {
+				t.Fatalf("frontier[%d] not bit-identical: %#v vs %#v", i, q, p)
+			}
+		}
+		if (got.Recommended == nil) != (resp.Recommended == nil) || (got.MaxPerf == nil) != (resp.MaxPerf == nil) {
+			t.Fatalf("optional point presence mismatch: %#v", got)
+		}
+		if resp.Recommended != nil && !bitsEqual(got.Recommended.Knobs, resp.Recommended.Knobs) {
+			t.Fatalf("recommended point mismatch: %#v", got.Recommended)
+		}
+	}
+}
+
+func TestCodecOptimizeTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeOptimizeRequest(&buf, testOptimizeRequest()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeOptimizeRequest(full[:n]); err == nil {
+			t.Fatalf("request truncation to %d/%d bytes decoded without error", n, len(full))
+		}
+	}
+	buf.Reset()
+	err := EncodeOptimizeResponse(&buf, &OptimizeResponse{
+		Interface: "s", Mode: "expected",
+		Frontier:    []OptimizePoint{{Knobs: []float64{1}, EnergyJ: 2, LatencyMs: 3}},
+		Recommended: &OptimizePoint{Knobs: []float64{1}, EnergyJ: 2, LatencyMs: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full = buf.Bytes()
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeOptimizeResponse(full[:n]); err == nil {
+			t.Fatalf("response truncation to %d/%d bytes decoded without error", n, len(full))
+		}
+	}
+}
+
 // TestCodecTruncation checks every strict prefix of a valid frame decodes
 // to an error (never a panic, never a bogus success).
 func TestCodecTruncation(t *testing.T) {
@@ -258,6 +404,17 @@ func FuzzCodecRoundTrip(f *testing.F) {
 			Layer:  []LayerEntry{{Key: "lk", Joules: math.Inf(1)}},
 		})
 	})
+	seed(func(b *bytes.Buffer) error { return EncodeOptimizeRequest(b, testOptimizeRequest()) })
+	seed(func(b *bytes.Buffer) error {
+		return EncodeOptimizeRequest(b, &OptimizeRequest{Interface: "s", EnergyMethod: "e", LatencyMethod: "l"})
+	})
+	seed(func(b *bytes.Buffer) error {
+		return EncodeOptimizeResponse(b, &OptimizeResponse{
+			Interface: "s", Mode: "expected",
+			Frontier: []OptimizePoint{{Knobs: oddFloats, EnergyJ: math.NaN(), LatencyMs: math.Inf(1)}},
+			MaxPerf:  &OptimizePoint{Knobs: []float64{1}},
+		})
+	})
 	f.Add([]byte{})
 	f.Add(binMagic[:])
 	f.Add(append(append([]byte{}, binMagic[:]...), kindSnapshot, 0xff, 0xff, 0xff, 0xff))
@@ -306,6 +463,29 @@ func FuzzCodecRoundTrip(f *testing.F) {
 			var buf bytes.Buffer
 			if err := EncodeCacheLookupResponse(&buf, cr); err != nil {
 				t.Fatalf("re-encode of decoded cache response failed: %v", err)
+			}
+		}
+		if or, err := DecodeOptimizeRequest(data); err == nil {
+			var buf bytes.Buffer
+			if err := EncodeOptimizeRequest(&buf, or); err != nil {
+				t.Fatalf("re-encode of decoded optimize request failed: %v", err)
+			}
+			or2, err := DecodeOptimizeRequest(buf.Bytes())
+			if err != nil {
+				t.Fatalf("optimize request re-decode failed: %v", err)
+			}
+			var buf2 bytes.Buffer
+			if err := EncodeOptimizeRequest(&buf2, or2); err != nil || !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+				t.Fatal("optimize request encoding not canonical")
+			}
+		}
+		if os, err := DecodeOptimizeResponse(data); err == nil {
+			var buf bytes.Buffer
+			if err := EncodeOptimizeResponse(&buf, os); err != nil {
+				t.Fatalf("re-encode of decoded optimize response failed: %v", err)
+			}
+			if _, err := DecodeOptimizeResponse(buf.Bytes()); err != nil {
+				t.Fatalf("optimize response re-decode failed: %v", err)
 			}
 		}
 		if snap, err := DecodeCacheSnapshot(data); err == nil {

@@ -113,6 +113,13 @@ type Server struct {
 	batchRequests atomic.Uint64
 	batchItems    atomic.Uint64
 
+	// Auto-optimizer sweeps (POST /v1/optimize): requests served, the
+	// evaluations those sweeps issued, and how many of them a cache
+	// answered (memo hit, coalesced, or peer).
+	optimizeRequests   atomic.Uint64
+	optimizeEvals      atomic.Uint64
+	optimizeMemoServed atomic.Uint64
+
 	// Peer cache forwarding (see SetPeerLookup): outbound lookups this
 	// node issued on memo misses, and inbound /v1/cachelookup traffic it
 	// answered for other nodes.
@@ -171,6 +178,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/rebind", s.handleRebind)
 	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
 	s.mux.HandleFunc("POST /v1/evalbatch", s.handleEvalBatch)
+	s.mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("POST /v1/cachelookup", s.handleCacheLookup)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
@@ -883,6 +891,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	resp.Coalesced = s.coalesced.Load()
 	resp.BatchRequests = s.batchRequests.Load()
 	resp.BatchItems = s.batchItems.Load()
+	resp.OptimizeRequests = s.optimizeRequests.Load()
+	resp.OptimizeEvals = s.optimizeEvals.Load()
+	resp.OptimizeMemoServed = s.optimizeMemoServed.Load()
 	resp.PeerHits = s.peerHits.Load()
 	resp.PeerMisses = s.peerMisses.Load()
 	resp.PeerServed = s.peerServed.Load()

@@ -35,6 +35,7 @@ func AllTables() ([]*Table, error) {
 		{"E16", func() (*Table, error) { r, err := E16Fleet(false); return tab(r, err) }},
 		{"E17", func() (*Table, error) { r, err := E17Wire(false); return tab(r, err) }},
 		{"E18", func() (*Table, error) { r, err := E18SchedFleet(false); return tab(r, err) }},
+		{"E19", func() (*Table, error) { r, err := E19Autoopt(false); return tab(r, err) }},
 		{"A1", func() (*Table, error) { r, err := A1ExactVsMonteCarlo(); return tab(r, err) }},
 		{"A2", func() (*Table, error) { r, err := A2EILVsNative(); return tab(r, err) }},
 		{"A3", func() (*Table, error) { r, err := A3LayeredVsMonolithic(); return tab(r, err) }},

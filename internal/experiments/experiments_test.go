@@ -607,7 +607,7 @@ func TestAllTablesRender(t *testing.T) {
 			t.Errorf("table %s rendered empty", tab.ID)
 		}
 	}
-	for _, id := range []string{"T1", "F1", "F2", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E16", "E17", "E18", "A1", "A2", "A3"} {
+	for _, id := range []string{"T1", "F1", "F2", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E16", "E17", "E18", "E19", "A1", "A2", "A3"} {
 		if !seen[id] {
 			t.Errorf("missing table %s", id)
 		}
@@ -743,5 +743,38 @@ func TestE18SchedShape(t *testing.T) {
 	}
 	if !res.Deterministic {
 		t.Errorf("repeat interface run diverged (digest %016x)", res.Interface.PlacementHash)
+	}
+}
+
+// TestE19AutooptShape pins the auto-optimizer acceptance criteria on
+// the MoE stack: a non-trivial frontier, an SLO pick that saves >= 20%
+// energy over max-performance, a repeat sweep >= 90% memo-served and
+// bit-identical at a different parallelism, and a pure-client
+// /v1/evalbatch sweep that reproduces the served digest.
+func TestE19AutooptShape(t *testing.T) {
+	res, err := E19Autoopt(testing.Short())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FrontierSize < 5 {
+		t.Errorf("frontier has %d points, want >= 5", res.FrontierSize)
+	}
+	if res.Recommended.LatencyMs > res.SLOMs {
+		t.Errorf("recommended point p99 %.2f ms violates SLO %g ms", res.Recommended.LatencyMs, res.SLOMs)
+	}
+	if res.SavingsFrac < 0.20 {
+		t.Errorf("SLO pick saves %.1f%%, want >= 20%%", 100*res.SavingsFrac)
+	}
+	if !res.Deterministic {
+		t.Errorf("repeat sweep diverged from digest %016x", res.Digest)
+	}
+	if res.RepeatHitRate < 0.90 {
+		t.Errorf("repeat sweep only %.0f%% memo-served, want >= 90%%", 100*res.RepeatHitRate)
+	}
+	if !res.ClientMatch {
+		t.Errorf("pure-client sweep diverged from served digest %016x", res.Digest)
+	}
+	if res.EnergySupport < 50 {
+		t.Errorf("energy support %d outcomes; the MoE fixture should be genuinely multimodal", res.EnergySupport)
 	}
 }

@@ -365,6 +365,7 @@ func (r *E13Result) drainProbe(heavy int) error {
 	go func() {
 		c := eisvc.NewClient(base)
 		c.ID = "drain-inflight"
+		c.Timeout = -1 // must complete however slow the machine; the probe waits
 		_, _, err := c.Eval("ml_webservice", "handle", e11Request(0), heavyOpts)
 		inflight <- err
 	}()

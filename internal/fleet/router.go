@@ -71,6 +71,8 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		rt.handleEval(w, r)
 	case r.Method == http.MethodPost && r.URL.Path == "/v1/evalbatch":
 		rt.handleEvalBatch(w, r)
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/optimize":
+		rt.handleOptimize(w, r)
 	case r.Method == http.MethodPost && (r.URL.Path == "/v1/register" || r.URL.Path == "/v1/rebind"):
 		rt.handleMutate(w, r)
 	case r.Method == http.MethodGet && r.URL.Path == "/v1/stats":
@@ -234,11 +236,17 @@ func (rt *Router) handleEval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	spread := spreadHash(&req)
-	cands := rt.candidatesFor(req.Interface, spread)
-	// Memo affinity: if some node already served this exact request, its
-	// memo is warm — try it first regardless of ring order.
-	affKey := hash64(req.Interface) ^ spread
+	rt.routeAffine(w, r, body, req.Interface, spreadHash(&req), "eval of "+req.Interface)
+}
+
+// routeAffine forwards one request whose answer benefits from memo
+// locality: the stack's ring owners rotated by the request fingerprint,
+// except that the node which last served this exact fingerprint — its
+// memo is warm — goes first regardless of ring order. Failover follows
+// the usual candidate walk.
+func (rt *Router) routeAffine(w http.ResponseWriter, r *http.Request, body []byte, stack string, spread uint64, what string) {
+	cands := rt.candidatesFor(stack, spread)
+	affKey := hash64(stack) ^ spread
 	affID, affKnown := rt.aff.get(affKey)
 	if affKnown {
 		for i, n := range cands {
@@ -258,8 +266,57 @@ func (rt *Router) handleEval(w http.ResponseWriter, r *http.Request) {
 		rt.aff.put(affKey, n.ID)
 	})
 	if !ok {
-		rt.writeExhausted(w, "eval of "+req.Interface)
+		rt.writeExhausted(w, what)
 	}
+}
+
+// handleOptimize routes a whole auto-optimizer sweep to one node — the
+// stack's owner under the sweep fingerprint — so a repeat sweep lands
+// where its per-evaluation memos are warm. A dead or shedding owner
+// fails over like an eval; sweeps are deterministic, so the failover
+// node fits a bit-identical frontier (a cold cache costs time, never
+// correctness).
+func (rt *Router) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	rt.routed.Add(1)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		rt.badRequest(w, "read body: %v", err)
+		return
+	}
+	var req eisvc.OptimizeRequest
+	if eisvc.IsBinaryContentType(r.Header.Get("Content-Type")) {
+		rq, err := eisvc.DecodeOptimizeRequest(body)
+		if err != nil {
+			rt.badRequest(w, "bad binary request body: %v", err)
+			return
+		}
+		req = *rq
+	} else if err := json.Unmarshal(body, &req); err != nil {
+		rt.badRequest(w, "bad request body: %v", err)
+		return
+	}
+	rt.routeAffine(w, r, body, req.Interface, optimizeSpread(&req), "optimize of "+req.Interface)
+}
+
+// optimizeSpread fingerprints a sweep the way spreadHash fingerprints
+// an eval: identical sweeps land on the same replica, distinct sweeps
+// over the same stack spread across its owners. The binary decoder
+// yields the same field values as a JSON decode, so codecs agree.
+func optimizeSpread(req *eisvc.OptimizeRequest) uint64 {
+	var b bytes.Buffer
+	b.WriteString(req.EnergyMethod)
+	b.WriteByte('|')
+	b.WriteString(req.LatencyMethod)
+	b.WriteByte('|')
+	b.WriteString(req.Mode)
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatInt(req.Seed, 10))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatFloat(req.SLOMs, 'g', -1, 64))
+	if raw, err := json.Marshal(req.Knobs); err == nil {
+		b.Write(raw)
+	}
+	return hash64(b.String())
 }
 
 // handleEvalBatch splits a batch by each item's preferred node and
@@ -546,6 +603,9 @@ func (rt *Router) Stats(ctx context.Context) *FleetStats {
 		agg.Coalesced += st.Coalesced
 		agg.BatchRequests += st.BatchRequests
 		agg.BatchItems += st.BatchItems
+		agg.OptimizeRequests += st.OptimizeRequests
+		agg.OptimizeEvals += st.OptimizeEvals
+		agg.OptimizeMemoServed += st.OptimizeMemoServed
 		agg.PeerHits += st.PeerHits
 		agg.PeerMisses += st.PeerMisses
 		agg.PeerServed += st.PeerServed

@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"fmt"
+
+	"energyclarity/internal/core"
+	"energyclarity/internal/eil"
+)
+
+// MoEEIL is a pure-EIL two-layer energy interface for mixture-of-experts
+// decode serving: a DVFS-laddered device layer and a 16-layer top-k
+// routed transformer whose conditional routing makes the energy
+// distribution genuinely multimodal — how many experts fire, how skewed
+// the token routing lands, and whether speculation misses are ECVs, so
+// one (batch, level, replicas) operating point owns a whole family of
+// energy/latency outcomes rather than a single number.
+//
+// The joint ECV space is 324 assignments (2·3 on the device × 3·3·2·3 on
+// the stack) versus GPT2EIL's 4 — an enumeration-mode stress case for
+// the compiler — and the two methods the auto-optimizer sweeps are
+// parameterized by the serving knobs themselves:
+//
+//	energy(batch, level, replicas)  — joules per request
+//	latency(batch, level, replicas) — milliseconds per request
+//	                                  (abstract-unit convention: ms ride
+//	                                  the Joules channel, like sched's
+//	                                  demand_cycles)
+//
+// The knob physics are shaped like real MoE serving: a higher DVFS level
+// buys speed at superlinear energy; a larger batch amortizes weight
+// streaming (cheaper per request) but waits to fill (slower per
+// request); more replicas cut latency sublinearly while keeping more
+// silicon powered. That three-way tension is what gives the Pareto
+// frontier its breadth.
+const MoEEIL = `
+interface moe_device "DVFS-laddered kernel pricing for an MoE serving accelerator" {
+  ecv thermal_throttle: bernoulli(0.03) "sustained load trips the hot levels down: slower and ~12% costlier per op"
+  ecv hbm_contention: choice { 1: 0.6, 1.15: 0.25, 1.4: 0.15 } "co-tenant HBM traffic multiplier on the memory-bound op share"
+
+  func speed(level) "relative op throughput at a DVFS level" {
+    if level < 0.5 {
+      return 1
+    } else if level < 1.5 {
+      return 1.3
+    } else if level < 2.5 {
+      return 1.6
+    } else {
+      return 1.9
+    }
+  }
+
+  func joules_per_op(level) "marginal energy per abstract op at a DVFS level (superlinear in speed)" {
+    if level < 0.5 {
+      return 0.9nJ
+    } else if level < 1.5 {
+      return 1.15nJ
+    } else if level < 2.5 {
+      return 1.55nJ
+    } else {
+      return 2.1nJ
+    }
+  }
+
+  func hot_level(level) "1 for the levels thermal throttling can reach, else 0" {
+    if level < 1.5 {
+      return 0
+    }
+    return 1
+  }
+
+  func eff_speed(level) "throughput with throttling applied to the hot levels" {
+    let s = speed(level)
+    if thermal_throttle {
+      s = s * (1 - 0.18 * hot_level(level))
+    }
+    return s
+  }
+
+  func kernel(ops, level) "joules to execute ops at a DVFS level" {
+    let e = ops * joules_per_op(level) * (0.7 + 0.3 * hbm_contention)
+    if thermal_throttle {
+      e = e * (1 + 0.12 * hot_level(level))
+    }
+    return e
+  }
+}
+
+interface moe_stack "16-layer mixture-of-experts decode serving with top-k conditional routing" {
+  ecv experts_hot: choice { 2: 0.55, 3: 0.3, 4: 0.15 } "experts activated per token after router overflow"
+  ecv route_skew: choice { 1: 0.5, 1.5: 0.3, 2.25: 0.2 } "token imbalance across expert shards: critical-path stretch"
+  ecv kv_spill: bernoulli(0.06) "KV cache spilled out of VRAM; attention re-streams it at double cost"
+  ecv spec_miss: choice { 0: 0.7, 1: 0.2, 2: 0.1 } "speculative-decode rejections that re-run the stack"
+  uses dev: moe_device
+
+  func layer_compute() "critical-path ops one layer spends per request (weight streaming overlaps compute)" {
+    let attn = 24
+    if kv_spill {
+      attn = attn * 2
+    }
+    let experts = experts_hot * 30
+    let route = 6
+    return attn + experts + route
+  }
+
+  func layer_ops(batch) "total ops one layer burns per request: critical path plus per-batch weight streaming" {
+    return layer_compute() + 160 / batch
+  }
+
+  func request_ops(batch) "abstract ops the whole stack burns per request" {
+    let per_layer = layer_ops(batch)
+    let total = 8
+    for l in 0 .. 16 {
+      total = total + per_layer
+    }
+    return total * (1 + 0.35 * spec_miss)
+  }
+
+  func request_compute() "critical-path ops the whole stack spends per request" {
+    let per_layer = layer_compute()
+    let total = 8
+    for l in 0 .. 16 {
+      total = total + per_layer
+    }
+    return total * (1 + 0.35 * spec_miss)
+  }
+
+  func energy(batch, level, replicas) "joules per request at (batch, DVFS level, replicas)" {
+    let ops = request_ops(batch)
+    let waste = 1 + 0.1 * (route_skew - 1)
+    let active = dev.kernel(ops * waste, level)
+    let idle = 40nJ * replicas / batch
+    return active + idle
+  }
+
+  func latency(batch, level, replicas) "milliseconds per request at (batch, DVFS level, replicas)" {
+    let ops = request_compute()
+    let eff = replicas / (1 + 0.2 * (replicas - 1))
+    let compute = ops * route_skew / (dev.eff_speed(level) * eff) * 0.01
+    let collect = 0.4 * batch / replicas
+    return collect + compute
+  }
+}
+`
+
+// MoEEILStack compiles MoEEIL and returns the model-layer interface
+// (moe_stack, with moe_device bound as "dev").
+func MoEEILStack() (*core.Interface, error) {
+	m, err := eil.Compile(MoEEIL, nil)
+	if err != nil {
+		return nil, fmt.Errorf("nn: MoEEIL fixture: %w", err)
+	}
+	return m["moe_stack"], nil
+}

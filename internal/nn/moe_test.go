@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"energyclarity/internal/core"
+)
+
+func moeEval(t *testing.T, iface *core.Interface, method string, batch, level, replicas float64) interface {
+	Mean() float64
+	Len() int
+	Quantile(float64) float64
+} {
+	t.Helper()
+	d, err := iface.Eval(method, []core.Value{
+		core.Num(batch), core.Num(level), core.Num(replicas),
+	}, core.EvalOptions{Mode: core.ModeExpected, EnumLimit: 1 << 12})
+	if err != nil {
+		t.Fatalf("%s(%v, %v, %v): %v", method, batch, level, replicas, err)
+	}
+	return d
+}
+
+// TestMoEEILStackShape pins the MoE fixture's load-bearing properties:
+// it compiles, its joint ECV space is far beyond GPT-2's (the
+// enumeration stress the optimizer relies on), routing makes the energy
+// distribution genuinely multimodal, and each serving knob moves
+// energy/latency in the direction the Pareto sweep assumes.
+func TestMoEEILStackShape(t *testing.T) {
+	stack, err := MoEEILStack()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2·3 device × 3·3·2·3 stack = 324 joint assignments; the exact
+	// enumeration must carry well over GPT2EIL's 4.
+	d := moeEval(t, stack, "energy", 4, 1, 2)
+	if d.Len() < 50 {
+		t.Fatalf("energy support has %d points; want a rich multimodal distribution (>= 50)", d.Len())
+	}
+
+	// Multimodality: the expert-count modes separate — the distribution's
+	// spread is wide relative to its mean (2 vs 4 hot experts is a ~40%
+	// energy swing before the other ECVs fan out further).
+	if ratio := d.Quantile(0.99) / d.Quantile(0.01); ratio < 1.4 {
+		t.Errorf("energy p99/p01 = %.3f; want >= 1.4 (multimodal routing)", ratio)
+	}
+
+	// Knob directions. Larger batch amortizes weight streaming:
+	if e1, e16 := moeEval(t, stack, "energy", 1, 1, 2).Mean(), moeEval(t, stack, "energy", 16, 1, 2).Mean(); e16 >= e1 {
+		t.Errorf("energy(batch=16) = %g >= energy(batch=1) = %g", e16, e1)
+	}
+	// Higher DVFS level costs superlinear energy but cuts latency:
+	if e0, e3 := moeEval(t, stack, "energy", 4, 0, 2).Mean(), moeEval(t, stack, "energy", 4, 3, 2).Mean(); e3 <= e0 {
+		t.Errorf("energy(level=3) = %g <= energy(level=0) = %g", e3, e0)
+	}
+	if l0, l3 := moeEval(t, stack, "latency", 4, 0, 2).Mean(), moeEval(t, stack, "latency", 4, 3, 2).Mean(); l3 >= l0 {
+		t.Errorf("latency(level=3) = %g >= latency(level=0) = %g", l3, l0)
+	}
+	// More replicas cut latency but keep more silicon powered:
+	if l1, l4 := moeEval(t, stack, "latency", 8, 1, 1).Mean(), moeEval(t, stack, "latency", 8, 1, 4).Mean(); l4 >= l1 {
+		t.Errorf("latency(replicas=4) = %g >= latency(replicas=1) = %g", l4, l1)
+	}
+	if e1, e4 := moeEval(t, stack, "energy", 8, 1, 1).Mean(), moeEval(t, stack, "energy", 8, 1, 4).Mean(); e4 <= e1 {
+		t.Errorf("energy(replicas=4) = %g <= energy(replicas=1) = %g", e4, e1)
+	}
+	// Larger batch waits to fill: latency rises with batch.
+	if lb1, lb16 := moeEval(t, stack, "latency", 1, 1, 2).Mean(), moeEval(t, stack, "latency", 16, 1, 2).Mean(); lb16 <= lb1 {
+		t.Errorf("latency(batch=16) = %g <= latency(batch=1) = %g", lb16, lb1)
+	}
+
+	// Distributions are finite everywhere (the optimizer trusts this).
+	for _, m := range []string{"energy", "latency"} {
+		dd := moeEval(t, stack, m, 2, 2, 2)
+		if !isFinite(dd.Mean()) || !isFinite(dd.Quantile(0.99)) {
+			t.Errorf("%s produced a non-finite statistic", m)
+		}
+	}
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,18 @@
+package sched
+
+// LevelIndices returns the canonical candidate enumeration of a DVFS
+// level space with n levels: every level index, ascending. The
+// chip-local placer (choosePlacement), the fleet scheduler's candidate
+// ranking, and its cost-pricing batch (internal/schedsvc) all iterate
+// exactly this list; sharing one exported helper keeps the enumerations
+// from drifting apart when a level space grows or gets reordered.
+func LevelIndices(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

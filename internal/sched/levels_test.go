@@ -1,0 +1,28 @@
+package sched
+
+import "testing"
+
+// TestLevelIndicesCanonical pins the shared DVFS candidate enumeration:
+// every index [0, n), ascending, and nil for empty spaces. Both
+// choosePlacement and internal/schedsvc's candidate ranking iterate this
+// exact list; the companion test in schedsvc pins the agreement from the
+// other side.
+func TestLevelIndicesCanonical(t *testing.T) {
+	if got := LevelIndices(0); got != nil {
+		t.Fatalf("LevelIndices(0) = %v, want nil", got)
+	}
+	if got := LevelIndices(-3); got != nil {
+		t.Fatalf("LevelIndices(-3) = %v, want nil", got)
+	}
+	for n := 1; n <= 8; n++ {
+		got := LevelIndices(n)
+		if len(got) != n {
+			t.Fatalf("LevelIndices(%d) has %d entries", n, len(got))
+		}
+		for i, l := range got {
+			if l != i {
+				t.Fatalf("LevelIndices(%d)[%d] = %d, want %d", n, i, l, i)
+			}
+		}
+	}
+}

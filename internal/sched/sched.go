@@ -116,7 +116,7 @@ func choosePlacement(chip *cpusim.Chip, demand float64) Placement {
 	sort.Strings(types)
 	for _, typ := range types {
 		spec := seen[typ]
-		for l := range spec.Freqs {
+		for _, l := range LevelIndices(len(spec.Freqs)) {
 			capCycles := spec.CapacityCycles(l) * chip.Quantum()
 			// Energy to serve `demand` cycles this quantum on this choice.
 			served := math.Min(demand, capCycles)

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"energyclarity/internal/energy"
+	"energyclarity/internal/sched"
 )
 
 // This file is the scheduling round loop: estimate demand, rank
@@ -117,7 +118,7 @@ func (s *Scheduler) rankCandidates(policy Policy, uc unitCosts, q int) ([]candid
 			})
 			continue
 		}
-		for l := range nc.Levels {
+		for _, l := range sched.LevelIndices(len(nc.Levels)) {
 			score := uc.perCycle[nc.Name][l]
 			if policy == PolicyCarbon {
 				intensity, err := s.cfg.Carbon.Intensity(nc.Region, q)

@@ -43,6 +43,7 @@ import (
 
 	"energyclarity/internal/eisvc"
 	"energyclarity/internal/energy"
+	"energyclarity/internal/sched"
 )
 
 // OperatingPoint is one DVFS level of a node class: sustained throughput
@@ -429,7 +430,7 @@ func (s *Scheduler) CostRequests() []eisvc.EvalRequest {
 		reqs = append(reqs, eisvc.EvalRequest{
 			Interface: name, Method: "idle", Mode: "expected",
 		})
-		for l := range nc.Levels {
+		for _, l := range sched.LevelIndices(len(nc.Levels)) {
 			reqs = append(reqs, eisvc.EvalRequest{
 				Interface: name,
 				Method:    "cost",
